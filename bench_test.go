@@ -1,0 +1,243 @@
+package repro_test
+
+// One benchmark per experiment (E1-E12 in DESIGN.md). The paper has no
+// empirical tables, so each benchmark regenerates the measurement backing
+// the corresponding theorem/claim; simulated CONGEST rounds are reported
+// as a custom metric alongside wall time. cmd/experiments prints the full
+// tables.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/partition"
+	"repro/internal/planar"
+	"repro/internal/spanner"
+	"repro/internal/testers"
+)
+
+// BenchmarkE1RoundsVsN: Theorem 1 round complexity on a planar grid with
+// the fixed-phase schedule (the regime where rounds/log n converges).
+func BenchmarkE1RoundsVsN(b *testing.B) {
+	g := graph.Grid(12, 12)
+	opts := core.Options{Epsilon: 0.25}
+	opts.Partition = partition.Options{Epsilon: 0.25, Schedule: partition.PracticalSchedule}
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunTester(g, opts, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rejected {
+			b.Fatal("planar grid rejected")
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "congest-rounds")
+}
+
+// BenchmarkE2Detection: Theorem 1 detection on a certified-far input.
+func BenchmarkE2Detection(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g, dist := graph.PlanarPlusRandomEdges(100, 80, rng)
+	eps := float64(dist) / float64(g.M())
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunTester(g, core.Options{Epsilon: eps / 2}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rejected {
+			detected++
+		}
+	}
+	b.ReportMetric(float64(detected)/float64(b.N), "detection-rate")
+}
+
+// BenchmarkE3Contraction: Claims 1/14 per-phase cut contraction (three
+// phases of the deterministic Stage I).
+func BenchmarkE3Contraction(b *testing.B) {
+	g := graph.Grid(10, 10)
+	var cut int
+	for i := 0; i < b.N; i++ {
+		outs, _, _, err := partition.CollectStageI(g,
+			partition.Options{Epsilon: 0.25, MaxPhases: 3}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = partition.CutEdges(g, outs)
+	}
+	b.ReportMetric(float64(cut), "cut-after-3-phases")
+}
+
+// BenchmarkE4Diameter: Claim 4 part-diameter bound after four phases.
+func BenchmarkE4Diameter(b *testing.B) {
+	g := graph.Grid(10, 10)
+	var d int
+	for i := 0; i < b.N; i++ {
+		outs, _, _, err := partition.CollectStageI(g,
+			partition.Options{Epsilon: 0.25, MaxPhases: 4}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d = partition.MaxPartDiameter(g, outs)
+		if d > partition.DiamBound(5) {
+			b.Fatalf("diameter %d exceeds bound", d)
+		}
+	}
+	b.ReportMetric(float64(d), "max-part-diameter")
+}
+
+// BenchmarkE5Cut: Claim 3 final cut bound on the full deterministic
+// partition.
+func BenchmarkE5Cut(b *testing.B) {
+	g := graph.Grid(10, 10)
+	eps := 0.25
+	var cut int
+	for i := 0; i < b.N; i++ {
+		outs, _, _, err := partition.CollectStageI(g, partition.Options{Epsilon: eps}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cut = partition.CutEdges(g, outs)
+		if float64(cut) > eps*float64(g.M())/2 {
+			b.Fatalf("cut %d exceeds eps*m/2", cut)
+		}
+	}
+	b.ReportMetric(float64(cut), "cut-edges")
+}
+
+// BenchmarkE6Violations: Corollary 9 violating-edge count on a far input.
+func BenchmarkE6Violations(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g, dist := graph.PlanarPlusRandomEdges(80, 40, rng)
+	parent := g.BFS(0).Parent
+	var v int
+	for i := 0; i < b.N; i++ {
+		res := planar.EmbedOrFallback(g, planar.FallbackArbitrary)
+		v, _ = core.CountViolations(g, 0, parent, res.Embedding)
+		if v < dist {
+			b.Fatalf("violations %d below certified distance %d", v, dist)
+		}
+	}
+	b.ReportMetric(float64(v), "violating-edges")
+}
+
+// BenchmarkE7LowerBound: Theorem 2 instance construction plus the
+// tree-view certificate.
+func BenchmarkE7LowerBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		ins := lowerbound.New(1024, 8, int64(i))
+		if !ins.GirthAtLeast() {
+			b.Fatal("girth surgery failed")
+		}
+		frac = lowerbound.FractionTreeViews(ins.G, (ins.MinGirth-2)/2, 100, rng)
+		if frac != 1 {
+			b.Fatal("non-tree view below the girth radius")
+		}
+	}
+	b.ReportMetric(frac, "tree-view-fraction")
+}
+
+// BenchmarkE8Randomized: Theorem 4 randomized partition.
+func BenchmarkE8Randomized(b *testing.B) {
+	g := graph.Grid(10, 10)
+	eps := 0.25
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		outs, _, res, err := partition.CollectStageI(g,
+			partition.Options{Epsilon: eps, Variant: partition.Randomized, Delta: 0.125}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = outs
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "congest-rounds")
+}
+
+// BenchmarkE9MinorFree: Corollary 16 testers (accept and reject paths).
+func BenchmarkE9MinorFree(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	far := graph.TreePlusRandomEdges(80, 30, rng)
+	grid := graph.Grid(8, 8)
+	opts := testers.Options{Epsilon: 0.2,
+		Partition: partition.Options{Epsilon: 0.2, Variant: partition.Randomized}}
+	for i := 0; i < b.N; i++ {
+		r1, err := testers.Run(far, testers.CycleFreeness, opts, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r1.Rejected {
+			b.Fatal("far-from-cycle-free input accepted")
+		}
+		r2, err := testers.Run(grid, testers.Bipartiteness, opts, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r2.Rejected {
+			b.Fatal("bipartite grid rejected")
+		}
+	}
+}
+
+// BenchmarkE10Spanner: Corollary 17 spanner size and stretch.
+func BenchmarkE10Spanner(b *testing.B) {
+	g := graph.Grid(12, 12)
+	rng := rand.New(rand.NewSource(10))
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		sp, _, _, err := spanner.Collect(g, spanner.Options{Epsilon: 0.25}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(sp.M()) / float64(g.N())
+		if ratio > 1.5 {
+			b.Fatalf("size ratio %.3f exceeds bound", ratio)
+		}
+		if maxS, _ := spanner.MeasureStretch(g, sp, 50, rng); maxS < 0 {
+			b.Fatal("spanner disconnected")
+		}
+	}
+	b.ReportMetric(ratio, "edges-per-node")
+}
+
+// BenchmarkE11Baseline: the Elkin–Neiman-based tester (§1.1 variant).
+func BenchmarkE11Baseline(b *testing.B) {
+	g := graph.Grid(12, 12)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunTester(g, core.Options{Epsilon: 0.25, UseEN: true}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rejected {
+			b.Fatal("planar grid rejected")
+		}
+		rounds = res.Metrics.Rounds
+	}
+	b.ReportMetric(float64(rounds), "congest-rounds")
+}
+
+// BenchmarkE12Congestion: CONGEST conformance accounting over a full run.
+func BenchmarkE12Congestion(b *testing.B) {
+	g := graph.Grid(10, 10)
+	var maxBits int
+	for i := 0; i < b.N; i++ {
+		res, err := repro.TestPlanarity(g, repro.TesterOptions{Epsilon: 0.25}, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxBits = res.Metrics.MaxMessageBits
+		if maxBits > res.Metrics.BitBound {
+			b.Fatal("bit bound exceeded")
+		}
+	}
+	b.ReportMetric(float64(maxBits), "max-message-bits")
+}

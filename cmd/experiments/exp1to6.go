@@ -1,0 +1,233 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/planar"
+)
+
+// runE1 measures tester rounds against n at fixed eps on planar inputs.
+//
+// Theorem 1's O(log n * poly(1/eps)) holds for the paper's literal
+// schedule, whose fixed phase count t(eps) hides a constant of order
+// 4^t — unobservable. Two practically measurable regimes:
+//
+//   - fixed phase count (practical schedule): the n-dependence is exactly
+//     the Theta(log n) super-round count — rounds/log2(n) converges;
+//   - paper schedule with early exit: parts merge fully after ~log n
+//     phases, and the exponentially growing budget of the last phase
+//     dominates, so rounds grow polynomially in n (still far below the
+//     paper's 4^t constant).
+func runE1(quick bool) error {
+	sides := []int{8, 12, 16, 24, 32}
+	if quick {
+		sides = []int{8, 12, 16}
+	}
+	eps := 0.25
+	row("n", "m", "rounds(fixed-t)", "perlog2n", "rounds(early-exit)")
+	for _, s := range sides {
+		g := graph.Grid(s, s)
+		fixed := core.Options{Epsilon: eps}
+		fixed.Partition = partition.Options{Epsilon: eps, Schedule: partition.PracticalSchedule}
+		rf, err := core.RunTester(g, fixed, 1)
+		if err != nil {
+			return err
+		}
+		re, err := core.RunTester(g, core.Options{Epsilon: eps}, 1)
+		if err != nil {
+			return err
+		}
+		logn := math.Log2(float64(g.N()))
+		row(g.N(), g.M(), rf.Metrics.Rounds,
+			fmt.Sprintf("%.0f", float64(rf.Metrics.Rounds)/logn),
+			re.Metrics.Rounds)
+	}
+	fmt.Println("fixed-t rounds/log2(n) approaches a constant (the poly(1/eps) factor);")
+	fmt.Println("the early-exit variant trades the 4^t constant for polynomial n-growth.")
+	return nil
+}
+
+// runE2 verifies one-sidedness (planar inputs: zero rejections, ever) and
+// measures the detection rate on certified-far inputs.
+func runE2(quick bool) error {
+	rng := rand.New(rand.NewSource(2))
+	seeds := 6
+	if quick {
+		seeds = 3
+	}
+	planarInputs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid 12x12", graph.Grid(12, 12)},
+		{"maxplanar n=150", graph.MaximalPlanar(150, rng)},
+		{"randplanar n=150", graph.RandomPlanar(150, 300, rng)},
+		{"tree n=150", graph.RandomTree(150, rng)},
+	}
+	row("planar input", "runs", "false rejects")
+	for _, in := range planarInputs {
+		rate, err := core.DetectionRate(in.g, core.Options{Epsilon: 0.25}, seeds, 10)
+		if err != nil {
+			return err
+		}
+		row(in.name, seeds, fmt.Sprintf("%.0f (must be 0)", rate*float64(seeds)))
+		if rate != 0 {
+			return fmt.Errorf("one-sidedness violated on %s", in.name)
+		}
+	}
+	row("far input", "cert. eps", "detection rate")
+	for _, extra := range []int{40, 80, 160} {
+		g, dist := graph.PlanarPlusRandomEdges(120, extra, rng)
+		eps := float64(dist) / float64(g.M())
+		rate, err := core.DetectionRate(g, core.Options{Epsilon: eps / 2}, seeds, 20)
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("planar+%d", extra), fmt.Sprintf("%.3f", eps), fmt.Sprintf("%.0f%%", 100*rate))
+	}
+	return nil
+}
+
+// runE3 measures the cut weight after each phase against the Claim 1
+// bound (1 - 1/(12*alpha))^k * m and the Claim 14 randomized bound.
+func runE3(quick bool) error {
+	g := graph.Grid(14, 14)
+	if quick {
+		g = graph.Grid(9, 9)
+	}
+	maxPhases := 8
+	row("phase", "cut(det)", "cut(rand)", "Claim1 bound", "Claim14 bound")
+	m := float64(g.M())
+	alpha := 3.0
+	for k := 1; k <= maxPhases; k++ {
+		det, _, _, err := partition.CollectStageI(g,
+			partition.Options{Epsilon: 0.25, MaxPhases: k}, 3)
+		if err != nil {
+			return err
+		}
+		rnd, _, _, err := partition.CollectStageI(g,
+			partition.Options{Epsilon: 0.25, Variant: partition.Randomized, MaxPhases: k}, 3)
+		if err != nil {
+			return err
+		}
+		b1 := m * math.Pow(1-1/(12*alpha), float64(k))
+		b14 := m * math.Pow(1-1/(64*alpha), float64(k))
+		row(k, partition.CutEdges(g, det), partition.CutEdges(g, rnd),
+			fmt.Sprintf("%.0f", b1), fmt.Sprintf("%.0f", b14))
+	}
+	fmt.Println("measured cuts must stay below the proved per-phase bounds (they shrink much faster).")
+	return nil
+}
+
+// runE4 measures the maximum part diameter after each phase against the
+// Claim 4 bound 3^k - 1.
+func runE4(quick bool) error {
+	g := graph.Grid(14, 14)
+	if quick {
+		g = graph.Grid(9, 9)
+	}
+	row("phase", "max part diam", "bound 3^k-1", "#parts")
+	for k := 1; k <= 7; k++ {
+		outs, _, _, err := partition.CollectStageI(g,
+			partition.Options{Epsilon: 0.25, MaxPhases: k}, 5)
+		if err != nil {
+			return err
+		}
+		d := partition.MaxPartDiameter(g, outs)
+		bound := partition.DiamBound(k + 1)
+		if d > bound {
+			return fmt.Errorf("phase %d: diameter %d exceeds bound %d", k, d, bound)
+		}
+		row(k, d, bound, partition.NumParts(outs))
+	}
+	return nil
+}
+
+// runE5 sweeps eps and checks the final cut against eps*m/2 (Claim 3) for
+// the paper schedule, with the practical schedule as an ablation.
+func runE5(quick bool) error {
+	rng := rand.New(rand.NewSource(5))
+	inputs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid 12x12", graph.Grid(12, 12)},
+		{"maxplanar n=120", graph.MaximalPlanar(120, rng)},
+	}
+	epss := []float64{0.5, 0.3, 0.2, 0.1}
+	if quick {
+		epss = []float64{0.5, 0.25}
+	}
+	row("input", "eps", "eps*m/2", "cut(paper)", "cut(practical)")
+	for _, in := range inputs {
+		for _, eps := range epss {
+			po, _, _, err := partition.CollectStageI(in.g, partition.Options{Epsilon: eps}, 7)
+			if err != nil {
+				return err
+			}
+			pr, _, _, err := partition.CollectStageI(in.g,
+				partition.Options{Epsilon: eps, Schedule: partition.PracticalSchedule}, 7)
+			if err != nil {
+				return err
+			}
+			cut := partition.CutEdges(in.g, po)
+			if float64(cut) > eps*float64(in.g.M())/2 {
+				return fmt.Errorf("%s eps=%.2f: cut %d exceeds bound", in.name, eps, cut)
+			}
+			row(in.name, eps, fmt.Sprintf("%.1f", eps*float64(in.g.M())/2),
+				cut, partition.CutEdges(in.g, pr))
+		}
+	}
+	return nil
+}
+
+// runE6 counts violating edges: zero on planar inputs (Claim 10, with the
+// attachment-label erratum fix); at least the certified distance on far
+// inputs (Corollary 9), under both embedding fallback modes.
+func runE6(quick bool) error {
+	rng := rand.New(rand.NewSource(6))
+	trials := 200
+	if quick {
+		trials = 50
+	}
+	worstPlanar := 0
+	for i := 0; i < trials; i++ {
+		n := 10 + rng.Intn(60)
+		g := graph.RandomPlanar(n, n-1+rng.Intn(2*n-5), rng)
+		emb, err := planar.Embed(g)
+		if err != nil {
+			return err
+		}
+		root := rng.Intn(n)
+		v, _ := core.CountViolations(g, root, g.BFS(root).Parent, emb)
+		if v > worstPlanar {
+			worstPlanar = v
+		}
+	}
+	fmt.Printf("planar sweep (%d graphs): max violating edges = %d (must be 0)\n", trials, worstPlanar)
+	if worstPlanar != 0 {
+		return fmt.Errorf("violations on planar input")
+	}
+	row("far input", "cert. dist", "viol(arbitrary)", "viol(maxsubgraph)")
+	for _, extra := range []int{10, 25, 50} {
+		g, dist := graph.PlanarPlusRandomEdges(80, extra, rng)
+		root := 0
+		parent := g.BFS(root).Parent
+		ra := planar.EmbedOrFallback(g, planar.FallbackArbitrary)
+		va, _ := core.CountViolations(g, root, parent, ra.Embedding)
+		rm := planar.EmbedOrFallback(g, planar.FallbackMaxPlanarSubgraph)
+		vm, _ := core.CountViolations(g, root, parent, rm.Embedding)
+		if va < dist || vm < dist {
+			return fmt.Errorf("violations below certified distance (%d/%d < %d)", va, vm, dist)
+		}
+		row(fmt.Sprintf("planar+%d", extra), dist, va, vm)
+	}
+	fmt.Println("Corollary 9 holds for any ordering: violations >= distance; the adversarial")
+	fmt.Println("max-planar-subgraph ordering yields fewer violations but never below the bound.")
+	return nil
+}

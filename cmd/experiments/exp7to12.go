@@ -1,0 +1,260 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/partition"
+	"repro/internal/planar"
+	"repro/internal/spanner"
+	"repro/internal/testers"
+)
+
+// runE7 builds the §3 lower-bound instances: certified-far graphs whose
+// girth (hence the view-indistinguishability radius) grows with log n,
+// while the full tester still rejects them.
+func runE7(quick bool) error {
+	ns := []int{256, 512, 1024, 2048, 4096}
+	if quick {
+		ns = []int{256, 512, 1024}
+	}
+	rng := rand.New(rand.NewSource(7))
+	row("n", "girth>=", "cert.eps", "removed", "tree-views@r", "tester rejects")
+	for _, n := range ns {
+		ins := lowerbound.New(n, 8, 17)
+		if !ins.GirthAtLeast() {
+			return fmt.Errorf("n=%d: surgery failed", n)
+		}
+		r := (ins.MinGirth - 2) / 2
+		frac := lowerbound.FractionTreeViews(ins.G, r, 150, rng)
+		if frac != 1 {
+			return fmt.Errorf("n=%d: non-tree view below girth radius", n)
+		}
+		res, err := core.RunTester(ins.G, core.Options{Epsilon: ins.Epsilon / 2}, 23)
+		if err != nil {
+			return err
+		}
+		row(n, ins.MinGirth, fmt.Sprintf("%.3f", ins.Epsilon), ins.RemovedEdges,
+			fmt.Sprintf("100%% (r=%d)", r), res.Rejected)
+	}
+	fmt.Println("below the girth radius every local view is a forest, so ANY one-sided")
+	fmt.Println("tester with that round budget must accept; the radius grows with log n.")
+	return nil
+}
+
+// runE8 sweeps (eps, delta) for the randomized partition (Theorem 4):
+// rounds grow with log(1/delta) and poly(1/eps); the cut bound holds with
+// probability >= 1 - delta.
+func runE8(quick bool) error {
+	g := graph.Grid(10, 10)
+	seeds := 8
+	if quick {
+		seeds = 4
+	}
+	row("eps", "delta", "trials/phase", "mean rounds", "cut<=eps*n rate")
+	for _, eps := range []float64{0.5, 0.25} {
+		for _, delta := range []float64{0.25, 0.06, 0.015} {
+			opts := partition.Options{Epsilon: eps, Variant: partition.Randomized, Delta: delta}
+			good, totalRounds := 0, 0
+			for s := 0; s < seeds; s++ {
+				outs, _, res, err := partition.CollectStageI(g, opts, int64(100+s))
+				if err != nil {
+					return err
+				}
+				totalRounds += res.Metrics.Rounds
+				if float64(partition.CutEdges(g, outs)) <= eps*float64(g.N()) {
+					good++
+				}
+			}
+			row(eps, delta, opts.SelectionTrials(),
+				totalRounds/seeds, fmt.Sprintf("%d/%d", good, seeds))
+		}
+	}
+	fmt.Println("the per-phase selection cost grows with log(1/delta) (trials column); total")
+	fmt.Println("rounds also depend on how quickly parts merge, so the interplay is visible")
+	fmt.Println("in the mean-rounds column. The cut bound holds across seeds at every delta.")
+	return nil
+}
+
+// runE9 exercises the Corollary 16 testers with both partition variants.
+func runE9(quick bool) error {
+	rng := rand.New(rand.NewSource(9))
+	type tc struct {
+		name   string
+		g      *graph.Graph
+		prop   testers.Property
+		expect bool
+	}
+	cases := []tc{
+		{"tree n=100", graph.RandomTree(100, rng), testers.CycleFreeness, false},
+		{"tree+40 edges", graph.TreePlusRandomEdges(100, 40, rng), testers.CycleFreeness, true},
+		{"grid 10x10", graph.Grid(10, 10), testers.Bipartiteness, false},
+		{"grid+odd chords", graph.GridWithOddChords(10, 10, 12, rng), testers.Bipartiteness, true},
+	}
+	variants := []struct {
+		name string
+		opts testers.Options
+	}{
+		{"deterministic", testers.Options{Epsilon: 0.2}},
+		{"randomized", testers.Options{Epsilon: 0.2,
+			Partition: partition.Options{Epsilon: 0.2, Variant: partition.Randomized}}},
+	}
+	row("input", "property", "variant", "verdict", "rounds")
+	for _, c := range cases {
+		for _, v := range variants {
+			res, err := testers.Run(c.g, c.prop, v.opts, 31)
+			if err != nil {
+				return err
+			}
+			if res.Rejected != c.expect {
+				return fmt.Errorf("%s/%s: verdict %v, want %v", c.name, v.name, res.Rejected, c.expect)
+			}
+			verdict := "accept"
+			if res.Rejected {
+				verdict = "REJECT"
+			}
+			row(c.name, c.prop.String(), v.name, verdict, res.Metrics.Rounds)
+		}
+	}
+	// Hereditary-property extension (§4.2 remark): outerplanarity.
+	hcases := []struct {
+		name   string
+		g      *graph.Graph
+		expect bool
+	}{
+		{"outerplanar n=60", graph.Outerplanar(60, rng), false},
+		{"maxplanar n=60", graph.MaximalPlanar(60, rng), true},
+	}
+	for _, c := range hcases {
+		res, err := testers.RunHereditary(c.g, planar.IsOuterplanar,
+			testers.Options{Epsilon: 0.2,
+				Partition: partition.Options{Epsilon: 0.2, Variant: partition.Randomized}}, 37)
+		if err != nil {
+			return err
+		}
+		if res.Rejected != c.expect {
+			return fmt.Errorf("hereditary %s: verdict %v, want %v", c.name, res.Rejected, c.expect)
+		}
+		verdict := "accept"
+		if res.Rejected {
+			verdict = "REJECT"
+		}
+		row(c.name, "outerplanarity", "hereditary", verdict, res.Metrics.Rounds)
+	}
+	return nil
+}
+
+// runE10 sweeps eps for the spanner construction: size (1+O(eps))n,
+// stretch bounded by the per-part certificate.
+func runE10(quick bool) error {
+	rng := rand.New(rand.NewSource(10))
+	inputs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid 16x16", graph.Grid(16, 16)},
+		{"maxplanar n=250", graph.MaximalPlanar(250, rng)},
+	}
+	if quick {
+		inputs = inputs[:1]
+	}
+	row("input", "eps", "edges/n", "(1+2eps)", "max stretch", "mean stretch")
+	for _, in := range inputs {
+		for _, eps := range []float64{0.5, 0.25, 0.125} {
+			sp, views, _, err := spanner.Collect(in.g, spanner.Options{Epsilon: eps}, 13)
+			if err != nil {
+				return err
+			}
+			if err := spanner.VerifySymmetric(in.g, views); err != nil {
+				return err
+			}
+			ratio := float64(sp.M()) / float64(in.g.N())
+			if ratio > 1+2*eps {
+				return fmt.Errorf("%s eps=%.2f: size ratio %.3f exceeds bound", in.name, eps, ratio)
+			}
+			maxS, meanS := spanner.MeasureStretch(in.g, sp, 250, rng)
+			row(in.name, eps, fmt.Sprintf("%.3f", ratio), fmt.Sprintf("%.2f", 1+2*eps),
+				fmt.Sprintf("%.1f", maxS), fmt.Sprintf("%.2f", meanS))
+		}
+	}
+	fmt.Println("ultra-sparse: edges/n stays near 1 while eps shrinks the cut contribution.")
+	return nil
+}
+
+// runE11 compares the full tester on Stage I against the Elkin–Neiman
+// baseline: EN has cheaper partitioning (O(log n/eps) rounds) but its
+// parts have Theta(log n/eps) diameter, which Stage II pays back; the
+// paper's Stage I keeps part diameter eps-only.
+func runE11(quick bool) error {
+	sides := []int{8, 12, 16, 24}
+	if quick {
+		sides = []int{8, 12}
+	}
+	eps := 0.25
+	row("n", "rounds(StageI)", "rounds(EN)", "EN part diam", "EN cut/m")
+	for _, s := range sides {
+		g := graph.Grid(s, s)
+		r1, err := core.RunTester(g, core.Options{Epsilon: eps}, 3)
+		if err != nil {
+			return err
+		}
+		r2, err := core.RunTester(g, core.Options{Epsilon: eps, UseEN: true}, 3)
+		if err != nil {
+			return err
+		}
+		outs, _, _, err := partition.CollectEN(g, eps, 3)
+		if err != nil {
+			return err
+		}
+		row(g.N(), r1.Metrics.Rounds, r2.Metrics.Rounds,
+			partition.MaxPartDiameter(g, outs),
+			fmt.Sprintf("%.3f", float64(partition.CutEdges(g, outs))/float64(g.M())))
+	}
+	fmt.Println("EN rounds grow with log^2 n flavor (diameter log n/eps enters Stage II),")
+	fmt.Println("while Stage I pays a larger eps-constant but only log n in n.")
+	return nil
+}
+
+// runE12 verifies CONGEST conformance across the whole pipeline: the
+// maximum message ever sent stays within B = O(log n) bits.
+func runE12(quick bool) error {
+	rng := rand.New(rand.NewSource(12))
+	inputs := []struct {
+		name string
+		g    *graph.Graph
+		opts core.Options
+	}{
+		{"grid 12x12 det", graph.Grid(12, 12), core.Options{Epsilon: 0.25}},
+		{"maxplanar n=150", graph.MaximalPlanar(150, rng), core.Options{Epsilon: 0.25}},
+		{"far n=100", mustFar(100, 80, rng), core.Options{Epsilon: 0.1}},
+		{"grid EN", graph.Grid(12, 12), core.Options{Epsilon: 0.25, UseEN: true}},
+	}
+	if quick {
+		inputs = inputs[:2]
+	}
+	row("run", "bound B", "max msg bits", "messages", "msgs/round", "modeled rounds")
+	for _, in := range inputs {
+		res, err := core.RunTester(in.g, in.opts, 29)
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		if m.MaxMessageBits > m.BitBound {
+			return fmt.Errorf("%s: message %d bits exceeds bound %d", in.name, m.MaxMessageBits, m.BitBound)
+		}
+		perRound := float64(m.Messages) / math.Max(1, float64(m.Rounds))
+		row(in.name, m.BitBound, m.MaxMessageBits, m.Messages,
+			fmt.Sprintf("%.2f", perRound), m.ModeledRounds)
+	}
+	fmt.Println("every message fits the O(log n)-bit CONGEST bound; long payloads were chunked.")
+	return nil
+}
+
+func mustFar(n, extra int, rng *rand.Rand) *graph.Graph {
+	g, _ := graph.PlanarPlusRandomEdges(n, extra, rng)
+	return g
+}

@@ -1,0 +1,89 @@
+// Command experiments regenerates every experiment of the reproduction
+// (E1-E12 in DESIGN.md), one table per theorem/claim of the paper. The
+// paper is a theory paper with no empirical section, so these tables ARE
+// the "figures": each checks a proved bound or asymptotic shape.
+//
+// Usage:
+//
+//	experiments            # run everything (minutes)
+//	experiments -run E1,E5 # selected experiments
+//	experiments -quick     # smaller sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(q bool) error
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "smaller instances")
+	)
+	flag.Parse()
+
+	all := []experiment{
+		{"E1", "Theorem 1: rounds scale as O(log n) for fixed eps", runE1},
+		{"E2", "Theorem 1: one-sided error and detection rate", runE2},
+		{"E3", "Claims 1/14: per-phase cut-weight contraction", runE3},
+		{"E4", "Claim 4: part diameter vs 3^i-1 bound", runE4},
+		{"E5", "Claim 3/Theorem 3: final cut vs eps*m/2", runE5},
+		{"E6", "Claims 8-10/Corollary 9: violating-edge counts", runE6},
+		{"E7", "Theorem 2: lower-bound instances", runE7},
+		{"E8", "Theorem 4: randomized partition tradeoff", runE8},
+		{"E9", "Corollary 16: cycle-freeness and bipartiteness", runE9},
+		{"E10", "Corollary 17: ultra-sparse spanners", runE10},
+		{"E11", "Section 1.1: Stage I vs Elkin-Neiman baseline", runE11},
+		{"E12", "CONGEST conformance: message sizes and traffic", runE12},
+	}
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	failed := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s — %s ===\n", e.id, e.title)
+		start := time.Now()
+		if err := e.run(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed++
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", e.id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// row prints aligned columns.
+func row(cols ...any) {
+	var b strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%14v", c)
+	}
+	fmt.Println(b.String())
+}
+
+func sortedKeys[T any](m map[int]T) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

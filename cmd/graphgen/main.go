@@ -1,0 +1,92 @@
+// Command graphgen generates the synthetic graph families used by the
+// experiments and writes them as edge lists or DOT.
+//
+// Usage:
+//
+//	graphgen -family maxplanar -n 200 > g.txt
+//	graphgen -family lowerbound -n 1024 -format dot > g.dot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "grid", "grid|maxplanar|randplanar|outerplanar|tree|cycle|gnp|complete|bipartite|planar+noise|lowerbound")
+		n      = flag.Int("n", 100, "node count")
+		m      = flag.Int("m", 0, "edge count (randplanar)")
+		extra  = flag.Int("extra", 50, "extra edges (planar+noise)")
+		degree = flag.Float64("degree", 8, "average degree (gnp, lowerbound)")
+		seed   = flag.Int64("seed", 1, "seed")
+		format = flag.String("format", "edges", "edges|dot")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var g *graph.Graph
+	switch *family {
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= *n {
+			side++
+		}
+		g = graph.Grid(side, side)
+	case "maxplanar":
+		g = graph.MaximalPlanar(*n, rng)
+	case "randplanar":
+		mm := *m
+		if mm == 0 {
+			mm = 2 * *n
+		}
+		if mm > 3**n-6 {
+			mm = 3**n - 6
+		}
+		g = graph.RandomPlanar(*n, mm, rng)
+	case "outerplanar":
+		g = graph.Outerplanar(*n, rng)
+	case "tree":
+		g = graph.RandomTree(*n, rng)
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "gnp":
+		g = graph.GNP(*n, *degree/float64(*n), rng)
+	case "complete":
+		g = graph.Complete(*n)
+	case "bipartite":
+		g = graph.CompleteBipartite(*n/2, *n-*n/2)
+	case "planar+noise":
+		g, _ = graph.PlanarPlusRandomEdges(*n, *extra, rng)
+	case "lowerbound":
+		g = lowerbound.New(*n, *degree, *seed).G
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch *format {
+	case "edges":
+		fmt.Fprintf(w, "# %s n=%d m=%d seed=%d\n", *family, g.N(), g.M(), *seed)
+		for _, e := range g.Edges() {
+			fmt.Fprintf(w, "%d %d\n", e.U, e.V)
+		}
+	case "dot":
+		fmt.Fprintf(w, "graph g {\n")
+		for _, e := range g.Edges() {
+			fmt.Fprintf(w, "  %d -- %d;\n", e.U, e.V)
+		}
+		fmt.Fprintf(w, "}\n")
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command planartest runs the distributed planarity tester on a generated
+// or user-supplied graph and prints the verdict with CONGEST metrics.
+//
+// Usage:
+//
+//	planartest -family grid -n 256 -eps 0.25
+//	planartest -family planar+noise -n 100 -extra 60 -eps 0.1 -seeds 5
+//	planartest -family gnp -n 400 -degree 8 -en
+//	planartest -edges graph.txt -eps 0.2   # whitespace-separated "u v" lines
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "grid", "graph family: grid|maxplanar|randplanar|tree|cycle|gnp|complete|planar+noise")
+		n      = flag.Int("n", 256, "node count (grid uses the nearest square)")
+		m      = flag.Int("m", 0, "edge count for randplanar (default 2n)")
+		extra  = flag.Int("extra", 50, "extra edges for planar+noise")
+		degree = flag.Float64("degree", 8, "average degree for gnp")
+		eps    = flag.Float64("eps", 0.25, "distance parameter")
+		seed   = flag.Int64("seed", 1, "base seed")
+		seeds  = flag.Int("seeds", 1, "number of seeds to run")
+		en     = flag.Bool("en", false, "use the Elkin-Neiman baseline partition")
+		random = flag.Bool("randomized", false, "use the randomized Stage I variant (Theorem 4)")
+		strict = flag.Bool("strict-embed", false, "reject as soon as the embedding step sees non-planarity")
+		edges  = flag.String("edges", "", "read edge list from file instead of generating")
+	)
+	flag.Parse()
+
+	g, desc, err := buildGraph(*family, *n, *m, *extra, *degree, *seed, *edges)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planartest:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: %s (n=%d m=%d)\n", desc, g.N(), g.M())
+	if d := graph.EulerDistanceLowerBound(g); d > 0 {
+		fmt.Printf("certified distance to planarity: >= %d edges (eps >= %.3f)\n",
+			d, float64(d)/float64(g.M()))
+	}
+
+	opts := repro.TesterOptions{Epsilon: *eps, UseEN: *en}
+	if *random {
+		opts.Partition.Epsilon = *eps
+		opts.Partition.Variant = partition.Randomized
+	}
+	opts.StageII.StrictEmbedReject = *strict
+
+	rejected := 0
+	for s := 0; s < *seeds; s++ {
+		res, err := repro.TestPlanarity(g, opts, *seed+int64(s)*101)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "planartest:", err)
+			os.Exit(1)
+		}
+		verdict := "accept"
+		if res.Rejected {
+			verdict = "REJECT"
+			rejected++
+		}
+		fmt.Printf("seed %3d: %s  rounds=%-12d msgs=%-10d maxMsgBits=%d/%d modeledRounds=%d\n",
+			s, verdict, res.Metrics.Rounds, res.Metrics.Messages,
+			res.Metrics.MaxMessageBits, res.Metrics.BitBound, res.Metrics.ModeledRounds)
+	}
+	if *seeds > 1 {
+		fmt.Printf("rejected %d/%d runs\n", rejected, *seeds)
+	}
+}
+
+func buildGraph(family string, n, m, extra int, degree float64, seed int64, edgeFile string) (*repro.Graph, string, error) {
+	if edgeFile != "" {
+		g, err := readEdges(edgeFile)
+		return g, "file " + edgeFile, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch family {
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return graph.Grid(side, side), fmt.Sprintf("grid %dx%d", side, side), nil
+	case "maxplanar":
+		return graph.MaximalPlanar(n, rng), "maximal planar", nil
+	case "randplanar":
+		if m == 0 {
+			m = 2 * n
+		}
+		if m > 3*n-6 {
+			m = 3*n - 6
+		}
+		return graph.RandomPlanar(n, m, rng), "random planar", nil
+	case "tree":
+		return graph.RandomTree(n, rng), "random tree", nil
+	case "cycle":
+		return graph.Cycle(n), "cycle", nil
+	case "gnp":
+		return graph.GNP(n, degree/float64(n), rng), fmt.Sprintf("G(n,%.1f/n)", degree), nil
+	case "complete":
+		return graph.Complete(n), "complete", nil
+	case "planar+noise":
+		g, _ := graph.PlanarPlusRandomEdges(n, extra, rng)
+		return g, fmt.Sprintf("maximal planar + %d random edges", extra), nil
+	default:
+		return nil, "", fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func readEdges(path string) (*repro.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var es [][2]int
+	maxNode := -1
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscan(line, &u, &v); err != nil {
+			return nil, fmt.Errorf("bad edge line %q: %w", line, err)
+		}
+		es = append(es, [2]int{u, v})
+		if u > maxNode {
+			maxNode = u
+		}
+		if v > maxNode {
+			maxNode = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(maxNode + 1)
+	for _, e := range es {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), nil
+}

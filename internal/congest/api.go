@@ -1,0 +1,139 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// API is a node's handle to the network. It is valid only inside the
+// node's Program goroutine and is not safe for use from other goroutines.
+type API struct {
+	eng      *engine
+	node     int
+	id       int64
+	n        int
+	degree   int
+	bitBound int
+	rng      *rand.Rand
+
+	resume   chan []Inbound
+	verdicts []Verdict
+	modeled  *atomic.Int64
+
+	outbox    []outMsg
+	sentPorts map[int]bool
+	localRnd  int // rounds advanced, node-local view
+}
+
+// ID returns this node's CONGEST identifier.
+func (a *API) ID() int64 { return a.id }
+
+// Index returns the node's simulation index (0..n-1). Exposed for tests
+// and output collection; faithful algorithms use ID and ports only.
+func (a *API) Index() int { return a.node }
+
+// N returns the number of nodes in the network (standard CONGEST
+// assumption: n is global knowledge).
+func (a *API) N() int { return a.n }
+
+// Degree returns the number of incident edges (ports 0..Degree()-1).
+func (a *API) Degree() int { return a.degree }
+
+// BitBound returns the per-message bit bound B of this network, so that
+// algorithms can chunk long logical payloads into B-bit messages.
+func (a *API) BitBound() int { return a.bitBound }
+
+// Rand returns this node's private deterministic randomness source.
+func (a *API) Rand() *rand.Rand { return a.rng }
+
+// Round returns the current global round number.
+func (a *API) Round() int { return int(a.eng.round.Load()) }
+
+// Send queues m on the given port for delivery at the next round. Sending
+// twice on one port in a single round violates the CONGEST model and
+// panics, as does an out-of-range port.
+func (a *API) Send(port int, m Message) {
+	if port < 0 || port >= a.degree {
+		panic(fmt.Sprintf("congest: node %d: send on invalid port %d (degree %d)", a.node, port, a.degree))
+	}
+	if a.sentPorts == nil {
+		a.sentPorts = make(map[int]bool, a.degree)
+	}
+	if a.sentPorts[port] {
+		panic(fmt.Sprintf("congest: node %d: two messages on port %d in one round", a.node, port))
+	}
+	a.sentPorts[port] = true
+	a.outbox = append(a.outbox, outMsg{port: port, msg: m})
+}
+
+// SendAll queues m on every port.
+func (a *API) SendAll(m Message) {
+	for p := 0; p < a.degree; p++ {
+		a.Send(p, m)
+	}
+}
+
+// NextRound completes the current round and blocks until the next one,
+// returning the messages delivered to this node (sorted by sender).
+func (a *API) NextRound() []Inbound {
+	return a.yield(step{node: a.node, kind: stepNextRound, outbox: a.take()})
+}
+
+// SleepUntil completes the current round and blocks until either a message
+// arrives (returning at its delivery round) or the global round reaches
+// `round`, whichever comes first. It returns the delivered messages (empty
+// on timeout). Messages queued with Send are still delivered.
+func (a *API) SleepUntil(round int) []Inbound {
+	return a.yield(step{node: a.node, kind: stepSleep, deadline: round, outbox: a.take()})
+}
+
+// Idle advances exactly `rounds` rounds, discarding any received messages.
+// Use only where the algorithm's schedule guarantees silence.
+func (a *API) Idle(rounds int) {
+	target := a.Round() + rounds
+	for a.Round() < target {
+		a.SleepUntil(target)
+	}
+}
+
+// Output records this node's verdict. The last call wins; a node that
+// never calls Output contributes VerdictNone.
+func (a *API) Output(v Verdict) {
+	a.verdicts[a.node] = v
+	if v == VerdictReject {
+		a.eng.rejected.Store(true)
+	}
+}
+
+// Verdict returns the verdict this node has recorded so far.
+func (a *API) Verdict() Verdict {
+	return a.verdicts[a.node]
+}
+
+// ChargeModeledRounds adds r to the modeled-rounds counter, accounting for
+// the documented black-box substitutions (DESIGN.md §3).
+func (a *API) ChargeModeledRounds(r int) {
+	a.modeled.Add(int64(r))
+}
+
+func (a *API) take() []outMsg {
+	out := a.outbox
+	a.outbox = nil
+	for p := range a.sentPorts {
+		delete(a.sentPorts, p)
+	}
+	return out
+}
+
+func (a *API) yield(s step) []Inbound {
+	if a.eng.aborted.Load() {
+		panic(errAborted)
+	}
+	a.eng.steps <- s
+	inbox, ok := <-a.resume
+	if !ok {
+		panic(errAborted)
+	}
+	return inbox
+}

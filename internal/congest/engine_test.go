@@ -1,0 +1,523 @@
+package congest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// intMsg is a small test message carrying one value.
+type intMsg struct{ v int64 }
+
+func (m intMsg) Bits() int { return 8 + BitsForValue(m.v) }
+
+// hugeMsg violates any sensible bit bound.
+type hugeMsg struct{}
+
+func (hugeMsg) Bits() int { return 1 << 20 }
+
+func TestFloodBFSOnGrid(t *testing.T) {
+	g := graph.Grid(8, 11)
+	want := g.BFS(0)
+	dist := make([]int, g.N())
+	res, err := Run(Config{Graph: g, Seed: 1}, func(api *API) {
+		const deadline = 1000
+		d := -1
+		if api.Index() == 0 {
+			d = 0
+			api.SendAll(intMsg{0})
+			api.Idle(deadline - api.Round())
+		} else {
+			for d == -1 && api.Round() < deadline {
+				for _, in := range api.SleepUntil(deadline) {
+					if m, ok := in.Msg.(intMsg); ok && d == -1 {
+						d = int(m.v) + 1
+						api.SendAll(intMsg{int64(d)})
+					}
+				}
+			}
+			api.Idle(deadline - api.Round())
+		}
+		dist[api.Index()] = d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if dist[v] != want.Dist[v] {
+			t.Fatalf("node %d: flood dist %d, want %d", v, dist[v], want.Dist[v])
+		}
+	}
+	// Fast-forward must keep the deadline rounds cheap but counted.
+	if res.Metrics.Rounds != 1000 {
+		t.Fatalf("rounds = %d, want 1000 (deadline padding)", res.Metrics.Rounds)
+	}
+	if res.Metrics.MaxMessageBits > res.Metrics.BitBound {
+		t.Fatalf("max message bits %d exceeds bound %d", res.Metrics.MaxMessageBits, res.Metrics.BitBound)
+	}
+}
+
+func TestLeaderElectionMaxID(t *testing.T) {
+	g := graph.Cycle(17)
+	leaders := make([]int64, g.N())
+	_, err := Run(Config{Graph: g, Seed: 2}, func(api *API) {
+		best := api.ID()
+		for r := 0; r < g.N(); r++ {
+			api.SendAll(intMsg{best})
+			for _, in := range api.NextRound() {
+				if m := in.Msg.(intMsg); m.v > best {
+					best = m.v
+				}
+			}
+		}
+		leaders[api.Index()] = best
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max int64
+	for _, l := range leaders {
+		if l > max {
+			max = l
+		}
+	}
+	for i, l := range leaders {
+		if l != max {
+			t.Fatalf("node %d elected %d, want %d", i, l, max)
+		}
+	}
+}
+
+func TestBitBoundViolation(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(Config{Graph: g, Seed: 3}, func(api *API) {
+		if api.Index() == 0 {
+			api.Send(0, hugeMsg{})
+		}
+		api.NextRound()
+	})
+	if err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Fatalf("want bit bound error, got %v", err)
+	}
+}
+
+func TestDoubleSendPanics(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(Config{Graph: g, Seed: 4}, func(api *API) {
+		if api.Index() == 0 {
+			api.Send(0, intMsg{1})
+			api.Send(0, intMsg{2}) // model violation
+		}
+		api.NextRound()
+	})
+	if err == nil || !strings.Contains(err.Error(), "two messages") {
+		t.Fatalf("want double-send error, got %v", err)
+	}
+}
+
+func TestInvalidPortPanics(t *testing.T) {
+	g := graph.Path(3)
+	_, err := Run(Config{Graph: g, Seed: 5}, func(api *API) {
+		api.Send(5, intMsg{1})
+		api.NextRound()
+	})
+	if err == nil || !strings.Contains(err.Error(), "invalid port") {
+		t.Fatalf("want invalid port error, got %v", err)
+	}
+}
+
+func TestMaxRoundsExceeded(t *testing.T) {
+	g := graph.Path(2)
+	_, err := Run(Config{Graph: g, Seed: 6, MaxRounds: 50}, func(api *API) {
+		for {
+			api.NextRound()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("want max-rounds error, got %v", err)
+	}
+}
+
+func TestProgramPanicPropagates(t *testing.T) {
+	g := graph.Path(4)
+	_, err := Run(Config{Graph: g, Seed: 7}, func(api *API) {
+		api.NextRound()
+		if api.Index() == 2 {
+			panic("boom")
+		}
+		for i := 0; i < 10; i++ {
+			api.NextRound()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want propagated panic, got %v", err)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	g := graph.Grid(5, 5)
+	run := func(seed int64) (*Result, []int64) {
+		vals := make([]int64, g.N())
+		res, err := Run(Config{Graph: g, Seed: seed}, func(api *API) {
+			x := api.Rand().Int63n(1000)
+			for r := 0; r < 20; r++ {
+				api.SendAll(intMsg{x})
+				for _, in := range api.NextRound() {
+					x = (x + in.Msg.(intMsg).v) % 1_000_003
+				}
+			}
+			vals[api.Index()] = x
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, vals
+	}
+	r1, v1 := run(42)
+	r2, v2 := run(42)
+	if r1.Metrics != r2.Metrics {
+		t.Fatalf("metrics differ across identical runs:\n%v\n%v", r1.Metrics, r2.Metrics)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("node %d: values differ %d vs %d", i, v1[i], v2[i])
+		}
+	}
+	_, v3 := run(43)
+	same := true
+	for i := range v1 {
+		if v1[i] != v3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical outcomes (suspicious)")
+	}
+}
+
+func TestSleepUntilWakesOnMessage(t *testing.T) {
+	g := graph.Path(2)
+	wokeAt := 0
+	res, err := Run(Config{Graph: g, Seed: 8}, func(api *API) {
+		if api.Index() == 0 {
+			api.Idle(5)
+			api.Send(0, intMsg{99})
+			api.NextRound()
+			return
+		}
+		inbox := api.SleepUntil(100000)
+		wokeAt = api.Round()
+		if len(inbox) != 1 || inbox[0].Msg.(intMsg).v != 99 {
+			panic("wrong inbox")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 6 {
+		t.Fatalf("woke at round %d, want 6", wokeAt)
+	}
+	if res.Metrics.Rounds > 10 {
+		t.Fatalf("rounds = %d; sleeper must not force the deadline", res.Metrics.Rounds)
+	}
+}
+
+func TestFastForwardLongIdle(t *testing.T) {
+	g := graph.Path(3)
+	res, err := Run(Config{Graph: g, Seed: 9}, func(api *API) {
+		api.Idle(2_000_000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds != 2_000_000 {
+		t.Fatalf("rounds = %d, want 2000000", res.Metrics.Rounds)
+	}
+}
+
+func TestVerdictAggregation(t *testing.T) {
+	g := graph.Path(5)
+	res, err := Run(Config{Graph: g, Seed: 10}, func(api *API) {
+		if api.Index() == 3 {
+			api.Output(VerdictReject)
+		} else {
+			api.Output(VerdictAccept)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted() {
+		t.Fatal("Accepted must be false with a rejector")
+	}
+	if !res.Rejected() || res.RejectCount() != 1 {
+		t.Fatalf("want exactly one reject, got %d", res.RejectCount())
+	}
+}
+
+func TestMessageToDoneNodeDropped(t *testing.T) {
+	g := graph.Path(2)
+	res, err := Run(Config{Graph: g, Seed: 11}, func(api *API) {
+		if api.Index() == 0 {
+			return // terminate immediately
+		}
+		api.NextRound()
+		api.Send(0, intMsg{1}) // node 0 is done by now
+		api.NextRound()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.DroppedToDone != 1 {
+		t.Fatalf("dropped = %d, want 1", res.Metrics.DroppedToDone)
+	}
+}
+
+func TestModeledRounds(t *testing.T) {
+	g := graph.Path(3)
+	res, err := Run(Config{Graph: g, Seed: 12}, func(api *API) {
+		api.ChargeModeledRounds(7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ModeledRounds != 21 {
+		t.Fatalf("modeled rounds = %d, want 21", res.Metrics.ModeledRounds)
+	}
+}
+
+func TestCustomIDs(t *testing.T) {
+	g := graph.Path(3)
+	ids := []int64{100, 200, 300}
+	seen := make([]int64, 3)
+	_, err := Run(Config{Graph: g, Seed: 13, IDs: ids}, func(api *API) {
+		seen[api.Index()] = api.ID()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if seen[i] != ids[i] {
+			t.Fatalf("node %d saw id %d, want %d", i, seen[i], ids[i])
+		}
+	}
+}
+
+func TestDefaultIDsAreUniquePermutation(t *testing.T) {
+	g := graph.Grid(4, 4)
+	seen := make([]int64, g.N())
+	_, err := Run(Config{Graph: g, Seed: 14}, func(api *API) {
+		seen[api.Index()] = api.ID()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[int64]bool)
+	for _, id := range seen {
+		if id < 1 || id > int64(g.N()) || used[id] {
+			t.Fatalf("ids are not a permutation of 1..n: %v", seen)
+		}
+		used[id] = true
+	}
+}
+
+// pathTree builds the Tree view for node i on the path 0-1-...-n-1 rooted
+// at node 0. Port layout: on a path, node 0 has port 0 -> node 1; interior
+// node i has port 0 -> i-1 and port 1 -> i+1; the last node has port 0.
+func pathTree(i, n int) Tree {
+	switch {
+	case i == 0:
+		return Tree{ParentPort: -1, ChildPorts: []int{0}}
+	case i == n-1:
+		return Tree{ParentPort: 0}
+	default:
+		return Tree{ParentPort: 0, ChildPorts: []int{1}}
+	}
+}
+
+func TestTreeBroadcastDown(t *testing.T) {
+	const n = 7
+	g := graph.Path(n)
+	got := make([]int64, n)
+	_, err := Run(Config{Graph: g, Seed: 15}, func(api *API) {
+		tr := pathTree(api.Index(), n)
+		deadline := api.Round() + n + 2
+		var root Message
+		if tr.IsRoot() {
+			root = intMsg{v: 1}
+		}
+		// Each hop increments the payload, so node i receives i+1.
+		m, ok := tr.BroadcastDown(api, deadline, root, func(m Message) Message {
+			return intMsg{v: m.(intMsg).v + 1}
+		})
+		if !ok {
+			panic("broadcast did not complete")
+		}
+		got[api.Index()] = m.(intMsg).v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != int64(i+1) {
+			t.Fatalf("node %d got %d, want %d", i, got[i], i+1)
+		}
+	}
+}
+
+func TestTreeConvergecastSum(t *testing.T) {
+	const n = 9
+	g := graph.Path(n)
+	var rootSum int64
+	_, err := Run(Config{Graph: g, Seed: 16}, func(api *API) {
+		tr := pathTree(api.Index(), n)
+		deadline := api.Round() + n + 2
+		own := intMsg{v: int64(api.Index())}
+		agg, ok := tr.Convergecast(api, deadline, own, func(own Message, children []Message) Message {
+			s := own.(intMsg).v
+			for _, c := range children {
+				s += c.(intMsg).v
+			}
+			return intMsg{v: s}
+		})
+		if !ok {
+			panic("convergecast did not complete")
+		}
+		if tr.IsRoot() {
+			rootSum = agg.(intMsg).v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootSum != int64(n*(n-1)/2) {
+		t.Fatalf("sum = %d, want %d", rootSum, n*(n-1)/2)
+	}
+}
+
+func TestTreePipelineUp(t *testing.T) {
+	const n = 6
+	g := graph.Path(n)
+	var collected []int64
+	_, err := Run(Config{Graph: g, Seed: 17}, func(api *API) {
+		tr := pathTree(api.Index(), n)
+		// Each node contributes two items; budget = items + depth + slack.
+		items := []Message{
+			intMsg{v: int64(api.Index() * 10)},
+			intMsg{v: int64(api.Index()*10 + 1)},
+		}
+		deadline := api.Round() + 2*n + n + 4
+		got, ok := tr.PipelineUp(api, deadline, items)
+		if !ok {
+			panic("pipeline did not complete")
+		}
+		if tr.IsRoot() {
+			for _, m := range got {
+				collected = append(collected, m.(intMsg).v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collected) != 2*n {
+		t.Fatalf("collected %d items, want %d", len(collected), 2*n)
+	}
+	seen := make(map[int64]bool)
+	for _, v := range collected {
+		seen[v] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seen[int64(i*10)] || !seen[int64(i*10+1)] {
+			t.Fatalf("missing items of node %d; got %v", i, collected)
+		}
+	}
+}
+
+func TestTreeBroadcastItemsDown(t *testing.T) {
+	const n = 5
+	g := graph.Path(n)
+	counts := make([]int, n)
+	_, err := Run(Config{Graph: g, Seed: 18}, func(api *API) {
+		tr := pathTree(api.Index(), n)
+		var items []Message
+		if tr.IsRoot() {
+			for k := 0; k < 7; k++ {
+				items = append(items, intMsg{v: int64(100 + k)})
+			}
+		}
+		deadline := api.Round() + 7 + n + 4
+		got, ok := tr.BroadcastItemsDown(api, deadline, items)
+		if !ok {
+			panic("broadcast-items did not complete")
+		}
+		counts[api.Index()] = len(got)
+		for k, m := range got {
+			if m.(intMsg).v != int64(100+k) {
+				panic("wrong item order")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 7 {
+			t.Fatalf("node %d received %d items, want 7", i, c)
+		}
+	}
+}
+
+func TestTreeOpsOnStar(t *testing.T) {
+	// Star: center 0 with 6 leaves; exercises wide fan-in/out.
+	const n = 7
+	g := graph.Star(n)
+	var sum int64
+	_, err := Run(Config{Graph: g, Seed: 19}, func(api *API) {
+		var tr Tree
+		if api.Index() == 0 {
+			tr = Tree{ParentPort: -1, ChildPorts: []int{0, 1, 2, 3, 4, 5}}
+		} else {
+			tr = Tree{ParentPort: 0}
+		}
+		deadline := api.Round() + 4
+		agg, ok := tr.Convergecast(api, deadline, intMsg{v: 1}, func(own Message, children []Message) Message {
+			s := own.(intMsg).v
+			for _, c := range children {
+				s += c.(intMsg).v
+			}
+			return intMsg{v: s}
+		})
+		if !ok {
+			panic("convergecast failed")
+		}
+		if tr.IsRoot() {
+			sum = agg.(intMsg).v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != n {
+		t.Fatalf("sum = %d, want %d", sum, n)
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	if BitsForValue(0) != 1 || BitsForValue(1) != 1 || BitsForValue(2) != 2 || BitsForValue(255) != 8 {
+		t.Fatal("BitsForValue wrong")
+	}
+	if BitsForID(1024) != 20 {
+		t.Fatalf("BitsForID(1024) = %d, want 20", BitsForID(1024))
+	}
+	if DefaultBitBound(1024) != 48*10 {
+		t.Fatalf("DefaultBitBound(1024) = %d", DefaultBitBound(1024))
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictAccept.String() != "accept" || VerdictReject.String() != "reject" || VerdictNone.String() != "none" {
+		t.Fatal("verdict strings wrong")
+	}
+}

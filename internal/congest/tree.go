@@ -1,0 +1,219 @@
+package congest
+
+import "fmt"
+
+// Tree is a node's local view of a rooted spanning tree of (a subgraph of)
+// the network: the port leading to its parent and the ports leading to its
+// children. All Tree operations are budget-synchronized: every node of the
+// tree must call the same operation with the same deadline, and every node
+// returns exactly at the deadline, keeping multi-part schedules in
+// lockstep (the paper's emulation style, §2.1.5).
+type Tree struct {
+	ParentPort int // -1 at the root
+	ChildPorts []int
+}
+
+// IsRoot reports whether this node is the tree root.
+func (t Tree) IsRoot() bool { return t.ParentPort < 0 }
+
+func (t Tree) isChildPort(p int) bool {
+	for _, c := range t.ChildPorts {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+// BroadcastDown distributes a message from the root to every tree node.
+// The root passes its message in rootMsg (other nodes pass nil) and every
+// node receives the message that reached it, transformed on each hop by
+// transform (nil means identity). Nodes forward to children one round
+// after receiving. Returns (msg, true) on success or (nil, false) if the
+// deadline passed before the message arrived (budget too small).
+func (t Tree) BroadcastDown(api *API, deadline int, rootMsg Message, transform func(Message) Message) (Message, bool) {
+	var got Message
+	if t.IsRoot() {
+		got = rootMsg
+		for _, c := range t.ChildPorts {
+			api.Send(c, got)
+		}
+	} else {
+		for got == nil && api.Round() < deadline {
+			for _, in := range api.SleepUntil(deadline) {
+				if in.Port != t.ParentPort {
+					panic(fmt.Sprintf("congest: BroadcastDown: unexpected message on port %d (node %d)", in.Port, api.Index()))
+				}
+				got = in.Msg
+			}
+		}
+		if got == nil {
+			return nil, false
+		}
+		if transform != nil {
+			got = transform(got)
+		}
+		for _, c := range t.ChildPorts {
+			api.Send(c, got)
+		}
+	}
+	api.Idle(deadline - api.Round())
+	return got, true
+}
+
+// Convergecast aggregates one message from every tree node to the root.
+// Each node contributes own; combine merges own with the messages of all
+// children (ordered as ChildPorts; every child contributes exactly one).
+// The root returns the full aggregate; other nodes return the aggregate of
+// their subtree. Returns ok=false if the deadline passed before all
+// children reported.
+func (t Tree) Convergecast(api *API, deadline int, own Message, combine func(own Message, children []Message) Message) (Message, bool) {
+	children := make([]Message, len(t.ChildPorts))
+	missing := len(t.ChildPorts)
+	portIdx := make(map[int]int, len(t.ChildPorts))
+	for i, c := range t.ChildPorts {
+		portIdx[c] = i
+	}
+	for missing > 0 && api.Round() < deadline {
+		for _, in := range api.SleepUntil(deadline) {
+			i, ok := portIdx[in.Port]
+			if !ok {
+				panic(fmt.Sprintf("congest: Convergecast: unexpected message on port %d (node %d)", in.Port, api.Index()))
+			}
+			if children[i] != nil {
+				panic(fmt.Sprintf("congest: Convergecast: duplicate message from child port %d", in.Port))
+			}
+			children[i] = in.Msg
+			missing--
+		}
+	}
+	if missing > 0 {
+		api.Idle(deadline - api.Round())
+		return nil, false
+	}
+	agg := combine(own, children)
+	if !t.IsRoot() {
+		api.Send(t.ParentPort, agg)
+	}
+	api.Idle(deadline - api.Round())
+	return agg, true
+}
+
+// pipeItem wraps a payload moving through PipelineUp/BroadcastItemsDown.
+type pipeItem struct{ payload Message }
+
+func (p pipeItem) Bits() int { return 1 + p.payload.Bits() }
+
+// pipeEnd marks the end of a pipelined stream.
+type pipeEnd struct{}
+
+func (pipeEnd) Bits() int { return 1 }
+
+// PipelineUp streams every node's items to the root, one item per tree
+// edge per round (the standard CONGEST pipelining bound: completion within
+// #items + depth rounds). The root returns all items of the tree (its own
+// first, then received ones in deterministic arrival order); other nodes
+// return nil. ok=false at the root means the deadline was too small.
+func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bool) {
+	if t.IsRoot() {
+		collected := append([]Message(nil), items...)
+		doneChildren := 0
+		for doneChildren < len(t.ChildPorts) && api.Round() < deadline {
+			for _, in := range api.SleepUntil(deadline) {
+				if !t.isChildPort(in.Port) {
+					panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
+				}
+				switch m := in.Msg.(type) {
+				case pipeItem:
+					collected = append(collected, m.payload)
+				case pipeEnd:
+					doneChildren++
+				default:
+					panic("congest: PipelineUp: unexpected message type")
+				}
+			}
+		}
+		ok := doneChildren == len(t.ChildPorts)
+		api.Idle(deadline - api.Round())
+		return collected, ok
+	}
+	queue := append([]Message(nil), items...)
+	doneChildren := 0
+	sentEnd := false
+	for api.Round() < deadline {
+		allDone := doneChildren == len(t.ChildPorts)
+		switch {
+		case len(queue) > 0:
+			api.Send(t.ParentPort, pipeItem{payload: queue[0]})
+			queue = queue[1:]
+		case allDone && !sentEnd:
+			api.Send(t.ParentPort, pipeEnd{})
+			sentEnd = true
+		}
+		var inbox []Inbound
+		if sentEnd || (len(queue) == 0 && !allDone) {
+			inbox = api.SleepUntil(deadline)
+		} else {
+			inbox = api.NextRound()
+		}
+		for _, in := range inbox {
+			if !t.isChildPort(in.Port) {
+				panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
+			}
+			switch m := in.Msg.(type) {
+			case pipeItem:
+				queue = append(queue, m.payload)
+			case pipeEnd:
+				doneChildren++
+			default:
+				panic("congest: PipelineUp: unexpected message type")
+			}
+		}
+	}
+	return nil, sentEnd && len(queue) == 0
+}
+
+// BroadcastItemsDown streams a sequence of items from the root to every
+// tree node (each node sees all items, one per round, pipelined through
+// the tree). Every node returns the full item slice; ok=false means the
+// deadline was too small. Items must individually fit the bit bound.
+func (t Tree) BroadcastItemsDown(api *API, deadline int, items []Message) ([]Message, bool) {
+	if t.IsRoot() {
+		for _, it := range items {
+			for _, c := range t.ChildPorts {
+				api.Send(c, pipeItem{payload: it})
+			}
+			api.NextRound()
+		}
+		for _, c := range t.ChildPorts {
+			api.Send(c, pipeEnd{})
+		}
+		api.Idle(deadline - api.Round())
+		return items, true
+	}
+	var got []Message
+	done := false
+	for !done && api.Round() < deadline {
+		for _, in := range api.SleepUntil(deadline) {
+			if in.Port != t.ParentPort {
+				panic(fmt.Sprintf("congest: BroadcastItemsDown: unexpected message on port %d (node %d)", in.Port, api.Index()))
+			}
+			switch m := in.Msg.(type) {
+			case pipeItem:
+				got = append(got, m.payload)
+				for _, c := range t.ChildPorts {
+					api.Send(c, m)
+				}
+			case pipeEnd:
+				done = true
+				for _, c := range t.ChildPorts {
+					api.Send(c, pipeEnd{})
+				}
+			default:
+				panic("congest: BroadcastItemsDown: unexpected message type")
+			}
+		}
+	}
+	api.Idle(deadline - api.Round())
+	return got, done
+}

@@ -1,0 +1,209 @@
+package congest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomTreeViews builds consistent Tree views for a random spanning tree
+// of g rooted at 0 (for failure-injection and property tests).
+func randomTreeViews(g *graph.Graph) []Tree {
+	res := g.BFS(0)
+	views := make([]Tree, g.N())
+	for v := 0; v < g.N(); v++ {
+		views[v].ParentPort = -1
+	}
+	portOf := func(v, w int) int {
+		for i, x := range g.Neighbors(v) {
+			if int(x) == w {
+				return i
+			}
+		}
+		panic("not adjacent")
+	}
+	for v := 0; v < g.N(); v++ {
+		if p := res.Parent[v]; p >= 0 {
+			views[v].ParentPort = portOf(v, p)
+			views[p].ChildPorts = append(views[p].ChildPorts, portOf(p, v))
+		}
+	}
+	return views
+}
+
+// TestTreeOpsOnRandomTrees: broadcast and convergecast work on arbitrary
+// spanning-tree shapes, not just paths and stars.
+func TestTreeOpsOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomTree(5+rng.Intn(40), rng)
+		views := randomTreeViews(g)
+		depth := g.BFS(0).Dist
+		maxd := 0
+		for _, d := range depth {
+			if d > maxd {
+				maxd = d
+			}
+		}
+		var rootSum int64
+		_, err := Run(Config{Graph: g, Seed: int64(trial)}, func(api *API) {
+			tr := views[api.Index()]
+			deadline := api.Round() + maxd + 2
+			agg, ok := tr.Convergecast(api, deadline, intMsg{v: 1},
+				func(own Message, ch []Message) Message {
+					s := own.(intMsg).v
+					for _, c := range ch {
+						s += c.(intMsg).v
+					}
+					return intMsg{v: s}
+				})
+			if !ok {
+				panic("convergecast failed")
+			}
+			if tr.IsRoot() {
+				rootSum = agg.(intMsg).v
+			}
+			// Follow with a broadcast to confirm alternating ops align.
+			var m Message
+			if tr.IsRoot() {
+				m = agg
+			}
+			got, ok := tr.BroadcastDown(api, api.Round()+maxd+2, m, nil)
+			if !ok || got.(intMsg).v != int64(g.N()) {
+				panic("broadcast mismatch")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rootSum != int64(g.N()) {
+			t.Fatalf("trial %d: sum %d, want %d", trial, rootSum, g.N())
+		}
+	}
+}
+
+// TestTreeOpsRejectStrayTraffic: the strict tree primitives must flag
+// messages arriving outside the declared tree structure while a node is
+// actively waiting — the mechanism that catches schedule bugs in the
+// Stage I/II lockstep design.
+func TestTreeOpsRejectStrayTraffic(t *testing.T) {
+	// Star with center 0 and leaves 1..3; the tree is only 0-1 (port 0
+	// at the center). Leaf 2 injects a message while the center waits
+	// for its real child, which delays.
+	g := graph.Star(4)
+	_, err := Run(Config{Graph: g, Seed: 2}, func(api *API) {
+		switch api.Index() {
+		case 0:
+			tr := Tree{ParentPort: -1, ChildPorts: []int{0}}
+			tr.Convergecast(api, api.Round()+6, intMsg{v: 1},
+				func(own Message, ch []Message) Message { return own })
+		case 1:
+			api.Idle(3) // delay so the center is still waiting
+			tr := Tree{ParentPort: 0}
+			tr.Convergecast(api, api.Round()+3, intMsg{v: 1},
+				func(own Message, ch []Message) Message { return own })
+		case 2:
+			api.Send(0, intMsg{v: 99}) // stray injection into the op
+			api.NextRound()
+		default:
+			api.Idle(8)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "unexpected message") {
+		t.Fatalf("want strict-port violation, got %v", err)
+	}
+}
+
+// TestPipelineUpManyItemsPerNode stresses queue growth and the
+// items+depth pipelining bound on a deeper tree.
+func TestPipelineUpManyItemsPerNode(t *testing.T) {
+	const n = 12
+	const perNode = 9
+	g := graph.Path(n)
+	var got int
+	_, err := Run(Config{Graph: g, Seed: 3}, func(api *API) {
+		tr := pathTree(api.Index(), n)
+		var items []Message
+		for k := 0; k < perNode; k++ {
+			items = append(items, intMsg{v: int64(api.Index()*100 + k)})
+		}
+		deadline := api.Round() + n*perNode + n + 4
+		out, ok := tr.PipelineUp(api, deadline, items)
+		if !ok {
+			panic("pipeline incomplete")
+		}
+		if tr.IsRoot() {
+			got = len(out)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n*perNode {
+		t.Fatalf("root collected %d items, want %d", got, n*perNode)
+	}
+}
+
+// TestBroadcastDownTransformChain verifies per-hop transformations on a
+// deep path (depth counting).
+func TestBroadcastDownTransformChain(t *testing.T) {
+	const n = 30
+	g := graph.Path(n)
+	depths := make([]int64, n)
+	_, err := Run(Config{Graph: g, Seed: 4}, func(api *API) {
+		tr := pathTree(api.Index(), n)
+		var m Message
+		if tr.IsRoot() {
+			m = intMsg{v: 0}
+		}
+		got, ok := tr.BroadcastDown(api, api.Round()+n+2, m, func(x Message) Message {
+			return intMsg{v: x.(intMsg).v + 1}
+		})
+		if !ok {
+			panic("broadcast incomplete")
+		}
+		depths[api.Index()] = got.(intMsg).v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range depths {
+		if d != int64(i) {
+			t.Fatalf("node %d depth %d", i, d)
+		}
+	}
+}
+
+// TestConvergecastInsufficientBudget: ops report ok=false (rather than
+// hanging or panicking) when the deadline cannot be met.
+func TestConvergecastInsufficientBudget(t *testing.T) {
+	const n = 10
+	g := graph.Path(n)
+	okAtRoot := true
+	_, err := Run(Config{Graph: g, Seed: 5}, func(api *API) {
+		tr := pathTree(api.Index(), n)
+		// Budget 3 < depth 9: the root cannot hear everyone.
+		_, ok := tr.Convergecast(api, api.Round()+3, intMsg{v: 1},
+			func(own Message, ch []Message) Message {
+				s := own.(intMsg).v
+				for _, c := range ch {
+					s += c.(intMsg).v
+				}
+				return intMsg{v: s}
+			})
+		if tr.IsRoot() {
+			okAtRoot = ok
+		}
+		// Quiesce: messages still in flight at the deadline would poison
+		// the next op, so drain one slack round per remaining hop.
+		api.Idle(n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okAtRoot {
+		t.Fatal("root must report failure under an impossible budget")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+// TestPaperClaim10Counterexample documents an erratum in the paper.
+//
+// Claim 10 states that a planar part with an embedding-consistent
+// labeling has no violating edges, where Definition 7 compares the plain
+// VERTEX labels ℓ(u), ℓ(v) of non-tree edge endpoints. That statement is
+// false: a non-tree edge can attach to a node v at a rotation position
+// behind v's subtree, while ℓ(v) marks the subtree's start, producing an
+// interval crossing on a genuinely planar input. The 9-node instance
+// below exhibits such a crossing under both the clockwise and the
+// counterclockwise child-ordering convention.
+//
+// The fix implemented in this package labels each non-tree endpoint by
+// its ATTACHMENT position (vertex label extended by the edge's index in
+// the counterclockwise-from-parent rotation). Correctness then follows
+// from the tree-contour argument: the complement of an embedded spanning
+// tree is a single disk whose boundary walk visits the attachment points
+// exactly in label order, so the non-tree edges of a planar embedding are
+// pairwise non-crossing chords of that disk. Soundness (Claim 8 and
+// Corollary 9) carries over unchanged.
+func TestPaperClaim10Counterexample(t *testing.T) {
+	b := graph.NewBuilder(9)
+	for _, e := range [][2]int{
+		{0, 3}, {0, 5}, {0, 6}, {1, 3}, {1, 4}, {2, 4}, {2, 6},
+		{2, 7}, {2, 8}, {3, 5}, {3, 7}, {3, 8}, {5, 6}, {7, 8},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	if !planar.IsPlanar(g) {
+		t.Fatal("counterexample graph must be planar")
+	}
+	emb, err := planar.Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	root := 7
+	parent := g.BFS(root).Parent
+
+	// Under the paper's literal vertex-label definition, the pair of
+	// non-tree edges {2,8} and {1,4} (or {3,8} and {1,4} under the
+	// mirrored convention) crosses even though the graph is planar.
+	labels := ComputeLabels(g, root, parent, emb)
+	paperViolations := 0
+	nt := NonTreeEdges(g, parent)
+	for i := 0; i < len(nt); i++ {
+		for j := i + 1; j < len(nt); j++ {
+			ei := NewLabeledEdge(labels[nt[i].U], labels[nt[i].V])
+			ej := NewLabeledEdge(labels[nt[j].U], labels[nt[j].V])
+			if Intersects(ei, ej) {
+				paperViolations++
+			}
+		}
+	}
+	if paperViolations == 0 {
+		t.Fatal("expected the literal Claim 10 labeling to produce a false violation; " +
+			"if this stops failing, the counterexample needs updating")
+	}
+
+	// With attachment labels, the planar input has zero violations.
+	viol, _ := CountViolations(g, root, parent, emb)
+	if viol != 0 {
+		t.Fatalf("attachment-label construction reports %d violations on a planar graph", viol)
+	}
+}
+
+// TestAttachmentLabelsNoViolationsSweep runs the corrected construction
+// over many random planar graphs and roots: zero violations always.
+func TestAttachmentLabelsNoViolationsSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + rng.Intn(40)
+		m := n - 1 + rng.Intn(2*n)
+		if m > 3*n-6 {
+			m = 3*n - 6
+		}
+		g := graph.RandomPlanar(n, m, rng)
+		emb, err := planar.Embed(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := rng.Intn(n)
+		viol, _ := CountViolations(g, root, g.BFS(root).Parent, emb)
+		if viol != 0 {
+			t.Fatalf("trial %d: %d violations on planar n=%d m=%d root=%d", trial, viol, n, m, root)
+		}
+	}
+}

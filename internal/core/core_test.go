@@ -1,0 +1,344 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+func TestCompareLabels(t *testing.T) {
+	cases := []struct {
+		a, b Label
+		want int
+	}{
+		{Label{}, Label{}, 0},
+		{Label{}, Label{1}, -1},
+		{Label{1}, Label{}, 1},
+		{Label{1, 2}, Label{1, 3}, -1},
+		{Label{1, 2}, Label{1, 2}, 0},
+		{Label{2}, Label{1, 9, 9}, 1},
+		{Label{1, 2}, Label{1, 2, 1}, -1},
+	}
+	for _, c := range cases {
+		if got := CompareLabels(c.a, c.b); got != c.want {
+			t.Errorf("CompareLabels(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareLabelsIsTotalOrder(t *testing.T) {
+	f := func(a, b, c []int32) bool {
+		la, lb, lc := Label(a), Label(b), Label(c)
+		// Antisymmetry.
+		if CompareLabels(la, lb) != -CompareLabels(lb, la) {
+			return false
+		}
+		// Transitivity on a sample.
+		if CompareLabels(la, lb) <= 0 && CompareLabels(lb, lc) <= 0 {
+			return CompareLabels(la, lc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	e := func(a, b string) LabeledEdge {
+		conv := func(s string) Label {
+			l := make(Label, len(s))
+			for i := range s {
+				l[i] = int32(s[i] - '0')
+			}
+			return l
+		}
+		return NewLabeledEdge(conv(a), conv(b))
+	}
+	// Intervals [1,3] and [2,4] cross.
+	if !Intersects(e("1", "3"), e("2", "4")) {
+		t.Fatal("crossing edges must intersect")
+	}
+	// Nested intervals do not.
+	if Intersects(e("1", "4"), e("2", "3")) {
+		t.Fatal("nested edges must not intersect")
+	}
+	// Disjoint intervals do not.
+	if Intersects(e("1", "2"), e("3", "4")) {
+		t.Fatal("disjoint edges must not intersect")
+	}
+	// Shared endpoint does not.
+	if Intersects(e("1", "3"), e("3", "4")) {
+		t.Fatal("edges sharing an endpoint must not intersect")
+	}
+	// Order of arguments is irrelevant.
+	if !Intersects(e("2", "4"), e("1", "3")) {
+		t.Fatal("intersection must be symmetric")
+	}
+}
+
+// Claim 10: a planar part with a genuine planar embedding has no
+// violating edges, for any BFS root.
+func TestNoViolationsOnPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(60)
+		g := graph.RandomPlanar(n, n-1+rng.Intn(2*n-5), rng)
+		emb, err := planar.Embed(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := rng.Intn(n)
+		bfs := g.BFS(root)
+		viol, _ := CountViolations(g, root, bfs.Parent, emb)
+		if viol != 0 {
+			t.Fatalf("planar graph has %d violating edges (trial %d, n=%d)", viol, trial, n)
+		}
+	}
+}
+
+// Corollary 9: the number of violating edges is at least the distance to
+// planarity, for any embedding/ordering whatsoever.
+func TestViolationsLowerBoundedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(30)
+		extra := 5 + rng.Intn(15)
+		g, dist := graph.PlanarPlusRandomEdges(n, extra, rng)
+		if dist == 0 {
+			continue
+		}
+		res := planar.EmbedOrFallback(g, planar.FallbackArbitrary)
+		root := rng.Intn(n)
+		bfs := g.BFS(root)
+		viol, _ := CountViolations(g, root, bfs.Parent, res.Embedding)
+		if viol < dist {
+			t.Fatalf("violations %d < certified distance %d (trial %d)", viol, dist, trial)
+		}
+	}
+}
+
+func TestGridTesterAccepts(t *testing.T) {
+	g := graph.Grid(6, 6)
+	r, err := RunTester(g, Options{Epsilon: 0.3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rejected {
+		t.Fatal("grid must be accepted")
+	}
+}
+
+func TestPlanarFamiliesAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle", graph.Cycle(24)},
+		{"tree", graph.RandomTree(30, rng)},
+		{"maxplanar", graph.MaximalPlanar(30, rng)},
+		{"randplanar", graph.RandomPlanar(36, 70, rng)},
+		{"outerplanar", graph.Outerplanar(25, rng)},
+		{"path", graph.Path(20)},
+		{"star", graph.Star(15)},
+		{"disconnected", graph.DisjointUnion(graph.Grid(4, 4), graph.Cycle(7))},
+	}
+	for _, c := range cases {
+		for seed := int64(0); seed < 3; seed++ {
+			r, err := RunTester(c.g, Options{Epsilon: 0.3}, 100+seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", c.name, seed, err)
+			}
+			if r.Rejected {
+				t.Fatalf("%s seed %d: planar graph rejected (one-sidedness violated)", c.name, seed)
+			}
+		}
+	}
+}
+
+func TestDenseGraphRejected(t *testing.T) {
+	// K12: Stage I arboricity evidence (or Euler) must reject.
+	r, err := RunTester(graph.Complete(12), Options{Epsilon: 0.3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatal("K12 must be rejected")
+	}
+}
+
+func TestFarGraphRejected(t *testing.T) {
+	// Maximal planar plus many extra edges: eps-far with a certificate.
+	rng := rand.New(rand.NewSource(4))
+	g, dist := graph.PlanarPlusRandomEdges(60, 60, rng)
+	eps := float64(dist) / float64(g.M())
+	if eps < 0.2 {
+		eps = 0.2
+	}
+	rate, err := DetectionRate(g, Options{Epsilon: eps / 2}, 5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.8 {
+		t.Fatalf("detection rate %.2f too low for a far graph", rate)
+	}
+}
+
+func TestSmallNonPlanarRejectedViaEuler(t *testing.T) {
+	// K5 is non-planar but sparse overall; as a single part the Euler
+	// bound m > 3n-6 (10 > 9) triggers.
+	r, err := RunTester(graph.Complete(5), Options{Epsilon: 0.5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatal("K5 must be rejected")
+	}
+}
+
+func TestK33PlusPlanarRejected(t *testing.T) {
+	// K33 disjoint from a grid, connected by one edge: m = 3n-... under
+	// the Euler bound, so rejection must come from violating edges.
+	rng := rand.New(rand.NewSource(8))
+	g := graph.ConnectParts(graph.DisjointUnion(graph.CompleteBipartite(3, 3), graph.Grid(3, 3)), rng)
+	if planar.IsPlanar(g) {
+		t.Fatal("test graph must be non-planar")
+	}
+	rate, err := DetectionRate(g, Options{Epsilon: 0.05}, 6, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.5 {
+		t.Fatalf("detection rate %.2f too low for embedded K33", rate)
+	}
+}
+
+func TestStrictEmbedReject(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.ConnectParts(graph.DisjointUnion(graph.CompleteBipartite(3, 3), graph.Grid(3, 3)), rng)
+	opts := Options{Epsilon: 0.05}
+	opts.StageII.Epsilon = 0.025
+	opts.StageII.StrictEmbedReject = true
+	r, err := RunTester(g, opts, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatal("strict embedding mode must reject a non-planar part deterministically")
+	}
+}
+
+func TestENTesterAcceptsPlanar(t *testing.T) {
+	g := graph.Grid(6, 6)
+	for seed := int64(0); seed < 3; seed++ {
+		r, err := RunTester(g, Options{Epsilon: 0.3, UseEN: true}, 300+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			t.Fatal("EN-based tester rejected a planar graph")
+		}
+	}
+}
+
+func TestENTesterRejectsFar(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g, _ := graph.PlanarPlusRandomEdges(50, 60, rng)
+	rate, err := DetectionRate(g, Options{Epsilon: 0.2, UseEN: true}, 5, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.8 {
+		t.Fatalf("EN tester detection rate %.2f too low", rate)
+	}
+}
+
+func TestRandomizedPartitionTester(t *testing.T) {
+	g := graph.Grid(5, 5)
+	opts := Options{Epsilon: 0.3}
+	opts.Partition.Epsilon = 0.3
+	opts.Partition.Variant = 2 // partition.Randomized
+	r, err := RunTester(g, opts, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rejected {
+		t.Fatal("randomized partition tester rejected planar input")
+	}
+}
+
+func TestOneSidednessManySeeds(t *testing.T) {
+	// The hard invariant of the paper: planar inputs are NEVER rejected,
+	// regardless of randomness.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		n := 12 + rng.Intn(30)
+		m := n - 1 + rng.Intn(2*n-6)
+		g := graph.RandomPlanar(n, m, rng)
+		r, err := RunTester(g, Options{Epsilon: 0.25}, int64(600+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			t.Fatalf("trial %d: planar graph n=%d m=%d rejected", trial, n, m)
+		}
+	}
+}
+
+func TestTesterBitBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := graph.MaximalPlanar(40, rng)
+	r, err := RunTester(g, Options{Epsilon: 0.3}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.MaxMessageBits > r.Metrics.BitBound {
+		t.Fatalf("max message %d bits exceeds bound %d", r.Metrics.MaxMessageBits, r.Metrics.BitBound)
+	}
+	if r.Metrics.ModeledRounds == 0 {
+		t.Fatal("embedding substitution must charge modeled rounds")
+	}
+}
+
+func TestLabelPairRoundTrip(t *testing.T) {
+	f := func(a, b []int32) bool {
+		for i := range a {
+			if a[i] < 0 {
+				a[i] = -a[i]
+			}
+		}
+		for i := range b {
+			if b[i] < 0 {
+				b[i] = -b[i]
+			}
+		}
+		le := NewLabeledEdge(Label(a), Label(b))
+		got, ok := parseLabelPair(labelElems(le.U, le.V))
+		if !ok {
+			return false
+		}
+		return CompareLabels(got.U, le.U) == 0 && CompareLabels(got.V, le.V) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTesterDeterminism(t *testing.T) {
+	g := graph.Grid(5, 5)
+	r1, err := RunTester(g, Options{Epsilon: 0.3}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunTester(g, Options{Epsilon: 0.3}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics != r2.Metrics || r1.Rejected != r2.Rejected {
+		t.Fatal("identical seeds must produce identical runs")
+	}
+}

@@ -1,0 +1,201 @@
+// Package core implements Stage II of the paper (§2.2) — per-part BFS
+// trees, the Euler-bound check, the (substituted) planar-embedding step,
+// the embedding-consistent edge/vertex labeling, and the violating-edge
+// detection of Definition 7 — together with the end-to-end one-sided
+// planarity tester of Theorem 1.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+// Label is a node label: the sequence of edge labels on the tree path
+// from the part root (§2.2.2). Labels are compared lexicographically,
+// with a proper prefix ordering before its extensions.
+type Label []int32
+
+// CompareLabels returns -1, 0, or 1 for a < b, a == b, a > b in the
+// lexicographic order of §2.2.2 (footnote 5).
+func CompareLabels(a, b Label) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// LabeledEdge is a non-tree edge given by the labels of its endpoints,
+// normalized so that U < V.
+type LabeledEdge struct {
+	U, V Label
+}
+
+// NewLabeledEdge normalizes the endpoint order.
+func NewLabeledEdge(a, b Label) LabeledEdge {
+	if CompareLabels(a, b) > 0 {
+		a, b = b, a
+	}
+	return LabeledEdge{U: a, V: b}
+}
+
+// Intersects reports whether two non-tree edges violate each other per
+// Definition 7: with both normalized and (wlog) ℓ(u) < ℓ(u'), they
+// intersect iff ℓ(u) < ℓ(u') < ℓ(v) < ℓ(v').
+func Intersects(e, f LabeledEdge) bool {
+	if CompareLabels(e.U, f.U) > 0 {
+		e, f = f, e
+	}
+	return CompareLabels(e.U, f.U) < 0 &&
+		CompareLabels(f.U, e.V) < 0 &&
+		CompareLabels(e.V, f.V) < 0
+}
+
+// ComputeLabels derives the node labels of §2.2.2 centrally, for use by
+// reference tests and experiments: given the part graph, its BFS tree
+// (parent slice with -1 at the root), and a combinatorial embedding, each
+// node's tree-children are labeled by their clockwise order starting from
+// the parent edge, and node labels concatenate edge labels along the
+// root path.
+func ComputeLabels(g *graph.Graph, root int, parent []int, emb *planar.Embedding) []Label {
+	n := g.N()
+	edgeIdx := EdgePositions(g, parent, emb)
+	labels := make([]Label, n)
+	// BFS order guarantees parents are labeled before children.
+	order := g.BFS(root).Order
+	for _, v := range order {
+		p := parent[v]
+		if p < 0 {
+			labels[v] = Label{}
+			continue
+		}
+		lbl := make(Label, len(labels[p])+1)
+		copy(lbl, labels[p])
+		lbl[len(lbl)-1] = edgeIdx[p][int32(v)]
+		labels[v] = lbl
+	}
+	return labels
+}
+
+// EdgePositions returns, for every node v, the position (1-based) of each
+// incident edge in the counterclockwise order starting from the parent
+// edge (at the root: from an arbitrary first edge). This is the order in
+// which the outer-face walk of the embedded tree encounters v's edge
+// attachments: entering v over (p,v), face traversal continues with
+// (v, ccw_v(p)).
+//
+// Positions index ALL incident edges, not only tree edges. This matters:
+// the paper's Claim 10 compares plain endpoint labels, but a non-tree edge
+// can attach to v behind v's subtree in the rotation while ℓ(v) marks the
+// subtree's start, producing interval crossings on genuinely planar
+// inputs (see TestPaperClaim10Counterexample). Extending each non-tree
+// endpoint label by the edge's attachment position restores correctness:
+// the complement of an embedded spanning tree is a single disk whose
+// boundary walk visits the attachment points in label order, and edges of
+// a planar embedding are pairwise non-crossing chords of that disk.
+func EdgePositions(g *graph.Graph, parent []int, emb *planar.Embedding) []map[int32]int32 {
+	n := g.N()
+	pos := make([]map[int32]int32, n)
+	for v := 0; v < n; v++ {
+		rot := emb.Rotation(v)
+		pos[v] = make(map[int32]int32, len(rot))
+		if len(rot) == 0 {
+			continue
+		}
+		start := 0
+		if parent[v] >= 0 {
+			for i, w := range rot {
+				if int(w) == parent[v] {
+					start = i
+					break
+				}
+			}
+		}
+		for k := 0; k < len(rot); k++ {
+			w := rot[((start-k)%len(rot)+len(rot))%len(rot)]
+			pos[v][w] = int32(k) // parent edge gets 0; others 1..deg-1
+		}
+		if parent[v] < 0 {
+			// No parent edge: rot[start] itself is position 1.
+			for w := range pos[v] {
+				pos[v][w]++
+			}
+		}
+	}
+	return pos
+}
+
+// AttachmentLabel is the label of edge {v,w}'s endpoint at v: v's vertex
+// label extended by the edge's attachment position at v.
+func AttachmentLabel(labels []Label, pos []map[int32]int32, v, w int) Label {
+	lbl := make(Label, len(labels[v])+1)
+	copy(lbl, labels[v])
+	lbl[len(lbl)-1] = pos[v][int32(w)]
+	return lbl
+}
+
+// NonTreeEdges lists the edges of g not in the parent tree.
+func NonTreeEdges(g *graph.Graph, parent []int) []graph.Edge {
+	inTree := make(map[graph.Edge]bool, g.N())
+	for v, p := range parent {
+		if p >= 0 {
+			inTree[graph.NormEdge(v, p)] = true
+		}
+	}
+	var out []graph.Edge
+	for _, e := range g.Edges() {
+		if !inTree[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountViolations returns the number of violating non-tree edges (those
+// intersecting at least one other non-tree edge, Definition 7) and the
+// total number of non-tree edges. Used by experiment E6 and tests; the
+// distributed algorithm detects the same crossings by sampling.
+func CountViolations(g *graph.Graph, root int, parent []int, emb *planar.Embedding) (violating, nonTree int) {
+	labels := ComputeLabels(g, root, parent, emb)
+	pos := EdgePositions(g, parent, emb)
+	edges := NonTreeEdges(g, parent)
+	les := make([]LabeledEdge, len(edges))
+	for i, e := range edges {
+		les[i] = NewLabeledEdge(
+			AttachmentLabel(labels, pos, int(e.U), int(e.V)),
+			AttachmentLabel(labels, pos, int(e.V), int(e.U)),
+		)
+	}
+	sort.Slice(les, func(i, j int) bool { return CompareLabels(les[i].U, les[j].U) < 0 })
+	bad := make([]bool, len(les))
+	for i := 0; i < len(les); i++ {
+		for j := i + 1; j < len(les); j++ {
+			if Intersects(les[i], les[j]) {
+				bad[i] = true
+				bad[j] = true
+			}
+		}
+	}
+	for _, b := range bad {
+		if b {
+			violating++
+		}
+	}
+	return violating, len(les)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// PartContext exposes the per-part preprocessing of Stage II (§2.2.1) —
+// round budget, intra-part ports, BFS tree, levels, and edge assignment —
+// for reuse by the minor-free applications of §4.2 (cycle-freeness and
+// bipartiteness testing, spanner construction). Every node of the network
+// must call BuildPartContext at the same round, right after partitioning.
+type PartContext struct {
+	s *stage2
+}
+
+// BuildPartContext runs the preprocessing steps (budget agreement, one
+// boundary round, BFS tree construction, level exchange and edge
+// assignment) and returns this node's view.
+func BuildPartContext(api *congest.API, part *partition.Outcome) *PartContext {
+	s := &stage2{api: api, part: part, opts: StageIIOptions{Epsilon: 1}.withDefaults()}
+	s.computeBudget()
+	s.exchangeIdentity()
+	s.buildBFS()
+	s.assignEdges()
+	return &PartContext{s: s}
+}
+
+// Tree returns the BFS tree T_B^j view of this node.
+func (c *PartContext) Tree() congest.Tree { return c.s.tree }
+
+// Budget returns the part-wide round budget (2*depth+2 of the Stage I
+// tree, an upper bound on the part's induced diameter plus slack).
+func (c *PartContext) Budget() int { return c.s.budget }
+
+// Level returns this node's BFS level within its part.
+func (c *PartContext) Level() int64 { return c.s.level }
+
+// IsIntra reports whether the edge on the given port stays within the
+// part.
+func (c *PartContext) IsIntra(port int) bool { return c.s.intra[port] }
+
+// NeighborLevel returns the BFS level of the intra-part neighbor on the
+// given port.
+func (c *PartContext) NeighborLevel(port int) int64 { return c.s.nbrLvl[port] }
+
+// AssignedPorts returns the ports of intra-part edges assigned to this
+// node (the higher-level endpoint, ties by id).
+func (c *PartContext) AssignedPorts() []int { return c.s.assigned }
+
+// IsTreePort reports whether the port carries a BFS-tree edge.
+func (c *PartContext) IsTreePort(port int) bool {
+	return port == c.s.tree.ParentPort || isIn(c.s.tree.ChildPorts, port)
+}
+
+// NonTreeAssignedPorts returns the assigned ports that are not BFS-tree
+// edges (each closes a cycle within the part).
+func (c *PartContext) NonTreeAssignedPorts() []int {
+	var out []int
+	for _, p := range c.s.assigned {
+		if !c.IsTreePort(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Counts aggregates the part's node and edge counts on the BFS tree and
+// broadcasts them, so that every part node agrees on (n, m). Every node
+// of the part must call it at the same part-local round.
+func (c *PartContext) Counts() (n, m int64) {
+	s := c.s
+	d := s.api.Round() + s.budget + 2
+	agg, ok := s.tree.Convergecast(s.api, d, countsMsg{N: 1, M: int64(len(s.assigned))},
+		func(own congest.Message, ch []congest.Message) congest.Message {
+			cm := own.(countsMsg)
+			for _, x := range ch {
+				xc := x.(countsMsg)
+				cm.N += xc.N
+				cm.M += xc.M
+			}
+			return cm
+		})
+	if !ok {
+		panic("core: counts convergecast under-budgeted")
+	}
+	res, ok := s.tree.BroadcastDown(s.api, s.api.Round()+s.budget+2, agg, nil)
+	if !ok {
+		panic("core: counts broadcast under-budgeted")
+	}
+	rc := res.(countsMsg)
+	s.partN, s.partM = rc.N, rc.M
+	return rc.N, rc.M
+}
+
+// GatherGraph pipelines every assigned edge of the part to the root
+// (m + depth rounds, the standard pipelining bound) and, at the root,
+// returns the part's induced graph on dense indices together with the
+// index->id mapping. Non-root nodes return (nil, nil). m must be the
+// part's edge count from Counts(). This realizes the paper's §4.2 remark
+// that any part-local verification "in a number of rounds polynomial in
+// the diameter" plugs into the partition; the central evaluation at the
+// root is charged as modeled rounds like the embedding substitution.
+func (c *PartContext) GatherGraph(m int64) (*graph.Graph, []int64) {
+	s := c.s
+	items := make([]congest.Message, 0, len(s.assigned))
+	for _, p := range s.assigned {
+		items = append(items, edgeItem{A: s.api.ID(), B: s.nbrID[p]})
+	}
+	budget := int(m) + s.budget + 4
+	collected, ok := s.tree.PipelineUp(s.api, s.api.Round()+budget, items)
+	if !s.tree.IsRoot() {
+		return nil, nil
+	}
+	if !ok {
+		panic("core: edge gather under-budgeted")
+	}
+	idOf := make([]int64, 0, 16)
+	idx := make(map[int64]int, 16)
+	add := func(id int64) int {
+		if i, ok := idx[id]; ok {
+			return i
+		}
+		idx[id] = len(idOf)
+		idOf = append(idOf, id)
+		return len(idOf) - 1
+	}
+	add(s.api.ID())
+	type pair struct{ a, b int }
+	pairs := make([]pair, 0, len(collected))
+	for _, it := range collected {
+		e := it.(edgeItem)
+		pairs = append(pairs, pair{add(e.A), add(e.B)})
+	}
+	b := graph.NewBuilder(len(idOf))
+	for _, p := range pairs {
+		b.AddEdge(p.a, p.b)
+	}
+	s.api.ChargeModeledRounds(2 * s.maxDepth)
+	return b.Build(), idOf
+}
+
+// BroadcastBit lets the root distribute one bit to the whole part; every
+// node returns the root's value. Every part node must call it together.
+func (c *PartContext) BroadcastBit(rootVal bool) bool {
+	s := c.s
+	v := int64(0)
+	if rootVal {
+		v = 1
+	}
+	got, ok := s.tree.BroadcastDown(s.api, s.api.Round()+s.budget+2, valMsg{V: v}, nil)
+	if !ok {
+		panic("core: bit broadcast under-budgeted")
+	}
+	return got.(valMsg).V == 1
+}

@@ -1,0 +1,658 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/planar"
+)
+
+// StageIIOptions configures the per-part planarity check.
+type StageIIOptions struct {
+	// Epsilon is the distance parameter (drives the sample size).
+	Epsilon float64
+	// SampleCoeff scales the Theta(log n / eps) sample size. Zero means 2.
+	SampleCoeff float64
+	// EmbedMode selects what the substituted embedding step does on
+	// non-planar parts (paper-faithful "some ordering"); see
+	// planar.EmbedOrFallback. Zero means FallbackArbitrary.
+	EmbedMode planar.FallbackMode
+	// StrictEmbedReject rejects a part as soon as the embedding algorithm
+	// determines non-planarity, instead of producing a fallback ordering.
+	// The default (false) matches the paper's model, where the embedding
+	// black box may silently produce orderings on non-planar inputs.
+	StrictEmbedReject bool
+}
+
+func (o StageIIOptions) withDefaults() StageIIOptions {
+	if o.SampleCoeff == 0 {
+		o.SampleCoeff = 2
+	}
+	if o.EmbedMode == 0 {
+		o.EmbedMode = planar.FallbackArbitrary
+	}
+	if o.Epsilon <= 0 || o.Epsilon > 1 {
+		panic("core: Epsilon must be in (0,1]")
+	}
+	return o
+}
+
+// RunStageII executes the Stage II planarity check of §2.2 on this node's
+// part (given by the Stage I outcome) and returns the node's verdict:
+// VerdictReject when the node holds evidence of non-planarity, and
+// VerdictAccept otherwise. It must be called by every node of the network
+// right after Stage I; parts proceed independently (all communication is
+// intra-part after one global boundary round).
+func RunStageII(api *congest.API, part *partition.Outcome, opts StageIIOptions) congest.Verdict {
+	opts = opts.withDefaults()
+	s := &stage2{api: api, part: part, opts: opts}
+
+	// Step A: agree on a tight round budget from the Stage I tree depth.
+	s.computeBudget()
+	// Step B: one boundary round — intra-part ports and neighbor ids.
+	s.exchangeIdentity()
+	// Step C: BFS tree T_B^j rooted at the part root (§2.2.1).
+	s.buildBFS()
+	// Step D: levels exchange and edge assignment.
+	s.assignEdges()
+	// Step E: count n(G^j) and m(G^j); Euler-bound rejection.
+	if !s.countAndCheckEuler() {
+		if s.tree.IsRoot() {
+			api.Output(congest.VerdictReject)
+			return congest.VerdictReject
+		}
+		return congest.VerdictAccept
+	}
+	if s.partM == 0 || s.partN <= 2 {
+		return congest.VerdictAccept // trivially planar part
+	}
+	// Step F: embedding (Ghaffari–Haeupler substitution; DESIGN.md §3).
+	if !s.embed() {
+		// Strict mode found non-planarity at the root.
+		if s.tree.IsRoot() {
+			api.Output(congest.VerdictReject)
+			return congest.VerdictReject
+		}
+		return congest.VerdictAccept
+	}
+	// Step G: label the BFS tree per the embedding (§2.2.2).
+	s.distributeLabels()
+	// Step H: exchange labels across non-tree edges.
+	s.exchangeNonTreeLabels()
+	// Steps I-J: sample non-tree edges, gather and rebroadcast their
+	// label pairs.
+	samples := s.sampleAndShare()
+	// Step K: local violation checks (Definition 7).
+	if s.detectViolations(samples) {
+		api.Output(congest.VerdictReject)
+		return congest.VerdictReject
+	}
+	return congest.VerdictAccept
+}
+
+type stage2 struct {
+	api  *congest.API
+	part *partition.Outcome
+	opts StageIIOptions
+
+	budget   int // 2*oldDepth+2: covers any intra-part distance
+	maxDepth int // Stage I tree depth bound agreed part-wide
+
+	intra  []bool  // per port: same part
+	nbrID  []int64 // per port: neighbor id
+	nbrLvl []int64 // per port: neighbor BFS level
+
+	tree  congest.Tree // BFS tree T_B
+	level int64
+
+	assigned []int // ports of edges assigned to this node
+	partN    int64
+	partM    int64
+
+	rotPorts []int // clockwise rotation as ports (intra-part edges)
+
+	label     Label         // vertex label (tree path edge positions)
+	edgePos   map[int]int32 // port -> attachment position in the rotation
+	nbrLabels map[int]Label // non-tree intra port -> neighbor's attachment label
+}
+
+// computeBudget measures the Stage I tree's depth exactly and derives the
+// part-wide operation budget 2*depth+2 (an upper bound on the part's
+// induced diameter, plus slack).
+func (s *stage2) computeBudget() {
+	t := s.part.Tree
+	probe := s.api.N() + 2
+	d, ok := t.BroadcastDown(s.api, s.api.Round()+probe, valMsg{V: 0}, func(m congest.Message) congest.Message {
+		return valMsg{V: m.(valMsg).V + 1}
+	})
+	if !ok {
+		panic("core: depth probe under-budgeted")
+	}
+	maxd, ok := t.Convergecast(s.api, s.api.Round()+probe, d, func(own congest.Message, ch []congest.Message) congest.Message {
+		best := own.(valMsg).V
+		for _, c := range ch {
+			if v := c.(valMsg).V; v > best {
+				best = v
+			}
+		}
+		return valMsg{V: best}
+	})
+	if !ok {
+		panic("core: depth convergecast under-budgeted")
+	}
+	agreed, ok := t.BroadcastDown(s.api, s.api.Round()+probe, maxd, nil)
+	if !ok {
+		panic("core: depth broadcast under-budgeted")
+	}
+	s.maxDepth = int(agreed.(valMsg).V)
+	s.budget = 2*s.maxDepth + 2
+}
+
+// exchangeIdentity is the single global round in which every node learns,
+// per port, the neighbor's part and id. After this round all Stage II
+// communication is intra-part, so parts may proceed on skewed schedules.
+func (s *stage2) exchangeIdentity() {
+	deg := s.api.Degree()
+	s.intra = make([]bool, deg)
+	s.nbrID = make([]int64, deg)
+	s.api.SendAll(announceMsg{PartRoot: s.part.RootID, ID: s.api.ID()})
+	for _, in := range s.api.NextRound() {
+		am, ok := in.Msg.(announceMsg)
+		if !ok {
+			continue // a neighboring part on a skewed schedule cannot
+			// reach here (see DESIGN.md), but stay tolerant
+		}
+		s.intra[in.Port] = am.PartRoot == s.part.RootID
+		s.nbrID[in.Port] = am.ID
+	}
+}
+
+// buildBFS constructs the BFS tree of the part (§2.2.1 preprocessing).
+func (s *stage2) buildBFS() {
+	deadline := s.api.Round() + s.budget + 3
+	parentPort := -1
+	var childPorts []int
+	adopted := s.part.Tree.IsRoot()
+	s.level = 0
+	if adopted {
+		for p, ok := range s.intra {
+			if ok {
+				s.api.Send(p, bfsMsg{Level: 0})
+			}
+		}
+	}
+	for s.api.Round() < deadline {
+		inbox := s.api.SleepUntil(deadline)
+		bestPort := -1
+		for _, in := range inbox {
+			switch m := in.Msg.(type) {
+			case bfsMsg:
+				if adopted || !s.intra[in.Port] {
+					continue
+				}
+				if bestPort == -1 || s.nbrID[in.Port] < s.nbrID[bestPort] {
+					bestPort = in.Port
+					s.level = m.Level + 1
+				}
+			case childMsg:
+				childPorts = append(childPorts, in.Port)
+			}
+		}
+		if bestPort >= 0 {
+			adopted = true
+			parentPort = bestPort
+			s.api.Send(parentPort, childMsg{})
+			for p, ok := range s.intra {
+				if ok && p != parentPort {
+					s.api.Send(p, bfsMsg{Level: s.level})
+				}
+			}
+		}
+	}
+	if !adopted {
+		panic("core: BFS did not reach a part node (invalid partition)")
+	}
+	sort.Ints(childPorts)
+	s.tree = congest.Tree{ParentPort: parentPort, ChildPorts: childPorts}
+	if s.part.Tree.IsRoot() {
+		s.tree.ParentPort = -1
+	}
+}
+
+// assignEdges exchanges BFS levels and assigns each intra-part edge to its
+// higher-level endpoint (ties by larger id), per §2.2.1.
+func (s *stage2) assignEdges() {
+	deg := s.api.Degree()
+	s.nbrLvl = make([]int64, deg)
+	for p, ok := range s.intra {
+		if ok {
+			s.api.Send(p, lvlMsg{Level: s.level})
+		}
+	}
+	for _, in := range s.api.NextRound() {
+		if m, ok := in.Msg.(lvlMsg); ok {
+			s.nbrLvl[in.Port] = m.Level
+		}
+	}
+	for p, ok := range s.intra {
+		if !ok {
+			continue
+		}
+		if s.level > s.nbrLvl[p] || (s.level == s.nbrLvl[p] && s.api.ID() > s.nbrID[p]) {
+			s.assigned = append(s.assigned, p)
+		}
+	}
+}
+
+// countAndCheckEuler aggregates n(G^j) and m(G^j) on the BFS tree and
+// rejects at the root when m > 3n-6 (the part cannot be planar). Returns
+// false when the part rejected.
+func (s *stage2) countAndCheckEuler() bool {
+	d := s.api.Round() + s.budget + 2
+	agg, ok := s.tree.Convergecast(s.api, d, countsMsg{N: 1, M: int64(len(s.assigned))},
+		func(own congest.Message, ch []congest.Message) congest.Message {
+			c := own.(countsMsg)
+			for _, x := range ch {
+				xc := x.(countsMsg)
+				c.N += xc.N
+				c.M += xc.M
+			}
+			return c
+		})
+	if !ok {
+		panic("core: counts convergecast under-budgeted")
+	}
+	c := agg.(countsMsg)
+	if s.tree.IsRoot() {
+		c.Reject = c.N >= 3 && c.M > 3*c.N-6
+	}
+	res, ok := s.tree.BroadcastDown(s.api, s.api.Round()+s.budget+2, c, nil)
+	if !ok {
+		panic("core: counts broadcast under-budgeted")
+	}
+	rc := res.(countsMsg)
+	s.partN = rc.N
+	s.partM = rc.M
+	return !rc.Reject
+}
+
+// embed runs the substituted embedding step: the part's edge list is
+// pipelined to the root, the root computes a combinatorial embedding (a
+// genuine planar one when the part is planar), and rotation entries are
+// pipelined back down. Costs O(m + depth) real rounds; the modeled
+// Ghaffari–Haeupler cost O(D + min(log n, D)) is charged to the metrics.
+// Returns false if StrictEmbedReject is set and the part is not planar.
+func (s *stage2) embed() bool {
+	items := make([]congest.Message, 0, len(s.assigned))
+	for _, p := range s.assigned {
+		items = append(items, edgeItem{A: s.api.ID(), B: s.nbrID[p]})
+	}
+	gatherBudget := int(s.partM) + s.budget + 4
+	collected, ok := s.tree.PipelineUp(s.api, s.api.Round()+gatherBudget, items)
+	if s.tree.IsRoot() && !ok {
+		panic("core: edge gather under-budgeted")
+	}
+
+	var out []congest.Message
+	strictFail := false
+	if s.tree.IsRoot() {
+		// Build the part graph on dense indices.
+		idOf := make([]int64, 0, s.partN)
+		idx := make(map[int64]int, s.partN)
+		add := func(id int64) int {
+			if i, ok := idx[id]; ok {
+				return i
+			}
+			idx[id] = len(idOf)
+			idOf = append(idOf, id)
+			return len(idOf) - 1
+		}
+		add(s.api.ID())
+		type pair struct{ a, b int }
+		pairs := make([]pair, 0, len(collected))
+		for _, it := range collected {
+			e := it.(edgeItem)
+			pairs = append(pairs, pair{add(e.A), add(e.B)})
+		}
+		b := graph.NewBuilder(len(idOf))
+		for _, p := range pairs {
+			b.AddEdge(p.a, p.b)
+		}
+		pg := b.Build()
+		res := planar.EmbedOrFallback(pg, s.opts.EmbedMode)
+		if !res.Planar && s.opts.StrictEmbedReject {
+			strictFail = true
+		} else {
+			for v := 0; v < pg.N(); v++ {
+				for i, w := range res.Embedding.Rotation(v) {
+					out = append(out, rotItem{Node: idOf[v], Idx: int32(i), Nbr: idOf[w]})
+				}
+			}
+		}
+		// Modeled cost of the real GH embedding (DESIGN.md §3).
+		logn := int(math.Ceil(math.Log2(float64(s.api.N() + 1))))
+		mD := s.maxDepth
+		if logn < mD {
+			mD = logn
+		}
+		s.api.ChargeModeledRounds(2*s.maxDepth + mD)
+	}
+	if strictFail {
+		out = []congest.Message{embedFail{}}
+	}
+	scatterBudget := int(2*s.partM) + s.budget + 6
+	got, ok := s.tree.BroadcastItemsDown(s.api, s.api.Round()+scatterBudget, out)
+	if !ok {
+		panic("core: rotation scatter under-budgeted")
+	}
+	if len(got) == 1 {
+		if _, fail := got[0].(embedFail); fail {
+			return false
+		}
+	}
+	// Extract this node's rotation, mapping neighbor ids back to ports.
+	portOf := make(map[int64]int, s.api.Degree())
+	for p, ok := range s.intra {
+		if ok {
+			portOf[s.nbrID[p]] = p
+		}
+	}
+	type entry struct {
+		idx int32
+		nbr int64
+	}
+	var mine []entry
+	for _, it := range got {
+		if r, ok := it.(rotItem); ok && r.Node == s.api.ID() {
+			mine = append(mine, entry{r.Idx, r.Nbr})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].idx < mine[j].idx })
+	s.rotPorts = make([]int, 0, len(mine))
+	for _, e := range mine {
+		p, ok := portOf[e.nbr]
+		if !ok {
+			panic("core: rotation references unknown neighbor")
+		}
+		s.rotPorts = append(s.rotPorts, p)
+	}
+	return true
+}
+
+// labelWireBits is the per-element size used when chunking labels.
+func (s *stage2) labelElemsPerChunk() int {
+	per := (s.api.BitBound() - 16) / (congest.BitsForID(s.api.N()) + 2)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// chunksPerLabel bounds the chunk count of any label in this part: label
+// length equals BFS depth, which is at most the part diameter <= budget.
+func (s *stage2) chunksPerLabel() int {
+	return (s.budget+2)/s.labelElemsPerChunk() + 1
+}
+
+// distributeLabels implements the labeling of §2.2.2: each node's label is
+// its parent's label extended by the clockwise index of its tree edge
+// (counted from the parent edge in the embedding's rotation). Labels are
+// chunked down the BFS tree.
+func (s *stage2) distributeLabels() {
+	// Edge positions from the rotation: walk counterclockwise starting at
+	// the parent edge (the tree's outer-face walk order; see
+	// EdgePositions). All intra-part edges get positions; tree children
+	// extend vertex labels, non-tree edges extend attachment labels.
+	s.edgePos = make(map[int]int32, len(s.rotPorts))
+	start := 0
+	if s.tree.ParentPort >= 0 {
+		for i, p := range s.rotPorts {
+			if p == s.tree.ParentPort {
+				start = i
+				break
+			}
+		}
+	}
+	for k := 0; k < len(s.rotPorts); k++ {
+		p := s.rotPorts[((start-k)%len(s.rotPorts)+len(s.rotPorts))%len(s.rotPorts)]
+		s.edgePos[p] = int32(k)
+		if s.tree.ParentPort < 0 {
+			s.edgePos[p] = int32(k) + 1
+		}
+	}
+	childIdx := make(map[int]int32, len(s.tree.ChildPorts))
+	for _, c := range s.tree.ChildPorts {
+		childIdx[c] = s.edgePos[c]
+	}
+
+	per := s.labelElemsPerChunk()
+	deadline := s.api.Round() + (s.budget+1)*(s.chunksPerLabel()+1) + 4
+
+	sendToChildren := func() {
+		// Stream each child its full label (ours plus its edge index),
+		// one chunk per round per child, in lockstep across children.
+		maxLen := len(s.label) + 1
+		chunks := (maxLen + per - 1) / per
+		for ci := 0; ci < chunks; ci++ {
+			for _, c := range s.tree.ChildPorts {
+				lbl := append(append(Label{}, s.label...), childIdx[c])
+				lo := ci * per
+				hi := lo + per
+				if hi > len(lbl) {
+					hi = len(lbl)
+				}
+				s.api.Send(c, labelChunk{Elems: lbl[lo:hi], Last: ci == chunks-1})
+			}
+			s.api.NextRound()
+		}
+	}
+
+	if s.tree.IsRoot() {
+		s.label = Label{}
+		sendToChildren()
+	} else {
+		done := false
+		for !done && s.api.Round() < deadline {
+			for _, in := range s.api.SleepUntil(deadline) {
+				ch, ok := in.Msg.(labelChunk)
+				if !ok || in.Port != s.tree.ParentPort {
+					panic("core: unexpected message during labeling")
+				}
+				s.label = append(s.label, ch.Elems...)
+				if ch.Last {
+					done = true
+				}
+			}
+		}
+		if !done {
+			panic("core: label wave under-budgeted")
+		}
+		sendToChildren()
+	}
+	s.api.Idle(deadline - s.api.Round())
+}
+
+// exchangeNonTreeLabels sends this node's per-edge attachment label
+// (vertex label extended by the edge's rotation position), chunked, over
+// every intra-part non-tree edge (both directions simultaneously).
+func (s *stage2) exchangeNonTreeLabels() {
+	s.nbrLabels = make(map[int]Label)
+	var ports []int
+	for p, ok := range s.intra {
+		if !ok || p == s.tree.ParentPort || isIn(s.tree.ChildPorts, p) {
+			continue
+		}
+		ports = append(ports, p)
+	}
+	attach := make(map[int]Label, len(ports))
+	for _, p := range ports {
+		attach[p] = append(append(Label{}, s.label...), s.edgePos[p])
+	}
+	per := s.labelElemsPerChunk()
+	llen := len(s.label) + 1
+	chunks := (llen + per - 1) / per
+	deadline := s.api.Round() + s.chunksPerLabel() + 3
+	finished := make(map[int]bool)
+	ci := 0
+	for s.api.Round() < deadline {
+		if ci < chunks {
+			lo := ci * per
+			hi := lo + per
+			if hi > llen {
+				hi = llen
+			}
+			for _, p := range ports {
+				s.api.Send(p, labelChunk{Elems: attach[p][lo:hi], Last: ci == chunks-1})
+			}
+			ci++
+		}
+		var inbox []congest.Inbound
+		if ci < chunks {
+			inbox = s.api.NextRound()
+		} else {
+			inbox = s.api.SleepUntil(deadline)
+		}
+		for _, in := range inbox {
+			ch, ok := in.Msg.(labelChunk)
+			if !ok {
+				panic("core: unexpected message during label exchange")
+			}
+			s.nbrLabels[in.Port] = append(s.nbrLabels[in.Port], ch.Elems...)
+			if ch.Last {
+				finished[in.Port] = true
+			}
+		}
+	}
+	for _, p := range ports {
+		if !finished[p] {
+			panic("core: label exchange under-budgeted")
+		}
+	}
+}
+
+func isIn(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// assignedNonTree returns the labeled pairs of this node's assigned
+// non-tree edges, using attachment labels at both endpoints.
+func (s *stage2) assignedNonTree() []LabeledEdge {
+	var out []LabeledEdge
+	for _, p := range s.assigned {
+		if p == s.tree.ParentPort || isIn(s.tree.ChildPorts, p) {
+			continue
+		}
+		nl, ok := s.nbrLabels[p]
+		if !ok {
+			panic("core: missing neighbor label on assigned non-tree edge")
+		}
+		mine := append(append(Label{}, s.label...), s.edgePos[p])
+		out = append(out, NewLabeledEdge(mine, nl))
+	}
+	return out
+}
+
+// sampleAndShare samples Theta(log n / eps) non-tree edges uniformly,
+// pipelines their label pairs to the root, and rebroadcasts them to the
+// whole part (§2.2.2). Every node returns the sampled label pairs.
+func (s *stage2) sampleAndShare() []LabeledEdge {
+	mt := s.partM - (s.partN - 1) // non-tree edge count m~
+	want := s.opts.SampleCoeff * (math.Log(float64(s.api.N())) + 1) / s.opts.Epsilon
+	capEdges := int(4*want) + 8
+	chunksPer := 2*s.chunksPerLabel() + 2
+
+	var items []congest.Message
+	if mt > 0 {
+		p := want / float64(mt)
+		mine := s.assignedNonTree()
+		per := s.labelElemsPerChunk()
+		for ei, le := range mine {
+			if p < 1 && s.api.Rand().Float64() >= p {
+				continue
+			}
+			elems := labelElems(le.U, le.V)
+			total := (len(elems) + per - 1) / per
+			for ci := 0; ci < total; ci++ {
+				lo := ci * per
+				hi := lo + per
+				if hi > len(elems) {
+					hi = len(elems)
+				}
+				items = append(items, sampleChunk{
+					Owner: s.api.ID(),
+					EIdx:  int32(ei),
+					CIdx:  int32(ci),
+					Last:  ci == total-1,
+					Elems: elems[lo:hi],
+				})
+			}
+		}
+	}
+	budget := capEdges*chunksPer + s.budget + 6
+	up, _ := s.tree.PipelineUp(s.api, s.api.Round()+budget, items)
+	// The root truncates an oversampled collection (a 1/poly(n) tail
+	// event; the run then degrades gracefully, never rejecting wrongly).
+	if s.tree.IsRoot() && len(up) > capEdges*chunksPer {
+		up = up[:capEdges*chunksPer]
+	}
+	down, _ := s.tree.BroadcastItemsDown(s.api, s.api.Round()+budget, up)
+
+	type key struct {
+		owner int64
+		eidx  int32
+	}
+	parts := make(map[key][]sampleChunk)
+	for _, it := range down {
+		if sc, ok := it.(sampleChunk); ok {
+			k := key{sc.Owner, sc.EIdx}
+			parts[k] = append(parts[k], sc)
+		}
+	}
+	var keys []key
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].owner != keys[j].owner {
+			return keys[i].owner < keys[j].owner
+		}
+		return keys[i].eidx < keys[j].eidx
+	})
+	var out []LabeledEdge
+	for _, k := range keys {
+		cs := parts[k]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].CIdx < cs[j].CIdx })
+		if !cs[len(cs)-1].Last {
+			continue // truncated edge; skip
+		}
+		var elems []int32
+		for _, c := range cs {
+			elems = append(elems, c.Elems...)
+		}
+		if le, ok := parseLabelPair(elems); ok {
+			out = append(out, le)
+		}
+	}
+	return out
+}
+
+// detectViolations checks every assigned non-tree edge against every
+// sampled edge for the crossing condition of Definition 7.
+func (s *stage2) detectViolations(samples []LabeledEdge) bool {
+	for _, mine := range s.assignedNonTree() {
+		for _, sm := range samples {
+			if Intersects(mine, sm) {
+				return true
+			}
+		}
+	}
+	return false
+}

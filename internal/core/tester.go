@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Options configures the end-to-end planarity tester (Theorem 1).
+type Options struct {
+	// Epsilon is the distance parameter: graphs eps-far from planarity
+	// (more than eps*m edge removals needed) are rejected whp.
+	Epsilon float64
+	// Partition overrides the Stage I options (zero value: deterministic
+	// Stage I with edge-cut parameter Epsilon).
+	Partition partition.Options
+	// UseEN replaces Stage I with the Elkin–Neiman-style random-shift
+	// clustering (the O(log^2 n)-round variant of §1.1; experiment E11).
+	UseEN bool
+	// StageII overrides the Stage II options (zero value: derived from
+	// Epsilon).
+	StageII StageIIOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon <= 0 || o.Epsilon > 1 {
+		panic("core: Epsilon must be in (0,1]")
+	}
+	if o.Partition.Epsilon == 0 {
+		o.Partition.Epsilon = o.Epsilon
+	}
+	if o.StageII.Epsilon == 0 {
+		o.StageII.Epsilon = o.Epsilon / 2 // parts are (eps/2)-far (Claim 3)
+	}
+	return o
+}
+
+// TestPlanarity is the complete one-sided distributed planarity tester:
+// Stage I partitions the graph (or the EN baseline does), Stage II checks
+// each part. Every node outputs accept or reject; on planar inputs every
+// node accepts, and on eps-far inputs at least one node rejects whp.
+func TestPlanarity(api *congest.API, opts Options) congest.Verdict {
+	opts = opts.withDefaults()
+	var po *partition.Outcome
+	if opts.UseEN {
+		po = partition.RunElkinNeiman(api, opts.Partition.Epsilon)
+	} else {
+		po = partition.RunStageI(api, opts.Partition)
+	}
+	v := RunStageII(api, po, opts.StageII)
+	if po.Rejected {
+		v = congest.VerdictReject // already output during Stage I
+	}
+	if v != congest.VerdictReject {
+		api.Output(congest.VerdictAccept)
+	}
+	return api.Verdict()
+}
+
+// RunResult summarizes one tester execution.
+type RunResult struct {
+	Rejected   bool
+	RejectedBy int // number of rejecting nodes
+	Metrics    congest.Metrics
+}
+
+// RunTester executes the full tester on g with the given seed and returns
+// the global verdict and metrics. It uses StopOnReject semantics: the run
+// ends at the first reject.
+func RunTester(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
+	ids := make([]int64, g.N())
+	rng := rand.New(rand.NewSource(seed ^ 0x7A31))
+	for i, p := range rng.Perm(g.N()) {
+		ids[i] = int64(p + 1)
+	}
+	res, err := congest.Run(congest.Config{
+		Graph:        g,
+		Seed:         seed,
+		IDs:          ids,
+		StopOnReject: true,
+		MaxRounds:    1 << 40,
+	}, func(api *congest.API) {
+		TestPlanarity(api, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Rejected:   res.Rejected(),
+		RejectedBy: res.RejectCount(),
+		Metrics:    res.Metrics,
+	}, nil
+}
+
+// DetectionRate runs the tester on g with `trials` different seeds and
+// returns the fraction of runs that rejected (experiment E2).
+func DetectionRate(g *graph.Graph, opts Options, trials int, baseSeed int64) (float64, error) {
+	rejected := 0
+	for t := 0; t < trials; t++ {
+		r, err := RunTester(g, opts, baseSeed+int64(t)*7919)
+		if err != nil {
+			return 0, err
+		}
+		if r.Rejected {
+			rejected++
+		}
+	}
+	return float64(rejected) / float64(trials), nil
+}

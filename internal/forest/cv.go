@@ -1,0 +1,139 @@
+// Package forest implements the two symmetry-breaking subroutines of
+// Stage I of the paper: the Cole–Vishkin / Goldberg–Plotkin–Shannon
+// O(log* n) 3-coloring of rooted pseudo-forests (§2.1.2 sub-step 2a) and
+// the Barenboim–Elkin H-partition forest decomposition (§2.1.1).
+//
+// The functions here are the pure, single-step building blocks; package
+// partition emulates them distributedly on the CONGEST simulator.
+package forest
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CVStep performs one Cole–Vishkin color-reduction step: given a node's
+// current color and its parent's current color (both proper, i.e.
+// different), it returns the new color 2k+b where k is the lowest bit
+// position at which the colors differ and b is the node's bit there.
+// Nodes without a parent pass parent = own color with bit 0 flipped.
+func CVStep(own, parent int64) int64 {
+	if own == parent {
+		panic(fmt.Sprintf("forest: CVStep on equal colors %d", own))
+	}
+	k := bits.TrailingZeros64(uint64(own ^ parent))
+	b := (own >> k) & 1
+	return int64(2*k) + b
+}
+
+// CVRootParent returns the pretend parent color used by parentless nodes.
+func CVRootParent(own int64) int64 { return own ^ 1 }
+
+// CVIterations returns the number of CVStep iterations sufficient to bring
+// colors from the range [0, maxColor] down to {0,...,5}, for use in
+// lockstep schedules where every node must run the same number of steps.
+func CVIterations(maxColor int64) int {
+	iters := 0
+	w := bits.Len64(uint64(maxColor)) // current color bit-width
+	if w < 1 {
+		w = 1
+	}
+	for w > 3 {
+		// After one step colors are < 2w, i.e. width <= 1 + ceil(log2 w).
+		w = 1 + bits.Len(uint(w-1))
+		iters++
+	}
+	// With width 3 (colors 0..7) one more step lands in 0..5 and stays.
+	return iters + 1
+}
+
+// ColorPseudoForest 3-colors a pseudo-forest given as a parent slice
+// (parent[v] = -1 for roots; otherwise the unique out-neighbor of v).
+// The result is a proper coloring with colors in {1, 2, 3} of the
+// underlying undirected graph. This is the pure reference implementation
+// of sub-step 2a; the distributed version lives in package partition.
+func ColorPseudoForest(parent []int) []int {
+	n := len(parent)
+	color := make([]int64, n)
+	for v := range color {
+		color[v] = int64(v)
+	}
+	// Cole–Vishkin reduction to colors 0..5.
+	for it := CVIterations(int64(n - 1)); it > 0; it-- {
+		next := make([]int64, n)
+		for v := 0; v < n; v++ {
+			pc := CVRootParent(color[v])
+			if parent[v] >= 0 {
+				pc = color[parent[v]]
+			}
+			next[v] = CVStep(color[v], pc)
+		}
+		color = next
+	}
+	// Shift-down plus recoloring of classes 5, 4, 3 into {0, 1, 2}.
+	for _, drop := range []int64{5, 4, 3} {
+		// Shift down: every node adopts its parent's color; roots take a
+		// color different from their own previous color (so that their
+		// children, which adopt the root's previous color, stay proper).
+		next := make([]int64, n)
+		for v := 0; v < n; v++ {
+			if parent[v] >= 0 {
+				next[v] = color[parent[v]]
+			} else {
+				// Roots only need to differ from their own previous color
+				// (their children adopt it); choosing from {0,1,2} avoids
+				// reintroducing an already-dropped class.
+				if color[v] == 0 {
+					next[v] = 1
+				} else {
+					next[v] = 0
+				}
+			}
+		}
+		color = next
+		// Recolor the dropped class: children of v are monochromatic
+		// after a shift-down, so each node has at most two constraints.
+		childColor := make([]int64, n) // color of v's children (all equal)
+		hasChild := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if p := parent[v]; p >= 0 {
+				childColor[p] = color[v]
+				hasChild[p] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if color[v] != drop {
+				continue
+			}
+			used := [6]bool{}
+			if parent[v] >= 0 {
+				used[color[parent[v]]] = true
+			}
+			if hasChild[v] {
+				used[childColor[v]] = true
+			}
+			for c := int64(0); c < 3; c++ {
+				if !used[c] {
+					color[v] = c
+					break
+				}
+			}
+		}
+	}
+	out := make([]int, n)
+	for v := range color {
+		out[v] = int(color[v]) + 1 // colors 1..3
+	}
+	return out
+}
+
+// CheckProperColoring verifies that color is a proper coloring of the
+// pseudo-forest: color[v] != color[parent[v]] for every non-root v.
+func CheckProperColoring(parent, color []int) error {
+	for v, p := range parent {
+		if p >= 0 && color[v] == color[p] {
+			return fmt.Errorf("forest: edge (%d,%d) monochromatic with color %d", v, p, color[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// HPartitionRounds returns the number of peeling rounds sufficient for the
+// Barenboim–Elkin H-partition to finish on any n-node graph of arboricity
+// at most alpha: each round at least a 1/3 fraction of the remaining nodes
+// becomes inactive (average degree is at most 2*alpha < (2/3)*(3*alpha+1)),
+// so ceil(log_{3/2} n) + 1 rounds suffice.
+func HPartitionRounds(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(n))/math.Log(1.5))) + 1
+}
+
+// HPartitionResult is the outcome of the Barenboim–Elkin peeling process.
+type HPartitionResult struct {
+	// InactiveRound[v] is the round at which v became inactive, or -1 if
+	// v is still active after all rounds (evidence of arboricity > alpha).
+	InactiveRound []int
+	// Success reports whether every node became inactive.
+	Success bool
+	// Out[v] lists the out-neighbors of v in the orientation induced by
+	// inactivation times (ties by id); |Out[v]| <= 3*alpha on success.
+	// Only populated when Success.
+	Out [][]int32
+}
+
+// HPartition runs the Barenboim–Elkin forest-decomposition peeling on g
+// with parameter alpha for the given number of rounds (use
+// HPartitionRounds(n)): while active, a node becomes inactive in the first
+// round in which it has at most 3*alpha active neighbors. ids break
+// orientation ties; pass nil to use node indices.
+func HPartition(g *graph.Graph, alpha, rounds int, ids []int64) *HPartitionResult {
+	n := g.N()
+	if ids == nil {
+		ids = make([]int64, n)
+		for v := range ids {
+			ids[v] = int64(v)
+		}
+	}
+	res := &HPartitionResult{InactiveRound: make([]int, n)}
+	for v := range res.InactiveRound {
+		res.InactiveRound[v] = -1
+	}
+	activeDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		activeDeg[v] = g.Degree(v)
+	}
+	frontier := make([]int, 0, n)
+	remaining := n
+	for r := 0; r < rounds && remaining > 0; r++ {
+		frontier = frontier[:0]
+		for v := 0; v < n; v++ {
+			if res.InactiveRound[v] == -1 && activeDeg[v] <= 3*alpha {
+				frontier = append(frontier, v)
+			}
+		}
+		for _, v := range frontier {
+			res.InactiveRound[v] = r
+			remaining--
+		}
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				activeDeg[w]--
+			}
+		}
+	}
+	res.Success = remaining == 0
+	if !res.Success {
+		return res
+	}
+	res.Out = make([][]int32, n)
+	for v := 0; v < n; v++ {
+		rv := res.InactiveRound[v]
+		for _, w := range g.Neighbors(v) {
+			rw := res.InactiveRound[int(w)]
+			// v -> w iff w outlives v, or they tie and w has the larger id.
+			if rw > rv || (rw == rv && ids[int(w)] > ids[v]) {
+				res.Out[v] = append(res.Out[v], w)
+			}
+		}
+		if len(res.Out[v]) > 3*alpha {
+			panic(fmt.Sprintf("forest: node %d has out-degree %d > 3*alpha=%d", v, len(res.Out[v]), 3*alpha))
+		}
+	}
+	return res
+}
+
+// CheckAcyclicOrientation verifies that the orientation given by Out has
+// no directed cycle (so the out-edges decompose into at most 3*alpha
+// forests, one per out-slot).
+func CheckAcyclicOrientation(out [][]int32) error {
+	n := len(out)
+	state := make([]int8, n) // 0 unvisited, 1 in-stack, 2 done
+	type frame struct {
+		v   int
+		idx int
+	}
+	for s := 0; s < n; s++ {
+		if state[s] != 0 {
+			continue
+		}
+		stack := []frame{{s, 0}}
+		state[s] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(out[f.v]) {
+				w := int(out[f.v][f.idx])
+				f.idx++
+				switch state[w] {
+				case 0:
+					state[w] = 1
+					stack = append(stack, frame{w, 0})
+				case 1:
+					return fmt.Errorf("forest: directed cycle through %d", w)
+				}
+				continue
+			}
+			state[f.v] = 2
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// Arboricity3Evidence verifies that a peeling failure is structural
+// evidence of arboricity greater than alpha: it peels the still-active
+// residual to a fixpoint and checks that a non-empty (3*alpha+1)-core
+// remains. Such a core has m' > alpha*(n'-1) edges, so by Nash–Williams
+// its arboricity exceeds alpha. An error means the failure was merely due
+// to an insufficient round budget.
+func Arboricity3Evidence(g *graph.Graph, res *HPartitionResult, alpha int) error {
+	if res.Success {
+		return fmt.Errorf("forest: peeling succeeded; no evidence expected")
+	}
+	var active []int
+	for v, r := range res.InactiveRound {
+		if r == -1 {
+			active = append(active, v)
+		}
+	}
+	sub, _ := g.InducedSubgraph(active)
+	fix := HPartition(sub, alpha, sub.N()+1, nil)
+	if fix.Success {
+		return fmt.Errorf("forest: residual peels to empty; failure was only a round-budget artifact")
+	}
+	var core []int
+	for v, r := range fix.InactiveRound {
+		if r == -1 {
+			core = append(core, v)
+		}
+	}
+	coreSub, _ := sub.InducedSubgraph(core)
+	for v := 0; v < coreSub.N(); v++ {
+		if coreSub.Degree(v) <= 3*alpha {
+			return fmt.Errorf("forest: core node with degree %d <= 3*alpha", coreSub.Degree(v))
+		}
+	}
+	return nil
+}

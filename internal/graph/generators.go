@@ -1,0 +1,456 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file contains the synthetic graph families used by the experiments.
+// Planar families are planar by construction; far-from-planar families come
+// with a certified lower bound on their distance to planarity (see
+// EulerDistanceLowerBound), which substitutes for the paper's probabilistic
+// far-ness arguments (Claim 11) at laptop scale.
+
+// Path returns the path 0-1-...-n-1.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle on n nodes (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: cycle needs n>=3, got %d", n))
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Star returns the star with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} with sides {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	bd := NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bd.AddEdge(i, a+j)
+		}
+	}
+	return bd.Build()
+}
+
+// Grid returns the rows x cols planar grid.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TriangulatedGrid returns the rows x cols grid with one diagonal per
+// cell: planar, non-bipartite, with about 3 edges per node — a denser
+// planar family than the plain grid.
+func TriangulatedGrid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(at(r, c), at(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols {
+				b.AddEdge(at(r, c), at(r+1, c+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform-attachment random tree: node i >= 1 attaches
+// to a uniformly random node < i.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, rng.Intn(i))
+	}
+	return b.Build()
+}
+
+// MaximalPlanar returns a random maximal planar graph (m = 3n-6, n >= 3)
+// built as a stacked triangulation: starting from a triangle, each new node
+// is inserted into a uniformly random face and connected to its three
+// corners. Planar by construction.
+func MaximalPlanar(n int, rng *rand.Rand) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: maximal planar needs n>=3, got %d", n))
+	}
+	b := NewBuilder(n)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	faces := [][3]int32{{0, 1, 2}, {0, 1, 2}} // inner and outer face
+	for v := 3; v < n; v++ {
+		i := rng.Intn(len(faces))
+		f := faces[i]
+		b.AddEdge(v, int(f[0]))
+		b.AddEdge(v, int(f[1]))
+		b.AddEdge(v, int(f[2]))
+		faces[i] = [3]int32{f[0], f[1], int32(v)}
+		faces = append(faces,
+			[3]int32{f[0], f[2], int32(v)},
+			[3]int32{f[1], f[2], int32(v)})
+	}
+	return b.Build()
+}
+
+// RandomPlanar returns a connected random planar graph with n nodes and
+// exactly m edges, n-1 <= m <= 3n-6: a random spanning tree of a random
+// stacked triangulation plus m-(n-1) additional triangulation edges.
+func RandomPlanar(n, m int, rng *rand.Rand) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: random planar needs n>=3, got %d", n))
+	}
+	if m < n-1 || m > 3*n-6 {
+		panic(fmt.Sprintf("gen: random planar needs n-1<=m<=3n-6, got n=%d m=%d", n, m))
+	}
+	tri := MaximalPlanar(n, rng)
+	// Random spanning tree: BFS from a random root over a randomly
+	// re-ordered adjacency structure.
+	root := rng.Intn(n)
+	inTree := make([]bool, n)
+	inTree[root] = true
+	tree := make(map[Edge]bool, n-1)
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		u := frontier[i]
+		// Collect unvisited neighbors of u.
+		var cands []int
+		for _, w := range tri.Neighbors(u) {
+			if !inTree[int(w)] {
+				cands = append(cands, int(w))
+			}
+		}
+		if len(cands) == 0 {
+			frontier[i] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			continue
+		}
+		v := cands[rng.Intn(len(cands))]
+		inTree[v] = true
+		tree[NormEdge(u, v)] = true
+		frontier = append(frontier, v)
+	}
+	// Shuffle the non-tree edges and keep m-(n-1) of them.
+	var rest []Edge
+	for _, e := range tri.Edges() {
+		if !tree[e] {
+			rest = append(rest, e)
+		}
+	}
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	b := NewBuilder(n)
+	for e := range tree {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	for _, e := range rest[:m-(n-1)] {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	return b.Build()
+}
+
+// Outerplanar returns a random maximal outerplanar graph: a cycle on n
+// nodes (the polygon boundary) plus a random triangulation of its interior.
+func Outerplanar(n int, rng *rand.Rand) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: outerplanar needs n>=3, got %d", n))
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	// Triangulate polygons recursively: split (i..j) at random k.
+	var tri func(lo, hi int)
+	tri = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		k := lo + 1 + rng.Intn(hi-lo-1)
+		if k > lo+1 {
+			b.AddEdge(lo, k)
+		}
+		if k < hi-1 {
+			b.AddEdge(k, hi)
+		}
+		tri(lo, k)
+		tri(k, hi)
+	}
+	tri(0, n-1)
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph.
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	// Geometric skipping for sparse p.
+	if p <= 0 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Iterate over pairs (i,j), i<j, skipping geometrically.
+	v, w := 1, -1
+	lp := math.Log1p(-p)
+	for v < n {
+		lr := math.Log1p(-rng.Float64())
+		w += 1 + int(lr/lp)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// PlanarPlusRandomEdges returns a maximal planar graph on n nodes with
+// `extra` additional random non-edges added, together with the certified
+// distance lower bound (extra edges beyond the Euler bound must be removed
+// to restore planarity).
+func PlanarPlusRandomEdges(n, extra int, rng *rand.Rand) (*Graph, int) {
+	g := MaximalPlanar(n, rng)
+	b := g.Clone()
+	added := 0
+	for attempts := 0; added < extra && attempts < 100*extra+1000; attempts++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		b.AddEdge(u, v)
+		g = b.Build()
+		b = g.Clone()
+		added++
+	}
+	out := b.Build()
+	return out, EulerDistanceLowerBound(out)
+}
+
+// EulerDistanceLowerBound returns a certified lower bound on the number of
+// edges that must be removed from g to make it planar: any planar graph on
+// n >= 3 nodes has at most 3n-6 edges, so at least m-(3n-6) edges must go.
+// Returns 0 when the bound is vacuous.
+func EulerDistanceLowerBound(g *Graph) int {
+	if g.N() < 3 {
+		return 0
+	}
+	d := g.M() - (3*g.N() - 6)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// DisjointUnion returns the disjoint union of the given graphs, with the
+// nodes of each graph shifted after those of its predecessors.
+func DisjointUnion(gs ...*Graph) *Graph {
+	n := 0
+	for _, g := range gs {
+		n += g.N()
+	}
+	b := NewBuilder(n)
+	off := 0
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			b.AddEdge(off+int(e.U), off+int(e.V))
+		}
+		off += g.N()
+	}
+	return b.Build()
+}
+
+// Shuffle returns an isomorphic copy of g with node indices permuted by a
+// uniformly random permutation, plus the permutation used (perm[old]=new).
+// Experiments use this to rule out id-correlated artifacts.
+func Shuffle(g *Graph, rng *rand.Rand) (*Graph, []int) {
+	perm := rng.Perm(g.N())
+	b := NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e.U], perm[e.V])
+	}
+	return b.Build(), perm
+}
+
+// ConnectParts adds, for each pair of consecutive components of g, one
+// random edge between them so that the result is connected.
+func ConnectParts(g *Graph, rng *rand.Rand) *Graph {
+	comp, k := g.Components()
+	if k <= 1 {
+		return g
+	}
+	reps := make([][]int, k)
+	for v := 0; v < g.N(); v++ {
+		reps[comp[v]] = append(reps[comp[v]], v)
+	}
+	b := g.Clone()
+	for c := 1; c < k; c++ {
+		u := reps[c-1][rng.Intn(len(reps[c-1]))]
+		v := reps[c][rng.Intn(len(reps[c]))]
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// GridWithOddChords returns a rows x cols grid with `chords` extra edges
+// each of which closes an odd cycle (connecting two nodes at even grid
+// distance), making the graph non-bipartite while staying sparse.
+func GridWithOddChords(rows, cols, chords int, rng *rand.Rand) *Graph {
+	g := Grid(rows, cols)
+	b := g.Clone()
+	at := func(r, c int) int { return r*cols + c }
+	added := 0
+	for attempts := 0; added < chords && attempts < 100*chords+1000; attempts++ {
+		r, c := rng.Intn(rows), rng.Intn(cols-2)
+		// (r,c)-(r,c+2) is at even distance 2: closes an odd cycle with
+		// the two grid edges between them.
+		u, v := at(r, c), at(r, c+2)
+		if g.HasEdge(u, v) {
+			continue
+		}
+		b.AddEdge(u, v)
+		g = b.Build()
+		b = g.Clone()
+		added++
+	}
+	return b.Build()
+}
+
+// TreePlusRandomEdges returns a random tree with `extra` random non-tree
+// edges added (each closes a cycle), used by the cycle-freeness experiments.
+func TreePlusRandomEdges(n, extra int, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	b := g.Clone()
+	added := 0
+	for attempts := 0; added < extra && attempts < 100*extra+1000; attempts++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		b.AddEdge(u, v)
+		g = b.Build()
+		b = g.Clone()
+		added++
+	}
+	return b.Build()
+}
+
+// RemoveShortCycles removes one edge from every cycle of length < minGirth
+// (the girth surgery of Claim 12) and returns the surviving graph plus the
+// number of edges removed. A single pass over all edges suffices: if a
+// short cycle survived the pass intact, its last-examined edge would have
+// detected it.
+func RemoveShortCycles(g *Graph, minGirth int) (*Graph, int) {
+	// Mutable adjacency sets for incremental removal.
+	adj := make([]map[int32]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		adj[v] = make(map[int32]bool, g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			adj[v][w] = true
+		}
+	}
+	removed := 0
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	var touched []int
+	for _, e := range g.Edges() {
+		u, v := int(e.U), int(e.V)
+		if !adj[u][int32(v)] {
+			continue
+		}
+		// BFS from u avoiding edge {u,v}, depth < minGirth-1.
+		found := false
+		dist[u] = 0
+		touched = append(touched[:0], u)
+		queue := []int{u}
+		for len(queue) > 0 && !found {
+			x := queue[0]
+			queue = queue[1:]
+			if dist[x] >= minGirth-2 {
+				continue
+			}
+			for w := range adj[x] {
+				y := int(w)
+				if x == u && y == v {
+					continue
+				}
+				if dist[y] == -1 {
+					dist[y] = dist[x] + 1
+					touched = append(touched, y)
+					if y == v {
+						found = true
+						break
+					}
+					queue = append(queue, y)
+				}
+			}
+		}
+		for _, t := range touched {
+			dist[t] = -1
+		}
+		if found {
+			delete(adj[u], int32(v))
+			delete(adj[v], int32(u))
+			removed++
+		}
+	}
+	b := NewBuilder(g.N())
+	for u := 0; u < g.N(); u++ {
+		for w := range adj[u] {
+			if u < int(w) {
+				b.AddEdge(u, int(w))
+			}
+		}
+	}
+	return b.Build(), removed
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Weighted is a mutable weighted undirected graph used for the auxiliary
+// graphs G_i of Stage I: nodes are parts, edge weights count the G-edges
+// crossing between two parts (paper §2.1). Nodes are identified by opaque
+// non-negative ids (part roots), not necessarily dense.
+type Weighted struct {
+	w map[int]map[int]int64 // w[u][v] == w[v][u] > 0
+}
+
+// NewWeighted returns an empty weighted graph.
+func NewWeighted() *Weighted {
+	return &Weighted{w: make(map[int]map[int]int64)}
+}
+
+// AddNode ensures u exists (possibly isolated).
+func (g *Weighted) AddNode(u int) {
+	if _, ok := g.w[u]; !ok {
+		g.w[u] = make(map[int]int64)
+	}
+}
+
+// AddWeight adds delta to the weight of edge {u, v}; the edge is created
+// if absent. Panics on self-loops and non-positive results.
+func (g *Weighted) AddWeight(u, v int, delta int64) {
+	if u == v {
+		panic(fmt.Sprintf("weighted: self-loop on %d", u))
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	nu := g.w[u][v] + delta
+	if nu < 0 {
+		panic(fmt.Sprintf("weighted: negative weight on {%d,%d}", u, v))
+	}
+	if nu == 0 {
+		delete(g.w[u], v)
+		delete(g.w[v], u)
+		return
+	}
+	g.w[u][v] = nu
+	g.w[v][u] = nu
+}
+
+// Weight returns the weight of edge {u, v} (0 when absent).
+func (g *Weighted) Weight(u, v int) int64 {
+	if m, ok := g.w[u]; ok {
+		return m[v]
+	}
+	return 0
+}
+
+// NodeWeight returns w(v) = sum of weights of edges incident to v.
+func (g *Weighted) NodeWeight(v int) int64 {
+	var s int64
+	for _, x := range g.w[v] {
+		s += x
+	}
+	return s
+}
+
+// TotalWeight returns w(G) = sum of all edge weights.
+func (g *Weighted) TotalWeight() int64 {
+	var s int64
+	for _, m := range g.w {
+		for _, x := range m {
+			s += x
+		}
+	}
+	return s / 2
+}
+
+// NumNodes returns the number of nodes.
+func (g *Weighted) NumNodes() int { return len(g.w) }
+
+// NumEdges returns the number of (positive-weight) edges.
+func (g *Weighted) NumEdges() int {
+	c := 0
+	for _, m := range g.w {
+		c += len(m)
+	}
+	return c / 2
+}
+
+// Nodes returns all node ids in ascending order.
+func (g *Weighted) Nodes() []int {
+	ns := make([]int, 0, len(g.w))
+	for u := range g.w {
+		ns = append(ns, u)
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// NeighborsOf returns the neighbors of u in ascending order.
+func (g *Weighted) NeighborsOf(u int) []int {
+	ns := make([]int, 0, len(g.w[u]))
+	for v := range g.w[u] {
+		ns = append(ns, v)
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// DegreeOf returns the number of distinct neighbors of u.
+func (g *Weighted) DegreeOf(u int) int { return len(g.w[u]) }
+
+// Unweighted converts g to a simple Graph, relabeling nodes densely in
+// ascending id order; it returns the graph and the dense->id map.
+func (g *Weighted) Unweighted() (*Graph, []int) {
+	ids := g.Nodes()
+	idx := make(map[int]int, len(ids))
+	for i, u := range ids {
+		idx[u] = i
+	}
+	b := NewBuilder(len(ids))
+	for u, m := range g.w {
+		for v := range m {
+			if u < v {
+				b.AddEdge(idx[u], idx[v])
+			}
+		}
+	}
+	return b.Build(), ids
+}
+
+// Contract merges node v into node u: all edges of v are re-attached to u
+// (weights of parallel edges add; a {u,v} edge disappears). v is removed.
+func (g *Weighted) Contract(u, v int) {
+	if u == v {
+		panic("weighted: contracting a node into itself")
+	}
+	for x, wt := range g.w[v] {
+		if x == u {
+			continue
+		}
+		delete(g.w[x], v)
+		g.AddWeight(u, x, wt)
+	}
+	delete(g.w[u], v)
+	delete(g.w, v)
+}
+
+// Clone returns a deep copy.
+func (g *Weighted) Clone() *Weighted {
+	c := NewWeighted()
+	for u, m := range g.w {
+		c.AddNode(u)
+		for v, wt := range m {
+			c.w[u][v] = wt
+		}
+	}
+	return c
+}
+
+// QuotientGraph builds the weighted auxiliary graph of g under the given
+// part assignment: part[v] is an arbitrary part id for each node of g.
+// Edge weights count crossing edges of g; intra-part edges are dropped.
+func QuotientGraph(g *Graph, part []int) *Weighted {
+	if len(part) != g.N() {
+		panic(fmt.Sprintf("quotient: part len %d != n %d", len(part), g.N()))
+	}
+	q := NewWeighted()
+	for v := 0; v < g.N(); v++ {
+		q.AddNode(part[v])
+	}
+	for _, e := range g.Edges() {
+		pu, pv := part[e.U], part[e.V]
+		if pu != pv {
+			q.AddWeight(pu, pv, 1)
+		}
+	}
+	return q
+}
+
+// CutSize returns the number of edges of g whose endpoints lie in
+// different parts.
+func CutSize(g *Graph, part []int) int {
+	cut := 0
+	for _, e := range g.Edges() {
+		if part[e.U] != part[e.V] {
+			cut++
+		}
+	}
+	return cut
+}

@@ -1,0 +1,111 @@
+// Package lowerbound builds the Ω(log n) lower-bound instances of §3
+// (Theorem 2, Claims 11-12): sparse random graphs that are constant-far
+// from planarity yet contain no cycles shorter than Θ(log n), so that any
+// one-sided tester running fewer rounds sees only trees and must accept.
+//
+// The paper's constants (p = 1000k²/n) are proof-friendly but unrunnable;
+// we use G(n, c/n) with c >= 8 and certify far-ness exactly via the Euler
+// bound (distance >= m - 3n + 6), per DESIGN.md §3.
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Instance is one lower-bound graph with its certificates.
+type Instance struct {
+	G *graph.Graph
+	// MinGirth is the girth target: every cycle shorter than this was
+	// removed by the surgery of Claim 12.
+	MinGirth int
+	// RemovedEdges counts the edges deleted by the girth surgery.
+	RemovedEdges int
+	// CertifiedDistance is the Euler-bound lower bound on the number of
+	// edge deletions needed to reach planarity.
+	CertifiedDistance int
+	// Epsilon is the certified relative distance CertifiedDistance/m.
+	Epsilon float64
+}
+
+// New builds an instance on n nodes with average degree c (c >= 8 keeps
+// the Euler certificate positive after surgery with high probability).
+// The girth target is floor(ln n / ln c), matching Claim 12's
+// log(n)/c(k) with the expected count of shorter cycles bounded by a
+// constant fraction of the edges.
+func New(n int, c float64, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.GNP(n, c/float64(n), rng)
+	// Claim 12's target is log(n)/c(k) with c(k) = Theta(log k); the +2
+	// keeps the Theta(log n) growth visible at laptop scale, where the
+	// base-c logarithm alone is nearly flat.
+	minGirth := int(math.Floor(math.Log(float64(n))/math.Log(c))) + 2
+	if minGirth < 4 {
+		minGirth = 4
+	}
+	h, removed := graph.RemoveShortCycles(g, minGirth)
+	dist := graph.EulerDistanceLowerBound(h)
+	eps := 0.0
+	if h.M() > 0 {
+		eps = float64(dist) / float64(h.M())
+	}
+	return &Instance{
+		G:                 h,
+		MinGirth:          minGirth,
+		RemovedEdges:      removed,
+		CertifiedDistance: dist,
+		Epsilon:           eps,
+	}
+}
+
+// BallIsTree reports whether the radius-r ball around v induces a forest
+// (no cycle is visible within distance r of v).
+func BallIsTree(g *graph.Graph, v, r int) bool {
+	dist := g.BFS(v).Dist
+	var ball []int
+	for u, d := range dist {
+		if d >= 0 && d <= r {
+			ball = append(ball, u)
+		}
+	}
+	sub, _ := g.InducedSubgraph(ball)
+	return sub.IsForest()
+}
+
+// FractionTreeViews samples `sample` nodes (all nodes when sample <= 0 or
+// >= n) and returns the fraction whose radius-r view is a forest. Any
+// one-sided r-round CONGEST algorithm run at a node whose view is a
+// forest behaves exactly as on some planar (indeed, acyclic) graph and
+// therefore must accept; fraction 1 at radius r certifies that r rounds
+// cannot suffice (Theorem 2's argument).
+func FractionTreeViews(g *graph.Graph, r, sample int, rng *rand.Rand) float64 {
+	n := g.N()
+	if n == 0 {
+		return 1
+	}
+	var nodes []int
+	if sample <= 0 || sample >= n {
+		for v := 0; v < n; v++ {
+			nodes = append(nodes, v)
+		}
+	} else {
+		for i := 0; i < sample; i++ {
+			nodes = append(nodes, rng.Intn(n))
+		}
+	}
+	trees := 0
+	for _, v := range nodes {
+		if BallIsTree(g, v, r) {
+			trees++
+		}
+	}
+	return float64(trees) / float64(len(nodes))
+}
+
+// GirthAtLeast verifies the surgery post-condition: no cycle shorter than
+// the instance's MinGirth survives.
+func (ins *Instance) GirthAtLeast() bool {
+	return ins.G.Girth(ins.MinGirth-1) == -1
+}

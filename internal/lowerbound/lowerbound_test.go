@@ -1,0 +1,85 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestInstanceCertificates(t *testing.T) {
+	ins := New(1200, 8, 1)
+	if !ins.GirthAtLeast() {
+		t.Fatal("girth surgery left a short cycle")
+	}
+	if ins.CertifiedDistance <= 0 {
+		t.Fatalf("instance not certified far: distance %d", ins.CertifiedDistance)
+	}
+	if ins.Epsilon < 0.05 {
+		t.Fatalf("certified epsilon %.3f too small", ins.Epsilon)
+	}
+	// The surgery must remove only a small fraction of edges.
+	if float64(ins.RemovedEdges) > 0.2*float64(ins.G.M()+ins.RemovedEdges) {
+		t.Fatalf("surgery removed %d of %d edges", ins.RemovedEdges, ins.G.M()+ins.RemovedEdges)
+	}
+}
+
+func TestGirthGrowsWithN(t *testing.T) {
+	g1 := New(256, 8, 2).MinGirth
+	g2 := New(4096, 8, 2).MinGirth
+	if g2 <= g1 {
+		t.Fatalf("girth target must grow with n: %d vs %d", g1, g2)
+	}
+	// Theta(log n): ratio about log(4096)/log(256) = 1.5.
+	want := math.Log(4096) / math.Log(256)
+	got := float64(g2) / float64(g1)
+	if got < want*0.5 || got > want*2 {
+		t.Fatalf("girth growth %.2f, want about %.2f", got, want)
+	}
+}
+
+func TestTreeViewsBelowGirthRadius(t *testing.T) {
+	ins := New(800, 8, 3)
+	rng := rand.New(rand.NewSource(4))
+	// A radius-r ball can contain cycles of length up to 2r+1, so views
+	// are trees exactly while 2r+1 < girth. At that round budget any
+	// one-sided algorithm must accept (Theorem 2).
+	r := (ins.MinGirth - 2) / 2
+	if frac := FractionTreeViews(ins.G, r, 0, rng); frac != 1 {
+		t.Fatalf("fraction of tree views at radius %d is %.3f, want 1", r, frac)
+	}
+}
+
+func TestViewsSeeCyclesAtLargerRadius(t *testing.T) {
+	ins := New(800, 8, 5)
+	rng := rand.New(rand.NewSource(6))
+	// Far beyond the girth radius, almost every view contains a cycle.
+	r := 4 * ins.MinGirth
+	if frac := FractionTreeViews(ins.G, r, 60, rng); frac > 0.2 {
+		t.Fatalf("fraction of tree views at radius %d is %.3f, want near 0", r, frac)
+	}
+}
+
+func TestBallIsTree(t *testing.T) {
+	g := graph.Cycle(12)
+	if !BallIsTree(g, 0, 5) {
+		t.Fatal("radius-5 ball of C12 is a path")
+	}
+	if BallIsTree(g, 0, 6) {
+		t.Fatal("radius-6 ball of C12 contains the cycle")
+	}
+}
+
+func TestFullTesterRejectsInstance(t *testing.T) {
+	// The full tester does reject these instances — given enough rounds.
+	ins := New(500, 8, 7)
+	rate, err := core.DetectionRate(ins.G, core.Options{Epsilon: ins.Epsilon / 2}, 3, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.5 {
+		t.Fatalf("full tester detection rate %.2f on a certified-far instance", rate)
+	}
+}

@@ -1,0 +1,216 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/congest"
+)
+
+// Message vocabulary of Stage I. Every type reports its size per the
+// CONGEST O(log n)-bit discipline; list-valued messages are bounded by
+// 3*alpha+1 entries (constant), so all messages are O(log n) bits.
+
+// bitsVal is the encoded size of one integer field: sign bit plus value.
+func bitsVal(v int64) int {
+	if v < 0 {
+		v = -v
+	}
+	return congest.BitsForValue(v) + 1
+}
+
+// noneMsg is an explicit "no contribution" marker used in convergecasts.
+type noneMsg struct{}
+
+func (noneMsg) Bits() int { return 1 }
+
+// valMsg carries a single value (color, level, weight, id).
+type valMsg struct{ V int64 }
+
+func (m valMsg) Bits() int { return 2 + bitsVal(m.V) }
+
+// pairMsg carries two values.
+type pairMsg struct{ A, B int64 }
+
+func (m pairMsg) Bits() int { return 2 + bitsVal(m.A) + bitsVal(m.B) }
+
+// rootAnnounce is the phase-start boundary discovery message.
+type rootAnnounce struct{ Root int64 }
+
+func (m rootAnnounce) Bits() int { return 2 + bitsVal(m.Root) }
+
+// statusMsg is the per-super-round broadcast from a part root: the part's
+// activity flag and the roots it needs activity reports for (at most
+// 3*alpha entries).
+type statusMsg struct {
+	Active bool
+	Watch  []int64
+}
+
+func (m statusMsg) Bits() int {
+	b := 3
+	for _, w := range m.Watch {
+		b += bitsVal(w)
+	}
+	return b
+}
+
+// activityMsg crosses part boundaries each super-round.
+type activityMsg struct {
+	Root   int64
+	Active bool
+}
+
+func (m activityMsg) Bits() int { return 3 + bitsVal(m.Root) }
+
+// rootWeight is one (neighbor part, edge count) entry.
+type rootWeight struct {
+	Root   int64
+	Weight int64
+}
+
+// rootFlag is one (watched part, still-active) entry.
+type rootFlag struct {
+	Root   int64
+	Active bool
+}
+
+// decompAgg is the convergecast message of a forest-decomposition
+// super-round: the set of active neighbor parts with edge counts (capped),
+// plus activity flags for the watched parts.
+type decompAgg struct {
+	TooMany bool
+	Entries []rootWeight
+	Watch   []rootFlag
+}
+
+func (m decompAgg) Bits() int {
+	b := 4
+	for _, e := range m.Entries {
+		b += bitsVal(e.Root) + bitsVal(e.Weight)
+	}
+	for _, w := range m.Watch {
+		b += bitsVal(w.Root) + 1
+	}
+	return b
+}
+
+// mergeDecomp merges child aggregates into own, keeping entries sorted by
+// root id and capped at limit active parts.
+func mergeDecomp(own decompAgg, children []congest.Message, limit int) decompAgg {
+	byRoot := make(map[int64]int64)
+	tooMany := own.TooMany
+	for _, e := range own.Entries {
+		byRoot[e.Root] += e.Weight
+	}
+	watch := make(map[int64]bool)
+	for _, w := range own.Watch {
+		watch[w.Root] = w.Active
+	}
+	for _, c := range children {
+		a, ok := c.(decompAgg)
+		if !ok {
+			continue // noneMsg from non-contributing children
+		}
+		tooMany = tooMany || a.TooMany
+		for _, e := range a.Entries {
+			byRoot[e.Root] += e.Weight
+		}
+		for _, w := range a.Watch {
+			watch[w.Root] = w.Active
+		}
+	}
+	out := decompAgg{TooMany: tooMany}
+	for r, w := range byRoot {
+		out.Entries = append(out.Entries, rootWeight{Root: r, Weight: w})
+	}
+	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Root < out.Entries[j].Root })
+	if len(out.Entries) > limit {
+		out.TooMany = true
+		out.Entries = out.Entries[:limit]
+	}
+	for r, f := range watch {
+		out.Watch = append(out.Watch, rootFlag{Root: r, Active: f})
+	}
+	sort.Slice(out.Watch, func(i, j int) bool { return out.Watch[i].Root < out.Watch[j].Root })
+	return out
+}
+
+// selMsg announces the selected out-edge (target part and weight).
+type selMsg struct {
+	Target int64
+	Weight int64
+	HasOut bool
+}
+
+func (m selMsg) Bits() int { return 3 + bitsVal(m.Target) + bitsVal(m.Weight) }
+
+// fSelect notifies the designated neighbor v^j that this part selected an
+// edge into v^j's part.
+type fSelect struct{ ChildRoot int64 }
+
+func (m fSelect) Bits() int { return 2 + bitsVal(m.ChildRoot) }
+
+// reportMsg carries the part's final color and out-edge weight to its
+// designated node for cross-boundary reporting.
+type reportMsg struct {
+	Color  int64
+	Weight int64
+}
+
+func (m reportMsg) Bits() int { return 2 + bitsVal(m.Color) + bitsVal(m.Weight) }
+
+// childReport crosses the boundary from u^j to v^j after coloring.
+type childReport struct {
+	Color  int64
+	Weight int64
+}
+
+func (m childReport) Bits() int { return 2 + bitsVal(m.Color) + bitsVal(m.Weight) }
+
+// colorSums aggregates incoming-edge weights per child color (1..3).
+type colorSums struct{ W [4]int64 }
+
+func (m colorSums) Bits() int {
+	return 2 + bitsVal(m.W[1]) + bitsVal(m.W[2]) + bitsVal(m.W[3])
+}
+
+// markMsg is the root's marking decision broadcast.
+type markMsg struct {
+	MarkOut bool
+	// InClass: 0 none, 1..3 mark in-edges from children of that color,
+	// markAllIn marks all incoming edges.
+	InClass int8
+}
+
+const markAllIn = int8(4)
+
+func (markMsg) Bits() int { return 2 + 4 }
+
+// edgeMarked crosses the boundary to tell the other endpoint of an aux
+// edge that the edge is marked.
+type edgeMarked struct{}
+
+func (edgeMarked) Bits() int { return 2 }
+
+// attachMsg tells v^j that u^j is now its tree child (contraction).
+type attachMsg struct{}
+
+func (attachMsg) Bits() int { return 2 }
+
+// flipMsg reverses tree-edge orientation along the path to the old root.
+type flipMsg struct{}
+
+func (flipMsg) Bits() int { return 2 }
+
+// trialMsg is one weighted-edge-selection candidate (randomized variant):
+// the candidate node's id, its chosen target part, and the subtree's total
+// cross-degree (for reservoir-style uniform sampling up the tree).
+type trialMsg struct {
+	NodeID int64
+	Target int64
+	Degree int64
+}
+
+func (m trialMsg) Bits() int {
+	return 2 + bitsVal(m.NodeID) + bitsVal(m.Target) + bitsVal(m.Degree)
+}

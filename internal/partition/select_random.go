@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"repro/internal/congest"
+)
+
+// selectRandomized implements the weighted-edge selection of §4 (Theorem
+// 4): in each of Theta(log 1/delta) trials the part draws a uniformly
+// random incident cut edge (via the tree-sampling procedure of §4.1, which
+// draws an aux edge with probability proportional to its weight), then
+// evaluates the drawn target's weight; the maximum-weight draw wins. No
+// forest-decomposition step is needed under the minor-free promise.
+func (s *state) selectRandomized(D int) {
+	trials := s.opts.SelectionTrials()
+	bestW := int64(-1)
+	bestTarget := int64(0)
+	for t := 0; t < trials; t++ {
+		// (1) Uniform cut-edge sample via weighted reservoir convergecast.
+		var own congest.Message = noneMsg{}
+		var crossPorts []int
+		for p, c := range s.cross {
+			if c {
+				crossPorts = append(crossPorts, p)
+			}
+		}
+		if len(crossPorts) > 0 {
+			p := crossPorts[s.api.Rand().Intn(len(crossPorts))]
+			own = trialMsg{
+				NodeID: s.api.ID(),
+				Target: s.nbrRoot[p],
+				Degree: int64(len(crossPorts)),
+			}
+		}
+		pick := s.cvg(D, own, func(o congest.Message, ch []congest.Message) congest.Message {
+			cands := make([]trialMsg, 0, len(ch)+1)
+			if tm, ok := o.(trialMsg); ok {
+				cands = append(cands, tm)
+			}
+			for _, c := range ch {
+				if tm, ok := c.(trialMsg); ok {
+					cands = append(cands, tm)
+				}
+			}
+			if len(cands) == 0 {
+				return noneMsg{}
+			}
+			total := int64(0)
+			for _, c := range cands {
+				total += c.Degree
+			}
+			r := s.api.Rand().Int63n(total)
+			for _, c := range cands {
+				if r < c.Degree {
+					c.Degree = total
+					return c
+				}
+				r -= c.Degree
+			}
+			panic("partition: weighted pick out of range")
+		})
+
+		// (2) Announce the drawn target.
+		var ann congest.Message = noneMsg{}
+		if s.tree.IsRoot() {
+			if tm, ok := pick.(trialMsg); ok {
+				ann = valMsg{V: tm.Target}
+			}
+		}
+		target := s.bcast(D, ann)
+
+		// (3) Evaluate w(P, target): each node counts its edges into the
+		// target part.
+		cnt := int64(0)
+		if tv, ok := target.(valMsg); ok {
+			for p, c := range s.cross {
+				if c && s.nbrRoot[p] == tv.V {
+					cnt++
+				}
+			}
+		}
+		w := s.cvg(D, valMsg{V: cnt}, combineSum).(valMsg).V
+		if s.tree.IsRoot() {
+			if tv, ok := target.(valMsg); ok && w > bestW {
+				bestW = w
+				bestTarget = tv.V
+			}
+		}
+	}
+	if s.tree.IsRoot() && bestW > 0 {
+		s.partHasOut = true
+		s.partTarget = bestTarget
+		s.partWeight = bestW
+	}
+}

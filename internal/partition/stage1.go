@@ -1,0 +1,693 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/forest"
+)
+
+// RunStageI executes the Stage I partitioning algorithm inside a node
+// program and returns this node's outcome. Every node of the network must
+// call it at the same round with the same options. On return, nodes of a
+// part share a rooted spanning tree (Lemma 6) and know their part root;
+// parts that exhausted the phase schedule or exited early are final.
+//
+// The Rejected flag is set at nodes holding evidence that some contraction
+// minor of the input has arboricity above alpha (Definition 2 failure) —
+// for alpha = 3 this certifies non-planarity (one-sided).
+func RunStageI(api *congest.API, opts Options) *Outcome {
+	opts = opts.withDefaults()
+	s := newState(api, opts)
+	t := opts.Phases()
+	phasesRun := 0
+	earlyExit := false
+	for i := 1; i <= t; i++ {
+		done := s.runPhase(i)
+		phasesRun++
+		if done {
+			earlyExit = true
+			break
+		}
+	}
+	return &Outcome{
+		RootID:    s.rootID,
+		Tree:      s.tree,
+		Rejected:  s.rejected,
+		PhasesRun: phasesRun,
+		EarlyExit: earlyExit,
+	}
+}
+
+// runPhase executes phase i; returns true when the part has no cross edges
+// left (it spans its connected component) and exits the schedule.
+func (s *state) runPhase(i int) bool {
+	D := phaseBudget(i)
+	s.resetPhase()
+
+	// Step 0: boundary discovery (1 round). Ports that stay silent (a
+	// neighbor terminated during a StopOnReject shutdown race) are
+	// treated as absent.
+	for p := range s.nbrRoot {
+		s.nbrRoot[p] = -1
+	}
+	s.api.SendAll(rootAnnounce{Root: s.rootID})
+	for _, in := range s.api.NextRound() {
+		s.nbrRoot[in.Port] = in.Msg.(rootAnnounce).Root
+		s.cross[in.Port] = s.nbrRoot[in.Port] != s.rootID
+	}
+
+	// Step 1: early exit when the part has no cross edges (it will never
+	// interact with the rest of the network again; see DESIGN.md).
+	hasCross := int64(0)
+	for _, c := range s.cross {
+		if c {
+			hasCross = 1
+		}
+	}
+	any := s.cvg(D, valMsg{V: hasCross}, combineOr).(valMsg).V
+	dec := s.bcast(D, valMsg{V: any}).(valMsg).V
+	if dec == 0 {
+		return true
+	}
+
+	// Steps 2-3: out-edge selection (forest decomposition + heaviest edge
+	// in the deterministic variant; weighted random trials otherwise).
+	if s.opts.Variant == Randomized {
+		s.selectRandomized(D)
+	} else {
+		s.forestDecomposition(D)
+		s.selectHeaviest()
+	}
+	s.designate(D)
+
+	// Step 4: Cole–Vishkin 3-coloring of the selected pseudo-forest F_i.
+	s.colorPart(D)
+
+	// Steps 5-6: report child colors/weights across boundaries, then
+	// aggregate per-color incoming weights at each root.
+	s.reportChildren(D)
+	sums := s.collectColorSums(D)
+
+	// Step 7: marking (sub-step 2b of the merging step).
+	s.mark(D, sums)
+
+	// Steps 8-10: levels, even/odd weights, and the contraction decision
+	// cascaded over the marked trees T (height <= treeHeightBound).
+	s.computeLevels(D)
+	w0, w1 := s.aggregateParityWeights(D)
+	s.decideContraction(D, w0, w1)
+
+	// Step 11: contract.
+	s.contract(D)
+	return false
+}
+
+// forestDecomposition emulates the Barenboim–Elkin peeling on the
+// auxiliary graph G_i (§2.1.5). After it returns, the root knows the
+// part's oriented out-edges with weights, or has set s.rejected.
+func (s *state) forestDecomposition(D int) {
+	alpha := s.opts.Alpha
+	maxEntries := 3*alpha + 1
+	S := superRounds(s.api.N())
+
+	active := true           // part's auxiliary node is active
+	var watch []int64        // roots to resolve directions for
+	var outs []rootWeight    // resolved candidate out-edges
+	var pending []rootWeight // neighbors at inactivation time
+	resolved := false
+
+	nbrActive := make(map[int64]bool) // latest activity flag per adjacent part
+
+	for l := 0; l < S; l++ {
+		// (a) Status broadcast.
+		st := s.bcast(D, statusMsg{Active: active, Watch: watch}).(statusMsg)
+		// (b) Cross activity exchange.
+		sends := make(map[int]congest.Message)
+		for p, c := range s.cross {
+			if c {
+				sends[p] = activityMsg{Root: s.rootID, Active: st.Active}
+			}
+		}
+		in := s.crossRound(sends)
+		for _, m := range in {
+			am := m.Msg.(activityMsg)
+			nbrActive[am.Root] = am.Active
+		}
+		// (c) Convergecast of active neighbors and watch flags.
+		own := decompAgg{}
+		seen := make(map[int64]int64)
+		for p, c := range s.cross {
+			if c && nbrActive[s.nbrRoot[p]] {
+				seen[s.nbrRoot[p]]++
+			}
+		}
+		for r, w := range seen {
+			own.Entries = append(own.Entries, rootWeight{Root: r, Weight: w})
+		}
+		sort.Slice(own.Entries, func(a, b int) bool { return own.Entries[a].Root < own.Entries[b].Root })
+		for _, wr := range st.Watch {
+			if f, ok := nbrActive[wr]; ok {
+				own.Watch = append(own.Watch, rootFlag{Root: wr, Active: f})
+			}
+		}
+		agg := s.cvg(D, own, func(o congest.Message, ch []congest.Message) congest.Message {
+			return mergeDecomp(o.(decompAgg), ch, maxEntries)
+		}).(decompAgg)
+
+		if !s.tree.IsRoot() {
+			continue
+		}
+		// Root decision logic.
+		if active {
+			if !agg.TooMany && len(agg.Entries) <= 3*alpha {
+				active = false
+				pending = agg.Entries
+				watch = watch[:0]
+				for _, e := range pending {
+					watch = append(watch, e.Root)
+				}
+			}
+		} else if len(watch) > 0 {
+			// Resolve edge directions one super-round after inactivation.
+			flags := make(map[int64]bool, len(agg.Watch))
+			for _, wf := range agg.Watch {
+				flags[wf.Root] = wf.Active
+			}
+			for _, e := range pending {
+				if flags[e.Root] || s.rootID < e.Root {
+					// Neighbor outlived us, or tie broken by id: ours.
+					outs = append(outs, e)
+				}
+			}
+			watch = nil
+			resolved = true
+		}
+	}
+	if s.tree.IsRoot() {
+		if active {
+			// Evidence: the auxiliary graph has arboricity > alpha.
+			// Output immediately (a single reject decides the global
+			// verdict); the part stays in the schedule as an inert
+			// auxiliary node so that lockstep is preserved for runs that
+			// continue past the rejection.
+			s.rejected = true
+			s.api.Output(congest.VerdictReject)
+		} else if !resolved && len(watch) > 0 {
+			// Inactivated in the very last super-round; resolve
+			// conservatively by id order (neighbors' fates unknown, but
+			// S includes a spare resolution round so this is unreachable
+			// for successful runs).
+			for _, e := range pending {
+				if s.rootID < e.Root {
+					outs = append(outs, e)
+				}
+			}
+		}
+		s.storeOuts(outs)
+	}
+}
+
+// storeOuts records the chosen out-edge candidates at the root.
+func (s *state) storeOuts(outs []rootWeight) {
+	s.partHasOut = false
+	for _, e := range outs {
+		if !s.partHasOut || e.Weight > s.partWeight ||
+			(e.Weight == s.partWeight && e.Root < s.partTarget) {
+			s.partHasOut = true
+			s.partTarget = e.Root
+			s.partWeight = e.Weight
+		}
+	}
+}
+
+// selectHeaviest is a no-op beyond storeOuts (kept for symmetry with the
+// randomized variant; the heaviest edge is chosen in storeOuts).
+func (s *state) selectHeaviest() {}
+
+// designate implements the designated-edge machinery of §2.1.6: the root
+// announces the selected target part, the minimum-id node with an edge
+// into it becomes u^j, and u^j notifies its neighbor v^j across the edge.
+// Costs 3D+1+D rounds. Also resolves mutual selections (randomized
+// variant) by dropping the out-edge at the higher-id endpoint.
+func (s *state) designate(D int) {
+	sel := selMsg{HasOut: s.partHasOut, Target: s.partTarget, Weight: s.partWeight}
+	got := s.bcast(D, sel).(selMsg)
+
+	// Candidate convergecast: min id among nodes with an edge into the
+	// target part.
+	var own congest.Message = noneMsg{}
+	if got.HasOut {
+		for p, c := range s.cross {
+			if c && s.nbrRoot[p] == got.Target {
+				own = valMsg{V: s.api.ID()}
+				break
+			}
+		}
+	}
+	winner := s.cvg(D, own, combineMin)
+	var winMsg congest.Message = noneMsg{}
+	if s.tree.IsRoot() {
+		winMsg = winner
+	}
+	w := s.bcast(D, winMsg)
+	if v, ok := w.(valMsg); ok && got.HasOut && v.V == s.api.ID() {
+		s.isU = true
+		for p, c := range s.cross {
+			if c && s.nbrRoot[p] == got.Target {
+				s.uPort = p
+				break
+			}
+		}
+	}
+
+	// Cross notification: u^j -> v^j.
+	sends := make(map[int]congest.Message)
+	if s.isU {
+		sends[s.uPort] = fSelect{ChildRoot: s.rootID}
+	}
+	in := s.crossRound(sends)
+	for _, m := range in {
+		if _, ok := m.Msg.(fSelect); ok {
+			s.fChildPort[m.Port] = true
+			s.fChildWt[m.Port] = 0
+			s.fChildColor[m.Port] = 0
+		}
+	}
+
+	// Mutual-selection detection (randomized variant): did my target
+	// select me back? Aggregate an OR over nodes seeing a child notice
+	// from the target part.
+	mutual := int64(0)
+	for p := range s.fChildPort {
+		if got.HasOut && s.nbrRoot[p] == got.Target {
+			mutual = 1
+		}
+	}
+	m := s.cvg(D, valMsg{V: mutual}, combineOr).(valMsg).V
+	drop := int64(0)
+	if s.tree.IsRoot() && m == 1 && s.rootID > got.Target {
+		// Both endpoints selected the aux edge; it is oriented out of the
+		// lower id, so this part keeps only the child role.
+		s.partHasOut = false
+		s.partMutual = true
+		drop = 1
+	}
+	dropDec := s.bcast(D, valMsg{V: drop}).(valMsg).V
+	if dropDec == 1 && s.isU {
+		// Withdraw the designation: tell v^j to forget the child notice.
+		s.isU = false
+	}
+	sends = make(map[int]congest.Message)
+	if dropDec == 1 && s.uPort >= 0 {
+		sends[s.uPort] = edgeMarked{} // reused as "withdraw" marker
+	}
+	in = s.crossRound(sends)
+	for _, mm := range in {
+		if _, ok := mm.Msg.(edgeMarked); ok {
+			delete(s.fChildPort, mm.Port)
+			delete(s.fChildWt, mm.Port)
+			delete(s.fChildColor, mm.Port)
+		}
+	}
+
+	// Child-count aggregation for the coloring step.
+	kids := int64(len(s.fChildPort))
+	total := s.cvg(D, valMsg{V: kids}, combineSum).(valMsg).V
+	if s.tree.IsRoot() {
+		s.partHasKids = total > 0
+	}
+}
+
+// colorPart runs the distributed Cole–Vishkin 3-coloring of the selected
+// pseudo-forest, mirroring forest.ColorPseudoForest: CVIterations(n)
+// reduction steps, then three shift-down+recolor passes. Each step costs
+// one fFetch (2D+1 rounds). The final color (1..3 stored as 0..2) lives
+// at the root in s.partColor.
+func (s *state) colorPart(D int) {
+	if s.tree.IsRoot() {
+		s.partColor = s.rootID
+	}
+	iters := forest.CVIterations(int64(s.api.N()))
+	for k := 0; k < iters; k++ {
+		pc := s.fFetch(D, valMsg{V: s.partColor})
+		if s.tree.IsRoot() {
+			parent := forest.CVRootParent(s.partColor)
+			if v, ok := pc.(valMsg); ok && s.partHasOut {
+				parent = v.V
+			}
+			s.partColor = forest.CVStep(s.partColor, parent)
+		}
+	}
+	for _, drop := range []int64{5, 4, 3} {
+		// Shift down.
+		pc := s.fFetch(D, valMsg{V: s.partColor})
+		if s.tree.IsRoot() {
+			s.partPreShift = s.partColor
+			if v, ok := pc.(valMsg); ok && s.partHasOut {
+				s.partColor = v.V
+			} else if s.partColor == 0 {
+				s.partColor = 1
+			} else {
+				s.partColor = 0
+			}
+		}
+		// Recolor the dropped class.
+		pc = s.fFetch(D, valMsg{V: s.partColor})
+		if s.tree.IsRoot() && s.partColor == drop {
+			used := [6]bool{}
+			if v, ok := pc.(valMsg); ok && s.partHasOut {
+				used[v.V] = true
+			}
+			if s.partHasKids {
+				used[s.partPreShift] = true
+			}
+			for c := int64(0); c < 3; c++ {
+				if !used[c] {
+					s.partColor = c
+					break
+				}
+			}
+		}
+	}
+	if s.tree.IsRoot() {
+		s.partColor++ // colors 1..3
+	}
+}
+
+// reportChildren sends (color, weight) from each part through u^j to v^j.
+func (s *state) reportChildren(D int) {
+	rep := s.bcast(D, reportMsg{Color: s.partColor, Weight: s.partWeight}).(reportMsg)
+	sends := make(map[int]congest.Message)
+	if s.isU {
+		sends[s.uPort] = childReport{Color: rep.Color, Weight: rep.Weight}
+	}
+	for _, m := range s.crossRound(sends) {
+		if cr, ok := m.Msg.(childReport); ok && s.fChildPort[m.Port] {
+			s.fChildColor[m.Port] = cr.Color
+			s.fChildWt[m.Port] = cr.Weight
+		}
+	}
+}
+
+// collectColorSums aggregates, at each root, the total incoming aux-edge
+// weight per child color.
+func (s *state) collectColorSums(D int) colorSums {
+	own := colorSums{}
+	for p := range s.fChildPort {
+		c := s.fChildColor[p]
+		if c >= 1 && c <= 3 {
+			own.W[c] += s.fChildWt[p]
+		}
+	}
+	agg := s.cvg(D, own, func(o congest.Message, ch []congest.Message) congest.Message {
+		sum := o.(colorSums)
+		for _, c := range ch {
+			cc := c.(colorSums)
+			for i := 1; i <= 3; i++ {
+				sum.W[i] += cc.W[i]
+			}
+		}
+		return sum
+	}).(colorSums)
+	return agg
+}
+
+// mark applies the marking rules of sub-step 2b and distributes marked
+// status to both endpoints of every marked aux edge.
+func (s *state) mark(D int, sums colorSums) {
+	// The chi=2 rule needs the parent's color.
+	pc := s.fFetch(D, valMsg{V: s.partColor})
+	var decision markMsg
+	if s.tree.IsRoot() {
+		parentColor := int64(0)
+		if v, ok := pc.(valMsg); ok && s.partHasOut {
+			parentColor = v.V
+		}
+		switch s.partColor {
+		case 1:
+			if s.partHasOut && s.partWeight >= sums.W[1]+sums.W[2]+sums.W[3] {
+				decision.MarkOut = true
+			} else {
+				decision.InClass = markAllIn
+			}
+		case 2:
+			if s.partHasOut && parentColor == 3 && s.partWeight >= sums.W[3] {
+				decision.MarkOut = true
+			} else {
+				decision.InClass = 3
+			}
+		}
+	}
+	dec := s.bcast(D, decision).(markMsg)
+
+	// Cross notifications (both directions in one round).
+	sends := make(map[int]congest.Message)
+	if s.isU && dec.MarkOut {
+		sends[s.uPort] = edgeMarked{}
+	}
+	for p := range s.fChildPort {
+		if dec.InClass == markAllIn || int64(dec.InClass) == s.fChildColor[p] {
+			s.fChildMark[p] = true
+			sends[p] = edgeMarked{}
+		}
+	}
+	markedByParent := int64(0)
+	for _, m := range s.crossRound(sends) {
+		if _, ok := m.Msg.(edgeMarked); !ok {
+			continue
+		}
+		if s.isU && m.Port == s.uPort {
+			markedByParent = 1
+		} else if s.fChildPort[m.Port] {
+			s.fChildMark[m.Port] = true
+		}
+	}
+	byParent := s.cvg(D, valMsg{V: markedByParent}, combineOr).(valMsg).V
+	if s.tree.IsRoot() {
+		s.partOutMkd = dec.MarkOut || byParent == 1
+	}
+	// Every node needs to know whether its own out-edge is marked (u^j
+	// forwards level messages only along marked edges), and whether the
+	// part is in a marked tree at all.
+	hasMarkedKid := int64(0)
+	if len(s.markedChildPorts()) > 0 {
+		hasMarkedKid = 1
+	}
+	anyKid := s.cvg(D, valMsg{V: hasMarkedKid}, combineOr).(valMsg).V
+	outMkd := int64(0)
+	if s.tree.IsRoot() {
+		s.partInT = s.partOutMkd || anyKid == 1
+		if s.partOutMkd {
+			outMkd = 1
+		}
+	}
+	om := s.bcast(D, valMsg{V: outMkd}).(valMsg).V
+	// Mirror the out-marked bit to every node of the part: u^j consults it
+	// when deciding whether to forward T-tree traffic in the cascades.
+	s.partOutMkd = om == 1
+}
+
+func (s *state) markedChildPorts() []int {
+	var ps []int
+	for p, m := range s.fChildMark {
+		if m {
+			ps = append(ps, p)
+		}
+	}
+	sort.Ints(ps)
+	return ps
+}
+
+// computeLevels cascades levels down the marked trees T: the root of each
+// T (marked children but unmarked out-edge) is level 0.
+func (s *state) computeLevels(D int) {
+	if s.tree.IsRoot() && s.partInT && !s.partOutMkd {
+		s.partLevel = 0
+	}
+	for hop := 0; hop < treeHeightBound; hop++ {
+		var announce congest.Message = noneMsg{}
+		if s.tree.IsRoot() && s.partLevel == hop {
+			announce = valMsg{V: int64(s.partLevel)}
+		}
+		lvl := s.bcast(D, announce)
+		sends := make(map[int]congest.Message)
+		if v, ok := lvl.(valMsg); ok {
+			for _, p := range s.markedChildPorts() {
+				sends[p] = valMsg{V: v.V + 1}
+			}
+		}
+		var got congest.Message = noneMsg{}
+		for _, m := range s.crossRound(sends) {
+			if s.isU && m.Port == s.uPort && s.partOutMkd {
+				got = m.Msg
+			}
+		}
+		res := s.cvg(D, got, combineFirst)
+		if s.tree.IsRoot() && s.partLevel == -1 {
+			if v, ok := res.(valMsg); ok {
+				s.partLevel = int(v.V)
+			}
+		}
+	}
+}
+
+// aggregateParityWeights sums, at each T root, the total weight of even
+// edges (child at even level) and odd edges, level by level bottom-up.
+func (s *state) aggregateParityWeights(D int) (w0, w1 int64) {
+	// acc accumulates this part's subtree sums at the root.
+	var acc pairMsg
+	if s.tree.IsRoot() && s.partInT && s.partOutMkd && s.partLevel > 0 {
+		// Own contribution: the out-edge's weight in its parity class.
+		if s.partLevel%2 == 0 {
+			acc.A = s.partWeight
+		} else {
+			acc.B = s.partWeight
+		}
+	}
+	for hop := treeHeightBound; hop >= 1; hop-- {
+		var send congest.Message = noneMsg{}
+		if s.tree.IsRoot() && s.partLevel == hop && s.partOutMkd {
+			send = acc
+		}
+		down := s.bcast(D, send)
+		sends := make(map[int]congest.Message)
+		if p, ok := down.(pairMsg); ok && s.isU && s.partOutMkd {
+			sends[s.uPort] = p
+		}
+		own := pairMsg{}
+		for _, m := range s.crossRound(sends) {
+			if pm, ok := m.Msg.(pairMsg); ok && s.fChildMark[m.Port] {
+				own.A += pm.A
+				own.B += pm.B
+			}
+		}
+		sub := s.cvg(D, own, combinePairSum).(pairMsg)
+		if s.tree.IsRoot() {
+			acc.A += sub.A
+			acc.B += sub.B
+		}
+	}
+	if s.tree.IsRoot() && s.partInT && s.partLevel == 0 {
+		return acc.A, acc.B
+	}
+	return 0, 0
+}
+
+// decideContraction broadcasts the even/odd decision from each T root
+// down the marked tree; each part then knows whether its out-edge
+// contracts.
+func (s *state) decideContraction(D int, w0, w1 int64) {
+	parity := int64(-1)
+	if s.tree.IsRoot() && s.partInT && s.partLevel == 0 {
+		if w0 >= w1 {
+			parity = 0
+		} else {
+			parity = 1
+		}
+	}
+	for hop := 0; hop < treeHeightBound; hop++ {
+		var announce congest.Message = noneMsg{}
+		if s.tree.IsRoot() && s.partLevel == hop && parity >= 0 {
+			announce = valMsg{V: parity}
+		}
+		par := s.bcast(D, announce)
+		sends := make(map[int]congest.Message)
+		if v, ok := par.(valMsg); ok {
+			for _, p := range s.markedChildPorts() {
+				sends[p] = v
+			}
+		}
+		var got congest.Message = noneMsg{}
+		for _, m := range s.crossRound(sends) {
+			if s.isU && m.Port == s.uPort && s.partOutMkd {
+				got = m.Msg
+			}
+		}
+		res := s.cvg(D, got, combineFirst)
+		if s.tree.IsRoot() && parity == -1 {
+			if v, ok := res.(valMsg); ok {
+				parity = v.V
+			}
+		}
+	}
+	if s.tree.IsRoot() && s.partInT && s.partOutMkd && s.partLevel > 0 && parity >= 0 {
+		even := s.partLevel%2 == 0
+		s.partContract = (even && parity == 0) || (!even && parity == 1)
+	}
+}
+
+// contract merges each contracting part into its F-parent: all nodes
+// adopt the parent's root id, the path from u^j to the old root flips
+// orientation (Lemma 6), and u^j attaches under v^j.
+func (s *state) contract(D int) {
+	var ann congest.Message = noneMsg{}
+	if s.tree.IsRoot() && s.partContract {
+		ann = valMsg{V: s.partTarget}
+	}
+	dec := s.bcast(D, ann)
+	newRoot, merging := int64(0), false
+	if v, ok := dec.(valMsg); ok {
+		newRoot, merging = v.V, true
+	}
+
+	// Path flip: u^j starts; each node on the old root path reverses its
+	// parent pointer. Budget D rounds.
+	deadline := s.api.Round() + D
+	if merging && s.isU {
+		oldParent := s.tree.ParentPort
+		s.tree.ParentPort = s.uPort
+		if oldParent >= 0 {
+			s.api.Send(oldParent, flipMsg{})
+			s.tree.ChildPorts = append(s.tree.ChildPorts, oldParent)
+			sort.Ints(s.tree.ChildPorts)
+		}
+	}
+	flipped := merging && s.isU
+	for s.api.Round() < deadline {
+		inbox := s.api.SleepUntil(deadline)
+		for _, m := range inbox {
+			if _, ok := m.Msg.(flipMsg); !ok {
+				panic("partition: unexpected message during flip")
+			}
+			if flipped {
+				panic("partition: node flipped twice")
+			}
+			flipped = true
+			oldParent := s.tree.ParentPort
+			// The sender (a former child) becomes the parent.
+			s.tree.ParentPort = m.Port
+			removePort(&s.tree.ChildPorts, m.Port)
+			if oldParent >= 0 {
+				s.api.Send(oldParent, flipMsg{})
+				s.tree.ChildPorts = append(s.tree.ChildPorts, oldParent)
+				sort.Ints(s.tree.ChildPorts)
+			}
+		}
+	}
+
+	// Attach round: u^j tells v^j it is now a tree child.
+	sends := make(map[int]congest.Message)
+	if merging && s.isU {
+		sends[s.uPort] = attachMsg{}
+	}
+	for _, m := range s.crossRound(sends) {
+		if _, ok := m.Msg.(attachMsg); ok {
+			s.tree.ChildPorts = append(s.tree.ChildPorts, m.Port)
+			sort.Ints(s.tree.ChildPorts)
+		}
+	}
+	if merging {
+		s.rootID = newRoot
+	}
+}
+
+func removePort(ports *[]int, p int) {
+	out := (*ports)[:0]
+	for _, q := range *ports {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	*ports = out
+}

@@ -1,0 +1,209 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+)
+
+// state is the per-node Stage I execution state. All nodes of all parts
+// run the same schedule in lockstep; fields prefixed "part" are only
+// meaningful at the part root, which acts for the auxiliary node v(P).
+type state struct {
+	api  *congest.API
+	opts Options
+
+	rootID int64
+	tree   congest.Tree
+
+	rejected bool
+
+	// Per-phase boundary structure.
+	nbrRoot []int64 // per port: neighbor's part root this phase
+	cross   []bool  // per port: crosses a part boundary
+
+	// Designated-edge structure (per phase).
+	isU         bool          // this node is u^j, in charge of the out-edge
+	uPort       int           // u^j's port to v^j
+	fChildPort  map[int]bool  // ports where an F-child's u^j sits
+	fChildColor map[int]int64 // port -> child color (after report)
+	fChildWt    map[int]int64 // port -> aux edge weight
+	fChildMark  map[int]bool  // port -> marked aux edge
+
+	// Root-only part attributes.
+	partHasOut   bool
+	partTarget   int64 // F-parent part root
+	partWeight   int64 // weight of the selected out-edge
+	partMutual   bool  // randomized: both endpoints selected this edge
+	partColor    int64
+	partPreShift int64
+	partHasKids  bool
+	partOutMkd   bool // out-edge marked (by either endpoint)
+	partInT      bool
+	partLevel    int // level in the marked tree T; -1 unknown
+	partContract bool
+}
+
+// treeHeightBound is the height bound of the marked subtrees T (the paper
+// cites height <= 10 from Czygrinow et al.); we use a small safety margin.
+const treeHeightBound = 12
+
+func newState(api *congest.API, opts Options) *state {
+	return &state{
+		api:    api,
+		opts:   opts,
+		rootID: api.ID(),
+		tree:   congest.Tree{ParentPort: -1},
+	}
+}
+
+func (s *state) resetPhase() {
+	deg := s.api.Degree()
+	s.nbrRoot = make([]int64, deg)
+	s.cross = make([]bool, deg)
+	s.isU = false
+	s.uPort = -1
+	s.fChildPort = make(map[int]bool)
+	s.fChildColor = make(map[int]int64)
+	s.fChildWt = make(map[int]int64)
+	s.fChildMark = make(map[int]bool)
+	s.partHasOut = false
+	s.partTarget = 0
+	s.partWeight = 0
+	s.partMutual = false
+	s.partColor = 0
+	s.partPreShift = 0
+	s.partHasKids = false
+	s.partOutMkd = false
+	s.partInT = false
+	s.partLevel = -1
+	s.partContract = false
+}
+
+// bcast runs a part-level broadcast with budget D; the root supplies msg.
+// Returns the received message (the root's own msg at the root).
+func (s *state) bcast(D int, msg congest.Message) congest.Message {
+	deadline := s.api.Round() + D
+	var rootMsg congest.Message
+	if s.tree.IsRoot() {
+		rootMsg = msg
+	}
+	got, ok := s.tree.BroadcastDown(s.api, deadline, rootMsg, nil)
+	if !ok {
+		panic(fmt.Sprintf("partition: broadcast under-budgeted (node %d, D=%d)", s.api.Index(), D))
+	}
+	return got
+}
+
+// cvg runs a part-level convergecast with budget D.
+func (s *state) cvg(D int, own congest.Message, combine func(own congest.Message, children []congest.Message) congest.Message) congest.Message {
+	deadline := s.api.Round() + D
+	agg, ok := s.tree.Convergecast(s.api, deadline, own, combine)
+	if !ok {
+		panic(fmt.Sprintf("partition: convergecast under-budgeted (node %d, D=%d)", s.api.Index(), D))
+	}
+	return agg
+}
+
+// crossRound performs one global round in which every node sends the
+// per-port messages in sends (may be nil) and returns what it received.
+func (s *state) crossRound(sends map[int]congest.Message) []congest.Inbound {
+	ports := make([]int, 0, len(sends))
+	for p := range sends {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	for _, p := range ports {
+		s.api.Send(p, sends[p])
+	}
+	return s.api.NextRound()
+}
+
+// combineFirst picks the first non-none contribution (used when exactly
+// one node of the part holds the value, e.g. u^j).
+func combineFirst(own congest.Message, children []congest.Message) congest.Message {
+	if _, none := own.(noneMsg); !none {
+		return own
+	}
+	for _, c := range children {
+		if _, none := c.(noneMsg); !none {
+			return c
+		}
+	}
+	return noneMsg{}
+}
+
+// combineSum adds valMsg contributions.
+func combineSum(own congest.Message, children []congest.Message) congest.Message {
+	s := own.(valMsg).V
+	for _, c := range children {
+		s += c.(valMsg).V
+	}
+	return valMsg{V: s}
+}
+
+// combineMin keeps the minimum valMsg, treating noneMsg as +inf.
+func combineMin(own congest.Message, children []congest.Message) congest.Message {
+	best, ok := int64(0), false
+	if v, isVal := own.(valMsg); isVal {
+		best, ok = v.V, true
+	}
+	for _, c := range children {
+		if v, isVal := c.(valMsg); isVal {
+			if !ok || v.V < best {
+				best, ok = v.V, true
+			}
+		}
+	}
+	if !ok {
+		return noneMsg{}
+	}
+	return valMsg{V: best}
+}
+
+// combineOr ORs boolean valMsg contributions (0/1).
+func combineOr(own congest.Message, children []congest.Message) congest.Message {
+	v := own.(valMsg).V
+	for _, c := range children {
+		if c.(valMsg).V != 0 {
+			v = 1
+		}
+	}
+	if v != 0 {
+		v = 1
+	}
+	return valMsg{V: v}
+}
+
+// combinePairSum adds pairMsg contributions componentwise.
+func combinePairSum(own congest.Message, children []congest.Message) congest.Message {
+	p := own.(pairMsg)
+	for _, c := range children {
+		q := c.(pairMsg)
+		p.A += q.A
+		p.B += q.B
+	}
+	return p
+}
+
+// fFetch retrieves a part-level value from the F-parent part: every part
+// broadcasts its own value; every node forwards it across F-child ports;
+// the designated node u^j convergecasts what it received from v^j. At the
+// root, the result is the parent part's value, or noneMsg when the part
+// has no F-parent. Costs 2D+1 rounds.
+func (s *state) fFetch(D int, ownVal congest.Message) congest.Message {
+	got := s.bcast(D, ownVal)
+	sends := make(map[int]congest.Message)
+	for p := range s.fChildPort {
+		sends[p] = got
+	}
+	in := s.crossRound(sends)
+	var fromParent congest.Message = noneMsg{}
+	for _, m := range in {
+		if s.isU && m.Port == s.uPort {
+			fromParent = m.Msg
+		}
+	}
+	return s.cvg(D, fromParent, combineFirst)
+}

@@ -1,0 +1,118 @@
+package planar
+
+import (
+	"repro/internal/graph"
+)
+
+// BruteForcePlanar decides planarity by exhaustive search over rotation
+// systems: a connected graph is planar iff some rotation system achieves
+// the Euler face count. It is exponential and exists purely to
+// cross-validate the left-right algorithm on tiny graphs in tests.
+//
+// The second return value is false when the search space exceeds maxWork
+// rotation systems (use IsPlanar instead).
+func BruteForcePlanar(g *graph.Graph, maxWork int64) (planar, ok bool) {
+	// The search space is the product over nodes of (deg-1)!.
+	work := int64(1)
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		for k := 2; k < d; k++ {
+			work *= int64(k)
+			if work > maxWork {
+				return false, false
+			}
+		}
+	}
+	_, c := g.Components()
+	isolated := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			isolated++
+		}
+	}
+	wantFaces := 2*c - g.N() + g.M() - isolated
+
+	// rotations[v] is a permutation of v's neighbors; the first neighbor
+	// is pinned (rotations are circular) so we permute positions 1..d-1.
+	rot := make([][]int32, g.N())
+	for v := range rot {
+		rot[v] = append([]int32(nil), g.Neighbors(v)...)
+	}
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.N() {
+			e := NewEmbeddingFromRotations(rot)
+			return e.CountFaces() == wantFaces
+		}
+		if len(rot[v]) <= 2 {
+			return rec(v + 1) // at most one circular order
+		}
+		// Heap-style permutation of rot[v][1:].
+		var perm func(k int) bool
+		perm = func(k int) bool {
+			if k == len(rot[v]) {
+				return rec(v + 1)
+			}
+			for i := k; i < len(rot[v]); i++ {
+				rot[v][k], rot[v][i] = rot[v][i], rot[v][k]
+				if perm(k + 1) {
+					return true
+				}
+				rot[v][k], rot[v][i] = rot[v][i], rot[v][k]
+			}
+			return false
+		}
+		return perm(1)
+	}
+	return rec(0), true
+}
+
+// Genus returns the minimum genus over all rotation systems of a connected
+// graph, by brute force (2 - n + m - f_max)/2. Only for tiny test graphs;
+// the bool is false when the search exceeds maxWork.
+func Genus(g *graph.Graph, maxWork int64) (int, bool) {
+	work := int64(1)
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		for k := 2; k < d; k++ {
+			work *= int64(k)
+			if work > maxWork {
+				return 0, false
+			}
+		}
+	}
+	rot := make([][]int32, g.N())
+	for v := range rot {
+		rot[v] = append([]int32(nil), g.Neighbors(v)...)
+	}
+	best := -1
+	var rec func(v int)
+	rec = func(v int) {
+		if v == g.N() {
+			if f := NewEmbeddingFromRotations(rot).CountFaces(); f > best {
+				best = f
+			}
+			return
+		}
+		if len(rot[v]) <= 2 {
+			rec(v + 1)
+			return
+		}
+		var perm func(k int)
+		perm = func(k int) {
+			if k == len(rot[v]) {
+				rec(v + 1)
+				return
+			}
+			for i := k; i < len(rot[v]); i++ {
+				rot[v][k], rot[v][i] = rot[v][i], rot[v][k]
+				perm(k + 1)
+				rot[v][k], rot[v][i] = rot[v][i], rot[v][k]
+			}
+		}
+		perm(1)
+	}
+	rec(0)
+	genus := (2 - g.N() + g.M() - best) / 2
+	return genus, true
+}

@@ -1,0 +1,217 @@
+// Package planar implements planarity testing and combinatorial (rotation
+// system) embeddings of simple undirected graphs.
+//
+// The main entry points are IsPlanar and Embed, which run the left-right
+// planarity algorithm (de Fraysseix, Ossona de Mendez, Rosenstiehl; in the
+// formulation of Brandes' "The left-right planarity test"). Embed produces
+// a combinatorial embedding: a clockwise circular ordering of the edges
+// around every node such that some planar drawing realizes all orderings.
+//
+// In the reproduction this package substitutes for the distributed planar
+// embedding algorithm of Ghaffari and Haeupler (PODC 2016) used as a black
+// box by Stage II of the paper; see DESIGN.md §3 for why the substitution
+// preserves the tester's behaviour.
+package planar
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Embedding is a combinatorial embedding: for every node, a circular
+// clockwise ordering of its incident half-edges. Half-edge (v,w) is the
+// occurrence of edge {v,w} in v's rotation.
+type Embedding struct {
+	n        int
+	cwNext   []map[int32]int32 // cwNext[v][w]: neighbor following w clockwise around v
+	ccwNext  []map[int32]int32
+	firstNbr []int32 // entry point of v's rotation; -1 when v has no edges
+}
+
+// NewEmbedding returns an embedding over n nodes with all rotations empty.
+func NewEmbedding(n int) *Embedding {
+	e := &Embedding{
+		n:        n,
+		cwNext:   make([]map[int32]int32, n),
+		ccwNext:  make([]map[int32]int32, n),
+		firstNbr: make([]int32, n),
+	}
+	for v := range e.firstNbr {
+		e.firstNbr[v] = -1
+		e.cwNext[v] = make(map[int32]int32)
+		e.ccwNext[v] = make(map[int32]int32)
+	}
+	return e
+}
+
+// NewEmbeddingFromRotations builds an Embedding from explicit clockwise
+// rotations (one slice of neighbors per node, in clockwise order).
+func NewEmbeddingFromRotations(rot [][]int32) *Embedding {
+	e := NewEmbedding(len(rot))
+	for v, nbrs := range rot {
+		prev := int32(-1)
+		for _, w := range nbrs {
+			e.AddHalfEdgeCW(int32(v), w, prev)
+			prev = w
+		}
+	}
+	return e
+}
+
+// N returns the number of nodes.
+func (e *Embedding) N() int { return e.n }
+
+// Degree returns the number of half-edges at v.
+func (e *Embedding) Degree(v int) int { return len(e.cwNext[v]) }
+
+// AddHalfEdgeCW inserts half-edge (start,end) immediately clockwise after
+// ref in start's rotation. Pass ref = -1 when start has no edges yet.
+func (e *Embedding) AddHalfEdgeCW(start, end, ref int32) {
+	if ref < 0 {
+		if len(e.cwNext[start]) != 0 {
+			panic(fmt.Sprintf("planar: nil ref with non-empty rotation at %d", start))
+		}
+		e.cwNext[start][end] = end
+		e.ccwNext[start][end] = end
+		e.firstNbr[start] = end
+		return
+	}
+	after := e.cwNext[start][ref]
+	e.cwNext[start][ref] = end
+	e.cwNext[start][end] = after
+	e.ccwNext[start][after] = end
+	e.ccwNext[start][end] = ref
+}
+
+// AddHalfEdgeCCW inserts half-edge (start,end) immediately counterclockwise
+// before ref in start's rotation. Pass ref = -1 when start has no edges.
+func (e *Embedding) AddHalfEdgeCCW(start, end, ref int32) {
+	if ref < 0 {
+		e.AddHalfEdgeCW(start, end, -1)
+		return
+	}
+	e.AddHalfEdgeCW(start, end, e.ccwNext[start][ref])
+	if e.firstNbr[start] == ref {
+		e.firstNbr[start] = end
+	}
+}
+
+// AddHalfEdgeFirst inserts half-edge (start,end) as the new first entry of
+// start's rotation.
+func (e *Embedding) AddHalfEdgeFirst(start, end int32) {
+	e.AddHalfEdgeCCW(start, end, e.firstNbr[start])
+}
+
+// Rotation returns the clockwise rotation around v, starting at the first
+// neighbor. The slice is freshly allocated.
+func (e *Embedding) Rotation(v int) []int32 {
+	if e.firstNbr[v] < 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(e.cwNext[v]))
+	start := e.firstNbr[v]
+	w := start
+	for {
+		out = append(out, w)
+		w = e.cwNext[v][w]
+		if w == start {
+			break
+		}
+		if len(out) > len(e.cwNext[v]) {
+			panic(fmt.Sprintf("planar: rotation at %d is not a single cycle", v))
+		}
+	}
+	return out
+}
+
+// CWNext returns the neighbor following w clockwise around v.
+func (e *Embedding) CWNext(v, w int32) int32 { return e.cwNext[v][w] }
+
+// CCWNext returns the neighbor preceding w (counterclockwise) around v.
+func (e *Embedding) CCWNext(v, w int32) int32 { return e.ccwNext[v][w] }
+
+// HasHalfEdge reports whether (v,w) is present.
+func (e *Embedding) HasHalfEdge(v, w int32) bool {
+	_, ok := e.cwNext[v][w]
+	return ok
+}
+
+// CountFaces traces all faces of the embedding and returns their number.
+// The face containing half-edge (v,w) on its left is traced by repeatedly
+// moving to (w, ccw_w(v)).
+func (e *Embedding) CountFaces() int {
+	seen := make(map[[2]int32]bool)
+	faces := 0
+	for v := 0; v < e.n; v++ {
+		for w := range e.cwNext[v] {
+			he := [2]int32{int32(v), w}
+			if seen[he] {
+				continue
+			}
+			faces++
+			cv, cw := int32(v), w
+			for !seen[[2]int32{cv, cw}] {
+				seen[[2]int32{cv, cw}] = true
+				cv, cw = cw, e.ccwNext[cw][cv]
+			}
+		}
+	}
+	return faces
+}
+
+// FaceOf returns the node cycle of the face to the left of half-edge (v,w).
+func (e *Embedding) FaceOf(v, w int32) []int32 {
+	var face []int32
+	cv, cw := v, w
+	for {
+		face = append(face, cv)
+		cv, cw = cw, e.ccwNext[cw][cv]
+		if cv == v && cw == w {
+			return face
+		}
+		if len(face) > 4*e.n*e.n+4 {
+			panic("planar: face traversal does not terminate")
+		}
+	}
+}
+
+// Validate checks that e is a well-formed combinatorial embedding of g
+// (every rotation is a single cycle through exactly g's neighbors) and that
+// it is planar by Euler's formula: the number of traced faces must equal
+// 2c - n + m + isolated-vertex deficit, where c is the number of connected
+// components of g. Returns nil when e is a planar embedding of g.
+func (e *Embedding) Validate(g *graph.Graph) error {
+	if g.N() != e.n {
+		return fmt.Errorf("planar: embedding has %d nodes, graph has %d", e.n, g.N())
+	}
+	for v := 0; v < e.n; v++ {
+		rot := e.Rotation(v)
+		if len(rot) != g.Degree(v) {
+			return fmt.Errorf("planar: rotation at %d has %d entries, degree is %d", v, len(rot), g.Degree(v))
+		}
+		seen := make(map[int32]bool, len(rot))
+		for _, w := range rot {
+			if seen[w] {
+				return fmt.Errorf("planar: duplicate neighbor %d in rotation at %d", w, v)
+			}
+			seen[w] = true
+			if !g.HasEdge(v, int(w)) {
+				return fmt.Errorf("planar: rotation at %d contains non-edge to %d", v, w)
+			}
+		}
+	}
+	_, c := g.Components()
+	isolated := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			isolated++
+		}
+	}
+	want := 2*c - g.N() + g.M() - isolated
+	if got := e.CountFaces(); got != want {
+		return fmt.Errorf("planar: embedding has %d faces, planarity requires %d (n=%d m=%d c=%d)",
+			got, want, g.N(), g.M(), c)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package planar
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// FallbackMode selects what EmbedOrFallback does on non-planar input.
+// The paper's Stage II must handle the case where the promise-based
+// embedding algorithm of Ghaffari–Haeupler "determines an ordering though
+// G^j is not planar" (§2.2); these modes emulate that behaviour.
+type FallbackMode int
+
+const (
+	// FallbackArbitrary returns the sorted-adjacency rotation system —
+	// the cheapest "some ordering" a failed embedding could leave behind.
+	FallbackArbitrary FallbackMode = iota + 1
+	// FallbackMaxPlanarSubgraph greedily embeds a maximal planar subgraph
+	// and splices the remaining edges into the rotations. This is the
+	// adversarially hard case for Stage II: the ordering is planar except
+	// for the few leftover edges.
+	FallbackMaxPlanarSubgraph
+)
+
+// EmbedResult is the outcome of EmbedOrFallback.
+type EmbedResult struct {
+	Embedding *Embedding
+	// Planar reports whether the input was planar (and hence Embedding is
+	// a genuine planar embedding).
+	Planar bool
+	// SplicedEdges lists the edges that were inserted arbitrarily into the
+	// rotation system by FallbackMaxPlanarSubgraph (nil otherwise).
+	SplicedEdges []graph.Edge
+}
+
+// EmbedOrFallback computes a planar embedding of g when g is planar; for
+// non-planar g it returns orderings per the chosen fallback mode, matching
+// the paper's model of a promise-based embedding step that silently
+// produces an ordering on non-planar input.
+func EmbedOrFallback(g *graph.Graph, mode FallbackMode) *EmbedResult {
+	if emb, err := Embed(g); err == nil {
+		return &EmbedResult{Embedding: emb, Planar: true}
+	}
+	switch mode {
+	case FallbackMaxPlanarSubgraph:
+		kept, spliced := maxPlanarSubgraph(g)
+		emb, err := Embed(kept)
+		if err != nil {
+			// Cannot happen: kept is planar by construction.
+			panic("planar: maximal planar subgraph is not planar: " + err.Error())
+		}
+		full := spliceEdges(g, kept, emb, spliced)
+		return &EmbedResult{Embedding: full, Planar: false, SplicedEdges: spliced}
+	default:
+		rot := make([][]int32, g.N())
+		for v := range rot {
+			rot[v] = append([]int32(nil), g.Neighbors(v)...)
+		}
+		return &EmbedResult{Embedding: NewEmbeddingFromRotations(rot), Planar: false}
+	}
+}
+
+// maxPlanarSubgraph greedily selects a maximal planar subgraph of g:
+// a spanning forest first (always planar), then each remaining edge if the
+// running subgraph stays planar. Returns the subgraph and skipped edges.
+func maxPlanarSubgraph(g *graph.Graph) (*graph.Graph, []graph.Edge) {
+	// Spanning forest via BFS from every component.
+	inForest := make(map[graph.Edge]bool)
+	seen := make([]bool, g.N())
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		res := g.BFS(s)
+		for _, v := range res.Order {
+			seen[v] = true
+			if res.Parent[v] >= 0 {
+				inForest[graph.NormEdge(v, res.Parent[v])] = true
+			}
+		}
+	}
+	kept := make([]graph.Edge, 0, g.M())
+	var rest []graph.Edge
+	for _, e := range g.Edges() {
+		if inForest[e] {
+			kept = append(kept, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	// Deterministic order for the greedy pass.
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].U != rest[j].U {
+			return rest[i].U < rest[j].U
+		}
+		return rest[i].V < rest[j].V
+	})
+	var skipped []graph.Edge
+	build := func(es []graph.Edge) *graph.Graph {
+		b := graph.NewBuilder(g.N())
+		for _, e := range es {
+			b.AddEdge(int(e.U), int(e.V))
+		}
+		return b.Build()
+	}
+	cur := build(kept)
+	for _, e := range rest {
+		cand := cur.AddEdges([]graph.Edge{e})
+		if IsPlanar(cand) {
+			cur = cand
+			kept = append(kept, e)
+		} else {
+			skipped = append(skipped, e)
+		}
+	}
+	return cur, skipped
+}
+
+// spliceEdges inserts the skipped edges of the fallback into emb's
+// rotations (after the current first neighbor), producing an ordering for
+// all of g's edges. The result is generally NOT a planar embedding.
+func spliceEdges(g *graph.Graph, kept *graph.Graph, emb *Embedding, spliced []graph.Edge) *Embedding {
+	rot := make([][]int32, g.N())
+	for v := range rot {
+		rot[v] = emb.Rotation(v)
+	}
+	for _, e := range spliced {
+		rot[e.U] = append(rot[e.U], e.V)
+		rot[e.V] = append(rot[e.V], e.U)
+	}
+	return NewEmbeddingFromRotations(rot)
+}

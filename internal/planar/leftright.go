@@ -1,0 +1,534 @@
+package planar
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrNotPlanar is returned by Embed when the input graph is not planar.
+var ErrNotPlanar = errors.New("planar: graph is not planar")
+
+// IsPlanar reports whether g is planar, using the left-right algorithm.
+func IsPlanar(g *graph.Graph) bool {
+	st := newLRState(g)
+	return st.run()
+}
+
+// Embed returns a combinatorial planar embedding of g, or ErrNotPlanar.
+func Embed(g *graph.Graph) (*Embedding, error) {
+	st := newLRState(g)
+	if !st.run() {
+		return nil, ErrNotPlanar
+	}
+	return st.embed(), nil
+}
+
+// dedge is a directed edge key.
+type dedge struct{ u, v int32 }
+
+func (e dedge) reversed() dedge { return dedge{e.v, e.u} }
+
+// interval is a range of back edges on one side of a conflict pair,
+// identified by its extremal edges. The zero interval is empty.
+type interval struct {
+	low, high dedge
+	lowSet    bool
+	highSet   bool
+}
+
+func (i interval) empty() bool { return !i.lowSet && !i.highSet }
+
+// conflictPair groups the return edges of a subtree into a left and a
+// right interval.
+type conflictPair struct {
+	l, r interval
+}
+
+func (p *conflictPair) swap() { p.l, p.r = p.r, p.l }
+
+const noHeight = -1
+
+// lrState carries the per-run state of the left-right algorithm.
+type lrState struct {
+	g     *graph.Graph
+	roots []int32
+
+	height     []int
+	parentEdge []dedge
+	hasParent  []bool
+
+	// Per directed (oriented) edge attributes.
+	lowpt, lowpt2, nesting map[dedge]int
+	orientedAdj            [][]int32 // outgoing neighbors after orientation
+	orderedAdj             [][]int32 // outgoing neighbors sorted by nesting depth
+
+	ref  map[dedge]dedge
+	side map[dedge]int
+
+	s           []*conflictPair
+	stackBottom map[dedge]*conflictPair
+	lowptEdge   map[dedge]dedge
+}
+
+func newLRState(g *graph.Graph) *lrState {
+	n := g.N()
+	st := &lrState{
+		g:           g,
+		height:      make([]int, n),
+		parentEdge:  make([]dedge, n),
+		hasParent:   make([]bool, n),
+		lowpt:       make(map[dedge]int, g.M()),
+		lowpt2:      make(map[dedge]int, g.M()),
+		nesting:     make(map[dedge]int, g.M()),
+		orientedAdj: make([][]int32, n),
+		orderedAdj:  make([][]int32, n),
+		ref:         make(map[dedge]dedge),
+		side:        make(map[dedge]int, g.M()),
+		stackBottom: make(map[dedge]*conflictPair),
+		lowptEdge:   make(map[dedge]dedge),
+	}
+	for v := range st.height {
+		st.height[v] = noHeight
+	}
+	return st
+}
+
+// run executes orientation plus the testing phase; it reports planarity.
+func (st *lrState) run() bool {
+	// Quick Euler-formula rejection.
+	if st.g.N() >= 3 && st.g.M() > 3*st.g.N()-6 {
+		return false
+	}
+	// Phase 1: orientation (iterative DFS).
+	for v := 0; v < st.g.N(); v++ {
+		if st.height[v] == noHeight {
+			st.height[v] = 0
+			st.roots = append(st.roots, int32(v))
+			st.dfsOrientation(int32(v))
+		}
+	}
+	// Sort adjacency lists by nesting depth (ties by neighbor id for
+	// determinism).
+	for v := 0; v < st.g.N(); v++ {
+		adj := st.orientedAdj[v]
+		sort.SliceStable(adj, func(i, j int) bool {
+			di := st.nesting[dedge{int32(v), adj[i]}]
+			dj := st.nesting[dedge{int32(v), adj[j]}]
+			if di != dj {
+				return di < dj
+			}
+			return adj[i] < adj[j]
+		})
+		st.orderedAdj[v] = adj
+	}
+	// Phase 2: testing.
+	for _, r := range st.roots {
+		if !st.dfsTesting(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// dfsOrientation orients edges from v, computing lowpt/lowpt2/nesting.
+func (st *lrState) dfsOrientation(root int32) {
+	type frame struct {
+		v   int32
+		idx int
+	}
+	oriented := make(map[dedge]bool)
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.v
+		nbrs := st.g.Neighbors(int(v))
+		if f.idx >= len(nbrs) {
+			stack = stack[:len(stack)-1]
+			// Propagate this tree edge's lowpts into its parent edge,
+			// which was deferred until the subtree finished.
+			if st.hasParent[v] {
+				vw := st.parentEdge[v]
+				st.finishEdge(vw)
+			}
+			continue
+		}
+		w := nbrs[f.idx]
+		f.idx++
+		vw := dedge{v, w}
+		if oriented[vw] || oriented[vw.reversed()] {
+			continue
+		}
+		oriented[vw] = true
+		st.orientedAdj[v] = append(st.orientedAdj[v], w)
+		st.lowpt[vw] = st.height[v]
+		st.lowpt2[vw] = st.height[v]
+		if st.height[w] == noHeight { // tree edge
+			st.parentEdge[w] = vw
+			st.hasParent[w] = true
+			st.height[w] = st.height[v] + 1
+			stack = append(stack, frame{w, 0})
+			// finishEdge(vw) runs when w's frame pops.
+		} else { // back edge
+			st.lowpt[vw] = st.height[w]
+			st.finishEdge(vw)
+		}
+	}
+}
+
+// finishEdge computes nesting depth of vw and folds its lowpts into the
+// parent edge of its source.
+func (st *lrState) finishEdge(vw dedge) {
+	v := vw.u
+	st.nesting[vw] = 2 * st.lowpt[vw]
+	if st.lowpt2[vw] < st.height[v] { // chordal: needs the +1 penalty
+		st.nesting[vw]++
+	}
+	if !st.hasParent[v] {
+		return
+	}
+	e := st.parentEdge[v]
+	if st.lowpt[vw] < st.lowpt[e] {
+		st.lowpt2[e] = min(st.lowpt[e], st.lowpt2[vw])
+		st.lowpt[e] = st.lowpt[vw]
+	} else if st.lowpt[vw] > st.lowpt[e] {
+		st.lowpt2[e] = min(st.lowpt2[e], st.lowpt[vw])
+	} else {
+		st.lowpt2[e] = min(st.lowpt2[e], st.lowpt2[vw])
+	}
+}
+
+func (st *lrState) top() *conflictPair {
+	if len(st.s) == 0 {
+		return nil
+	}
+	return st.s[len(st.s)-1]
+}
+
+func (st *lrState) pop() *conflictPair {
+	p := st.s[len(st.s)-1]
+	st.s = st.s[:len(st.s)-1]
+	return p
+}
+
+// lowest returns the lowest lowpoint of a conflict pair.
+func (st *lrState) lowest(p *conflictPair) int {
+	if p.l.empty() && p.r.empty() {
+		panic("planar: empty conflict pair on stack")
+	}
+	if p.l.empty() {
+		return st.lowpt[p.r.low]
+	}
+	if p.r.empty() {
+		return st.lowpt[p.l.low]
+	}
+	return min(st.lowpt[p.l.low], st.lowpt[p.r.low])
+}
+
+// conflicting reports whether interval i conflicts with edge b.
+func (st *lrState) conflicting(i interval, b dedge) bool {
+	return !i.empty() && st.lowpt[i.high] > st.lowpt[b]
+}
+
+// dfsTesting is the testing phase; false means non-planar.
+func (st *lrState) dfsTesting(root int32) bool {
+	type frame struct {
+		v   int32
+		idx int
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.v
+		adj := st.orderedAdj[v]
+		if f.idx < len(adj) {
+			w := adj[f.idx]
+			f.idx++
+			ei := dedge{v, w}
+			st.stackBottom[ei] = st.top()
+			if st.hasParent[w] && st.parentEdge[w] == ei { // tree edge
+				stack = append(stack, frame{w, 0})
+				continue // the post-processing for ei happens on pop of w
+			}
+			// back edge
+			st.lowptEdge[ei] = ei
+			st.s = append(st.s, &conflictPair{r: interval{low: ei, high: ei, lowSet: true, highSet: true}})
+			if !st.integrateNewReturnEdges(v, ei) {
+				return false
+			}
+			continue
+		}
+		// All children processed: run the tail for v, then pop.
+		stack = stack[:len(stack)-1]
+		if st.hasParent[v] {
+			e := st.parentEdge[v]
+			u := e.u
+			st.removeBackEdges(e, u)
+			// After returning into u's frame, integrate e's constraints
+			// there (this mirrors the recursive structure: the recursive
+			// call to dfs_testing(w) is followed by the lowpt check).
+			if !st.integrateNewReturnEdges(u, e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// integrateNewReturnEdges performs the "if lowpt[ei] < height[v]" block of
+// dfs_testing for edge ei out of v.
+func (st *lrState) integrateNewReturnEdges(v int32, ei dedge) bool {
+	if st.lowpt[ei] >= st.height[v] { // ei has no return edge
+		return true
+	}
+	first := dedge{v, st.orderedAdj[v][0]}
+	if ei == first {
+		if st.hasParent[v] {
+			st.lowptEdge[st.parentEdge[v]] = st.lowptEdge[ei]
+		}
+		return true
+	}
+	if !st.hasParent[v] {
+		// A root has no parent edge to constrain; nothing to do.
+		return true
+	}
+	return st.addConstraints(ei, st.parentEdge[v])
+}
+
+// addConstraints merges the conflict pairs of ei with those of earlier
+// siblings, failing when a left and a right constraint collide.
+func (st *lrState) addConstraints(ei, e dedge) bool {
+	p := &conflictPair{}
+	// Merge return edges of ei into p.r.
+	for {
+		q := st.pop()
+		if !q.l.empty() {
+			q.swap()
+		}
+		if !q.l.empty() {
+			return false // not planar
+		}
+		if st.lowpt[q.r.low] > st.lowpt[e] {
+			// Merge intervals.
+			if p.r.empty() {
+				p.r.high = q.r.high
+				p.r.highSet = true
+			} else {
+				st.ref[p.r.low] = q.r.high
+			}
+			p.r.low = q.r.low
+			p.r.lowSet = true
+		} else {
+			// Align.
+			st.ref[q.r.low] = st.lowptEdge[e]
+		}
+		if st.top() == st.stackBottom[ei] {
+			break
+		}
+	}
+	// Merge conflicting return edges of previous siblings into p.l.
+	for st.conflicting(st.top().l, ei) || st.conflicting(st.top().r, ei) {
+		q := st.pop()
+		if st.conflicting(q.r, ei) {
+			q.swap()
+		}
+		if st.conflicting(q.r, ei) {
+			return false // not planar
+		}
+		// Merge interval below lowpt(ei) into p.r.
+		if p.r.lowSet {
+			if q.r.highSet {
+				st.ref[p.r.low] = q.r.high
+			} else {
+				delete(st.ref, p.r.low)
+			}
+		}
+		if q.r.lowSet {
+			p.r.low = q.r.low
+			p.r.lowSet = true
+		}
+		if p.l.empty() {
+			p.l.high = q.l.high
+			p.l.highSet = true
+		} else {
+			st.ref[p.l.low] = q.l.high
+		}
+		p.l.low = q.l.low
+		p.l.lowSet = true
+	}
+	if !(p.l.empty() && p.r.empty()) {
+		st.s = append(st.s, p)
+	}
+	return true
+}
+
+// removeBackEdges trims back edges ending at the parent u when the DFS
+// returns over tree edge e = (u, v).
+func (st *lrState) removeBackEdges(e dedge, u int32) {
+	// Drop entire conflict pairs.
+	for len(st.s) > 0 && st.lowest(st.top()) == st.height[u] {
+		p := st.pop()
+		if p.l.lowSet {
+			st.side[p.l.low] = -1
+		}
+	}
+	// One more conflict pair may need partial trimming.
+	if len(st.s) > 0 {
+		p := st.pop()
+		// Trim left interval.
+		for p.l.highSet && p.l.high.v == u {
+			if r, ok := st.ref[p.l.high]; ok {
+				p.l.high = r
+			} else {
+				p.l.highSet = false
+			}
+		}
+		if !p.l.highSet && p.l.lowSet {
+			if p.r.lowSet {
+				st.ref[p.l.low] = p.r.low
+			} else {
+				delete(st.ref, p.l.low)
+			}
+			st.side[p.l.low] = -1
+			p.l.lowSet = false
+		}
+		// Trim right interval.
+		for p.r.highSet && p.r.high.v == u {
+			if r, ok := st.ref[p.r.high]; ok {
+				p.r.high = r
+			} else {
+				p.r.highSet = false
+			}
+		}
+		if !p.r.highSet && p.r.lowSet {
+			if p.l.lowSet {
+				st.ref[p.r.low] = p.l.low
+			} else {
+				delete(st.ref, p.r.low)
+			}
+			st.side[p.r.low] = -1
+			p.r.lowSet = false
+		}
+		st.s = append(st.s, p)
+	}
+	// Choose the reference edge for e among the highest return edges.
+	if st.lowpt[e] < st.height[u] { // e has a return edge
+		t := st.top()
+		var hl, hr dedge
+		hlSet, hrSet := false, false
+		if t != nil {
+			hl, hlSet = t.l.high, t.l.highSet
+			hr, hrSet = t.r.high, t.r.highSet
+		}
+		if hlSet && (!hrSet || st.lowpt[hl] > st.lowpt[hr]) {
+			st.ref[e] = hl
+		} else if hrSet {
+			st.ref[e] = hr
+		}
+	}
+}
+
+// sign resolves the side of edge e through its reference chain.
+func (st *lrState) sign(e dedge) int {
+	// Iterative resolution with path collapsing.
+	var chain []dedge
+	cur := e
+	for {
+		if _, ok := st.side[cur]; !ok {
+			st.side[cur] = 1
+		}
+		r, ok := st.ref[cur]
+		if !ok {
+			break
+		}
+		chain = append(chain, cur)
+		cur = r
+	}
+	s := st.side[cur]
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		st.side[c] *= s
+		s = st.side[c]
+		delete(st.ref, c)
+	}
+	return s
+}
+
+// embed runs the embedding phase. Must be called only after run() returned
+// true.
+func (st *lrState) embed() *Embedding {
+	n := st.g.N()
+	// Apply signs to nesting depths and re-sort adjacency lists.
+	for v := 0; v < n; v++ {
+		for _, w := range st.orientedAdj[v] {
+			e := dedge{int32(v), w}
+			st.nesting[e] *= st.sign(e)
+		}
+	}
+	for v := 0; v < n; v++ {
+		adj := st.orderedAdj[v]
+		sort.SliceStable(adj, func(i, j int) bool {
+			di := st.nesting[dedge{int32(v), adj[i]}]
+			dj := st.nesting[dedge{int32(v), adj[j]}]
+			if di != dj {
+				return di < dj
+			}
+			return adj[i] < adj[j]
+		})
+	}
+	emb := NewEmbedding(n)
+	for v := 0; v < n; v++ {
+		prev := int32(-1)
+		for _, w := range st.orderedAdj[v] {
+			emb.AddHalfEdgeCW(int32(v), w, prev)
+			prev = w
+		}
+	}
+	leftRef := make([]int32, n)
+	rightRef := make([]int32, n)
+	for i := range leftRef {
+		leftRef[i] = -1
+		rightRef[i] = -1
+	}
+	type frame struct {
+		v   int32
+		idx int
+	}
+	for _, root := range st.roots {
+		stack := []frame{{root, 0}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			adj := st.orderedAdj[v]
+			if f.idx >= len(adj) {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			w := adj[f.idx]
+			f.idx++
+			ei := dedge{v, w}
+			if st.hasParent[w] && st.parentEdge[w] == ei { // tree edge
+				emb.AddHalfEdgeFirst(w, v)
+				leftRef[v] = w
+				rightRef[v] = w
+				stack = append(stack, frame{w, 0})
+			} else { // back edge
+				if st.side[ei] == 1 {
+					emb.AddHalfEdgeCW(w, v, rightRef[w])
+				} else {
+					emb.AddHalfEdgeCCW(w, v, leftRef[w])
+					leftRef[w] = v
+				}
+			}
+		}
+	}
+	return emb
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,37 @@
+package planar
+
+import "repro/internal/graph"
+
+// IsOuterplanar reports whether g is outerplanar (drawable with every
+// node on the outer face; equivalently {K4, K23}-minor free). Classic
+// reduction: g is outerplanar iff g plus an apex vertex adjacent to every
+// node is planar.
+func IsOuterplanar(g *graph.Graph) bool {
+	// Quick size bound: outerplanar graphs have at most 2n-3 edges.
+	if g.N() >= 2 && g.M() > 2*g.N()-3 {
+		return false
+	}
+	b := graph.NewBuilder(g.N() + 1)
+	for _, e := range g.Edges() {
+		b.AddEdge(int(e.U), int(e.V))
+	}
+	apex := g.N()
+	for v := 0; v < g.N(); v++ {
+		b.AddEdge(apex, v)
+	}
+	return IsPlanar(b.Build())
+}
+
+// OuterplanarDistanceLowerBound returns a certified lower bound on the
+// number of edges whose removal makes g outerplanar, via the size bound
+// m <= 2n-3.
+func OuterplanarDistanceLowerBound(g *graph.Graph) int {
+	if g.N() < 2 {
+		return 0
+	}
+	d := g.M() - (2*g.N() - 3)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,344 @@
+package planar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)     // outer cycle
+		b.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		b.AddEdge(i, 5+i)         // spokes
+	}
+	return b.Build()
+}
+
+func TestKnownPlanarFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K1", graph.Complete(1)},
+		{"K2", graph.Complete(2)},
+		{"K3", graph.Complete(3)},
+		{"K4", graph.Complete(4)},
+		{"path", graph.Path(20)},
+		{"cycle", graph.Cycle(20)},
+		{"star", graph.Star(20)},
+		{"tree", graph.RandomTree(50, rng)},
+		{"grid", graph.Grid(6, 7)},
+		{"maxplanar", graph.MaximalPlanar(60, rng)},
+		{"outerplanar", graph.Outerplanar(40, rng)},
+		{"randomplanar", graph.RandomPlanar(50, 100, rng)},
+		{"K5 minus edge", graph.Complete(5).RemoveEdges([]graph.Edge{graph.NormEdge(0, 1)})},
+		{"K33 minus edge", graph.CompleteBipartite(3, 3).RemoveEdges([]graph.Edge{graph.NormEdge(0, 3)})},
+		{"K23", graph.CompleteBipartite(2, 3)},
+		{"disconnected", graph.DisjointUnion(graph.Cycle(5), graph.Grid(3, 3), graph.Complete(4))},
+	}
+	for _, c := range cases {
+		if !IsPlanar(c.g) {
+			t.Errorf("%s: IsPlanar = false, want true", c.name)
+			continue
+		}
+		emb, err := Embed(c.g)
+		if err != nil {
+			t.Errorf("%s: Embed failed: %v", c.name, err)
+			continue
+		}
+		if err := emb.Validate(c.g); err != nil {
+			t.Errorf("%s: invalid embedding: %v", c.name, err)
+		}
+	}
+}
+
+func TestKnownNonPlanar(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K5", graph.Complete(5)},
+		{"K6", graph.Complete(6)},
+		{"K33", graph.CompleteBipartite(3, 3)},
+		{"K34", graph.CompleteBipartite(3, 4)},
+		{"petersen", petersen()},
+		{"K5 plus isolated", graph.DisjointUnion(graph.Complete(5), graph.Path(1))},
+		{"planar plus K5", graph.DisjointUnion(graph.Grid(4, 4), graph.Complete(5))},
+	}
+	for _, c := range cases {
+		if IsPlanar(c.g) {
+			t.Errorf("%s: IsPlanar = true, want false", c.name)
+		}
+		if _, err := Embed(c.g); err == nil {
+			t.Errorf("%s: Embed succeeded, want ErrNotPlanar", c.name)
+		}
+	}
+}
+
+// Subdivisions of K5 and K33 must stay non-planar; this exercises deeper
+// DFS structure than the bare Kuratowski graphs.
+func TestSubdividedKuratowski(t *testing.T) {
+	subdivide := func(g *graph.Graph, times int, rng *rand.Rand) *graph.Graph {
+		for k := 0; k < times; k++ {
+			es := g.Edges()
+			e := es[rng.Intn(len(es))]
+			n := g.N()
+			b := graph.NewBuilder(n + 1)
+			for _, f := range g.Edges() {
+				if f != e {
+					b.AddEdge(int(f.U), int(f.V))
+				}
+			}
+			b.AddEdge(int(e.U), n)
+			b.AddEdge(n, int(e.V))
+			g = b.Build()
+		}
+		return g
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g := subdivide(graph.Complete(5), 1+rng.Intn(15), rng)
+		if IsPlanar(g) {
+			t.Fatalf("subdivided K5 reported planar (trial %d)", trial)
+		}
+		h := subdivide(graph.CompleteBipartite(3, 3), 1+rng.Intn(15), rng)
+		if IsPlanar(h) {
+			t.Fatalf("subdivided K33 reported planar (trial %d)", trial)
+		}
+	}
+}
+
+// Property: the LR test agrees with brute-force search over rotation
+// systems on small random graphs.
+func TestLRAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	maxWork := int64(60_000)
+	trials := 400
+	if testing.Short() {
+		maxWork, trials = 5_000, 100
+	}
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(5) // 3..7 nodes
+		p := 0.2 + 0.6*rng.Float64()
+		g := graph.GNP(n, p, rng)
+		want, ok := BruteForcePlanar(g, maxWork)
+		if !ok {
+			continue
+		}
+		checked++
+		if got := IsPlanar(g); got != want {
+			t.Fatalf("disagreement on n=%d m=%d (trial %d): LR=%v brute=%v\nedges: %v",
+				g.N(), g.M(), trial, got, want, g.Edges())
+		}
+	}
+	if checked < trials/3 {
+		t.Fatalf("only %d graphs were brute-force checkable", checked)
+	}
+}
+
+func TestGenusOfKuratowskiGraphs(t *testing.T) {
+	if g, ok := Genus(graph.Complete(5), 5_000_000); !ok || g != 1 {
+		t.Fatalf("genus(K5) = %d (ok=%v), want 1", g, ok)
+	}
+	if g, ok := Genus(graph.CompleteBipartite(3, 3), 5_000_000); !ok || g != 1 {
+		t.Fatalf("genus(K33) = %d (ok=%v), want 1", g, ok)
+	}
+	if g, ok := Genus(graph.Complete(4), 5_000_000); !ok || g != 0 {
+		t.Fatalf("genus(K4) = %d (ok=%v), want 0", g, ok)
+	}
+}
+
+// Property: every embedding returned by Embed on random planar graphs
+// passes full validation (rotations correct + Euler face count).
+func TestEmbedValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		m := n - 1 + rng.Intn(2*n-5)
+		if m > 3*n-6 {
+			m = 3*n - 6
+		}
+		g := graph.RandomPlanar(n, m, rng)
+		emb, err := Embed(g)
+		if err != nil {
+			return false
+		}
+		return emb.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deleting one edge from a planar-plus-few-extras graph never
+// turns a planar graph non-planar (monotonicity sanity for the tester).
+func TestPlanarityMonotoneUnderDeletion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomPlanar(30, 60, rng)
+		es := g.Edges()
+		h := g.RemoveEdges([]graph.Edge{es[rng.Intn(len(es))]})
+		return IsPlanar(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbeddingRotationStructure(t *testing.T) {
+	g := graph.Grid(4, 4)
+	emb, err := Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		rot := emb.Rotation(v)
+		if len(rot) != g.Degree(v) {
+			t.Fatalf("rotation size at %d: %d, want %d", v, len(rot), g.Degree(v))
+		}
+		// cw and ccw must be inverse permutations.
+		for _, w := range rot {
+			if emb.CCWNext(int32(v), emb.CWNext(int32(v), w)) != w {
+				t.Fatalf("cw/ccw inconsistent at %d", v)
+			}
+		}
+	}
+}
+
+func TestCountFacesOnKnownEmbeddings(t *testing.T) {
+	// Triangle: 2 faces.
+	tri := NewEmbeddingFromRotations([][]int32{{1, 2}, {0, 2}, {0, 1}})
+	if f := tri.CountFaces(); f != 2 {
+		t.Fatalf("triangle faces = %d, want 2", f)
+	}
+	// Single edge: 1 face.
+	e := NewEmbeddingFromRotations([][]int32{{1}, {0}})
+	if f := e.CountFaces(); f != 1 {
+		t.Fatalf("edge faces = %d, want 1", f)
+	}
+	// K4 planar embedding: 4 faces.
+	g := graph.Complete(4)
+	emb, err := Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := emb.CountFaces(); f != 4 {
+		t.Fatalf("K4 faces = %d, want 4", f)
+	}
+}
+
+func TestFaceOf(t *testing.T) {
+	g := graph.Cycle(5)
+	emb, err := Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	face := emb.FaceOf(0, 1)
+	if len(face) != 5 {
+		t.Fatalf("cycle face length %d, want 5", len(face))
+	}
+}
+
+func TestEmbedOrFallbackPlanar(t *testing.T) {
+	g := graph.Grid(5, 5)
+	res := EmbedOrFallback(g, FallbackArbitrary)
+	if !res.Planar {
+		t.Fatal("grid must be planar")
+	}
+	if err := res.Embedding.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedOrFallbackNonPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, _ := graph.PlanarPlusRandomEdges(30, 15, rng)
+	if IsPlanar(g) {
+		t.Skip("unlucky: graph turned out planar")
+	}
+	for _, mode := range []FallbackMode{FallbackArbitrary, FallbackMaxPlanarSubgraph} {
+		res := EmbedOrFallback(g, mode)
+		if res.Planar {
+			t.Fatalf("mode %d: non-planar input reported planar", mode)
+		}
+		// The returned ordering must still cover every edge at every node.
+		for v := 0; v < g.N(); v++ {
+			if res.Embedding.Degree(v) != g.Degree(v) {
+				t.Fatalf("mode %d: node %d has %d half-edges, degree %d",
+					mode, v, res.Embedding.Degree(v), g.Degree(v))
+			}
+		}
+		if mode == FallbackMaxPlanarSubgraph && len(res.SplicedEdges) == 0 {
+			t.Fatal("max-planar-subgraph fallback must report spliced edges")
+		}
+	}
+}
+
+func TestMaxPlanarSubgraphIsMaximalAndPlanar(t *testing.T) {
+	g := graph.Complete(6)
+	kept, skipped := maxPlanarSubgraph(g)
+	if !IsPlanar(kept) {
+		t.Fatal("kept subgraph must be planar")
+	}
+	if kept.M()+len(skipped) != g.M() {
+		t.Fatalf("edge accounting: %d + %d != %d", kept.M(), len(skipped), g.M())
+	}
+	// Maximality: adding any skipped edge back breaks planarity.
+	for _, e := range skipped {
+		if IsPlanar(kept.AddEdges([]graph.Edge{e})) {
+			t.Fatalf("adding skipped edge %v keeps planarity; subgraph not maximal", e)
+		}
+	}
+	// K6 has 15 edges; max planar subgraph has 3*6-6=12.
+	if kept.M() != 12 {
+		t.Fatalf("K6 max planar subgraph has %d edges, want 12", kept.M())
+	}
+}
+
+func TestEulerQuickReject(t *testing.T) {
+	// A graph with m > 3n-6 must be rejected without deep work.
+	rng := rand.New(rand.NewSource(5))
+	g, _ := graph.PlanarPlusRandomEdges(100, 50, rng)
+	if IsPlanar(g) {
+		t.Fatal("m > 3n-6 graph reported planar")
+	}
+}
+
+func TestLargePlanarEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.MaximalPlanar(3000, rng)
+	emb, err := Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIsPlanarMaximalPlanar2000(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.MaximalPlanar(2000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IsPlanar(g) {
+			b.Fatal("must be planar")
+		}
+	}
+}
+
+func BenchmarkEmbedGrid50x50(b *testing.B) {
+	g := graph.Grid(50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package spanner implements the ultra-sparse spanner construction of
+// Corollary 17: on an unweighted minor-free graph, the Stage I partition
+// yields parts of diameter poly(1/eps) with at most eps*n crossing edges;
+// the union of the part spanning trees with all crossing edges is a
+// poly(1/eps)-spanner with (1+O(eps))n edges.
+package spanner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Options configures the spanner construction.
+type Options struct {
+	// Epsilon controls the size/stretch tradeoff: size (1+O(eps))n,
+	// stretch poly(1/eps).
+	Epsilon float64
+	// Partition overrides the partitioning options (zero value: the
+	// deterministic Stage I of Theorem 3; set Variant to
+	// partition.Randomized for the Theorem 4 variant).
+	Partition partition.Options
+}
+
+// NodeSpanner is a node's local view of the spanner: which of its ports
+// carry spanner edges. Views are symmetric across each edge.
+type NodeSpanner struct {
+	Ports []bool
+	// PartRoot identifies the node's part.
+	PartRoot int64
+	// StretchBound is the part-diameter-based stretch guarantee agreed
+	// part-wide (2 * Stage I tree depth).
+	StretchBound int
+}
+
+// Build constructs the spanner inside a node program: the node's Stage I
+// tree edges plus every cross-part edge. One extra round re-discovers
+// boundaries after Stage I.
+func Build(api *congest.API, opts Options) *NodeSpanner {
+	if opts.Epsilon <= 0 || opts.Epsilon > 1 {
+		panic("spanner: Epsilon must be in (0,1]")
+	}
+	if opts.Partition.Epsilon == 0 {
+		opts.Partition.Epsilon = opts.Epsilon
+	}
+	po := partition.RunStageI(api, opts.Partition)
+
+	// Depth probe on the part tree for the stretch certificate.
+	probe := api.N() + 2
+	d, ok := po.Tree.BroadcastDown(api, api.Round()+probe, depthMsg{}, func(m congest.Message) congest.Message {
+		return depthMsg{D: m.(depthMsg).D + 1}
+	})
+	if !ok {
+		panic("spanner: depth probe under-budgeted")
+	}
+	maxd, ok := po.Tree.Convergecast(api, api.Round()+probe, d, func(own congest.Message, ch []congest.Message) congest.Message {
+		best := own.(depthMsg).D
+		for _, c := range ch {
+			if v := c.(depthMsg).D; v > best {
+				best = v
+			}
+		}
+		return depthMsg{D: best}
+	})
+	if !ok {
+		panic("spanner: depth convergecast under-budgeted")
+	}
+	agreed, ok := po.Tree.BroadcastDown(api, api.Round()+probe, maxd, nil)
+	if !ok {
+		panic("spanner: depth broadcast under-budgeted")
+	}
+
+	// Boundary round: flag cross edges.
+	ports := make([]bool, api.Degree())
+	api.SendAll(rootMsg{Root: po.RootID})
+	for _, in := range api.NextRound() {
+		if rm, ok := in.Msg.(rootMsg); ok && rm.Root != po.RootID {
+			ports[in.Port] = true // cross-part edge: keep
+		}
+	}
+	// Part tree edges: parent and children ports.
+	if po.Tree.ParentPort >= 0 {
+		ports[po.Tree.ParentPort] = true
+	}
+	for _, c := range po.Tree.ChildPorts {
+		ports[c] = true
+	}
+	return &NodeSpanner{
+		Ports:        ports,
+		PartRoot:     po.RootID,
+		StretchBound: 2 * int(agreed.(depthMsg).D),
+	}
+}
+
+type depthMsg struct{ D int64 }
+
+func (m depthMsg) Bits() int { return 2 + congest.BitsForValue(m.D) }
+
+type rootMsg struct{ Root int64 }
+
+func (m rootMsg) Bits() int { return 2 + congest.BitsForValue(m.Root) }
+
+// Collect runs the construction on g and returns the spanner subgraph,
+// the per-node views, and the run metrics.
+func Collect(g *graph.Graph, opts Options, seed int64) (*graph.Graph, []*NodeSpanner, congest.Metrics, error) {
+	views := make([]*NodeSpanner, g.N())
+	res, err := congest.Run(congest.Config{
+		Graph:     g,
+		Seed:      seed,
+		MaxRounds: 1 << 40,
+	}, func(api *congest.API) {
+		views[api.Index()] = Build(api, opts)
+	})
+	if err != nil {
+		return nil, nil, congest.Metrics{}, err
+	}
+	b := graph.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		for p, keep := range views[v].Ports {
+			if keep {
+				b.AddEdge(v, int(g.Neighbors(v)[p]))
+			}
+		}
+	}
+	return b.Build(), views, res.Metrics, nil
+}
+
+// VerifySymmetric checks that both endpoints of every spanner edge agree
+// on membership.
+func VerifySymmetric(g *graph.Graph, views []*NodeSpanner) error {
+	for v := 0; v < g.N(); v++ {
+		for p, keep := range views[v].Ports {
+			w := int(g.Neighbors(v)[p])
+			// Find v's port at w.
+			q := -1
+			for i, x := range g.Neighbors(w) {
+				if int(x) == v {
+					q = i
+					break
+				}
+			}
+			if views[w].Ports[q] != keep {
+				return fmt.Errorf("spanner: edge {%d,%d} membership asymmetric", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// MeasureStretch samples `pairs` connected node pairs and returns the
+// maximum and mean ratio of spanner distance to graph distance. Because
+// every non-spanner edge stays within a part, the per-edge stretch bound
+// is the part diameter bound; sampling verifies it end-to-end.
+func MeasureStretch(g, sp *graph.Graph, pairs int, rng *rand.Rand) (maxStretch float64, meanStretch float64) {
+	if g.N() == 0 {
+		return 1, 1
+	}
+	count := 0
+	var sum float64
+	maxStretch = 1
+	for i := 0; i < pairs; i++ {
+		u := rng.Intn(g.N())
+		bg := g.BFS(u)
+		bs := sp.BFS(u)
+		v := rng.Intn(g.N())
+		if u == v || bg.Dist[v] <= 0 {
+			continue
+		}
+		if bs.Dist[v] < 0 {
+			return -1, -1 // spanner disconnected within a component: invalid
+		}
+		r := float64(bs.Dist[v]) / float64(bg.Dist[v])
+		if r > maxStretch {
+			maxStretch = r
+		}
+		sum += r
+		count++
+	}
+	if count == 0 {
+		return 1, 1
+	}
+	return maxStretch, sum / float64(count)
+}

@@ -1,0 +1,109 @@
+package testers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+func TestHereditaryOuterplanarAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []*graph.Graph{
+		graph.Outerplanar(40, rng),
+		graph.Cycle(25),
+		graph.RandomTree(35, rng),
+		graph.Path(20),
+	}
+	for i, g := range cases {
+		if !planar.IsOuterplanar(g) {
+			t.Fatalf("case %d: generator must be outerplanar", i)
+		}
+		r, err := RunHereditary(g, planar.IsOuterplanar, Options{Epsilon: 0.25}, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			t.Fatalf("case %d: outerplanar graph rejected (hereditary one-sidedness)", i)
+		}
+	}
+}
+
+func TestHereditaryOuterplanarRejectsFar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Maximal planar graphs have m = 3n-6 > 2n-3: certified far from
+	// outerplanarity by the size bound (distance >= n-3 = about m/3).
+	g := graph.MaximalPlanar(60, rng)
+	if d := planar.OuterplanarDistanceLowerBound(g); d < g.N()-4 {
+		t.Fatalf("expected certified distance, got %d", d)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		r, err := RunHereditary(g, planar.IsOuterplanar, Options{Epsilon: 0.2}, 10+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Rejected {
+			t.Fatalf("seed %d: far-from-outerplanar graph accepted", seed)
+		}
+	}
+}
+
+func TestHereditaryPlanarityPredicateMatchesMainTester(t *testing.T) {
+	// Planarity itself is hereditary; the generic tester with the exact
+	// LR predicate is a deterministic-per-part variant of Stage II.
+	rng := rand.New(rand.NewSource(3))
+	planarG := graph.RandomPlanar(50, 100, rng)
+	r, err := RunHereditary(planarG, planar.IsPlanar, Options{Epsilon: 0.25}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rejected {
+		t.Fatal("planar graph rejected by exact predicate")
+	}
+	farG, _ := graph.PlanarPlusRandomEdges(50, 40, rng)
+	r, err = RunHereditary(farG, planar.IsPlanar, Options{Epsilon: 0.15}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatal("far graph accepted by exact predicate")
+	}
+}
+
+func TestHereditaryRandomizedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Outerplanar(30, rng)
+	opts := Options{Epsilon: 0.25}
+	opts.Partition.Epsilon = 0.25
+	opts.Partition.Variant = 2 // partition.Randomized
+	r, err := RunHereditary(g, planar.IsOuterplanar, opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rejected {
+		t.Fatal("outerplanar graph rejected under randomized partition")
+	}
+}
+
+func TestIsOuterplanarBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if !planar.IsOuterplanar(graph.Cycle(10)) {
+		t.Fatal("cycle is outerplanar")
+	}
+	if !planar.IsOuterplanar(graph.Outerplanar(25, rng)) {
+		t.Fatal("maximal outerplanar generator must be outerplanar")
+	}
+	if planar.IsOuterplanar(graph.Complete(4)) {
+		t.Fatal("K4 is not outerplanar")
+	}
+	if planar.IsOuterplanar(graph.CompleteBipartite(2, 3)) {
+		t.Fatal("K23 is not outerplanar")
+	}
+	if planar.IsOuterplanar(graph.Grid(3, 3)) {
+		t.Fatal("3x3 grid is not outerplanar (K23 minor)")
+	}
+	if !planar.IsOuterplanar(graph.Grid(2, 8)) {
+		t.Fatal("2xk grid (ladder) is outerplanar")
+	}
+}

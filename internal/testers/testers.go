@@ -1,0 +1,111 @@
+// Package testers implements the minor-free property testers of
+// Corollary 16: distributed one-sided testing of cycle-freeness and
+// bipartiteness under the promise that the input graph is minor-free.
+// The algorithms partition the graph with Stage I (deterministic,
+// Theorem 3) or its randomized variant (Theorem 4) and verify the
+// property within each part, where a BFS tree makes both checks local.
+package testers
+
+import (
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Property is a testable property of Corollary 16.
+type Property int
+
+// Properties.
+const (
+	// CycleFreeness rejects iff a part contains a non-tree edge.
+	CycleFreeness Property = iota + 1
+	// Bipartiteness rejects iff a part contains an edge joining two
+	// nodes of equal BFS-level parity (an odd cycle witness).
+	Bipartiteness
+)
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	switch p {
+	case CycleFreeness:
+		return "cycle-freeness"
+	case Bipartiteness:
+		return "bipartiteness"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a minor-free property test.
+type Options struct {
+	// Epsilon is the distance parameter; the partition is run with the
+	// edge-cut parameter set to it (Corollary 16 prescribes "slightly
+	// below" epsilon; the half used for planarity covers it).
+	Epsilon float64
+	// Partition overrides the partitioning options; zero value derives
+	// the deterministic Stage I from Epsilon. Set Variant to
+	// partition.Randomized for the O(poly(1/eps)(log(1/delta)+log* n))
+	// variant.
+	Partition partition.Options
+}
+
+// Test runs the distributed property tester inside a node program and
+// returns (and outputs) the node's verdict: on inputs with the property
+// every node accepts; on minor-free inputs eps-far from the property at
+// least one node rejects.
+func Test(api *congest.API, prop Property, opts Options) congest.Verdict {
+	if opts.Epsilon <= 0 || opts.Epsilon > 1 {
+		panic("testers: Epsilon must be in (0,1]")
+	}
+	if opts.Partition.Epsilon == 0 {
+		opts.Partition.Epsilon = opts.Epsilon
+	}
+	po := partition.RunStageI(api, opts.Partition)
+	ctx := core.BuildPartContext(api, po)
+
+	reject := false
+	switch prop {
+	case CycleFreeness:
+		// Any intra-part non-tree edge closes a cycle.
+		reject = len(ctx.NonTreeAssignedPorts()) > 0
+	case Bipartiteness:
+		// An intra-part edge between equal level parities closes an
+		// odd cycle (BFS-level argument, §4.2).
+		for _, p := range ctx.AssignedPorts() {
+			if (ctx.Level()+ctx.NeighborLevel(p))%2 == 0 {
+				reject = true
+				break
+			}
+		}
+	default:
+		panic("testers: unknown property")
+	}
+	if reject || po.Rejected {
+		api.Output(congest.VerdictReject)
+		return congest.VerdictReject
+	}
+	api.Output(congest.VerdictAccept)
+	return congest.VerdictAccept
+}
+
+// Run executes the tester on g over the simulator and returns the run
+// result (StopOnReject semantics).
+func Run(g *graph.Graph, prop Property, opts Options, seed int64) (*core.RunResult, error) {
+	res, err := congest.Run(congest.Config{
+		Graph:        g,
+		Seed:         seed,
+		StopOnReject: true,
+		MaxRounds:    1 << 40,
+	}, func(api *congest.API) {
+		Test(api, prop, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &core.RunResult{
+		Rejected:   res.Rejected(),
+		RejectedBy: res.RejectCount(),
+		Metrics:    res.Metrics,
+	}, nil
+}

@@ -1,0 +1,146 @@
+package testers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestCycleFreenessAcceptsForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []*graph.Graph{
+		graph.RandomTree(40, rng),
+		graph.Path(25),
+		graph.Star(20),
+		graph.DisjointUnion(graph.RandomTree(15, rng), graph.RandomTree(12, rng)),
+	}
+	for i, g := range cases {
+		for seed := int64(0); seed < 3; seed++ {
+			r, err := Run(g, CycleFreeness, Options{Epsilon: 0.25}, 10*int64(i)+seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Rejected {
+				t.Fatalf("case %d seed %d: forest rejected", i, seed)
+			}
+		}
+	}
+}
+
+func TestCycleFreenessRejectsFarGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// A tree plus many extra edges is far from cycle-free (distance =
+	// extra edges); the minor-free promise holds (it is planar).
+	g := graph.TreePlusRandomEdges(60, 25, rng)
+	for seed := int64(0); seed < 3; seed++ {
+		r, err := Run(g, CycleFreeness, Options{Epsilon: 0.2}, 20+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Rejected {
+			t.Fatalf("seed %d: far-from-cycle-free graph accepted", seed)
+		}
+	}
+}
+
+func TestCycleFreenessSingleCycle(t *testing.T) {
+	// One big cycle: 1/m-far only, but the whole component becomes one
+	// part, where the single non-tree edge is found deterministically.
+	r, err := Run(graph.Cycle(30), CycleFreeness, Options{Epsilon: 0.2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatal("cycle must be caught once its component is one part")
+	}
+}
+
+func TestBipartitenessAcceptsBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []*graph.Graph{
+		graph.Grid(6, 7),
+		graph.Cycle(24),
+		graph.RandomTree(40, rng),
+		graph.Path(19),
+	}
+	for i, g := range cases {
+		for seed := int64(0); seed < 3; seed++ {
+			r, err := Run(g, Bipartiteness, Options{Epsilon: 0.25}, 30*int64(i)+seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Rejected {
+				t.Fatalf("case %d seed %d: bipartite graph rejected", i, seed)
+			}
+		}
+	}
+}
+
+func TestBipartitenessRejectsOddStructures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []*graph.Graph{
+		graph.Cycle(9),
+		graph.GridWithOddChords(6, 6, 8, rng),
+		graph.MaximalPlanar(30, rng), // triangles everywhere
+	}
+	for i, g := range cases {
+		if g.IsBipartite() {
+			t.Fatalf("case %d: test graph must be non-bipartite", i)
+		}
+		r, err := Run(g, Bipartiteness, Options{Epsilon: 0.15}, int64(40+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Rejected {
+			t.Fatalf("case %d: non-bipartite graph accepted", i)
+		}
+	}
+}
+
+func TestRandomizedVariantTesters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	opts := Options{
+		Epsilon:   0.25,
+		Partition: partition.Options{Epsilon: 0.25, Variant: partition.Randomized},
+	}
+	if r, err := Run(graph.RandomTree(30, rng), CycleFreeness, opts, 51); err != nil || r.Rejected {
+		t.Fatalf("forest rejected by randomized variant (err=%v)", err)
+	}
+	if r, err := Run(graph.Grid(5, 5), Bipartiteness, opts, 52); err != nil || r.Rejected {
+		t.Fatalf("grid rejected by randomized variant (err=%v)", err)
+	}
+	if r, err := Run(graph.TreePlusRandomEdges(40, 20, rng), CycleFreeness, opts, 53); err != nil || !r.Rejected {
+		t.Fatalf("far graph accepted by randomized variant (err=%v)", err)
+	}
+}
+
+func TestOneSidednessSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 6; trial++ {
+		tr := graph.RandomTree(20+rng.Intn(30), rng)
+		r, err := Run(tr, CycleFreeness, Options{Epsilon: 0.3}, int64(60+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			t.Fatalf("trial %d: forest rejected", trial)
+		}
+		// Even cycles are bipartite.
+		c := graph.Cycle(2 * (5 + rng.Intn(10)))
+		r, err = Run(c, Bipartiteness, Options{Epsilon: 0.3}, int64(70+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			t.Fatalf("trial %d: even cycle rejected", trial)
+		}
+	}
+}
+
+func TestPropertyString(t *testing.T) {
+	if CycleFreeness.String() != "cycle-freeness" || Bipartiteness.String() != "bipartiteness" {
+		t.Fatal("property names wrong")
+	}
+}

@@ -1,0 +1,147 @@
+// Package repro is a full reproduction of "Property Testing of Planarity
+// in the CONGEST model" (Levi, Medina, Ron; PODC 2018): a distributed
+// one-sided property tester for planarity running in
+// O(log n * poly(1/eps)) rounds of the CONGEST model, together with every
+// substrate it needs — a CONGEST simulator, a planarity/embedding engine,
+// the Barenboim–Elkin forest decomposition, the Stage I partitioning
+// algorithm (deterministic and randomized), the Stage II violating-edge
+// tester, the minor-free applications of §4 (cycle-freeness and
+// bipartiteness testers, ultra-sparse spanners), and the §3 lower-bound
+// construction.
+//
+// This root package is a thin facade over the implementation packages in
+// internal/; see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduced results.
+//
+// Quick start:
+//
+//	g := repro.Grid(16, 16)
+//	res, err := repro.TestPlanarity(g, repro.TesterOptions{Epsilon: 0.25}, 1)
+//	// res.Rejected == false: every node accepted the planar grid.
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/partition"
+	"repro/internal/planar"
+	"repro/internal/spanner"
+	"repro/internal/testers"
+)
+
+// Graph is a simple undirected graph with dense node indices.
+type Graph = graph.Graph
+
+// TesterOptions configures the planarity tester (Theorem 1).
+type TesterOptions = core.Options
+
+// TesterResult summarizes a tester run.
+type TesterResult = core.RunResult
+
+// Metrics is the CONGEST accounting of a run.
+type Metrics = congest.Metrics
+
+// TestPlanarity runs the distributed one-sided planarity tester on g.
+// On planar inputs every node accepts; on inputs eps-far from planarity
+// at least one node rejects with high probability.
+func TestPlanarity(g *Graph, opts TesterOptions, seed int64) (*TesterResult, error) {
+	return core.RunTester(g, opts, seed)
+}
+
+// DetectionRate runs the tester across several seeds and reports the
+// fraction of runs that rejected.
+func DetectionRate(g *Graph, opts TesterOptions, trials int, baseSeed int64) (float64, error) {
+	return core.DetectionRate(g, opts, trials, baseSeed)
+}
+
+// Property is a minor-free testable property (Corollary 16).
+type Property = testers.Property
+
+// Minor-free properties.
+const (
+	CycleFreeness = testers.CycleFreeness
+	Bipartiteness = testers.Bipartiteness
+)
+
+// PropertyOptions configures a minor-free property test.
+type PropertyOptions = testers.Options
+
+// TestProperty runs the distributed cycle-freeness or bipartiteness
+// tester under the minor-free promise.
+func TestProperty(g *Graph, prop Property, opts PropertyOptions, seed int64) (*TesterResult, error) {
+	return testers.Run(g, prop, opts, seed)
+}
+
+// PartPredicate decides a hereditary property on a gathered part.
+type PartPredicate = testers.PartPredicate
+
+// TestHereditary runs the generic hereditary-property tester of the §4.2
+// remark: any property closed under induced subgraphs and decidable per
+// part (e.g. outerplanarity via IsOuterplanar) plugs into the partition.
+func TestHereditary(g *Graph, pred PartPredicate, opts PropertyOptions, seed int64) (*TesterResult, error) {
+	return testers.RunHereditary(g, pred, opts, seed)
+}
+
+// IsOuterplanar reports outerplanarity ({K4, K23}-minor freeness),
+// usable as a PartPredicate.
+func IsOuterplanar(g *Graph) bool { return planar.IsOuterplanar(g) }
+
+// SpannerOptions configures the spanner construction (Corollary 17).
+type SpannerOptions = spanner.Options
+
+// BuildSpanner constructs a poly(1/eps)-spanner with (1+O(eps))n edges of
+// a minor-free graph; it returns the spanner subgraph and run metrics.
+func BuildSpanner(g *Graph, opts SpannerOptions, seed int64) (*Graph, Metrics, error) {
+	sp, _, m, err := spanner.Collect(g, opts, seed)
+	return sp, m, err
+}
+
+// PartitionOptions configures Stage I (Theorems 3 and 4).
+type PartitionOptions = partition.Options
+
+// Partition runs the Stage I partitioning algorithm and returns the part
+// assignment (part root id per node), the edge cut, and metrics.
+func Partition(g *Graph, opts PartitionOptions, seed int64) (part []int, cut int, m Metrics, err error) {
+	outs, _, res, err := partition.CollectStageI(g, opts, seed)
+	if err != nil {
+		return nil, 0, Metrics{}, err
+	}
+	return partition.PartAssignment(outs), partition.CutEdges(g, outs), res.Metrics, nil
+}
+
+// LowerBoundInstance is a §3 instance: certified far from planarity with
+// girth Theta(log n).
+type LowerBoundInstance = lowerbound.Instance
+
+// NewLowerBoundInstance builds a lower-bound instance on n nodes with
+// average degree c.
+func NewLowerBoundInstance(n int, c float64, seed int64) *LowerBoundInstance {
+	return lowerbound.New(n, c, seed)
+}
+
+// Graph generators re-exported for examples and downstream use.
+
+// Grid returns the rows x cols planar grid graph.
+func Grid(rows, cols int) *Graph { return graph.Grid(rows, cols) }
+
+// MaximalPlanar returns a random maximal planar graph (m = 3n-6).
+func MaximalPlanar(n int, rng *rand.Rand) *Graph { return graph.MaximalPlanar(n, rng) }
+
+// RandomPlanar returns a connected random planar graph with m edges.
+func RandomPlanar(n, m int, rng *rand.Rand) *Graph { return graph.RandomPlanar(n, m, rng) }
+
+// PlanarPlusRandomEdges returns a maximal planar graph with extra random
+// edges and the certified distance to planarity.
+func PlanarPlusRandomEdges(n, extra int, rng *rand.Rand) (*Graph, int) {
+	return graph.PlanarPlusRandomEdges(n, extra, rng)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// RandomTree returns a uniform-attachment random tree.
+func RandomTree(n int, rng *rand.Rand) *Graph { return graph.RandomTree(n, rng) }

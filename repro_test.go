@@ -1,0 +1,123 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadePlanarAccepted(t *testing.T) {
+	res, err := repro.TestPlanarity(repro.Grid(8, 8), repro.TesterOptions{Epsilon: 0.3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected {
+		t.Fatal("planar grid rejected")
+	}
+}
+
+func TestFacadeFarRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, dist := repro.PlanarPlusRandomEdges(80, 70, rng)
+	if dist == 0 {
+		t.Fatal("expected certified-far graph")
+	}
+	rate, err := repro.DetectionRate(g, repro.TesterOptions{Epsilon: 0.1}, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.75 {
+		t.Fatalf("detection rate %.2f too low", rate)
+	}
+}
+
+func TestFacadePartition(t *testing.T) {
+	g := repro.Grid(7, 7)
+	part, cut, m, err := repro.Partition(g, repro.PartitionOptions{Epsilon: 0.3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != g.N() {
+		t.Fatalf("partition covers %d of %d nodes", len(part), g.N())
+	}
+	if float64(cut) > 0.3*float64(g.M())/2 {
+		t.Fatalf("cut %d exceeds eps*m/2", cut)
+	}
+	if m.Rounds == 0 {
+		t.Fatal("metrics missing")
+	}
+}
+
+func TestFacadeSpanner(t *testing.T) {
+	g := repro.Grid(9, 9)
+	sp, _, err := repro.BuildSpanner(g, repro.SpannerOptions{Epsilon: 0.3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.IsConnected() {
+		t.Fatal("spanner disconnected")
+	}
+	if float64(sp.M()) > 1.6*float64(g.N()) {
+		t.Fatalf("spanner too dense: %d edges", sp.M())
+	}
+}
+
+func TestFacadeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := repro.RandomTree(50, rng)
+	res, err := repro.TestProperty(tr, repro.CycleFreeness, repro.PropertyOptions{Epsilon: 0.25}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected {
+		t.Fatal("tree rejected by cycle-freeness tester")
+	}
+	res, err = repro.TestProperty(repro.Grid(6, 6), repro.Bipartiteness, repro.PropertyOptions{Epsilon: 0.25}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected {
+		t.Fatal("grid rejected by bipartiteness tester")
+	}
+}
+
+func TestFacadeHereditaryOuterplanarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ok, err := repro.TestHereditary(repro.RandomTree(40, rng), repro.IsOuterplanar,
+		repro.PropertyOptions{Epsilon: 0.25}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Rejected {
+		t.Fatal("tree rejected by outerplanarity tester")
+	}
+	bad, err := repro.TestHereditary(repro.MaximalPlanar(50, rng), repro.IsOuterplanar,
+		repro.PropertyOptions{Epsilon: 0.2}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Rejected {
+		t.Fatal("maximal planar graph accepted by outerplanarity tester")
+	}
+}
+
+func TestFacadeLowerBound(t *testing.T) {
+	ins := repro.NewLowerBoundInstance(512, 8, 8)
+	if !ins.GirthAtLeast() {
+		t.Fatal("girth surgery failed")
+	}
+	if ins.CertifiedDistance <= 0 {
+		t.Fatal("instance not certified far")
+	}
+}
+
+func TestFacadeK5Rejected(t *testing.T) {
+	res, err := repro.TestPlanarity(repro.Complete(5), repro.TesterOptions{Epsilon: 0.5}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected {
+		t.Fatal("K5 accepted")
+	}
+}
