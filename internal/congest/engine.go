@@ -4,15 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/graph"
 )
 
-// Program is the code run by every node. It must communicate only through
-// the provided API and must eventually return.
+// Program is the code run by every node under the blocking compatibility
+// model. It must communicate only through the provided API and must
+// eventually return. Blocking programs run on one goroutine per node with
+// a sequential direct handoff to the engine; the run-to-completion
+// StepProgram model (step.go) avoids the goroutines entirely and is the
+// fast path (DESIGN.md §2).
 type Program func(api *API)
 
 // Config configures a simulation run.
@@ -103,46 +106,40 @@ type outMsg struct {
 	msg  Message
 }
 
-// stepKind describes why a node yielded to the engine.
-type stepKind uint8
-
-const (
-	stepNextRound stepKind = iota
-	stepSleep
-	stepDone
-	stepPanic
-)
-
-type step struct {
-	node     int
-	kind     stepKind
-	deadline int      // for stepSleep: absolute round to wake by
-	outbox   []outMsg // messages sent since last yield
-	panicVal any
-}
-
 type nodePhase uint8
 
 const (
-	phaseRunning nodePhase = iota
-	phaseBlocked           // waiting for next round (deadline = round+1)
-	phaseSleep             // waiting until deadline or first message
+	phaseWaiting nodePhase = iota // parked until deadline or mail
 	phaseDone
 )
 
 type nodeState struct {
 	phase    nodePhase
-	deadline int
-	mailbox  []Inbound // deliverable at the next barrier
-	resume   chan []Inbound
+	deadline int       // absolute round to wake by
+	mailbox  []Inbound // deliverable at the next barrier (reused buffer)
+	inbox    []Inbound // buffer handed to Step at the current wake (reused)
+	prog     StepProgram
+	shim     *shim // non-nil once the node entered the blocking model
 }
 
 var errAborted = errors.New("congest: run aborted")
 
-// Run executes prog on every node of cfg.Graph and returns the verdicts
-// and metrics. It returns an error when a node program panics or the
-// round limit is exceeded.
+// Run executes prog on every node of cfg.Graph under the blocking
+// compatibility model and returns the verdicts and metrics. It returns an
+// error when a node program panics or the round limit is exceeded.
 func Run(cfg Config, prog Program) (*Result, error) {
+	return RunStep(cfg, func(int) StepProgram {
+		return newShim(prog)
+	})
+}
+
+// RunStep executes the simulation with one StepProgram per node, produced
+// by progs (called once per node index before the run starts). This is
+// the native run-to-completion execution model: a single engine loop
+// drives every node, with zero goroutines and zero channel operations for
+// nodes that stay in the step model. Both execution models produce
+// byte-identical Results for identical logical programs and seeds.
+func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 	g := cfg.Graph
 	n := g.N()
 	if n == 0 {
@@ -168,28 +165,20 @@ func Run(cfg Config, prog Program) (*Result, error) {
 		maxRounds = 4_000_000
 	}
 
-	// Reverse port table: revPort[v][i] is the port of v in the adjacency
-	// list of its i-th neighbor.
-	revPort := make([][]int32, n)
-	for v := 0; v < n; v++ {
-		revPort[v] = make([]int32, g.Degree(v))
-		for i, w := range g.Neighbors(v) {
-			nbrs := g.Neighbors(int(w))
-			j := sort.Search(len(nbrs), func(k int) bool { return nbrs[k] >= int32(v) })
-			revPort[v][i] = int32(j)
-		}
+	eng := &engine{
+		g:         g,
+		revPort:   g.RevPorts(),
+		ids:       ids,
+		states:    make([]nodeState, n),
+		apis:      make([]StepAPI, n),
+		verdicts:  make([]Verdict, n),
+		bitBound:  bitBound,
+		maxRounds: maxRounds,
+		stopOnRej: cfg.StopOnReject,
 	}
-
-	eng := &engine{steps: make(chan step, n)}
-	states := make([]nodeState, n)
-	verdicts := make([]Verdict, n)
-	var modeled atomic.Int64
-
-	var wg sync.WaitGroup
-	running := n
+	eng.m.BitBound = bitBound
 	for i := 0; i < n; i++ {
-		states[i].resume = make(chan []Inbound, 1)
-		api := &API{
+		eng.apis[i] = StepAPI{
 			eng:      eng,
 			node:     i,
 			id:       ids[i],
@@ -197,159 +186,283 @@ func Run(cfg Config, prog Program) (*Result, error) {
 			degree:   g.Degree(i),
 			bitBound: bitBound,
 			rng:      rand.New(rand.NewSource(cfg.Seed ^ (0x5E3779B97F4A7C15 * int64(i+1)))),
-			resume:   states[i].resume,
-			verdicts: verdicts,
-			modeled:  &modeled,
+			sent:     make([]uint64, (g.Degree(i)+63)/64),
 		}
-		wg.Add(1)
-		go func(api *API) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if r == errAborted {
-						return // engine-initiated shutdown
-					}
-					eng.steps <- step{node: api.node, kind: stepPanic, panicVal: r}
-					return
-				}
-				eng.steps <- step{node: api.node, kind: stepDone, outbox: api.outbox}
-			}()
-			prog(api)
-		}(api)
-	}
-
-	m := Metrics{BitBound: bitBound}
-	round := 0
-	var runErr error
-
-collect:
-	for {
-		// Wait for every running node to yield.
-		for running > 0 {
-			s := <-eng.steps
-			st := &states[s.node]
-			switch s.kind {
-			case stepPanic:
-				runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
-					s.node, ids[s.node], round, s.panicVal)
-				st.phase = phaseDone
-				running--
-				break collect
-			case stepDone:
-				st.phase = phaseDone
-				running--
-			case stepNextRound:
-				st.phase = phaseBlocked
-				st.deadline = round + 1
-				running--
-			case stepSleep:
-				st.phase = phaseSleep
-				st.deadline = s.deadline
-				if st.deadline <= round {
-					st.deadline = round + 1
-				}
-				running--
-			}
-			// Route this node's outbox; messages become deliverable at
-			// the next barrier.
-			for _, om := range s.outbox {
-				if om.msg.Bits() > bitBound {
-					runErr = fmt.Errorf("congest: node %d sent %d-bit message, bound is %d",
-						s.node, om.msg.Bits(), bitBound)
-					break collect
-				}
-				to := int(g.Neighbors(s.node)[om.port])
-				if states[to].phase == phaseDone {
-					m.DroppedToDone++
-					continue
-				}
-				states[to].mailbox = append(states[to].mailbox, Inbound{
-					Port: int(revPort[s.node][om.port]),
-					From: s.node,
-					Msg:  om.msg,
-				})
-				m.Messages++
-				m.TotalBits += int64(om.msg.Bits())
-				if om.msg.Bits() > m.MaxMessageBits {
-					m.MaxMessageBits = om.msg.Bits()
-				}
-			}
-		}
-		if cfg.StopOnReject && eng.rejected.Load() {
-			break
-		}
-		// All nodes are blocked, sleeping, or done.
-		alive := false
-		next := -1
-		for i := range states {
-			st := &states[i]
-			if st.phase == phaseDone {
-				continue
-			}
-			alive = true
-			d := st.deadline
-			if len(st.mailbox) > 0 {
-				d = round + 1
-			}
-			if next == -1 || d < next {
-				next = d
-			}
-		}
-		if !alive {
-			break
-		}
-		if next > maxRounds {
-			runErr = fmt.Errorf("congest: exceeded %d rounds", maxRounds)
-			break
-		}
-		round = next // fast-forward over empty rounds
-		eng.round.Store(int64(round))
-		// Wake every node that is due: deadline reached or mail waiting.
-		for i := range states {
-			st := &states[i]
-			if st.phase != phaseBlocked && st.phase != phaseSleep {
-				continue
-			}
-			if st.deadline > round && len(st.mailbox) == 0 {
-				continue
-			}
-			inbox := st.mailbox
-			st.mailbox = nil
-			sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
-			st.phase = phaseRunning
-			running++
-			st.resume <- inbox
+		eng.states[i].prog = progs(i)
+		if sh, ok := eng.states[i].prog.(*shim); ok {
+			eng.states[i].shim = sh
 		}
 	}
 
-	// Shut down: any goroutine that yields or blocks from now on sees the
-	// aborted flag or a closed resume channel and exits via errAborted.
-	eng.aborted.Store(true)
-	for i := range states {
-		close(states[i].resume)
-	}
-	// Drain steps from nodes that were mid-round during an abort; the
-	// steps channel has capacity n, so senders never block, but draining
-	// keeps shutdown prompt. Close after all node goroutines exited.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for range eng.steps {
-		}
-	}()
-	wg.Wait()
-	close(eng.steps)
-	<-done
+	eng.run()
+	eng.shutdown()
 
-	m.Rounds = round
-	m.ModeledRounds = modeled.Load()
-	return &Result{Verdicts: verdicts, Metrics: m}, runErr
+	eng.m.Rounds = eng.round
+	eng.m.ModeledRounds = eng.modeled
+	return &Result{Verdicts: eng.verdicts, Metrics: eng.m}, eng.runErr
 }
 
-// engine is the shared state visible to node APIs.
+// engine is the single-threaded scheduler core. All fields are owned by
+// the engine loop; blocking-node goroutines only observe them through the
+// sequential channel handoff, which establishes the necessary
+// happens-before edges without atomics.
 type engine struct {
-	steps    chan step
-	round    atomic.Int64
-	aborted  atomic.Bool
-	rejected atomic.Bool
+	g         *graph.Graph
+	revPort   [][]int32
+	ids       []int64
+	states    []nodeState
+	apis      []StepAPI
+	verdicts  []Verdict
+	m         Metrics
+	round     int
+	bitBound  int
+	maxRounds int
+	stopOnRej bool
+	rejected  bool
+	modeled   int64
+	curNode   int // node being stepped (for the run-level panic recover)
+	runErr    error
+	wg        sync.WaitGroup // started shim goroutines
+
+	// Event-driven wake tracking: no O(n) scans at round barriers.
+	alive   int       // nodes not yet done
+	dlHeap  []dlEntry // deadline min-heap (lazily invalidated entries)
+	mailDue []int32   // nodes whose mailbox went non-empty this round
+	queued  []bool    // per node: already collected for the current barrier
+}
+
+// run is the scheduler loop: step every due node (in index order, which
+// keeps inboxes sorted by sender without any sorting), route its sends,
+// then fast-forward the global round to the next deadline or delivery.
+// A panic from a native step program unwinds to the single recover here
+// (one deferred frame per run instead of one per node step).
+func (e *engine) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
+				e.curNode, e.ids[e.curNode], e.round, r)
+			e.states[e.curNode].phase = phaseDone
+		}
+	}()
+	n := len(e.states)
+	e.alive = n
+	e.queued = make([]bool, n)
+	due := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		due = append(due, int32(i)) // round 0: every node wakes, empty inbox
+	}
+	for {
+		for _, i := range due {
+			e.curNode = int(i)
+			if !e.stepNode(int(i)) {
+				return // fatal error; sends of this round stay unrouted
+			}
+		}
+		if e.stopOnRej && e.rejected {
+			return
+		}
+		if e.alive == 0 {
+			return
+		}
+		// All nodes are parked; find the next event round. Mail wakes its
+		// recipient one round after delivery; otherwise the next event is
+		// the earliest live deadline in the heap (stale entries — nodes
+		// re-parked with a different deadline — are dropped lazily).
+		next := -1
+		for _, i := range e.mailDue {
+			if e.states[i].phase == phaseWaiting {
+				next = e.round + 1
+				break
+			}
+		}
+		if next == -1 {
+			for len(e.dlHeap) > 0 {
+				top := e.dlHeap[0]
+				st := &e.states[top.node]
+				if st.phase != phaseWaiting || st.deadline != top.round {
+					e.heapPop() // stale
+					continue
+				}
+				next = top.round
+				break
+			}
+			if next == -1 {
+				return // unreachable: every live node has a heap entry
+			}
+		}
+		if next > e.maxRounds {
+			e.runErr = fmt.Errorf("congest: exceeded %d rounds", e.maxRounds)
+			return
+		}
+		e.round = next // fast-forward over empty rounds
+		// Wake every node that is due: deadline reached or mail waiting.
+		// Inboxes are captured for all due nodes before any of them steps,
+		// so same-round sends are only deliverable at the next barrier.
+		due = due[:0]
+		for _, i := range e.mailDue {
+			st := &e.states[i]
+			if st.phase == phaseWaiting && !e.queued[i] {
+				e.queued[i] = true
+				due = append(due, i)
+			}
+		}
+		e.mailDue = e.mailDue[:0]
+		for len(e.dlHeap) > 0 && e.dlHeap[0].round <= e.round {
+			top := e.heapPop()
+			st := &e.states[top.node]
+			if st.phase != phaseWaiting || st.deadline != top.round || e.queued[top.node] {
+				continue // stale or already queued via mail
+			}
+			e.queued[top.node] = true
+			due = append(due, top.node)
+		}
+		slices.Sort(due) // deterministic index order (keeps inboxes sender-sorted)
+		for _, i := range due {
+			st := &e.states[i]
+			e.queued[i] = false
+			st.inbox, st.mailbox = st.mailbox, st.inbox[:0]
+		}
+	}
+}
+
+// dlEntry is a (wake round, node) pair in the deadline min-heap.
+type dlEntry struct {
+	round int
+	node  int32
+}
+
+func (e *engine) heapPush(round int, node int32) {
+	h := append(e.dlHeap, dlEntry{round: round, node: node})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].round <= h[i].round {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.dlHeap = h
+}
+
+func (e *engine) heapPop() dlEntry {
+	h := e.dlHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && h[l].round < h[s].round {
+			s = l
+		}
+		if r < len(h) && h[r].round < h[s].round {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	e.dlHeap = h
+	return top
+}
+
+// stepNode advances node i by one round and routes its sends. It reports
+// false when the run must end (program panic or bit-bound violation).
+func (e *engine) stepNode(i int) bool {
+	st := &e.states[i]
+	api := &e.apis[i]
+	status := st.prog.Step(api, st.inbox)
+	for status.kind == statusBecome || status.kind == statusBecomeStep {
+		if status.kind == statusBecome {
+			// Switch to the blocking model: the continuation starts
+			// running immediately, in the current round, on its own
+			// goroutine.
+			st.shim = newShim(status.cont)
+			st.prog = st.shim
+		} else {
+			st.prog = status.contStep // native handover, same round
+		}
+		status = st.prog.Step(api, st.inbox)
+	}
+	if status.kind == statusPanic {
+		// A blocking program panicked on its goroutine; the shim converts
+		// that into a status instead of unwinding the engine stack.
+		e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
+			i, e.ids[i], e.round, status.panicVal)
+		st.phase = phaseDone
+		return false
+	}
+	// Route this node's outbox; messages become deliverable at the next
+	// barrier. Routing in node index order keeps every mailbox sorted by
+	// sender (at most one message per ordered node pair per round).
+	for _, om := range api.outbox {
+		bits := om.msg.Bits()
+		if bits > e.bitBound {
+			e.runErr = fmt.Errorf("congest: node %d sent %d-bit message, bound is %d",
+				i, bits, e.bitBound)
+			api.clearRound()
+			return false
+		}
+		to := int(e.g.Neighbors(i)[om.port])
+		tst := &e.states[to]
+		// DroppedToDone counts sends to nodes already done at routing
+		// time. A recipient that terminates later in the same round keeps
+		// the message in its mailbox unread and it still counts as
+		// delivered — the deterministic version of the seed engine's
+		// same-round termination race.
+		if tst.phase == phaseDone {
+			e.m.DroppedToDone++
+			continue
+		}
+		if len(tst.mailbox) == 0 {
+			e.mailDue = append(e.mailDue, int32(to))
+		}
+		tst.mailbox = append(tst.mailbox, Inbound{
+			Port: int(e.revPort[i][om.port]),
+			From: i,
+			Msg:  om.msg,
+		})
+		e.m.Messages++
+		e.m.TotalBits += int64(bits)
+		if bits > e.m.MaxMessageBits {
+			e.m.MaxMessageBits = bits
+		}
+	}
+	api.clearRound()
+	switch status.kind {
+	case statusDone:
+		st.phase = phaseDone
+		e.alive--
+	case statusSleep:
+		st.phase = phaseWaiting
+		st.deadline = status.wake
+		if st.deadline <= e.round {
+			st.deadline = e.round + 1
+		}
+		e.heapPush(st.deadline, int32(i))
+	default: // statusRunning
+		st.phase = phaseWaiting
+		st.deadline = e.round + 1
+		e.heapPush(st.deadline, int32(i))
+	}
+	return true
+}
+
+// shutdown aborts every blocking-node goroutine still parked at a yield
+// point and waits for all of them to exit, so that no node code runs
+// after Run returns.
+func (e *engine) shutdown() {
+	for i := range e.states {
+		sh := e.states[i].shim
+		if sh != nil && sh.started && !sh.closed {
+			sh.closed = true
+			close(sh.resume)
+		}
+	}
+	e.wg.Wait()
 }

@@ -1,0 +1,168 @@
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StepProgram is a node program expressed as an explicit state machine:
+// the engine calls Step once per round in which the node is awake, handing
+// it the messages delivered at the current barrier. The returned Status
+// tells the engine when to wake the node next. Step runs to completion
+// without blocking, which lets the engine drive all nodes in a plain loop
+// — no goroutines and no channel operations on the hot path (DESIGN.md §2).
+//
+// The inbox slice is owned by the engine and is only valid until the next
+// Step call for the same node; programs must copy anything they retain.
+type StepProgram interface {
+	Step(api *StepAPI, inbox []Inbound) Status
+}
+
+// StepFunc adapts a plain function to StepProgram.
+type StepFunc func(api *StepAPI, inbox []Inbound) Status
+
+// Step implements StepProgram.
+func (f StepFunc) Step(api *StepAPI, inbox []Inbound) Status { return f(api, inbox) }
+
+type statusKind uint8
+
+const (
+	statusRunning statusKind = iota
+	statusSleep
+	statusDone
+	statusBecome
+	statusBecomeStep
+	statusPanic // internal: shim goroutine panicked
+)
+
+// Status is a StepProgram's yield instruction: it completes the node's
+// current round and tells the engine when to call Step again. The zero
+// value is Running().
+type Status struct {
+	kind     statusKind
+	wake     int
+	cont     Program
+	contStep StepProgram
+	panicVal any
+}
+
+// Running completes the round and wakes the node at the next round.
+func Running() Status { return Status{kind: statusRunning} }
+
+// Sleep completes the round and wakes the node when a message arrives or
+// the global round reaches `untilRound`, whichever comes first (the step
+// counterpart of API.SleepUntil).
+func Sleep(untilRound int) Status { return Status{kind: statusSleep, wake: untilRound} }
+
+// Done terminates the node. Messages sent to it afterwards are dropped
+// (counted in Metrics.DroppedToDone).
+func Done() Status { return Status{kind: statusDone} }
+
+// Become switches the node to the blocking compatibility model: from the
+// current round on, the node runs cont as an ordinary blocking Program on
+// its own goroutine. The continuation starts executing immediately, in the
+// same round in which Become was returned, exactly as if the whole node
+// program had been one sequential function. Native step phases can hand
+// over to not-yet-ported blocking phases this way (e.g. Stage I runs
+// natively and Stage II runs as its blocking continuation).
+func Become(cont Program) Status { return Status{kind: statusBecome, cont: cont} }
+
+// BecomeStep switches the node to a different StepProgram: cont's first
+// Step runs immediately, in the same round, staying on the native fast
+// path. Use it to chain independently written step phases (e.g. Stage I
+// hands over to Stage II).
+func BecomeStep(cont StepProgram) Status { return Status{kind: statusBecomeStep, contStep: cont} }
+
+// StepAPI is a node's handle to the network inside Step calls. It is also
+// the engine-side core that the blocking API wraps, so both execution
+// models share identical send, verdict, and randomness semantics. It is
+// only valid during the node's Step call (or, for blocking programs,
+// between the engine's resume and the program's next yield) and is not
+// safe for concurrent use.
+type StepAPI struct {
+	eng      *engine
+	node     int
+	id       int64
+	n        int
+	degree   int
+	bitBound int
+	rng      *rand.Rand
+
+	outbox []outMsg
+	sent   []uint64 // per-port duplicate-send bitset, cleared each round
+}
+
+// ID returns this node's CONGEST identifier.
+func (a *StepAPI) ID() int64 { return a.id }
+
+// Index returns the node's simulation index (0..n-1). Exposed for tests
+// and output collection; faithful algorithms use ID and ports only.
+func (a *StepAPI) Index() int { return a.node }
+
+// N returns the number of nodes in the network (standard CONGEST
+// assumption: n is global knowledge).
+func (a *StepAPI) N() int { return a.n }
+
+// Degree returns the number of incident edges (ports 0..Degree()-1).
+func (a *StepAPI) Degree() int { return a.degree }
+
+// BitBound returns the per-message bit bound B of this network, so that
+// algorithms can chunk long logical payloads into B-bit messages.
+func (a *StepAPI) BitBound() int { return a.bitBound }
+
+// Rand returns this node's private deterministic randomness source.
+func (a *StepAPI) Rand() *rand.Rand { return a.rng }
+
+// Round returns the current global round number.
+func (a *StepAPI) Round() int { return a.eng.round }
+
+// Send queues m on the given port for delivery at the next round. Sending
+// twice on one port in a single round violates the CONGEST model and
+// panics, as does an out-of-range port.
+func (a *StepAPI) Send(port int, m Message) {
+	if port < 0 || port >= a.degree {
+		panic(fmt.Sprintf("congest: node %d: send on invalid port %d (degree %d)", a.node, port, a.degree))
+	}
+	w, b := port>>6, uint64(1)<<(port&63)
+	if a.sent[w]&b != 0 {
+		panic(fmt.Sprintf("congest: node %d: two messages on port %d in one round", a.node, port))
+	}
+	a.sent[w] |= b
+	a.outbox = append(a.outbox, outMsg{port: port, msg: m})
+}
+
+// SendAll queues m on every port.
+func (a *StepAPI) SendAll(m Message) {
+	for p := 0; p < a.degree; p++ {
+		a.Send(p, m)
+	}
+}
+
+// Output records this node's verdict. The last call wins; a node that
+// never calls Output contributes VerdictNone.
+func (a *StepAPI) Output(v Verdict) {
+	a.eng.verdicts[a.node] = v
+	if v == VerdictReject {
+		a.eng.rejected = true
+	}
+}
+
+// Verdict returns the verdict this node has recorded so far.
+func (a *StepAPI) Verdict() Verdict {
+	return a.eng.verdicts[a.node]
+}
+
+// ChargeModeledRounds adds r to the modeled-rounds counter, accounting for
+// the documented black-box substitutions (DESIGN.md §3).
+func (a *StepAPI) ChargeModeledRounds(r int) {
+	a.eng.modeled += int64(r)
+}
+
+// clearRound resets the per-round send state after the engine drained the
+// outbox. Buffers are retained to avoid per-round allocation.
+func (a *StepAPI) clearRound() {
+	a.outbox = a.outbox[:0]
+	for i := range a.sent {
+		a.sent[i] = 0
+	}
+}

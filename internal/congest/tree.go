@@ -137,14 +137,20 @@ func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bo
 		api.Idle(deadline - api.Round())
 		return collected, ok
 	}
-	queue := append([]Message(nil), items...)
+	// The forward queue holds pre-boxed pipeItem messages: own items are
+	// wrapped once here, received items are forwarded as-is, so an item
+	// is boxed once on its whole root path instead of once per hop.
+	queue := make([]Message, 0, len(items))
+	for _, it := range items {
+		queue = append(queue, pipeItem{payload: it})
+	}
 	doneChildren := 0
 	sentEnd := false
 	for api.Round() < deadline {
 		allDone := doneChildren == len(t.ChildPorts)
 		switch {
 		case len(queue) > 0:
-			api.Send(t.ParentPort, pipeItem{payload: queue[0]})
+			api.Send(t.ParentPort, queue[0])
 			queue = queue[1:]
 		case allDone && !sentEnd:
 			api.Send(t.ParentPort, pipeEnd{})
@@ -160,9 +166,9 @@ func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bo
 			if !t.isChildPort(in.Port) {
 				panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
 			}
-			switch m := in.Msg.(type) {
+			switch in.Msg.(type) {
 			case pipeItem:
-				queue = append(queue, m.payload)
+				queue = append(queue, in.Msg)
 			case pipeEnd:
 				doneChildren++
 			default:
@@ -180,8 +186,9 @@ func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bo
 func (t Tree) BroadcastItemsDown(api *API, deadline int, items []Message) ([]Message, bool) {
 	if t.IsRoot() {
 		for _, it := range items {
+			var m Message = pipeItem{payload: it} // boxed once for all children
 			for _, c := range t.ChildPorts {
-				api.Send(c, pipeItem{payload: it})
+				api.Send(c, m)
 			}
 			api.NextRound()
 		}
@@ -202,7 +209,7 @@ func (t Tree) BroadcastItemsDown(api *API, deadline int, items []Message) ([]Mes
 			case pipeItem:
 				got = append(got, m.payload)
 				for _, c := range t.ChildPorts {
-					api.Send(c, m)
+					api.Send(c, in.Msg) // forward the already-boxed message
 				}
 			case pipeEnd:
 				done = true

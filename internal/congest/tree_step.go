@@ -1,0 +1,344 @@
+package congest
+
+import "fmt"
+
+// Step-native ports of the Tree communication primitives. Each primitive
+// is a small state machine driven from a StepProgram:
+//
+//	completed := sm.Begin(api, ...)   // at the operation's start round
+//	for !completed {
+//	    // yield sm.Wake() to the engine, then on the next wake:
+//	    completed = sm.Feed(api, inbox)
+//	}
+//	result, ok := sm.Result()
+//
+// The machines replicate the blocking versions in tree.go round for round:
+// they send the same messages in the same rounds and complete exactly at
+// their deadline, so a step program composed of them produces byte-identical
+// Results (rounds, message counts, bits) to its blocking counterpart. The
+// structs are reusable: Begin fully resets them, and retained buffers are
+// recycled across operations to keep the hot path allocation-free.
+
+// BroadcastDownStep is the step-native Tree.BroadcastDown: it distributes
+// a message from the root to every tree node, transformed on each hop.
+type BroadcastDownStep struct {
+	t         Tree
+	deadline  int
+	transform func(Message) Message
+	got       Message
+	ok        bool
+}
+
+// Begin starts the broadcast at the current round (the root sends to its
+// children immediately). It returns true when the operation is already
+// complete (deadline reached).
+func (b *BroadcastDownStep) Begin(api *StepAPI, t Tree, deadline int, rootMsg Message, transform func(Message) Message) bool {
+	b.t, b.deadline, b.transform = t, deadline, transform
+	b.got, b.ok = nil, false
+	if t.IsRoot() {
+		b.got, b.ok = rootMsg, true
+		for _, c := range t.ChildPorts {
+			api.Send(c, rootMsg)
+		}
+	}
+	return api.Round() >= b.deadline
+}
+
+// Feed consumes one wake and reports whether the operation completed.
+func (b *BroadcastDownStep) Feed(api *StepAPI, inbox []Inbound) bool {
+	if b.got == nil && !b.t.IsRoot() {
+		for _, in := range inbox {
+			if in.Port != b.t.ParentPort {
+				panic(fmt.Sprintf("congest: BroadcastDown: unexpected message on port %d (node %d)", in.Port, api.Index()))
+			}
+			b.got = in.Msg
+		}
+		if b.got != nil {
+			b.ok = true
+			if b.transform != nil {
+				b.got = b.transform(b.got)
+			}
+			for _, c := range b.t.ChildPorts {
+				api.Send(c, b.got)
+			}
+		}
+	}
+	return api.Round() >= b.deadline
+}
+
+// Wake is the scheduling request while the operation is incomplete.
+func (b *BroadcastDownStep) Wake() Status { return Sleep(b.deadline) }
+
+// Result returns the received message; ok is false when the deadline
+// passed before the message arrived (budget too small).
+func (b *BroadcastDownStep) Result() (Message, bool) { return b.got, b.ok }
+
+// ConvergecastStep is the step-native Tree.Convergecast: it aggregates one
+// message from every tree node to the root.
+type ConvergecastStep struct {
+	t        Tree
+	deadline int
+	own      Message
+	combine  func(own Message, children []Message) Message
+	children []Message // reused across operations
+	missing  int
+	agg      Message
+	ok       bool
+}
+
+// Begin starts the convergecast at the current round. Leaves send to their
+// parent immediately.
+func (c *ConvergecastStep) Begin(api *StepAPI, t Tree, deadline int, own Message, combine func(own Message, children []Message) Message) bool {
+	c.t, c.deadline, c.own, c.combine = t, deadline, own, combine
+	c.children = c.children[:0]
+	for range t.ChildPorts {
+		c.children = append(c.children, nil)
+	}
+	c.missing = len(t.ChildPorts)
+	c.agg, c.ok = nil, false
+	if c.missing == 0 {
+		c.finish(api)
+	}
+	return api.Round() >= c.deadline
+}
+
+// Feed consumes one wake and reports whether the operation completed.
+func (c *ConvergecastStep) Feed(api *StepAPI, inbox []Inbound) bool {
+	if c.missing > 0 {
+		for _, in := range inbox {
+			idx := -1
+			for i, p := range c.t.ChildPorts {
+				if p == in.Port {
+					idx = i
+					break
+				}
+			}
+			if idx == -1 {
+				panic(fmt.Sprintf("congest: Convergecast: unexpected message on port %d (node %d)", in.Port, api.Index()))
+			}
+			if c.children[idx] != nil {
+				panic(fmt.Sprintf("congest: Convergecast: duplicate message from child port %d", in.Port))
+			}
+			c.children[idx] = in.Msg
+			c.missing--
+		}
+		if c.missing == 0 {
+			c.finish(api)
+		}
+	}
+	return api.Round() >= c.deadline
+}
+
+func (c *ConvergecastStep) finish(api *StepAPI) {
+	c.agg = c.combine(c.own, c.children)
+	c.ok = true
+	if !c.t.IsRoot() {
+		api.Send(c.t.ParentPort, c.agg)
+	}
+}
+
+// Wake is the scheduling request while the operation is incomplete.
+func (c *ConvergecastStep) Wake() Status { return Sleep(c.deadline) }
+
+// Result returns the aggregate (the full aggregate at the root, the
+// subtree aggregate elsewhere); ok is false when the deadline passed
+// before all children reported.
+func (c *ConvergecastStep) Result() (Message, bool) { return c.agg, c.ok }
+
+// PipelineUpStep is the step-native Tree.PipelineUp: it streams every
+// node's items to the root, one item per tree edge per round.
+type PipelineUpStep struct {
+	t            Tree
+	deadline     int
+	collected    []Message // root: gathered items
+	queue        []Message // non-root: pending items to forward
+	doneChildren int
+	sentEnd      bool
+	wantNext     bool // non-root: advance one round (NextRound) vs sleep
+}
+
+// Begin starts the pipeline at the current round.
+func (p *PipelineUpStep) Begin(api *StepAPI, t Tree, deadline int, items []Message) bool {
+	p.t, p.deadline = t, deadline
+	p.collected = p.collected[:0]
+	p.queue = p.queue[:0]
+	p.doneChildren = 0
+	p.sentEnd = false
+	if t.IsRoot() {
+		p.collected = append(p.collected, items...)
+		return api.Round() >= p.deadline
+	}
+	for _, it := range items {
+		p.queue = append(p.queue, pipeItem{payload: it}) // boxed once per item
+	}
+	if api.Round() >= p.deadline {
+		return true
+	}
+	p.sendPhase(api)
+	return false
+}
+
+// sendPhase mirrors one send step of the blocking loop body.
+func (p *PipelineUpStep) sendPhase(api *StepAPI) {
+	allDone := p.doneChildren == len(p.t.ChildPorts)
+	switch {
+	case len(p.queue) > 0:
+		api.Send(p.t.ParentPort, p.queue[0])
+		p.queue = p.queue[1:]
+	case allDone && !p.sentEnd:
+		api.Send(p.t.ParentPort, pipeEnd{})
+		p.sentEnd = true
+	}
+	allDone = p.doneChildren == len(p.t.ChildPorts)
+	p.wantNext = !(p.sentEnd || (len(p.queue) == 0 && !allDone))
+}
+
+// Feed consumes one wake and reports whether the operation completed.
+func (p *PipelineUpStep) Feed(api *StepAPI, inbox []Inbound) bool {
+	if p.t.IsRoot() {
+		if p.doneChildren < len(p.t.ChildPorts) {
+			for _, in := range inbox {
+				if !p.t.isChildPort(in.Port) {
+					panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
+				}
+				switch m := in.Msg.(type) {
+				case pipeItem:
+					p.collected = append(p.collected, m.payload)
+				case pipeEnd:
+					p.doneChildren++
+				default:
+					panic("congest: PipelineUp: unexpected message type")
+				}
+			}
+		}
+		return api.Round() >= p.deadline
+	}
+	for _, in := range inbox {
+		if !p.t.isChildPort(in.Port) {
+			panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
+		}
+		switch in.Msg.(type) {
+		case pipeItem:
+			p.queue = append(p.queue, in.Msg)
+		case pipeEnd:
+			p.doneChildren++
+		default:
+			panic("congest: PipelineUp: unexpected message type")
+		}
+	}
+	if api.Round() >= p.deadline {
+		return true
+	}
+	p.sendPhase(api)
+	return false
+}
+
+// Wake is the scheduling request while the operation is incomplete.
+func (p *PipelineUpStep) Wake() Status {
+	if !p.t.IsRoot() && p.wantNext {
+		return Running()
+	}
+	return Sleep(p.deadline)
+}
+
+// Result returns, at the root, all items of the tree (its own first, then
+// received ones in deterministic arrival order) and whether the stream
+// completed; other nodes return nil and whether they flushed their queue.
+func (p *PipelineUpStep) Result() ([]Message, bool) {
+	if p.t.IsRoot() {
+		return p.collected, p.doneChildren == len(p.t.ChildPorts)
+	}
+	return nil, p.sentEnd && len(p.queue) == 0
+}
+
+// BroadcastItemsDownStep is the step-native Tree.BroadcastItemsDown: it
+// streams a sequence of items from the root to every tree node, one item
+// per round, pipelined through the tree.
+type BroadcastItemsDownStep struct {
+	t        Tree
+	deadline int
+	items    []Message // root: the source items
+	got      []Message // non-root: received items (reused)
+	next     int       // root: index of the next item to send
+	endSent  bool      // root: pipeEnd dispatched
+	done     bool      // non-root: pipeEnd received
+}
+
+// Begin starts the stream at the current round (the root sends the first
+// item immediately).
+func (b *BroadcastItemsDownStep) Begin(api *StepAPI, t Tree, deadline int, items []Message) bool {
+	b.t, b.deadline, b.items = t, deadline, items
+	b.got = b.got[:0]
+	b.next, b.endSent, b.done = 0, false, false
+	if t.IsRoot() {
+		b.rootSend(api)
+	}
+	return api.Round() >= b.deadline
+}
+
+func (b *BroadcastItemsDownStep) rootSend(api *StepAPI) {
+	if b.next < len(b.items) {
+		var m Message = pipeItem{payload: b.items[b.next]} // boxed once
+		for _, c := range b.t.ChildPorts {
+			api.Send(c, m)
+		}
+		b.next++
+		return
+	}
+	if !b.endSent {
+		for _, c := range b.t.ChildPorts {
+			api.Send(c, pipeEnd{})
+		}
+		b.endSent = true
+	}
+}
+
+// Feed consumes one wake and reports whether the operation completed.
+func (b *BroadcastItemsDownStep) Feed(api *StepAPI, inbox []Inbound) bool {
+	if b.t.IsRoot() {
+		if !b.endSent {
+			b.rootSend(api)
+		}
+		return api.Round() >= b.deadline
+	}
+	if !b.done {
+		for _, in := range inbox {
+			if in.Port != b.t.ParentPort {
+				panic(fmt.Sprintf("congest: BroadcastItemsDown: unexpected message on port %d (node %d)", in.Port, api.Index()))
+			}
+			switch m := in.Msg.(type) {
+			case pipeItem:
+				b.got = append(b.got, m.payload)
+				for _, c := range b.t.ChildPorts {
+					api.Send(c, in.Msg) // forward the already-boxed message
+				}
+			case pipeEnd:
+				b.done = true
+				for _, c := range b.t.ChildPorts {
+					api.Send(c, pipeEnd{})
+				}
+			default:
+				panic("congest: BroadcastItemsDown: unexpected message type")
+			}
+		}
+	}
+	return api.Round() >= b.deadline
+}
+
+// Wake is the scheduling request while the operation is incomplete.
+func (b *BroadcastItemsDownStep) Wake() Status {
+	if b.t.IsRoot() && !b.endSent {
+		return Running()
+	}
+	return Sleep(b.deadline)
+}
+
+// Result returns the full item sequence as seen by this node; ok is false
+// when the deadline was too small. Non-root callers must copy the slice if
+// they retain it (it is reused by the next Begin).
+func (b *BroadcastItemsDownStep) Result() ([]Message, bool) {
+	if b.t.IsRoot() {
+		return b.items, true
+	}
+	return b.got, b.done
+}

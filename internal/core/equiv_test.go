@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// TestTesterEngineEquivalence proves that the hybrid execution path
+// (native Stage I StepProgram + blocking Stage II continuation) and the
+// all-blocking path produce byte-identical RunResults for fixed seeds on
+// accepting and rejecting inputs across ≥3 graph families (issue
+// acceptance criterion).
+func TestTesterEngineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	far, _ := graph.PlanarPlusRandomEdges(60, 50, rng)
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(8, 8)},
+		{"far-from-planar", far},
+		{"tree-plus-edges", graph.TreePlusRandomEdges(70, 20, rand.New(rand.NewSource(8)))},
+		{"cycle", graph.Cycle(33)},
+	}
+	optsList := []Options{
+		{Epsilon: 0.25},
+		{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Schedule: partition.PracticalSchedule}},
+	}
+	for _, fam := range families {
+		for oi, opts := range optsList {
+			for seed := int64(0); seed < 3; seed++ {
+				hr, hErr := RunTester(fam.g, opts, seed)
+				br, bErr := RunTesterBlocking(fam.g, opts, seed)
+				if (hErr == nil) != (bErr == nil) {
+					t.Fatalf("%s/opts%d/seed%d: err mismatch: hybrid=%v blocking=%v", fam.name, oi, seed, hErr, bErr)
+				}
+				if hErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(hr, br) {
+					t.Fatalf("%s/opts%d/seed%d: result mismatch:\nhybrid:   %+v\nblocking: %+v",
+						fam.name, oi, seed, hr, br)
+				}
+			}
+		}
+	}
+}

@@ -108,6 +108,34 @@ func (m sampleChunk) Bits() int {
 	return b
 }
 
+// depthTransform increments the depth-probe payload on each hop (shared
+// by both execution models of computeBudget).
+func depthTransform(m congest.Message) congest.Message {
+	return valMsg{V: m.(valMsg).V + 1}
+}
+
+// combineMaxVal keeps the maximum valMsg (depth convergecast).
+func combineMaxVal(own congest.Message, ch []congest.Message) congest.Message {
+	best := own.(valMsg).V
+	for _, c := range ch {
+		if v := c.(valMsg).V; v > best {
+			best = v
+		}
+	}
+	return valMsg{V: best}
+}
+
+// combineCounts sums (node, assigned-edge) counts up the BFS tree.
+func combineCounts(own congest.Message, ch []congest.Message) congest.Message {
+	c := own.(countsMsg)
+	for _, x := range ch {
+		xc := x.(countsMsg)
+		c.N += xc.N
+		c.M += xc.M
+	}
+	return c
+}
+
 // labelElems flattens a label pair for chunking.
 func labelElems(u, v Label) []int32 {
 	out := make([]int32, 0, len(u)+len(v)+2)
@@ -133,5 +161,7 @@ func parseLabelPair(elems []int32) (LabeledEdge, bool) {
 		return LabeledEdge{}, false
 	}
 	v := Label(elems[2+lu:])
-	return NewLabeledEdge(append(Label(nil), u...), append(Label(nil), v...)), true
+	// The returned labels alias elems; callers pass freshly assembled
+	// slices that are not reused afterwards.
+	return NewLabeledEdge(u, v), true
 }

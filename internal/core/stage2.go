@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 
 	"repro/internal/congest"
@@ -125,21 +126,11 @@ type stage2 struct {
 func (s *stage2) computeBudget() {
 	t := s.part.Tree
 	probe := s.api.N() + 2
-	d, ok := t.BroadcastDown(s.api, s.api.Round()+probe, valMsg{V: 0}, func(m congest.Message) congest.Message {
-		return valMsg{V: m.(valMsg).V + 1}
-	})
+	d, ok := t.BroadcastDown(s.api, s.api.Round()+probe, valMsg{V: 0}, depthTransform)
 	if !ok {
 		panic("core: depth probe under-budgeted")
 	}
-	maxd, ok := t.Convergecast(s.api, s.api.Round()+probe, d, func(own congest.Message, ch []congest.Message) congest.Message {
-		best := own.(valMsg).V
-		for _, c := range ch {
-			if v := c.(valMsg).V; v > best {
-				best = v
-			}
-		}
-		return valMsg{V: best}
-	})
+	maxd, ok := t.Convergecast(s.api, s.api.Round()+probe, d, combineMaxVal)
 	if !ok {
 		panic("core: depth convergecast under-budgeted")
 	}
@@ -252,16 +243,7 @@ func (s *stage2) assignEdges() {
 // false when the part rejected.
 func (s *stage2) countAndCheckEuler() bool {
 	d := s.api.Round() + s.budget + 2
-	agg, ok := s.tree.Convergecast(s.api, d, countsMsg{N: 1, M: int64(len(s.assigned))},
-		func(own congest.Message, ch []congest.Message) congest.Message {
-			c := own.(countsMsg)
-			for _, x := range ch {
-				xc := x.(countsMsg)
-				c.N += xc.N
-				c.M += xc.M
-			}
-			return c
-		})
+	agg, ok := s.tree.Convergecast(s.api, d, countsMsg{N: 1, M: int64(len(s.assigned))}, combineCounts)
 	if !ok {
 		panic("core: counts convergecast under-budgeted")
 	}
@@ -299,46 +281,9 @@ func (s *stage2) embed() bool {
 	var out []congest.Message
 	strictFail := false
 	if s.tree.IsRoot() {
-		// Build the part graph on dense indices.
-		idOf := make([]int64, 0, s.partN)
-		idx := make(map[int64]int, s.partN)
-		add := func(id int64) int {
-			if i, ok := idx[id]; ok {
-				return i
-			}
-			idx[id] = len(idOf)
-			idOf = append(idOf, id)
-			return len(idOf) - 1
-		}
-		add(s.api.ID())
-		type pair struct{ a, b int }
-		pairs := make([]pair, 0, len(collected))
-		for _, it := range collected {
-			e := it.(edgeItem)
-			pairs = append(pairs, pair{add(e.A), add(e.B)})
-		}
-		b := graph.NewBuilder(len(idOf))
-		for _, p := range pairs {
-			b.AddEdge(p.a, p.b)
-		}
-		pg := b.Build()
-		res := planar.EmbedOrFallback(pg, s.opts.EmbedMode)
-		if !res.Planar && s.opts.StrictEmbedReject {
-			strictFail = true
-		} else {
-			for v := 0; v < pg.N(); v++ {
-				for i, w := range res.Embedding.Rotation(v) {
-					out = append(out, rotItem{Node: idOf[v], Idx: int32(i), Nbr: idOf[w]})
-				}
-			}
-		}
+		out, strictFail = embedRotationItems(collected, s.api.ID(), s.partN, s.opts)
 		// Modeled cost of the real GH embedding (DESIGN.md §3).
-		logn := int(math.Ceil(math.Log2(float64(s.api.N() + 1))))
-		mD := s.maxDepth
-		if logn < mD {
-			mD = logn
-		}
-		s.api.ChargeModeledRounds(2*s.maxDepth + mD)
+		s.api.ChargeModeledRounds(modeledEmbedRounds(s.api.N(), s.maxDepth))
 	}
 	if strictFail {
 		out = []congest.Message{embedFail{}}
@@ -353,11 +298,68 @@ func (s *stage2) embed() bool {
 			return false
 		}
 	}
-	// Extract this node's rotation, mapping neighbor ids back to ports.
-	portOf := make(map[int64]int, s.api.Degree())
-	for p, ok := range s.intra {
+	s.rotPorts = rotationPorts(got, s.api.ID(), s.intra, s.nbrID)
+	return true
+}
+
+// embedRotationItems is the root-side embedding step shared by both
+// execution models: it builds the part graph from the gathered edge list,
+// runs the (substituted) embedding, and flattens the rotation system into
+// scatter items.
+func embedRotationItems(collected []congest.Message, rootID int64, partN int64, opts StageIIOptions) (out []congest.Message, strictFail bool) {
+	// Build the part graph on dense indices.
+	idOf := make([]int64, 0, partN)
+	idx := make(map[int64]int, partN)
+	add := func(id int64) int {
+		if i, ok := idx[id]; ok {
+			return i
+		}
+		idx[id] = len(idOf)
+		idOf = append(idOf, id)
+		return len(idOf) - 1
+	}
+	add(rootID)
+	type pair struct{ a, b int }
+	pairs := make([]pair, 0, len(collected))
+	for _, it := range collected {
+		e := it.(edgeItem)
+		pairs = append(pairs, pair{add(e.A), add(e.B)})
+	}
+	b := graph.NewBuilder(len(idOf))
+	for _, p := range pairs {
+		b.AddEdge(p.a, p.b)
+	}
+	pg := b.Build()
+	res := planar.EmbedOrFallback(pg, opts.EmbedMode)
+	if !res.Planar && opts.StrictEmbedReject {
+		return nil, true
+	}
+	for v := 0; v < pg.N(); v++ {
+		for i, w := range res.Embedding.Rotation(v) {
+			out = append(out, rotItem{Node: idOf[v], Idx: int32(i), Nbr: idOf[w]})
+		}
+	}
+	return out, false
+}
+
+// modeledEmbedRounds is the charged round cost O(D + min(log n, D)) of the
+// Ghaffari–Haeupler embedding substitution.
+func modeledEmbedRounds(n, maxDepth int) int {
+	logn := int(math.Ceil(math.Log2(float64(n + 1))))
+	mD := maxDepth
+	if logn < mD {
+		mD = logn
+	}
+	return 2*maxDepth + mD
+}
+
+// rotationPorts extracts this node's rotation from the scattered items,
+// mapping neighbor ids back to ports (shared by both execution models).
+func rotationPorts(got []congest.Message, id int64, intra []bool, nbrID []int64) []int {
+	portOf := make(map[int64]int, len(intra))
+	for p, ok := range intra {
 		if ok {
-			portOf[s.nbrID[p]] = p
+			portOf[nbrID[p]] = p
 		}
 	}
 	type entry struct {
@@ -366,35 +368,49 @@ func (s *stage2) embed() bool {
 	}
 	var mine []entry
 	for _, it := range got {
-		if r, ok := it.(rotItem); ok && r.Node == s.api.ID() {
+		if r, ok := it.(rotItem); ok && r.Node == id {
 			mine = append(mine, entry{r.Idx, r.Nbr})
 		}
 	}
 	sort.Slice(mine, func(i, j int) bool { return mine[i].idx < mine[j].idx })
-	s.rotPorts = make([]int, 0, len(mine))
+	rotPorts := make([]int, 0, len(mine))
 	for _, e := range mine {
 		p, ok := portOf[e.nbr]
 		if !ok {
 			panic("core: rotation references unknown neighbor")
 		}
-		s.rotPorts = append(s.rotPorts, p)
+		rotPorts = append(rotPorts, p)
 	}
-	return true
+	return rotPorts
 }
 
-// labelWireBits is the per-element size used when chunking labels.
-func (s *stage2) labelElemsPerChunk() int {
-	per := (s.api.BitBound() - 16) / (congest.BitsForID(s.api.N()) + 2)
+// labelElemsPerChunkFor is the per-element size used when chunking labels
+// (shared by both execution models).
+func labelElemsPerChunkFor(bitBound, n int) int {
+	per := (bitBound - 16) / (congest.BitsForID(n) + 2)
 	if per < 1 {
 		per = 1
 	}
 	return per
 }
 
-// chunksPerLabel bounds the chunk count of any label in this part: label
+// chunksPerLabelFor bounds the chunk count of any label in a part: label
 // length equals BFS depth, which is at most the part diameter <= budget.
+func chunksPerLabelFor(budget, per int) int {
+	return (budget+2)/per + 1
+}
+
+// sampleWant is the Theta(log n / eps) sample-size target of §2.2.2.
+func sampleWant(opts StageIIOptions, n int) float64 {
+	return opts.SampleCoeff * (math.Log(float64(n)) + 1) / opts.Epsilon
+}
+
+func (s *stage2) labelElemsPerChunk() int {
+	return labelElemsPerChunkFor(s.api.BitBound(), s.api.N())
+}
+
 func (s *stage2) chunksPerLabel() int {
-	return (s.budget+2)/s.labelElemsPerChunk() + 1
+	return chunksPerLabelFor(s.budget, s.labelElemsPerChunk())
 }
 
 // distributeLabels implements the labeling of §2.2.2: each node's label is
@@ -402,27 +418,7 @@ func (s *stage2) chunksPerLabel() int {
 // (counted from the parent edge in the embedding's rotation). Labels are
 // chunked down the BFS tree.
 func (s *stage2) distributeLabels() {
-	// Edge positions from the rotation: walk counterclockwise starting at
-	// the parent edge (the tree's outer-face walk order; see
-	// EdgePositions). All intra-part edges get positions; tree children
-	// extend vertex labels, non-tree edges extend attachment labels.
-	s.edgePos = make(map[int]int32, len(s.rotPorts))
-	start := 0
-	if s.tree.ParentPort >= 0 {
-		for i, p := range s.rotPorts {
-			if p == s.tree.ParentPort {
-				start = i
-				break
-			}
-		}
-	}
-	for k := 0; k < len(s.rotPorts); k++ {
-		p := s.rotPorts[((start-k)%len(s.rotPorts)+len(s.rotPorts))%len(s.rotPorts)]
-		s.edgePos[p] = int32(k)
-		if s.tree.ParentPort < 0 {
-			s.edgePos[p] = int32(k) + 1
-		}
-	}
+	s.edgePos = edgePositionsFromRotation(s.rotPorts, s.tree.ParentPort)
 	childIdx := make(map[int]int32, len(s.tree.ChildPorts))
 	for _, c := range s.tree.ChildPorts {
 		childIdx[c] = s.edgePos[c]
@@ -434,11 +430,15 @@ func (s *stage2) distributeLabels() {
 	sendToChildren := func() {
 		// Stream each child its full label (ours plus its edge index),
 		// one chunk per round per child, in lockstep across children.
+		childLbl := make([]Label, len(s.tree.ChildPorts))
+		for i, c := range s.tree.ChildPorts {
+			childLbl[i] = append(append(make(Label, 0, len(s.label)+1), s.label...), childIdx[c])
+		}
 		maxLen := len(s.label) + 1
 		chunks := (maxLen + per - 1) / per
 		for ci := 0; ci < chunks; ci++ {
-			for _, c := range s.tree.ChildPorts {
-				lbl := append(append(Label{}, s.label...), childIdx[c])
+			for i, c := range s.tree.ChildPorts {
+				lbl := childLbl[i]
 				lo := ci * per
 				hi := lo + per
 				if hi > len(lbl) {
@@ -542,19 +542,51 @@ func isIn(xs []int, x int) bool {
 	return false
 }
 
+// edgePositionsFromRotation computes, per intra-part port, the edge's
+// attachment position: the counterclockwise walk order starting from the
+// parent edge (the tree's outer-face walk order; see EdgePositions). All
+// intra-part edges get positions; tree children extend vertex labels,
+// non-tree edges extend attachment labels. Shared by both execution
+// models.
+func edgePositionsFromRotation(rotPorts []int, parentPort int) map[int]int32 {
+	edgePos := make(map[int]int32, len(rotPorts))
+	start := 0
+	if parentPort >= 0 {
+		for i, p := range rotPorts {
+			if p == parentPort {
+				start = i
+				break
+			}
+		}
+	}
+	for k := 0; k < len(rotPorts); k++ {
+		p := rotPorts[((start-k)%len(rotPorts)+len(rotPorts))%len(rotPorts)]
+		edgePos[p] = int32(k)
+		if parentPort < 0 {
+			edgePos[p] = int32(k) + 1
+		}
+	}
+	return edgePos
+}
+
 // assignedNonTree returns the labeled pairs of this node's assigned
 // non-tree edges, using attachment labels at both endpoints.
 func (s *stage2) assignedNonTree() []LabeledEdge {
+	return assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
+}
+
+// assignedNonTreeEdges is the shared implementation of assignedNonTree.
+func assignedNonTreeEdges(assigned []int, tree congest.Tree, nbrLabels map[int]Label, label Label, edgePos map[int]int32) []LabeledEdge {
 	var out []LabeledEdge
-	for _, p := range s.assigned {
-		if p == s.tree.ParentPort || isIn(s.tree.ChildPorts, p) {
+	for _, p := range assigned {
+		if p == tree.ParentPort || isIn(tree.ChildPorts, p) {
 			continue
 		}
-		nl, ok := s.nbrLabels[p]
+		nl, ok := nbrLabels[p]
 		if !ok {
 			panic("core: missing neighbor label on assigned non-tree edge")
 		}
-		mine := append(append(Label{}, s.label...), s.edgePos[p])
+		mine := append(append(Label{}, label...), edgePos[p])
 		out = append(out, NewLabeledEdge(mine, nl))
 	}
 	return out
@@ -565,36 +597,14 @@ func (s *stage2) assignedNonTree() []LabeledEdge {
 // whole part (§2.2.2). Every node returns the sampled label pairs.
 func (s *stage2) sampleAndShare() []LabeledEdge {
 	mt := s.partM - (s.partN - 1) // non-tree edge count m~
-	want := s.opts.SampleCoeff * (math.Log(float64(s.api.N())) + 1) / s.opts.Epsilon
+	want := sampleWant(s.opts, s.api.N())
 	capEdges := int(4*want) + 8
 	chunksPer := 2*s.chunksPerLabel() + 2
 
 	var items []congest.Message
 	if mt > 0 {
-		p := want / float64(mt)
-		mine := s.assignedNonTree()
-		per := s.labelElemsPerChunk()
-		for ei, le := range mine {
-			if p < 1 && s.api.Rand().Float64() >= p {
-				continue
-			}
-			elems := labelElems(le.U, le.V)
-			total := (len(elems) + per - 1) / per
-			for ci := 0; ci < total; ci++ {
-				lo := ci * per
-				hi := lo + per
-				if hi > len(elems) {
-					hi = len(elems)
-				}
-				items = append(items, sampleChunk{
-					Owner: s.api.ID(),
-					EIdx:  int32(ei),
-					CIdx:  int32(ci),
-					Last:  ci == total-1,
-					Elems: elems[lo:hi],
-				})
-			}
-		}
+		items = buildSampleChunks(s.assignedNonTree(), want/float64(mt),
+			s.labelElemsPerChunk(), s.api.ID(), s.api.Rand())
 	}
 	budget := capEdges*chunksPer + s.budget + 6
 	up, _ := s.tree.PipelineUp(s.api, s.api.Round()+budget, items)
@@ -604,36 +614,74 @@ func (s *stage2) sampleAndShare() []LabeledEdge {
 		up = up[:capEdges*chunksPer]
 	}
 	down, _ := s.tree.BroadcastItemsDown(s.api, s.api.Round()+budget, up)
+	return collectSamples(down)
+}
 
-	type key struct {
-		owner int64
-		eidx  int32
+// buildSampleChunks samples each assigned non-tree edge with probability p
+// and chunks the selected label pairs (shared by both execution models;
+// the RNG draw order is part of the deterministic schedule).
+func buildSampleChunks(mine []LabeledEdge, p float64, per int, id int64, rng *rand.Rand) []congest.Message {
+	var items []congest.Message
+	for ei, le := range mine {
+		if p < 1 && rng.Float64() >= p {
+			continue
+		}
+		elems := labelElems(le.U, le.V)
+		total := (len(elems) + per - 1) / per
+		for ci := 0; ci < total; ci++ {
+			lo := ci * per
+			hi := lo + per
+			if hi > len(elems) {
+				hi = len(elems)
+			}
+			items = append(items, sampleChunk{
+				Owner: id,
+				EIdx:  int32(ei),
+				CIdx:  int32(ci),
+				Last:  ci == total-1,
+				Elems: elems[lo:hi],
+			})
+		}
 	}
-	parts := make(map[key][]sampleChunk)
+	return items
+}
+
+// collectSamples reassembles the scattered sample chunks into label pairs
+// (shared by both execution models).
+func collectSamples(down []congest.Message) []LabeledEdge {
+	chunks := make([]sampleChunk, 0, len(down))
 	for _, it := range down {
 		if sc, ok := it.(sampleChunk); ok {
-			k := key{sc.Owner, sc.EIdx}
-			parts[k] = append(parts[k], sc)
+			chunks = append(chunks, sc)
 		}
 	}
-	var keys []key
-	for k := range parts {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].owner != keys[j].owner {
-			return keys[i].owner < keys[j].owner
+	// One global (owner, edge, chunk) sort replaces the per-edge grouping
+	// map; chunk keys are unique, so the grouped order is identical.
+	sort.Slice(chunks, func(i, j int) bool {
+		if chunks[i].Owner != chunks[j].Owner {
+			return chunks[i].Owner < chunks[j].Owner
 		}
-		return keys[i].eidx < keys[j].eidx
+		if chunks[i].EIdx != chunks[j].EIdx {
+			return chunks[i].EIdx < chunks[j].EIdx
+		}
+		return chunks[i].CIdx < chunks[j].CIdx
 	})
 	var out []LabeledEdge
-	for _, k := range keys {
-		cs := parts[k]
-		sort.Slice(cs, func(i, j int) bool { return cs[i].CIdx < cs[j].CIdx })
+	for lo := 0; lo < len(chunks); {
+		hi := lo + 1
+		for hi < len(chunks) && chunks[hi].Owner == chunks[lo].Owner && chunks[hi].EIdx == chunks[lo].EIdx {
+			hi++
+		}
+		cs := chunks[lo:hi]
+		lo = hi
 		if !cs[len(cs)-1].Last {
 			continue // truncated edge; skip
 		}
-		var elems []int32
+		n := 0
+		for _, c := range cs {
+			n += len(c.Elems)
+		}
+		elems := make([]int32, 0, n)
 		for _, c := range cs {
 			elems = append(elems, c.Elems...)
 		}

@@ -1,0 +1,656 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/partition"
+)
+
+// This file is the native StepProgram port of Stage II (stage2.go). The
+// schedule is a linear script of tree operations (driven by the step
+// state machines of package congest), single exchange rounds, and three
+// message-driven windows (BFS construction and the two label streams).
+// The port is round-exact: it sends the same messages in the same rounds,
+// draws the same per-node randomness in the same order, and calls Output
+// at the same rounds as the blocking implementation, so the hybrid tester
+// produces byte-identical Results (TestTesterEngineEquivalence). Local
+// computation is shared with the blocking path (embedRotationItems,
+// edgePositionsFromRotation, buildSampleChunks, collectSamples, ...).
+
+type s2op uint8
+
+const (
+	o2DepthDown  s2op = iota // bcast: depth probe (+1 per hop)
+	o2DepthUp                // cvg: max depth
+	o2DepthAgree             // bcast: agreed depth -> budget
+	o2Identity               // cross: part root + id exchange
+	o2BFS                    // window: BFS tree construction
+	o2Levels                 // cross: BFS levels -> edge assignment
+	o2CountUp                // cvg: (n, m) counts
+	o2CountDown              // bcast: counts + Euler decision
+	o2GatherUp               // pipeline: edge list to the root
+	o2Scatter                // stream: rotation items down (root embeds)
+	o2Labels                 // window: vertex label wave
+	o2Exchange               // window: non-tree attachment label swap
+	o2SampleUp               // pipeline: sampled label pairs to the root
+	o2SampleDown             // stream: samples to the whole part
+	o2Finish                 // local: violation checks + verdict
+)
+
+// NewStageIINode returns the native Stage II continuation for a node with
+// the given Stage I outcome. It is the step counterpart of RunStageII plus
+// the TestPlanarity verdict wrap-up.
+func NewStageIINode(part *partition.Outcome, opts StageIIOptions) congest.StepProgram {
+	return &stage2Node{part: part, opts: opts.withDefaults()}
+}
+
+type stage2Node struct {
+	part *partition.Outcome
+	opts StageIIOptions
+
+	pc   s2op
+	inOp bool
+
+	bd  congest.BroadcastDownStep
+	cv  congest.ConvergecastStep
+	pu  congest.PipelineUpStep
+	bid congest.BroadcastItemsDownStep
+	reg congest.Message // result register between dependent ops
+
+	// Mirror of the blocking stage2 state.
+	budget    int
+	maxDepth  int
+	intra     []bool
+	nbrID     []int64
+	nbrLvl    []int64
+	tree      congest.Tree
+	level     int64
+	assigned  []int
+	partN     int64
+	partM     int64
+	rotPorts  []int
+	label     Label
+	edgePos   map[int]int32
+	nbrLabels map[int]Label
+
+	// Window state (BFS / label wave / label exchange).
+	deadline   int
+	adopted    bool
+	parentPort int
+	childPorts []int
+	per        int
+	chunks     int
+	ci         int
+	childLbl   []Label
+	streaming  bool
+	gotAll     bool
+	childIdx   map[int]int32
+	xPorts     []int
+	attach     map[int]Label
+	finished   map[int]bool
+
+	// Sampling state.
+	capChunks int // capEdges * chunksPer truncation bound
+	sBudget   int
+	samples   []LabeledEdge
+	verdict   congest.Verdict
+}
+
+// Step advances the linear Stage II script; completed ops chain into the
+// next one within the same wake (ops complete exactly at their deadline).
+func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	for {
+		switch s.pc {
+		case o2DepthDown:
+			if !s.inOp {
+				if !s.bd.Begin(api, s.part.Tree, api.Round()+api.N()+2, valMsg{V: 0}, depthTransform) {
+					s.inOp = true
+					return s.bd.Wake()
+				}
+			} else if !s.bd.Feed(api, inbox) {
+				return s.bd.Wake()
+			} else {
+				s.inOp = false
+			}
+			d, ok := s.bd.Result()
+			if !ok {
+				panic("core: depth probe under-budgeted")
+			}
+			s.reg = d
+			s.pc = o2DepthUp
+
+		case o2DepthUp:
+			if !s.inOp {
+				if !s.cv.Begin(api, s.part.Tree, api.Round()+api.N()+2, s.reg, combineMaxVal) {
+					s.inOp = true
+					return s.cv.Wake()
+				}
+			} else if !s.cv.Feed(api, inbox) {
+				return s.cv.Wake()
+			} else {
+				s.inOp = false
+			}
+			maxd, ok := s.cv.Result()
+			if !ok {
+				panic("core: depth convergecast under-budgeted")
+			}
+			s.reg = maxd
+			s.pc = o2DepthAgree
+
+		case o2DepthAgree:
+			if !s.inOp {
+				if !s.bd.Begin(api, s.part.Tree, api.Round()+api.N()+2, s.reg, nil) {
+					s.inOp = true
+					return s.bd.Wake()
+				}
+			} else if !s.bd.Feed(api, inbox) {
+				return s.bd.Wake()
+			} else {
+				s.inOp = false
+			}
+			agreed, ok := s.bd.Result()
+			if !ok {
+				panic("core: depth broadcast under-budgeted")
+			}
+			s.maxDepth = int(agreed.(valMsg).V)
+			s.budget = 2*s.maxDepth + 2
+			s.pc = o2Identity
+
+		case o2Identity:
+			if !s.inOp {
+				api.SendAll(announceMsg{PartRoot: s.part.RootID, ID: api.ID()})
+				s.inOp = true
+				return congest.Running()
+			}
+			s.inOp = false
+			deg := api.Degree()
+			s.intra = make([]bool, deg)
+			s.nbrID = make([]int64, deg)
+			for _, in := range inbox {
+				am, ok := in.Msg.(announceMsg)
+				if !ok {
+					continue // skewed-schedule tolerance (see stage2.go)
+				}
+				s.intra[in.Port] = am.PartRoot == s.part.RootID
+				s.nbrID[in.Port] = am.ID
+			}
+			s.pc = o2BFS
+
+		case o2BFS:
+			if !s.inOp {
+				s.deadline = api.Round() + s.budget + 3
+				s.parentPort = -1
+				s.childPorts = nil
+				s.adopted = s.part.Tree.IsRoot()
+				s.level = 0
+				if s.adopted {
+					for p, ok := range s.intra {
+						if ok {
+							api.Send(p, bfsMsg{Level: 0})
+						}
+					}
+				}
+				s.inOp = true
+				if api.Round() < s.deadline {
+					return congest.Sleep(s.deadline)
+				}
+			} else if !s.feedBFS(api, inbox) {
+				return congest.Sleep(s.deadline)
+			}
+			s.inOp = false
+			if !s.adopted {
+				panic("core: BFS did not reach a part node (invalid partition)")
+			}
+			sort.Ints(s.childPorts)
+			s.tree = congest.Tree{ParentPort: s.parentPort, ChildPorts: s.childPorts}
+			if s.part.Tree.IsRoot() {
+				s.tree.ParentPort = -1
+			}
+			s.pc = o2Levels
+
+		case o2Levels:
+			if !s.inOp {
+				for p, ok := range s.intra {
+					if ok {
+						api.Send(p, lvlMsg{Level: s.level})
+					}
+				}
+				s.inOp = true
+				return congest.Running()
+			}
+			s.inOp = false
+			s.nbrLvl = make([]int64, api.Degree())
+			for _, in := range inbox {
+				if m, ok := in.Msg.(lvlMsg); ok {
+					s.nbrLvl[in.Port] = m.Level
+				}
+			}
+			for p, ok := range s.intra {
+				if !ok {
+					continue
+				}
+				if s.level > s.nbrLvl[p] || (s.level == s.nbrLvl[p] && api.ID() > s.nbrID[p]) {
+					s.assigned = append(s.assigned, p)
+				}
+			}
+			s.pc = o2CountUp
+
+		case o2CountUp:
+			if !s.inOp {
+				own := countsMsg{N: 1, M: int64(len(s.assigned))}
+				if !s.cv.Begin(api, s.tree, api.Round()+s.budget+2, own, combineCounts) {
+					s.inOp = true
+					return s.cv.Wake()
+				}
+			} else if !s.cv.Feed(api, inbox) {
+				return s.cv.Wake()
+			} else {
+				s.inOp = false
+			}
+			agg, ok := s.cv.Result()
+			if !ok {
+				panic("core: counts convergecast under-budgeted")
+			}
+			s.reg = agg
+			s.pc = o2CountDown
+
+		case o2CountDown:
+			if !s.inOp {
+				c := s.reg.(countsMsg)
+				if s.tree.IsRoot() {
+					c.Reject = c.N >= 3 && c.M > 3*c.N-6
+				}
+				if !s.bd.Begin(api, s.tree, api.Round()+s.budget+2, c, nil) {
+					s.inOp = true
+					return s.bd.Wake()
+				}
+			} else if !s.bd.Feed(api, inbox) {
+				return s.bd.Wake()
+			} else {
+				s.inOp = false
+			}
+			res, ok := s.bd.Result()
+			if !ok {
+				panic("core: counts broadcast under-budgeted")
+			}
+			rc := res.(countsMsg)
+			s.partN = rc.N
+			s.partM = rc.M
+			if rc.Reject {
+				s.verdict = congest.VerdictAccept
+				if s.tree.IsRoot() {
+					api.Output(congest.VerdictReject)
+					s.verdict = congest.VerdictReject
+				}
+				s.pc = o2Finish
+				continue
+			}
+			if s.partM == 0 || s.partN <= 2 {
+				s.verdict = congest.VerdictAccept // trivially planar part
+				s.pc = o2Finish
+				continue
+			}
+			s.pc = o2GatherUp
+
+		case o2GatherUp:
+			if !s.inOp {
+				items := make([]congest.Message, 0, len(s.assigned))
+				for _, p := range s.assigned {
+					items = append(items, edgeItem{A: api.ID(), B: s.nbrID[p]})
+				}
+				gatherBudget := int(s.partM) + s.budget + 4
+				if !s.pu.Begin(api, s.tree, api.Round()+gatherBudget, items) {
+					s.inOp = true
+					return s.pu.Wake()
+				}
+			} else if !s.pu.Feed(api, inbox) {
+				return s.pu.Wake()
+			} else {
+				s.inOp = false
+			}
+			collected, ok := s.pu.Result()
+			if s.tree.IsRoot() && !ok {
+				panic("core: edge gather under-budgeted")
+			}
+			if s.tree.IsRoot() {
+				s.reg = edgeListMsg{items: collected}
+			}
+			s.pc = o2Scatter
+
+		case o2Scatter:
+			if !s.inOp {
+				var out []congest.Message
+				strictFail := false
+				if s.tree.IsRoot() {
+					collected := s.reg.(edgeListMsg).items
+					out, strictFail = embedRotationItems(collected, api.ID(), s.partN, s.opts)
+					api.ChargeModeledRounds(modeledEmbedRounds(api.N(), s.maxDepth))
+				}
+				if strictFail {
+					out = []congest.Message{embedFail{}}
+				}
+				scatterBudget := int(2*s.partM) + s.budget + 6
+				if !s.bid.Begin(api, s.tree, api.Round()+scatterBudget, out) {
+					s.inOp = true
+					return s.bid.Wake()
+				}
+			} else if !s.bid.Feed(api, inbox) {
+				return s.bid.Wake()
+			} else {
+				s.inOp = false
+			}
+			got, ok := s.bid.Result()
+			if !ok {
+				panic("core: rotation scatter under-budgeted")
+			}
+			if len(got) == 1 {
+				if _, fail := got[0].(embedFail); fail {
+					s.verdict = congest.VerdictAccept
+					if s.tree.IsRoot() {
+						api.Output(congest.VerdictReject)
+						s.verdict = congest.VerdictReject
+					}
+					s.pc = o2Finish
+					continue
+				}
+			}
+			s.rotPorts = rotationPorts(got, api.ID(), s.intra, s.nbrID)
+			s.pc = o2Labels
+
+		case o2Labels:
+			if !s.inOp {
+				s.beginLabels(api)
+				s.inOp = true
+				return s.labelsWake()
+			}
+			done, st := s.feedLabels(api, inbox)
+			if !done {
+				return st
+			}
+			s.inOp = false
+			s.pc = o2Exchange
+
+		case o2Exchange:
+			if !s.inOp {
+				s.beginExchange(api)
+				s.inOp = true
+				return s.exchangeWake()
+			}
+			done, st := s.feedExchange(api, inbox)
+			if !done {
+				return st
+			}
+			s.inOp = false
+			s.pc = o2SampleUp
+
+		case o2SampleUp:
+			if !s.inOp {
+				mt := s.partM - (s.partN - 1)
+				want := sampleWant(s.opts, api.N())
+				capEdges := int(4*want) + 8
+				chunksPer := 2*chunksPerLabelFor(s.budget, s.per) + 2
+				s.capChunks = capEdges * chunksPer
+				s.sBudget = s.capChunks + s.budget + 6
+				var items []congest.Message
+				if mt > 0 {
+					mine := assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
+					items = buildSampleChunks(mine, want/float64(mt), s.per, api.ID(), api.Rand())
+				}
+				if !s.pu.Begin(api, s.tree, api.Round()+s.sBudget, items) {
+					s.inOp = true
+					return s.pu.Wake()
+				}
+			} else if !s.pu.Feed(api, inbox) {
+				return s.pu.Wake()
+			} else {
+				s.inOp = false
+			}
+			up, _ := s.pu.Result()
+			if s.tree.IsRoot() {
+				s.reg = edgeListMsg{items: up}
+			}
+			s.pc = o2SampleDown
+
+		case o2SampleDown:
+			if !s.inOp {
+				var up []congest.Message
+				if s.tree.IsRoot() {
+					up = s.reg.(edgeListMsg).items
+					if len(up) > s.capChunks {
+						up = up[:s.capChunks] // oversampling tail event
+					}
+				}
+				if !s.bid.Begin(api, s.tree, api.Round()+s.sBudget, up) {
+					s.inOp = true
+					return s.bid.Wake()
+				}
+			} else if !s.bid.Feed(api, inbox) {
+				return s.bid.Wake()
+			} else {
+				s.inOp = false
+			}
+			down, _ := s.bid.Result()
+			s.samples = collectSamples(down)
+			s.pc = o2Finish
+
+			// Step K: local violation checks (Definition 7).
+			s.verdict = congest.VerdictAccept
+			mine := assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
+		detect:
+			for _, m := range mine {
+				for _, sm := range s.samples {
+					if Intersects(m, sm) {
+						api.Output(congest.VerdictReject)
+						s.verdict = congest.VerdictReject
+						break detect
+					}
+				}
+			}
+
+		case o2Finish:
+			// TestPlanarity wrap-up: a Stage I rejection overrides, and
+			// non-rejecting nodes accept.
+			v := s.verdict
+			if s.part.Rejected {
+				v = congest.VerdictReject // already output during Stage I
+			}
+			if v != congest.VerdictReject {
+				api.Output(congest.VerdictAccept)
+			}
+			return congest.Done()
+		}
+	}
+}
+
+// edgeListMsg is an internal register wrapper (never sent) for passing an
+// item slice between dependent ops.
+type edgeListMsg struct{ items []congest.Message }
+
+func (edgeListMsg) Bits() int { return 0 }
+
+// feedBFS mirrors one wake of the blocking buildBFS loop; returns true at
+// the deadline.
+func (s *stage2Node) feedBFS(api *congest.StepAPI, inbox []congest.Inbound) bool {
+	bestPort := -1
+	for _, in := range inbox {
+		switch m := in.Msg.(type) {
+		case bfsMsg:
+			if s.adopted || !s.intra[in.Port] {
+				continue
+			}
+			if bestPort == -1 || s.nbrID[in.Port] < s.nbrID[bestPort] {
+				bestPort = in.Port
+				s.level = m.Level + 1
+			}
+		case childMsg:
+			s.childPorts = append(s.childPorts, in.Port)
+		}
+	}
+	if bestPort >= 0 {
+		s.adopted = true
+		s.parentPort = bestPort
+		api.Send(s.parentPort, childMsg{})
+		for p, ok := range s.intra {
+			if ok && p != s.parentPort {
+				api.Send(p, bfsMsg{Level: s.level})
+			}
+		}
+	}
+	return api.Round() >= s.deadline
+}
+
+// beginLabels starts the label wave (the step port of distributeLabels).
+func (s *stage2Node) beginLabels(api *congest.StepAPI) {
+	s.edgePos = edgePositionsFromRotation(s.rotPorts, s.tree.ParentPort)
+	s.childIdx = make(map[int]int32, len(s.tree.ChildPorts))
+	for _, c := range s.tree.ChildPorts {
+		s.childIdx[c] = s.edgePos[c]
+	}
+	s.per = labelElemsPerChunkFor(api.BitBound(), api.N())
+	s.deadline = api.Round() + (s.budget+1)*(chunksPerLabelFor(s.budget, s.per)+1) + 4
+	s.streaming = false
+	s.gotAll = false
+	if s.tree.IsRoot() {
+		s.label = Label{}
+		s.startLabelStream(api)
+	}
+}
+
+// startLabelStream mirrors sendToChildren: the first chunk goes out in the
+// current round, one chunk per round follows.
+func (s *stage2Node) startLabelStream(api *congest.StepAPI) {
+	s.childLbl = make([]Label, len(s.tree.ChildPorts))
+	for i, c := range s.tree.ChildPorts {
+		s.childLbl[i] = append(append(make(Label, 0, len(s.label)+1), s.label...), s.childIdx[c])
+	}
+	s.chunks = (len(s.label) + 1 + s.per - 1) / s.per
+	s.ci = 0
+	s.streaming = true
+	s.sendLabelChunk(api)
+}
+
+func (s *stage2Node) sendLabelChunk(api *congest.StepAPI) {
+	for i, c := range s.tree.ChildPorts {
+		lbl := s.childLbl[i]
+		lo := s.ci * s.per
+		hi := lo + s.per
+		if hi > len(lbl) {
+			hi = len(lbl)
+		}
+		api.Send(c, labelChunk{Elems: lbl[lo:hi], Last: s.ci == s.chunks-1})
+	}
+	s.ci++
+}
+
+func (s *stage2Node) labelsWake() congest.Status {
+	if s.streaming {
+		return congest.Running() // one chunk per round (NextRound cadence)
+	}
+	return congest.Sleep(s.deadline)
+}
+
+// feedLabels consumes one wake of the label wave.
+func (s *stage2Node) feedLabels(api *congest.StepAPI, inbox []congest.Inbound) (bool, congest.Status) {
+	if !s.tree.IsRoot() && !s.gotAll && !s.streaming {
+		for _, in := range inbox {
+			ch, ok := in.Msg.(labelChunk)
+			if !ok || in.Port != s.tree.ParentPort {
+				panic("core: unexpected message during labeling")
+			}
+			s.label = append(s.label, ch.Elems...)
+			if ch.Last {
+				s.gotAll = true
+			}
+		}
+		if s.gotAll {
+			s.startLabelStream(api)
+			return false, s.labelsWake()
+		}
+		if api.Round() >= s.deadline {
+			panic("core: label wave under-budgeted")
+		}
+		return false, congest.Sleep(s.deadline)
+	}
+	if s.streaming {
+		if s.ci < s.chunks {
+			s.sendLabelChunk(api)
+		} else {
+			s.streaming = false // one trailing round, as in the blocking loop
+		}
+	}
+	if !s.streaming && api.Round() >= s.deadline {
+		return true, congest.Status{}
+	}
+	return false, s.labelsWake()
+}
+
+// beginExchange starts the non-tree attachment label swap (the step port
+// of exchangeNonTreeLabels).
+func (s *stage2Node) beginExchange(api *congest.StepAPI) {
+	s.nbrLabels = make(map[int]Label)
+	s.xPorts = s.xPorts[:0]
+	for p, ok := range s.intra {
+		if !ok || p == s.tree.ParentPort || isIn(s.tree.ChildPorts, p) {
+			continue
+		}
+		s.xPorts = append(s.xPorts, p)
+	}
+	s.attach = make(map[int]Label, len(s.xPorts))
+	for _, p := range s.xPorts {
+		s.attach[p] = append(append(Label{}, s.label...), s.edgePos[p])
+	}
+	llen := len(s.label) + 1
+	s.chunks = (llen + s.per - 1) / s.per
+	s.deadline = api.Round() + chunksPerLabelFor(s.budget, s.per) + 3
+	s.finished = make(map[int]bool)
+	s.ci = 0
+	s.sendExchangeChunk(api)
+}
+
+func (s *stage2Node) sendExchangeChunk(api *congest.StepAPI) {
+	if s.ci >= s.chunks {
+		return
+	}
+	llen := len(s.label) + 1
+	lo := s.ci * s.per
+	hi := lo + s.per
+	if hi > llen {
+		hi = llen
+	}
+	for _, p := range s.xPorts {
+		api.Send(p, labelChunk{Elems: s.attach[p][lo:hi], Last: s.ci == s.chunks-1})
+	}
+	s.ci++
+}
+
+func (s *stage2Node) exchangeWake() congest.Status {
+	if s.ci < s.chunks {
+		return congest.Running()
+	}
+	return congest.Sleep(s.deadline)
+}
+
+// feedExchange consumes one wake of the label exchange.
+func (s *stage2Node) feedExchange(api *congest.StepAPI, inbox []congest.Inbound) (bool, congest.Status) {
+	for _, in := range inbox {
+		ch, ok := in.Msg.(labelChunk)
+		if !ok {
+			panic("core: unexpected message during label exchange")
+		}
+		s.nbrLabels[in.Port] = append(s.nbrLabels[in.Port], ch.Elems...)
+		if ch.Last {
+			s.finished[in.Port] = true
+		}
+	}
+	if api.Round() >= s.deadline {
+		for _, p := range s.xPorts {
+			if !s.finished[p] {
+				panic("core: label exchange under-budgeted")
+			}
+		}
+		return true, congest.Status{}
+	}
+	s.sendExchangeChunk(api)
+	return false, s.exchangeWake()
+}

@@ -69,21 +69,65 @@ type RunResult struct {
 // RunTester executes the full tester on g with the given seed and returns
 // the global verdict and metrics. It uses StopOnReject semantics: the run
 // ends at the first reject.
+//
+// When the configuration allows it (deterministic Stage I, no EN
+// baseline), the run uses the engine's native step execution model for
+// Stage I — the hot path — and switches each node to the blocking Stage II
+// continuation via congest.Become. Both paths produce byte-identical
+// results for a fixed seed (TestTesterEngineEquivalence); RunTesterBlocking
+// forces the compatibility path.
 func RunTester(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
+	o := opts.withDefaults()
+	po := o.Partition
+	if po.Variant == 0 {
+		po.Variant = partition.Deterministic
+	}
+	if !o.UseEN && po.Variant == partition.Deterministic {
+		return runTesterHybrid(g, opts, seed)
+	}
+	return RunTesterBlocking(g, opts, seed)
+}
+
+// RunTesterBlocking executes the full tester on the blocking
+// compatibility path (one goroutine per node).
+func RunTesterBlocking(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
+	res, err := congest.Run(testerConfig(g, seed), func(api *congest.API) {
+		TestPlanarity(api, opts)
+	})
+	return newRunResult(res, err)
+}
+
+// runTesterHybrid runs both stages as native StepPrograms: Stage I hands
+// each node over to the Stage II state machine at the exact round it
+// completes for its part, so the whole deterministic tester runs with
+// zero goroutines and zero channel operations.
+func runTesterHybrid(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
+	o := opts.withDefaults()
+	plan := partition.NewStageIPlan(o.Partition, g.N())
+	res, err := congest.RunStep(testerConfig(g, seed), func(node int) congest.StepProgram {
+		return plan.NewNode(func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
+			return congest.BecomeStep(NewStageIINode(po, o.StageII))
+		})
+	})
+	return newRunResult(res, err)
+}
+
+func testerConfig(g *graph.Graph, seed int64) congest.Config {
 	ids := make([]int64, g.N())
 	rng := rand.New(rand.NewSource(seed ^ 0x7A31))
 	for i, p := range rng.Perm(g.N()) {
 		ids[i] = int64(p + 1)
 	}
-	res, err := congest.Run(congest.Config{
+	return congest.Config{
 		Graph:        g,
 		Seed:         seed,
 		IDs:          ids,
 		StopOnReject: true,
 		MaxRounds:    1 << 40,
-	}, func(api *congest.API) {
-		TestPlanarity(api, opts)
-	})
+	}
+}
+
+func newRunResult(res *congest.Result, err error) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Graph is an immutable simple undirected graph with nodes 0..n-1.
@@ -19,6 +20,9 @@ type Graph struct {
 	n   int
 	m   int
 	adj [][]int32 // sorted, no duplicates, no self-loops
+
+	revOnce sync.Once
+	rev     [][]int32 // lazily built reverse port table (see RevPorts)
 }
 
 // Builder accumulates edges for a Graph. Duplicate edges and self-loops
@@ -101,6 +105,31 @@ func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 // Neighbors returns the sorted neighbor list of v. The returned slice is
 // shared with the graph and must not be modified.
 func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// RevPorts returns the reverse port table: RevPorts()[v][i] is the port
+// of v in the adjacency list of its i-th neighbor. It is computed once in
+// O(n+m) on first use and cached, so repeated simulation runs over the
+// same graph share it. The returned slices are shared and must not be
+// modified.
+func (g *Graph) RevPorts() [][]int32 {
+	g.revOnce.Do(func() {
+		rev := make([][]int32, g.n)
+		cnt := make([]int32, g.n)
+		// Processing nodes in ascending order, cnt[w] counts the directed
+		// edges (x, w) seen so far; since adjacency lists are sorted, when
+		// edge (u, w) is reached, cnt[w] equals the number of neighbors of
+		// w smaller than u — exactly u's port in w's list.
+		for u := 0; u < g.n; u++ {
+			rev[u] = make([]int32, len(g.adj[u]))
+			for i, w := range g.adj[u] {
+				rev[u][i] = cnt[w]
+				cnt[w]++
+			}
+		}
+		g.rev = rev
+	})
+	return g.rev
+}
 
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {

@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestStageIEngineEquivalence proves that the native StepProgram port of
+// Stage I and the blocking implementation produce byte-identical Results
+// (verdicts, rounds, messages, bits) and identical per-node outcomes for
+// fixed seeds across several graph families (issue acceptance criterion).
+func TestStageIEngineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	farG, _ := graph.PlanarPlusRandomEdges(60, 40, rng)
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(7, 9)},
+		{"cycle", graph.Cycle(41)},
+		{"tree-plus-edges", graph.TreePlusRandomEdges(50, 12, rand.New(rand.NewSource(7)))},
+		{"planar-plus-edges", farG},
+		{"star", graph.Star(17)},
+	}
+	schedules := []Schedule{PaperSchedule, PracticalSchedule}
+	for _, fam := range families {
+		for _, sched := range schedules {
+			for seed := int64(0); seed < 3; seed++ {
+				opts := Options{Epsilon: 0.25, Schedule: sched}
+				bOuts, bIDs, bRes, bErr := CollectStageI(fam.g, opts, seed)
+				sOuts, sIDs, sRes, sErr := CollectStageIStep(fam.g, opts, seed)
+				if (bErr == nil) != (sErr == nil) {
+					t.Fatalf("%s/%v/seed%d: err mismatch: blocking=%v step=%v", fam.name, sched, seed, bErr, sErr)
+				}
+				if bErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(bIDs, sIDs) {
+					t.Fatalf("%s/%v/seed%d: id assignment mismatch", fam.name, sched, seed)
+				}
+				if !reflect.DeepEqual(bRes.Metrics, sRes.Metrics) {
+					t.Fatalf("%s/%v/seed%d: metrics mismatch:\nblocking: %+v\nstep:     %+v",
+						fam.name, sched, seed, bRes.Metrics, sRes.Metrics)
+				}
+				if !reflect.DeepEqual(bRes.Verdicts, sRes.Verdicts) {
+					t.Fatalf("%s/%v/seed%d: verdicts mismatch", fam.name, sched, seed)
+				}
+				for v := range bOuts {
+					bo, so := bOuts[v], sOuts[v]
+					if (bo == nil) != (so == nil) {
+						t.Fatalf("%s/%v/seed%d: node %d outcome presence mismatch", fam.name, sched, seed, v)
+					}
+					if bo == nil {
+						continue
+					}
+					if bo.RootID != so.RootID || bo.Rejected != so.Rejected ||
+						bo.PhasesRun != so.PhasesRun || bo.EarlyExit != so.EarlyExit ||
+						bo.Tree.ParentPort != so.Tree.ParentPort ||
+						!equalPorts(bo.Tree.ChildPorts, so.Tree.ChildPorts) {
+						t.Fatalf("%s/%v/seed%d: node %d outcome mismatch:\nblocking: %+v\nstep:     %+v",
+							fam.name, sched, seed, v, bo, so)
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalPorts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStageIStepValidates runs the native Stage I on a larger grid and
+// checks the structural partition guarantees end to end.
+func TestStageIStepValidates(t *testing.T) {
+	g := graph.Grid(10, 10)
+	opts := Options{Epsilon: 0.25, Schedule: PracticalSchedule}
+	outs, ids, res, err := CollectStageIStep(g, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected() {
+		t.Fatal("planar grid rejected by Stage I")
+	}
+	if err := ValidateOutcomes(g, ids, outs, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,25 @@ type valMsg struct{ V int64 }
 
 func (m valMsg) Bits() int { return 2 + bitsVal(m.V) }
 
+// smallVals interns boxed valMsg values for the dominant small payloads
+// (colors, levels, flags, ids up to n) so that hot paths do not allocate
+// on every interface conversion. vmsg(v) is behaviorally identical to
+// congest.Message(valMsg{V: v}).
+var smallVals = func() [1024]congest.Message {
+	var a [1024]congest.Message
+	for i := range a {
+		a[i] = valMsg{V: int64(i)}
+	}
+	return a
+}()
+
+func vmsg(v int64) congest.Message {
+	if v >= 0 && v < int64(len(smallVals)) {
+		return smallVals[v]
+	}
+	return valMsg{V: v}
+}
+
 // pairMsg carries two values.
 type pairMsg struct{ A, B int64 }
 

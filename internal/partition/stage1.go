@@ -400,17 +400,7 @@ func (s *state) collectColorSums(D int) colorSums {
 			own.W[c] += s.fChildWt[p]
 		}
 	}
-	agg := s.cvg(D, own, func(o congest.Message, ch []congest.Message) congest.Message {
-		sum := o.(colorSums)
-		for _, c := range ch {
-			cc := c.(colorSums)
-			for i := 1; i <= 3; i++ {
-				sum.W[i] += cc.W[i]
-			}
-		}
-		return sum
-	}).(colorSums)
-	return agg
+	return s.cvg(D, own, combineColorSums).(colorSums)
 }
 
 // mark applies the marking rules of sub-step 2b and distributes marked

@@ -1,0 +1,1224 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/forest"
+	"repro/internal/graph"
+)
+
+// This file is the native StepProgram port of the deterministic Stage I
+// algorithm (stage1.go). Every node executes the same static script of
+// budget-synchronized operations per phase — broadcasts, convergecasts,
+// single cross-boundary rounds, and the contraction flip window — so the
+// whole phase schedule compiles to a flat op list interpreted by a small
+// state machine. The port is round-exact: it sends the same messages in
+// the same rounds (and calls Output at the same rounds) as the blocking
+// implementation, so both execution models produce byte-identical Results
+// for a fixed seed (verified by TestStageIEngineEquivalence).
+
+type sOpKind uint8
+
+const (
+	sBoundary sOpKind = iota // SendAll(rootAnnounce) + 1 round
+	sBcast                   // part-tree broadcast, budget D
+	sCvg                     // part-tree convergecast, budget D
+	sCross                   // one global round of cross-boundary sends
+	sFlip                    // contract's D-round orientation flip window
+)
+
+// sTag identifies the glue code (prepare/absorb) of a script op.
+type sTag uint8
+
+const (
+	tBoundary   sTag = iota
+	tHasCross        // cvg: OR of per-node has-cross-edge flags
+	tEarlyDec        // bcast: early-exit decision
+	tFDStatus        // bcast: forest-decomposition status (arg = super-round)
+	tFDActivity      // cross: activity exchange (arg = super-round)
+	tFDAgg           // cvg: decomposition aggregate (arg = super-round)
+	tSel             // bcast: selected out-edge
+	tCand            // cvg: min-id candidate for u^j
+	tWinner          // bcast: designated node announcement
+	tFSelect         // cross: u^j -> v^j child notice
+	tMutual          // cvg: OR of mutual-selection evidence
+	tDrop            // bcast: mutual-selection drop decision
+	tWithdraw        // cross: withdraw child notice
+	tKids            // cvg: child count sum
+	tCVIter          // fFetch: Cole-Vishkin iteration (arg = k)
+	tShift           // fFetch: shift-down pass (arg = dropped class)
+	tRecolor         // fFetch: recolor pass (arg = dropped class)
+	tReport          // bcast: part color/weight report
+	tReportX         // cross: child report u^j -> v^j
+	tColorSums       // cvg: per-color incoming weights
+	tMarkPC          // fFetch: parent color for the chi=2 marking rule
+	tMarkDec         // bcast: marking decision
+	tMarkX           // cross: marked-edge notifications
+	tByParent        // cvg: OR of marked-by-parent evidence
+	tAnyKid          // cvg: OR of has-marked-child flags
+	tOutMkd          // bcast: out-edge-marked mirror bit
+	tLvlAnn          // bcast: level announcement (arg = hop)
+	tLvlX            // cross: level cascade (arg = hop)
+	tLvlUp           // cvg: level pickup (arg = hop)
+	tParAnn          // bcast: parity-weight announcement (arg = hop, descending)
+	tParX            // cross: parity-weight cascade (arg = hop)
+	tParUp           // cvg: parity-weight pickup (arg = hop)
+	tDecAnn          // bcast: contraction parity announcement (arg = hop)
+	tDecX            // cross: parity cascade (arg = hop)
+	tDecUp           // cvg: parity pickup (arg = hop)
+	tContract        // bcast: contraction announcement
+	tFlip            // flip window
+	tAttach          // cross: u^j attaches under v^j
+)
+
+// fFetch sites expand to the op triple [bcast own | cross forward | cvg
+// pickup] sharing the fFetch mechanics of state.go.
+
+type sOp struct {
+	kind sOpKind
+	ff   bool // op belongs to an fFetch triple (0: bcast, cross, cvg order)
+	tag  sTag
+	arg  int32
+}
+
+// StageIPlan is the compiled per-phase op script of the deterministic
+// Stage I schedule, shared by every node of a run.
+type StageIPlan struct {
+	opts   Options
+	phases int
+	S      int // forest-decomposition super-rounds
+	iters  int // Cole-Vishkin reduction iterations
+	ops    []sOp
+}
+
+// NewStageIPlan compiles the Stage I schedule for an n-node network. Only
+// the Deterministic variant is supported natively; callers fall back to
+// the blocking RunStageI for the Randomized variant.
+func NewStageIPlan(opts Options, n int) *StageIPlan {
+	opts = opts.withDefaults()
+	if opts.Variant != Deterministic {
+		panic("partition: StageIPlan supports the Deterministic variant only")
+	}
+	pl := &StageIPlan{
+		opts:   opts,
+		phases: opts.Phases(),
+		S:      superRounds(n),
+		iters:  forest.CVIterations(int64(n)),
+	}
+	add := func(kind sOpKind, tag sTag, arg int32) {
+		pl.ops = append(pl.ops, sOp{kind: kind, tag: tag, arg: arg})
+	}
+	ffetch := func(tag sTag, arg int32) {
+		pl.ops = append(pl.ops,
+			sOp{kind: sBcast, ff: true, tag: tag, arg: arg},
+			sOp{kind: sCross, ff: true, tag: tag, arg: arg},
+			sOp{kind: sCvg, ff: true, tag: tag, arg: arg},
+		)
+	}
+	// Step 0-1: boundary discovery and early exit.
+	add(sBoundary, tBoundary, 0)
+	add(sCvg, tHasCross, 0)
+	add(sBcast, tEarlyDec, 0)
+	// Steps 2-3: forest decomposition and out-edge selection/designation.
+	for l := 0; l < pl.S; l++ {
+		add(sBcast, tFDStatus, int32(l))
+		add(sCross, tFDActivity, int32(l))
+		add(sCvg, tFDAgg, int32(l))
+	}
+	add(sBcast, tSel, 0)
+	add(sCvg, tCand, 0)
+	add(sBcast, tWinner, 0)
+	add(sCross, tFSelect, 0)
+	add(sCvg, tMutual, 0)
+	add(sBcast, tDrop, 0)
+	add(sCross, tWithdraw, 0)
+	add(sCvg, tKids, 0)
+	// Step 4: Cole-Vishkin 3-coloring.
+	for k := 0; k < pl.iters; k++ {
+		ffetch(tCVIter, int32(k))
+	}
+	for _, drop := range []int32{5, 4, 3} {
+		ffetch(tShift, drop)
+		ffetch(tRecolor, drop)
+	}
+	// Steps 5-6: child reports and per-color weight sums.
+	add(sBcast, tReport, 0)
+	add(sCross, tReportX, 0)
+	add(sCvg, tColorSums, 0)
+	// Step 7: marking.
+	ffetch(tMarkPC, 0)
+	add(sBcast, tMarkDec, 0)
+	add(sCross, tMarkX, 0)
+	add(sCvg, tByParent, 0)
+	add(sCvg, tAnyKid, 0)
+	add(sBcast, tOutMkd, 0)
+	// Steps 8-10: levels, parity weights, contraction decision.
+	for hop := 0; hop < treeHeightBound; hop++ {
+		add(sBcast, tLvlAnn, int32(hop))
+		add(sCross, tLvlX, int32(hop))
+		add(sCvg, tLvlUp, int32(hop))
+	}
+	for hop := treeHeightBound; hop >= 1; hop-- {
+		add(sBcast, tParAnn, int32(hop))
+		add(sCross, tParX, int32(hop))
+		add(sCvg, tParUp, int32(hop))
+	}
+	for hop := 0; hop < treeHeightBound; hop++ {
+		add(sBcast, tDecAnn, int32(hop))
+		add(sCross, tDecX, int32(hop))
+		add(sCvg, tDecUp, int32(hop))
+	}
+	// Step 11: contract.
+	add(sBcast, tContract, 0)
+	add(sFlip, tFlip, 0)
+	add(sCross, tAttach, 0)
+	return pl
+}
+
+// NewNode creates the StepProgram for one node. onDone is invoked exactly
+// once, at the round Stage I completes at this node, with the node's
+// Outcome; its Status becomes the node's next scheduling instruction
+// (Done for standalone runs, Become(stageII) for the full tester).
+func (pl *StageIPlan) NewNode(onDone func(api *congest.StepAPI, out *Outcome) congest.Status) congest.StepProgram {
+	return &stageINode{plan: pl, onDone: onDone}
+}
+
+// stageINode is the per-node interpreter state plus the mirror of the
+// blocking state struct (state.go), with port-indexed slices in place of
+// maps and reusable scratch buffers in place of per-phase allocation.
+type stageINode struct {
+	plan   *StageIPlan
+	onDone func(api *congest.StepAPI, out *Outcome) congest.Status
+
+	started  bool
+	finished bool
+	phase    int // 1-based
+	pc       int
+	inOp     bool
+	D        int
+
+	phasesRun int
+	earlyExit bool
+
+	bd congest.BroadcastDownStep
+	cv congest.ConvergecastStep
+
+	// Mirror of the blocking per-node state.
+	rootID   int64
+	tree     congest.Tree
+	rejected bool
+
+	nbrRoot []int64 // per port: neighbor's part root this phase
+	cross   []bool  // per port: crosses a part boundary
+
+	isU         bool
+	uPort       int
+	fChild      []bool  // per port: an F-child's u^j sits there
+	fChildColor []int64 // per port: child color (after report)
+	fChildWt    []int64 // per port: aux edge weight
+	fChildMark  []bool  // per port: marked aux edge
+
+	partHasOut   bool
+	partTarget   int64
+	partWeight   int64
+	partMutual   bool
+	partColor    int64
+	partPreShift int64
+	partHasKids  bool
+	partOutMkd   bool
+	partInT      bool
+	partLevel    int
+	partContract bool
+
+	// Forest-decomposition state (root-only where noted).
+	fdActive   bool         // root
+	fdResolved bool         // root
+	watch      []int64      // root: roots to resolve directions for
+	pending    []rootWeight // root: neighbors at inactivation time
+	outs       []rootWeight // root: resolved candidate out-edges
+	actPort    []bool       // per port: latest activity flag
+	actSeen    []bool       // per port: activity flag received
+	stStatus   statusMsg    // this super-round's status broadcast
+	fdCombine  func(own congest.Message, children []congest.Message) congest.Message
+
+	// Scratch buffers for decompAgg payloads (see mergeFD).
+	ownEntries []rootWeight
+	ownWatch   []rootFlag
+	aggEntries []rootWeight
+	aggWatch   []rootFlag
+	fdLists    [][]rootWeight
+	fdWatches  [][]rootFlag
+	fdIdx      []int
+
+	// Cached boxed activity payloads (rebuilt when rootID changes).
+	actMsgRoot int64
+	actMsgT    congest.Message
+	actMsgF    congest.Message
+
+	// Inter-op message registers.
+	opMsg     congest.Message // last broadcast result (fFetch got, level/parity msg)
+	crossGot  congest.Message // cross-round pickup (fFetch fromParent, cascades)
+	crossPair pairMsg         // parity cascade sum of marked-child contributions
+	gotSel    selMsg          // designate: broadcast selection
+	cvRes     congest.Message // last convergecast result (subtree aggregate)
+	dropDec   int64           // designate: mutual-selection drop decision
+	mbParent  int64           // mark: marked-by-parent flag
+	mkDec     markMsg         // mark: broadcast decision
+	mkPC      int64           // root: parent color fetched for marking
+	mkPCOK    bool            // root: parent color present
+	sums      colorSums       // root: per-color incoming weights
+	acc       pairMsg         // root: parity-weight accumulator
+	parity    int64           // root: contraction parity decision
+	newRoot   int64           // contract: adopted root id
+	merging   bool            // contract: this part merges
+	flipped   bool            // contract: orientation already flipped
+	deadline  int             // flip window deadline
+}
+
+// Step implements congest.StepProgram: it advances through the op script,
+// starting follow-up ops in the same wake whenever an op completes (ops
+// complete exactly at their deadline, and the next op begins there).
+func (s *stageINode) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	if !s.started {
+		s.started = true
+		s.initNode(api)
+	}
+	for {
+		if s.finished {
+			out := &Outcome{
+				RootID:    s.rootID,
+				Tree:      s.tree,
+				Rejected:  s.rejected,
+				PhasesRun: s.phasesRun,
+				EarlyExit: s.earlyExit,
+			}
+			return s.onDone(api, out)
+		}
+		op := &s.plan.ops[s.pc]
+		switch op.kind {
+		case sBoundary:
+			if !s.inOp {
+				s.beginPhase(api)
+				api.SendAll(rootAnnounce{Root: s.rootID})
+				s.inOp = true
+				return congest.Running()
+			}
+			for _, in := range inbox {
+				s.nbrRoot[in.Port] = in.Msg.(rootAnnounce).Root
+				s.cross[in.Port] = s.nbrRoot[in.Port] != s.rootID
+			}
+			s.inOp = false
+
+		case sBcast:
+			if !s.inOp {
+				if !s.bd.Begin(api, s.tree, api.Round()+s.D, s.prepBcast(api, op), nil) {
+					s.inOp = true
+					return s.bd.Wake()
+				}
+			} else if !s.bd.Feed(api, inbox) {
+				return s.bd.Wake()
+			} else {
+				s.inOp = false
+			}
+			got, ok := s.bd.Result()
+			if !ok {
+				panic(fmt.Sprintf("partition: broadcast under-budgeted (node %d, D=%d)", api.Index(), s.D))
+			}
+			s.absorbBcast(api, op, got)
+			if s.finished {
+				continue
+			}
+
+		case sCvg:
+			if !s.inOp {
+				own, combine := s.prepCvg(api, op)
+				if !s.cv.Begin(api, s.tree, api.Round()+s.D, own, combine) {
+					s.inOp = true
+					return s.cv.Wake()
+				}
+			} else if !s.cv.Feed(api, inbox) {
+				return s.cv.Wake()
+			} else {
+				s.inOp = false
+			}
+			agg, ok := s.cv.Result()
+			if !ok {
+				panic(fmt.Sprintf("partition: convergecast under-budgeted (node %d, D=%d)", api.Index(), s.D))
+			}
+			s.absorbCvg(api, op, agg)
+
+		case sCross:
+			if !s.inOp {
+				s.prepCross(api, op)
+				s.inOp = true
+				return congest.Running()
+			}
+			s.inOp = false
+			s.absorbCross(api, op, inbox)
+
+		case sFlip:
+			if !s.inOp {
+				s.beginFlip(api)
+				s.inOp = true
+				if api.Round() < s.deadline {
+					return congest.Sleep(s.deadline)
+				}
+			} else if !s.feedFlip(api, inbox) {
+				return congest.Sleep(s.deadline)
+			}
+			s.inOp = false
+		}
+		s.pc++
+		if s.pc == len(s.plan.ops) {
+			s.pc = 0
+			if s.phase == s.plan.phases {
+				s.finished = true
+			}
+		}
+	}
+}
+
+func (s *stageINode) initNode(api *congest.StepAPI) {
+	deg := api.Degree()
+	s.rootID = api.ID()
+	s.tree = congest.Tree{ParentPort: -1}
+	s.uPort = -1
+	s.nbrRoot = make([]int64, deg)
+	s.cross = make([]bool, deg)
+	s.fChild = make([]bool, deg)
+	s.fChildColor = make([]int64, deg)
+	s.fChildWt = make([]int64, deg)
+	s.fChildMark = make([]bool, deg)
+	s.actPort = make([]bool, deg)
+	s.actSeen = make([]bool, deg)
+	s.fdCombine = func(own congest.Message, children []congest.Message) congest.Message {
+		return s.mergeFD(own.(decompAgg), children)
+	}
+}
+
+// beginPhase mirrors state.resetPhase plus the per-phase bookkeeping of
+// RunStageI's loop.
+func (s *stageINode) beginPhase(api *congest.StepAPI) {
+	s.phase++
+	s.phasesRun++
+	s.D = phaseBudget(s.phase)
+	for p := range s.nbrRoot {
+		s.nbrRoot[p] = -1 // boundary discovery treats silent ports as absent
+		s.cross[p] = false
+		s.fChild[p] = false
+		s.fChildColor[p] = 0
+		s.fChildWt[p] = 0
+		s.fChildMark[p] = false
+		s.actPort[p] = false
+		s.actSeen[p] = false
+	}
+	s.isU = false
+	s.uPort = -1
+	s.partHasOut = false
+	s.partTarget = 0
+	s.partWeight = 0
+	s.partMutual = false
+	s.partColor = 0
+	s.partPreShift = 0
+	s.partHasKids = false
+	s.partOutMkd = false
+	s.partInT = false
+	s.partLevel = -1
+	s.partContract = false
+	s.fdActive = true
+	s.fdResolved = false
+	s.watch = s.watch[:0]
+	s.pending = s.pending[:0]
+	s.outs = s.outs[:0]
+	s.mkPCOK = false
+	s.sums = colorSums{}
+	s.acc = pairMsg{}
+	s.parity = -1
+	s.merging = false
+	s.flipped = false
+}
+
+// markedChildPorts iterates ports with a marked child edge in ascending
+// order (the slice mirror of state.markedChildPorts).
+func (s *stageINode) eachMarkedChild(f func(p int)) {
+	for p, m := range s.fChildMark {
+		if m {
+			f(p)
+		}
+	}
+}
+
+// prepBcast returns the root payload for a broadcast op (non-root values
+// are ignored by BroadcastDown, mirroring the blocking call sites). All
+// prepare-time side effects are root-only, so non-root nodes skip payload
+// construction entirely and avoid the interface boxing.
+func (s *stageINode) prepBcast(api *congest.StepAPI, op *sOp) congest.Message {
+	if !s.tree.IsRoot() {
+		return nil
+	}
+	if op.ff {
+		// All fFetch sites broadcast the part color; the first CV iteration
+		// also initializes it (colorPart entry glue).
+		if op.tag == tCVIter && op.arg == 0 && s.tree.IsRoot() {
+			s.partColor = s.rootID
+		}
+		return vmsg(s.partColor)
+	}
+	switch op.tag {
+	case tEarlyDec:
+		var any int64
+		if v, ok := s.cvRes.(valMsg); ok {
+			any = v.V
+		}
+		return vmsg(any)
+	case tFDStatus:
+		return statusMsg{Active: s.fdActive, Watch: s.watch}
+	case tSel:
+		return selMsg{HasOut: s.partHasOut, Target: s.partTarget, Weight: s.partWeight}
+	case tWinner:
+		if s.tree.IsRoot() {
+			return s.cvRes
+		}
+		return noneMsg{}
+	case tDrop:
+		return vmsg(s.dropDec)
+	case tReport:
+		return reportMsg{Color: s.partColor, Weight: s.partWeight}
+	case tMarkDec:
+		var dec markMsg
+		if s.tree.IsRoot() {
+			parentColor := int64(0)
+			if s.mkPCOK && s.partHasOut {
+				parentColor = s.mkPC
+			}
+			switch s.partColor {
+			case 1:
+				if s.partHasOut && s.partWeight >= s.sums.W[1]+s.sums.W[2]+s.sums.W[3] {
+					dec.MarkOut = true
+				} else {
+					dec.InClass = markAllIn
+				}
+			case 2:
+				if s.partHasOut && parentColor == 3 && s.partWeight >= s.sums.W[3] {
+					dec.MarkOut = true
+				} else {
+					dec.InClass = 3
+				}
+			}
+		}
+		return dec
+	case tOutMkd:
+		var v int64
+		if s.tree.IsRoot() && s.partOutMkd {
+			v = 1
+		}
+		return vmsg(v)
+	case tLvlAnn:
+		if op.arg == 0 && s.tree.IsRoot() && s.partInT && !s.partOutMkd {
+			s.partLevel = 0 // computeLevels entry glue
+		}
+		if s.tree.IsRoot() && s.partLevel == int(op.arg) {
+			return vmsg(int64(s.partLevel))
+		}
+		return noneMsg{}
+	case tParAnn:
+		if int(op.arg) == treeHeightBound && s.tree.IsRoot() {
+			// aggregateParityWeights entry glue.
+			s.acc = pairMsg{}
+			if s.partInT && s.partOutMkd && s.partLevel > 0 {
+				if s.partLevel%2 == 0 {
+					s.acc.A = s.partWeight
+				} else {
+					s.acc.B = s.partWeight
+				}
+			}
+		}
+		if s.tree.IsRoot() && s.partLevel == int(op.arg) && s.partOutMkd {
+			return s.acc
+		}
+		return noneMsg{}
+	case tDecAnn:
+		if op.arg == 0 && s.tree.IsRoot() {
+			// decideContraction entry glue.
+			s.parity = -1
+			if s.partInT && s.partLevel == 0 {
+				if s.acc.A >= s.acc.B {
+					s.parity = 0
+				} else {
+					s.parity = 1
+				}
+			}
+		}
+		if s.tree.IsRoot() && s.partLevel == int(op.arg) && s.parity >= 0 {
+			return vmsg(s.parity)
+		}
+		return noneMsg{}
+	case tContract:
+		if s.tree.IsRoot() {
+			// decideContraction exit glue.
+			if s.partInT && s.partOutMkd && s.partLevel > 0 && s.parity >= 0 {
+				even := s.partLevel%2 == 0
+				s.partContract = (even && s.parity == 0) || (!even && s.parity == 1)
+			}
+			if s.partContract {
+				return vmsg(s.partTarget)
+			}
+		}
+		return noneMsg{}
+	}
+	panic("partition: unknown bcast tag")
+}
+
+// absorbBcast consumes the broadcast result at every node.
+func (s *stageINode) absorbBcast(api *congest.StepAPI, op *sOp, got congest.Message) {
+	if op.ff {
+		s.opMsg = got
+		return
+	}
+	switch op.tag {
+	case tEarlyDec:
+		if got.(valMsg).V == 0 {
+			s.earlyExit = true
+			s.finished = true
+		}
+	case tFDStatus:
+		s.stStatus = got.(statusMsg)
+	case tSel:
+		s.gotSel = got.(selMsg)
+	case tWinner:
+		if v, ok := got.(valMsg); ok && s.gotSel.HasOut && v.V == api.ID() {
+			s.isU = true
+			for p, c := range s.cross {
+				if c && s.nbrRoot[p] == s.gotSel.Target {
+					s.uPort = p
+					break
+				}
+			}
+		}
+	case tDrop:
+		if got.(valMsg).V == 1 && s.isU {
+			s.isU = false // designation withdrawn
+		}
+		s.dropDec = got.(valMsg).V
+	case tReport:
+		s.opMsg = got
+	case tMarkDec:
+		s.mkDec = got.(markMsg)
+	case tOutMkd:
+		s.partOutMkd = got.(valMsg).V == 1
+	case tLvlAnn, tParAnn, tDecAnn:
+		s.opMsg = got
+	case tContract:
+		if v, ok := got.(valMsg); ok {
+			s.newRoot, s.merging = v.V, true
+		} else {
+			s.newRoot, s.merging = 0, false
+		}
+	}
+}
+
+// prepCvg returns this node's contribution and the combiner for a
+// convergecast op.
+func (s *stageINode) prepCvg(api *congest.StepAPI, op *sOp) (congest.Message, func(congest.Message, []congest.Message) congest.Message) {
+	if op.ff {
+		return s.crossGot, combineFirst
+	}
+	switch op.tag {
+	case tHasCross:
+		var has int64
+		for _, c := range s.cross {
+			if c {
+				has = 1
+			}
+		}
+		return vmsg(has), combineOr
+	case tFDAgg:
+		own := decompAgg{}
+		s.ownEntries = s.ownEntries[:0]
+		for p, c := range s.cross {
+			if !(c && s.actSeen[p] && s.actPort[p]) {
+				continue
+			}
+			root := s.nbrRoot[p]
+			// Insert into the root-sorted entry list (degree is small).
+			i := len(s.ownEntries)
+			for i > 0 && s.ownEntries[i-1].Root > root {
+				i--
+			}
+			if i > 0 && s.ownEntries[i-1].Root == root {
+				s.ownEntries[i-1].Weight++
+				continue
+			}
+			s.ownEntries = append(s.ownEntries, rootWeight{})
+			copy(s.ownEntries[i+1:], s.ownEntries[i:])
+			s.ownEntries[i] = rootWeight{Root: root, Weight: 1}
+		}
+		own.Entries = s.ownEntries
+		s.ownWatch = s.ownWatch[:0]
+		for _, wr := range s.stStatus.Watch {
+			for p, c := range s.cross {
+				if c && s.actSeen[p] && s.nbrRoot[p] == wr {
+					s.ownWatch = append(s.ownWatch, rootFlag{Root: wr, Active: s.actPort[p]})
+					break
+				}
+			}
+		}
+		own.Watch = s.ownWatch
+		if len(own.Entries) == 0 && len(own.Watch) == 0 {
+			return emptyDecomp, s.fdCombine // interior nodes: no boxing
+		}
+		return own, s.fdCombine
+	case tCand:
+		if s.gotSel.HasOut {
+			for p, c := range s.cross {
+				if c && s.nbrRoot[p] == s.gotSel.Target {
+					return vmsg(api.ID()), combineMin
+				}
+			}
+		}
+		return noneMsg{}, combineMin
+	case tMutual:
+		var mutual int64
+		for p, f := range s.fChild {
+			if f && s.gotSel.HasOut && s.nbrRoot[p] == s.gotSel.Target {
+				mutual = 1
+			}
+		}
+		return vmsg(mutual), combineOr
+	case tKids:
+		var kids int64
+		for _, f := range s.fChild {
+			if f {
+				kids++
+			}
+		}
+		return vmsg(kids), combineSum
+	case tColorSums:
+		own := colorSums{}
+		for p, f := range s.fChild {
+			if !f {
+				continue
+			}
+			c := s.fChildColor[p]
+			if c >= 1 && c <= 3 {
+				own.W[c] += s.fChildWt[p]
+			}
+		}
+		if own == (colorSums{}) {
+			return zeroColorSums, combineColorSums
+		}
+		return own, combineColorSums
+	case tByParent:
+		return vmsg(s.mbParent), combineOr
+	case tAnyKid:
+		var has int64
+		s.eachMarkedChild(func(int) { has = 1 })
+		return vmsg(has), combineOr
+	case tLvlUp, tDecUp:
+		return s.crossGot, combineFirst
+	case tParUp:
+		if s.crossPair == (pairMsg{}) {
+			return zeroPair, combinePairSum
+		}
+		return s.crossPair, combinePairSum
+	}
+	panic("partition: unknown cvg tag")
+}
+
+// absorbCvg consumes the convergecast result (the root sees the full
+// aggregate, every other node its subtree aggregate).
+func (s *stageINode) absorbCvg(api *congest.StepAPI, op *sOp, agg congest.Message) {
+	s.cvRes = agg
+	root := s.tree.IsRoot()
+	if op.ff {
+		if !root {
+			return
+		}
+		res, isVal := agg.(valMsg)
+		switch op.tag {
+		case tCVIter:
+			parent := forest.CVRootParent(s.partColor)
+			if isVal && s.partHasOut {
+				parent = res.V
+			}
+			s.partColor = forest.CVStep(s.partColor, parent)
+		case tShift:
+			s.partPreShift = s.partColor
+			if isVal && s.partHasOut {
+				s.partColor = res.V
+			} else if s.partColor == 0 {
+				s.partColor = 1
+			} else {
+				s.partColor = 0
+			}
+		case tRecolor:
+			if s.partColor == int64(op.arg) {
+				used := [6]bool{}
+				if isVal && s.partHasOut {
+					used[res.V] = true
+				}
+				if s.partHasKids {
+					used[s.partPreShift] = true
+				}
+				for c := int64(0); c < 3; c++ {
+					if !used[c] {
+						s.partColor = c
+						break
+					}
+				}
+			}
+			if op.arg == 3 {
+				s.partColor++ // colorPart exit glue: colors 1..3
+			}
+		case tMarkPC:
+			s.mkPC, s.mkPCOK = 0, false
+			if isVal {
+				s.mkPC, s.mkPCOK = res.V, true
+			}
+		}
+		return
+	}
+	switch op.tag {
+	case tFDAgg:
+		if root {
+			s.fdRootDecision(api, agg.(decompAgg), int(op.arg))
+		}
+		if int(op.arg) == s.plan.S-1 {
+			s.fdFinish(api)
+		}
+	case tMutual:
+		s.dropDec = 0
+		if root && agg.(valMsg).V == 1 && s.rootID > s.gotSel.Target {
+			s.partHasOut = false
+			s.partMutual = true
+			s.dropDec = 1
+		}
+	case tKids:
+		if root {
+			s.partHasKids = agg.(valMsg).V > 0
+		}
+	case tColorSums:
+		if root {
+			s.sums = agg.(colorSums)
+		}
+	case tByParent:
+		if root {
+			s.partOutMkd = s.mkDec.MarkOut || agg.(valMsg).V == 1
+		}
+	case tAnyKid:
+		if root {
+			s.partInT = s.partOutMkd || agg.(valMsg).V == 1
+		}
+	case tLvlUp:
+		if root && s.partLevel == -1 {
+			if v, ok := agg.(valMsg); ok {
+				s.partLevel = int(v.V)
+			}
+		}
+	case tParUp:
+		if root {
+			sub := agg.(pairMsg)
+			s.acc.A += sub.A
+			s.acc.B += sub.B
+		}
+	case tDecUp:
+		if root && s.parity == -1 {
+			if v, ok := agg.(valMsg); ok {
+				s.parity = v.V
+			}
+		}
+	}
+}
+
+// fdRootDecision mirrors the root decision logic of the forest
+// decomposition super-round loop.
+func (s *stageINode) fdRootDecision(api *congest.StepAPI, agg decompAgg, l int) {
+	alpha := s.plan.opts.Alpha
+	if s.fdActive {
+		if !agg.TooMany && len(agg.Entries) <= 3*alpha {
+			s.fdActive = false
+			s.pending = append(s.pending[:0], agg.Entries...)
+			s.watch = s.watch[:0]
+			for _, e := range s.pending {
+				s.watch = append(s.watch, e.Root)
+			}
+		}
+	} else if len(s.watch) > 0 {
+		// Resolve edge directions one super-round after inactivation.
+		for _, e := range s.pending {
+			active := false
+			for _, wf := range agg.Watch {
+				if wf.Root == e.Root {
+					active = wf.Active
+					break
+				}
+			}
+			if active || s.rootID < e.Root {
+				s.outs = append(s.outs, e)
+			}
+		}
+		s.watch = s.watch[:0]
+		s.fdResolved = true
+	}
+}
+
+// fdFinish mirrors the post-loop logic of forestDecomposition (reject
+// evidence or conservative resolution) plus storeOuts/selectHeaviest.
+func (s *stageINode) fdFinish(api *congest.StepAPI) {
+	if !s.tree.IsRoot() {
+		return
+	}
+	if s.fdActive {
+		s.rejected = true
+		api.Output(congest.VerdictReject)
+	} else if !s.fdResolved && len(s.watch) > 0 {
+		for _, e := range s.pending {
+			if s.rootID < e.Root {
+				s.outs = append(s.outs, e)
+			}
+		}
+	}
+	// storeOuts: keep the heaviest candidate, ties by lower root id.
+	s.partHasOut = false
+	for _, e := range s.outs {
+		if !s.partHasOut || e.Weight > s.partWeight ||
+			(e.Weight == s.partWeight && e.Root < s.partTarget) {
+			s.partHasOut = true
+			s.partTarget = e.Root
+			s.partWeight = e.Weight
+		}
+	}
+}
+
+// mergeFD is the allocation-lean equivalent of mergeDecomp for sorted
+// inputs: every decompAgg entry/watch list is root-sorted by construction,
+// so a k-way merge produces the identical capped, sorted aggregate.
+func (s *stageINode) mergeFD(own decompAgg, children []congest.Message) congest.Message {
+	limit := 3*s.plan.opts.Alpha + 1
+	s.fdLists = append(s.fdLists[:0], own.Entries)
+	s.fdWatches = append(s.fdWatches[:0], own.Watch)
+	tooMany := own.TooMany
+	for _, c := range children {
+		a, ok := c.(decompAgg)
+		if !ok {
+			continue // noneMsg from non-contributing children
+		}
+		tooMany = tooMany || a.TooMany
+		s.fdLists = append(s.fdLists, a.Entries)
+		s.fdWatches = append(s.fdWatches, a.Watch)
+	}
+	out := decompAgg{TooMany: tooMany}
+	s.aggEntries = s.aggEntries[:0]
+	s.fdIdx = s.fdIdx[:0]
+	for range s.fdLists {
+		s.fdIdx = append(s.fdIdx, 0)
+	}
+	idx := s.fdIdx
+	for {
+		lo := int64(0)
+		found := false
+		for i, l := range s.fdLists {
+			if idx[i] < len(l) && (!found || l[idx[i]].Root < lo) {
+				lo, found = l[idx[i]].Root, true
+			}
+		}
+		if !found {
+			break
+		}
+		var w int64
+		for i, l := range s.fdLists {
+			if idx[i] < len(l) && l[idx[i]].Root == lo {
+				w += l[idx[i]].Weight
+				idx[i]++
+			}
+		}
+		s.aggEntries = append(s.aggEntries, rootWeight{Root: lo, Weight: w})
+	}
+	if len(s.aggEntries) > limit {
+		out.TooMany = true
+		s.aggEntries = s.aggEntries[:limit]
+	}
+	out.Entries = s.aggEntries
+	s.aggWatch = s.aggWatch[:0]
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		lo := int64(0)
+		found := false
+		for i, l := range s.fdWatches {
+			if idx[i] < len(l) && (!found || l[idx[i]].Root < lo) {
+				lo, found = l[idx[i]].Root, true
+			}
+		}
+		if !found {
+			break
+		}
+		var f bool
+		for i, l := range s.fdWatches {
+			if idx[i] < len(l) && l[idx[i]].Root == lo {
+				f = l[idx[i]].Active // duplicates agree (same broadcast flag)
+				idx[i]++
+			}
+		}
+		s.aggWatch = append(s.aggWatch, rootFlag{Root: lo, Active: f})
+	}
+	out.Watch = s.aggWatch
+	if !out.TooMany && len(out.Entries) == 0 && len(out.Watch) == 0 {
+		return emptyDecomp
+	}
+	return out
+}
+
+// prepCross performs this node's sends for a single cross-boundary round
+// (the step counterpart of state.crossRound call sites, sends in
+// ascending port order).
+func (s *stageINode) prepCross(api *congest.StepAPI, op *sOp) {
+	if op.ff {
+		for p, f := range s.fChild {
+			if f {
+				api.Send(p, s.opMsg)
+			}
+		}
+		return
+	}
+	switch op.tag {
+	case tFDActivity:
+		if s.actMsgRoot != s.rootID {
+			// Re-box the two activity payload variants only when the part
+			// root changed (once per contraction, not per super-round).
+			s.actMsgT = activityMsg{Root: s.rootID, Active: true}
+			s.actMsgF = activityMsg{Root: s.rootID, Active: false}
+			s.actMsgRoot = s.rootID
+		}
+		m := s.actMsgF
+		if s.stStatus.Active {
+			m = s.actMsgT
+		}
+		for p, c := range s.cross {
+			if c {
+				api.Send(p, m)
+			}
+		}
+	case tFSelect:
+		if s.isU {
+			api.Send(s.uPort, fSelect{ChildRoot: s.rootID})
+		}
+	case tWithdraw:
+		if s.dropDec == 1 && s.uPort >= 0 {
+			api.Send(s.uPort, edgeMarked{}) // reused as "withdraw" marker
+		}
+	case tReportX:
+		if s.isU {
+			rep := s.opMsg.(reportMsg)
+			api.Send(s.uPort, childReport{Color: rep.Color, Weight: rep.Weight})
+		}
+	case tMarkX:
+		for p, f := range s.fChild {
+			if f && (s.mkDec.InClass == markAllIn || int64(s.mkDec.InClass) == s.fChildColor[p]) {
+				s.fChildMark[p] = true
+			}
+		}
+		// Sends in ascending port order (u^j's out-edge and child edges).
+		for p := 0; p < api.Degree(); p++ {
+			if (s.isU && s.mkDec.MarkOut && p == s.uPort) || s.fChildMark[p] {
+				api.Send(p, edgeMarked{})
+			}
+		}
+	case tLvlX, tDecX:
+		if v, ok := s.opMsg.(valMsg); ok {
+			fwd := vmsg(v.V + 1)
+			if op.tag == tDecX {
+				fwd = s.opMsg // parity forwarded unchanged
+			}
+			s.eachMarkedChild(func(p int) { api.Send(p, fwd) })
+		}
+	case tParX:
+		if _, ok := s.opMsg.(pairMsg); ok && s.isU && s.partOutMkd {
+			api.Send(s.uPort, s.opMsg)
+		}
+	case tAttach:
+		if s.merging && s.isU {
+			api.Send(s.uPort, attachMsg{})
+		}
+	}
+}
+
+// absorbCross consumes the messages of a cross-boundary round.
+func (s *stageINode) absorbCross(api *congest.StepAPI, op *sOp, inbox []congest.Inbound) {
+	if op.ff {
+		s.crossGot = noneMsg{}
+		for _, m := range inbox {
+			if s.isU && m.Port == s.uPort {
+				s.crossGot = m.Msg
+			}
+		}
+		return
+	}
+	switch op.tag {
+	case tFDActivity:
+		for _, m := range inbox {
+			am := m.Msg.(activityMsg)
+			s.actPort[m.Port] = am.Active
+			s.actSeen[m.Port] = true
+		}
+	case tFSelect:
+		for _, m := range inbox {
+			if _, ok := m.Msg.(fSelect); ok {
+				s.fChild[m.Port] = true
+				s.fChildWt[m.Port] = 0
+				s.fChildColor[m.Port] = 0
+			}
+		}
+	case tWithdraw:
+		for _, m := range inbox {
+			if _, ok := m.Msg.(edgeMarked); ok {
+				s.fChild[m.Port] = false
+				s.fChildWt[m.Port] = 0
+				s.fChildColor[m.Port] = 0
+			}
+		}
+	case tReportX:
+		for _, m := range inbox {
+			if cr, ok := m.Msg.(childReport); ok && s.fChild[m.Port] {
+				s.fChildColor[m.Port] = cr.Color
+				s.fChildWt[m.Port] = cr.Weight
+			}
+		}
+	case tMarkX:
+		s.mbParent = 0
+		for _, m := range inbox {
+			if _, ok := m.Msg.(edgeMarked); !ok {
+				continue
+			}
+			if s.isU && m.Port == s.uPort {
+				s.mbParent = 1
+			} else if s.fChild[m.Port] {
+				s.fChildMark[m.Port] = true
+			}
+		}
+	case tLvlX, tDecX:
+		s.crossGot = noneMsg{}
+		for _, m := range inbox {
+			if s.isU && m.Port == s.uPort && s.partOutMkd {
+				s.crossGot = m.Msg
+			}
+		}
+	case tParX:
+		s.crossPair = pairMsg{}
+		for _, m := range inbox {
+			if pm, ok := m.Msg.(pairMsg); ok && s.fChildMark[m.Port] {
+				s.crossPair.A += pm.A
+				s.crossPair.B += pm.B
+			}
+		}
+	case tAttach:
+		for _, m := range inbox {
+			if _, ok := m.Msg.(attachMsg); ok {
+				s.tree.ChildPorts = insertPortSorted(s.tree.ChildPorts, m.Port)
+			}
+		}
+		if s.merging {
+			s.rootID = s.newRoot
+		}
+	}
+}
+
+// beginFlip opens the contraction flip window (contract's path reversal).
+func (s *stageINode) beginFlip(api *congest.StepAPI) {
+	s.deadline = api.Round() + s.D
+	s.flipped = false
+	if s.merging && s.isU {
+		oldParent := s.tree.ParentPort
+		s.tree.ParentPort = s.uPort
+		if oldParent >= 0 {
+			api.Send(oldParent, flipMsg{})
+			s.tree.ChildPorts = insertPortSorted(s.tree.ChildPorts, oldParent)
+		}
+		s.flipped = true
+	}
+}
+
+// feedFlip consumes one wake of the flip window; returns true at the
+// deadline.
+func (s *stageINode) feedFlip(api *congest.StepAPI, inbox []congest.Inbound) bool {
+	for _, m := range inbox {
+		if _, ok := m.Msg.(flipMsg); !ok {
+			panic("partition: unexpected message during flip")
+		}
+		if s.flipped {
+			panic("partition: node flipped twice")
+		}
+		s.flipped = true
+		oldParent := s.tree.ParentPort
+		s.tree.ParentPort = m.Port
+		removePort(&s.tree.ChildPorts, m.Port)
+		if oldParent >= 0 {
+			api.Send(oldParent, flipMsg{})
+			s.tree.ChildPorts = insertPortSorted(s.tree.ChildPorts, oldParent)
+		}
+	}
+	return api.Round() >= s.deadline
+}
+
+// insertPortSorted inserts p into the ascending port list (the slice
+// equivalent of append+sort.Ints in the blocking contract).
+func insertPortSorted(ports []int, p int) []int {
+	i := len(ports)
+	for i > 0 && ports[i-1] > p {
+		i--
+	}
+	ports = append(ports, 0)
+	copy(ports[i+1:], ports[i:])
+	ports[i] = p
+	return ports
+}
+
+// Interned empty payloads: the dominant contributions on large parts are
+// all-zero, and reusing one boxed value keeps the hot combiners
+// allocation-free without changing any message's contents or size.
+var (
+	zeroPair      congest.Message = pairMsg{}
+	zeroColorSums congest.Message = colorSums{}
+	emptyDecomp   congest.Message = decompAgg{}
+)
+
+// combineColorSums merges colorSums contributions (shared with the
+// blocking collectColorSums).
+func combineColorSums(own congest.Message, children []congest.Message) congest.Message {
+	sum := own.(colorSums)
+	for _, c := range children {
+		cc := c.(colorSums)
+		for i := 1; i <= 3; i++ {
+			sum.W[i] += cc.W[i]
+		}
+	}
+	if sum == (colorSums{}) {
+		return zeroColorSums
+	}
+	return sum
+}
+
+// CollectStageIStep runs the native step-model Stage I on g and returns
+// the per-node outcomes, the assigned ids, and the run result (the step
+// counterpart of CollectStageI; both produce byte-identical results for a
+// fixed seed).
+func CollectStageIStep(g *graph.Graph, opts Options, seed int64) ([]*Outcome, []int64, *congest.Result, error) {
+	ids := permIDs(g.N(), seed)
+	outs := make([]*Outcome, g.N())
+	plan := NewStageIPlan(opts, g.N())
+	res, err := congest.RunStep(congest.Config{
+		Graph:        g,
+		Seed:         seed,
+		IDs:          ids,
+		StopOnReject: true,
+		MaxRounds:    1 << 40,
+	}, func(node int) congest.StepProgram {
+		return plan.NewNode(func(api *congest.StepAPI, out *Outcome) congest.Status {
+			outs[api.Index()] = out
+			return congest.Done()
+		})
+	})
+	return outs, ids, res, err
+}

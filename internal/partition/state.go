@@ -140,7 +140,7 @@ func combineSum(own congest.Message, children []congest.Message) congest.Message
 	for _, c := range children {
 		s += c.(valMsg).V
 	}
-	return valMsg{V: s}
+	return vmsg(s)
 }
 
 // combineMin keeps the minimum valMsg, treating noneMsg as +inf.
@@ -159,7 +159,7 @@ func combineMin(own congest.Message, children []congest.Message) congest.Message
 	if !ok {
 		return noneMsg{}
 	}
-	return valMsg{V: best}
+	return vmsg(best)
 }
 
 // combineOr ORs boolean valMsg contributions (0/1).
@@ -173,7 +173,7 @@ func combineOr(own congest.Message, children []congest.Message) congest.Message 
 	if v != 0 {
 		v = 1
 	}
-	return valMsg{V: v}
+	return vmsg(v)
 }
 
 // combinePairSum adds pairMsg contributions componentwise.
@@ -183,6 +183,9 @@ func combinePairSum(own congest.Message, children []congest.Message) congest.Mes
 		q := c.(pairMsg)
 		p.A += q.A
 		p.B += q.B
+	}
+	if p == (pairMsg{}) {
+		return zeroPair
 	}
 	return p
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the flagship experiment benchmarks (E1/E11/E12) and the engine
+# microbenchmarks, then writes a BENCH_<utc-timestamp>.json trajectory
+# file in the repo root so future PRs can track the perf curve.
+#
+# Usage: scripts/bench.sh [benchtime]   (default: 5x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-5x}"
+STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
+OUT="BENCH_${STAMP}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkE1RoundsVsN|BenchmarkE11Baseline|BenchmarkE12Congestion' \
+    -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkEngine' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/congest/ | tee -a "$RAW"
+
+awk -v stamp="$STAMP" '
+BEGIN { printf "{\n  \"timestamp\": \"%s\",\n  \"benchmarks\": [\n", stamp }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 2; i <= NF - 1; i++) {
+        u = $(i + 1)
+        if (u == "ns/op") ns = $i
+        else if (u == "B/op") bytes = $i
+        else if (u == "allocs/op") allocs = $i
+        else if ($i ~ /^[0-9.]+$/ && u ~ /^[a-zA-Z][a-zA-Z0-9_\/-]*$/) {
+            # custom testing.B metrics, e.g. "congest-rounds"
+            gsub(/"/, "", u)
+            if (extra != "") extra = extra ", "
+            extra = sprintf("%s\"%s\": %s", extra, u, $i)
+        }
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (extra != "")  printf ", %s", extra
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
