@@ -7,6 +7,7 @@ package repro_test
 // tables.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -223,6 +224,45 @@ func BenchmarkE11Baseline(b *testing.B) {
 		rounds = res.Metrics.Rounds
 	}
 	b.ReportMetric(float64(rounds), "congest-rounds")
+}
+
+// BenchmarkLargeN: the full native tester on 10^5/10^6-node inputs — the
+// scale the goroutine-free engine was built for (ROADMAP large-n item).
+// Families: connected random planar graphs (accept path) and sparse
+// K5-subdivisions (non-planar but below the eps threshold, so the whole
+// pipeline runs). eps = 0.5 keeps parts — and thus the Stage II label
+// machinery — small enough that the 10^5 sizes fit a CI budget; the
+// 10^6-node sizes are skipped in -short mode (CI).
+func BenchmarkLargeN(b *testing.B) {
+	opts := core.Options{Epsilon: 0.5}
+	opts.Partition = partition.Options{Epsilon: 0.5, Schedule: partition.PracticalSchedule}
+	for _, n := range []int{100_000, 1_000_000} {
+		if n > 100_000 && testing.Short() {
+			continue
+		}
+		b.Run(fmt.Sprintf("planar-n%d", n), func(b *testing.B) {
+			g := graph.RandomPlanar(n, 3*n/2, rand.New(rand.NewSource(int64(n))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunTester(g, opts, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rejected {
+					b.Fatal("planar input rejected")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k5subdiv-n%d", n), func(b *testing.B) {
+			g := graph.K5Subdivision(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunTester(g, opts, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE12Congestion: CONGEST conformance accounting over a full run.

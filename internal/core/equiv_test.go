@@ -9,11 +9,12 @@ import (
 	"repro/internal/partition"
 )
 
-// TestTesterEngineEquivalence proves that the hybrid execution path
-// (native Stage I StepProgram + blocking Stage II continuation) and the
+// TestTesterEngineEquivalence proves that the all-native execution path
+// (step-model partitioning chained into the step-model Stage II) and the
 // all-blocking path produce byte-identical RunResults for fixed seeds on
-// accepting and rejecting inputs across ≥3 graph families (issue
-// acceptance criterion).
+// accepting and rejecting inputs across ≥3 graph families and every
+// partitioning configuration — deterministic, randomized, and the
+// Elkin–Neiman baseline (issue acceptance criterion).
 func TestTesterEngineEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	far, _ := graph.PlanarPlusRandomEdges(60, 50, rng)
@@ -29,6 +30,8 @@ func TestTesterEngineEquivalence(t *testing.T) {
 	optsList := []Options{
 		{Epsilon: 0.25},
 		{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Schedule: partition.PracticalSchedule}},
+		{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Variant: partition.Randomized, Schedule: partition.PracticalSchedule}},
+		{Epsilon: 0.25, UseEN: true},
 	}
 	for _, fam := range families {
 		for oi, opts := range optsList {

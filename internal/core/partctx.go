@@ -116,29 +116,9 @@ func (c *PartContext) GatherGraph(m int64) (*graph.Graph, []int64) {
 	if !ok {
 		panic("core: edge gather under-budgeted")
 	}
-	idOf := make([]int64, 0, 16)
-	idx := make(map[int64]int, 16)
-	add := func(id int64) int {
-		if i, ok := idx[id]; ok {
-			return i
-		}
-		idx[id] = len(idOf)
-		idOf = append(idOf, id)
-		return len(idOf) - 1
-	}
-	add(s.api.ID())
-	type pair struct{ a, b int }
-	pairs := make([]pair, 0, len(collected))
-	for _, it := range collected {
-		e := it.(edgeItem)
-		pairs = append(pairs, pair{add(e.A), add(e.B)})
-	}
-	b := graph.NewBuilder(len(idOf))
-	for _, p := range pairs {
-		b.AddEdge(p.a, p.b)
-	}
+	pg, idOf := buildPartGraph(collected, s.api.ID())
 	s.api.ChargeModeledRounds(2 * s.maxDepth)
-	return b.Build(), idOf
+	return pg, idOf
 }
 
 // BroadcastBit lets the root distribute one bit to the whole part; every

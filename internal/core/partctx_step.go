@@ -1,0 +1,456 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// This file is the native StepProgram port of the per-part preprocessing
+// exposed by PartContext (partctx.go): budget agreement, the boundary
+// round, BFS tree construction, and edge assignment, followed by the
+// optional gather-and-evaluate continuation that mirrors
+// Counts() → GatherGraph(m) → predicate → BroadcastBit(). The ops are the
+// same as the Stage II prelude (stage2_step.go) and replicate the blocking
+// calls round for round, so testers built on either model produce
+// byte-identical Results for a fixed seed (the minor-free and hereditary
+// engine-equivalence tests).
+
+type pcOp uint8
+
+const (
+	pcDepthDown  pcOp = iota // bcast: depth probe (+1 per hop)
+	pcDepthUp                // cvg: max depth
+	pcDepthAgree             // bcast: agreed depth -> budget
+	pcIdentity               // cross: part root + id exchange
+	pcBFS                    // window: BFS tree construction
+	pcLevels                 // cross: BFS levels -> edge assignment
+	pcDone                   // context ready; hand over to the caller
+)
+
+// PartCtxStep is the step-native counterpart of PartContext: a StepProgram
+// that builds this node's part context and then invokes the done callback,
+// whose Status becomes the node's next scheduling instruction (typically
+// Done after local checks, or BecomeStep of a continuation such as
+// NewGatherEval's).
+type PartCtxStep struct {
+	part *partition.Outcome
+	done func(api *congest.StepAPI, c *PartCtxStep) congest.Status
+
+	pc   pcOp
+	inOp bool
+	bd   congest.BroadcastDownStep
+	cv   congest.ConvergecastStep
+	reg  congest.Message
+
+	budget   int
+	maxDepth int
+	intra    []bool
+	nbrID    []int64
+	nbrLvl   []int64
+	tree     congest.Tree
+	level    int64
+	assigned []int
+
+	// BFS window state.
+	deadline   int
+	adopted    bool
+	parentPort int
+	childPorts []int
+}
+
+// NewPartCtxStep returns the native part-context builder for one node with
+// the given partition outcome.
+func NewPartCtxStep(part *partition.Outcome, done func(api *congest.StepAPI, c *PartCtxStep) congest.Status) *PartCtxStep {
+	return &PartCtxStep{part: part, done: done}
+}
+
+// Part returns the partition outcome the context was built from.
+func (c *PartCtxStep) Part() *partition.Outcome { return c.part }
+
+// Tree returns the BFS tree T_B^j view of this node.
+func (c *PartCtxStep) Tree() congest.Tree { return c.tree }
+
+// Budget returns the part-wide round budget (2*depth+2 of the Stage I
+// tree).
+func (c *PartCtxStep) Budget() int { return c.budget }
+
+// MaxDepth returns the agreed Stage I tree depth.
+func (c *PartCtxStep) MaxDepth() int { return c.maxDepth }
+
+// Level returns this node's BFS level within its part.
+func (c *PartCtxStep) Level() int64 { return c.level }
+
+// IsIntra reports whether the edge on the given port stays within the
+// part.
+func (c *PartCtxStep) IsIntra(port int) bool { return c.intra[port] }
+
+// NeighborID returns the id of the neighbor on the given port.
+func (c *PartCtxStep) NeighborID(port int) int64 { return c.nbrID[port] }
+
+// NeighborLevel returns the BFS level of the intra-part neighbor on the
+// given port.
+func (c *PartCtxStep) NeighborLevel(port int) int64 { return c.nbrLvl[port] }
+
+// AssignedPorts returns the ports of intra-part edges assigned to this
+// node (the higher-level endpoint, ties by id).
+func (c *PartCtxStep) AssignedPorts() []int { return c.assigned }
+
+// IsTreePort reports whether the port carries a BFS-tree edge.
+func (c *PartCtxStep) IsTreePort(port int) bool {
+	return port == c.tree.ParentPort || isIn(c.tree.ChildPorts, port)
+}
+
+// NonTreeAssignedPorts returns the assigned ports that are not BFS-tree
+// edges (each closes a cycle within the part).
+func (c *PartCtxStep) NonTreeAssignedPorts() []int {
+	var out []int
+	for _, p := range c.assigned {
+		if !c.IsTreePort(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Step implements congest.StepProgram: it advances through the
+// preprocessing ops (the same linear script as BuildPartContext) and hands
+// over to the done callback once the context is complete.
+func (c *PartCtxStep) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	for {
+		switch c.pc {
+		case pcDepthDown:
+			if !c.inOp {
+				if !c.bd.Begin(api, c.part.Tree, api.Round()+api.N()+2, valMsg{V: 0}, depthTransform) {
+					c.inOp = true
+					return c.bd.Wake()
+				}
+			} else if !c.bd.Feed(api, inbox) {
+				return c.bd.Wake()
+			} else {
+				c.inOp = false
+			}
+			d, ok := c.bd.Result()
+			if !ok {
+				panic("core: depth probe under-budgeted")
+			}
+			c.reg = d
+			c.pc = pcDepthUp
+
+		case pcDepthUp:
+			if !c.inOp {
+				if !c.cv.Begin(api, c.part.Tree, api.Round()+api.N()+2, c.reg, combineMaxVal) {
+					c.inOp = true
+					return c.cv.Wake()
+				}
+			} else if !c.cv.Feed(api, inbox) {
+				return c.cv.Wake()
+			} else {
+				c.inOp = false
+			}
+			maxd, ok := c.cv.Result()
+			if !ok {
+				panic("core: depth convergecast under-budgeted")
+			}
+			c.reg = maxd
+			c.pc = pcDepthAgree
+
+		case pcDepthAgree:
+			if !c.inOp {
+				if !c.bd.Begin(api, c.part.Tree, api.Round()+api.N()+2, c.reg, nil) {
+					c.inOp = true
+					return c.bd.Wake()
+				}
+			} else if !c.bd.Feed(api, inbox) {
+				return c.bd.Wake()
+			} else {
+				c.inOp = false
+			}
+			agreed, ok := c.bd.Result()
+			if !ok {
+				panic("core: depth broadcast under-budgeted")
+			}
+			c.maxDepth = int(agreed.(valMsg).V)
+			c.budget = 2*c.maxDepth + 2
+			c.pc = pcIdentity
+
+		case pcIdentity:
+			if !c.inOp {
+				api.SendAll(announceMsg{PartRoot: c.part.RootID, ID: api.ID()})
+				c.inOp = true
+				return congest.Running()
+			}
+			c.inOp = false
+			deg := api.Degree()
+			c.intra = make([]bool, deg)
+			c.nbrID = make([]int64, deg)
+			for _, in := range inbox {
+				am, ok := in.Msg.(announceMsg)
+				if !ok {
+					continue // skewed-schedule tolerance (see stage2.go)
+				}
+				c.intra[in.Port] = am.PartRoot == c.part.RootID
+				c.nbrID[in.Port] = am.ID
+			}
+			c.pc = pcBFS
+
+		case pcBFS:
+			if !c.inOp {
+				c.deadline = api.Round() + c.budget + 3
+				c.parentPort = -1
+				c.childPorts = nil
+				c.adopted = c.part.Tree.IsRoot()
+				c.level = 0
+				if c.adopted {
+					for p, ok := range c.intra {
+						if ok {
+							api.Send(p, bfsMsg{Level: 0})
+						}
+					}
+				}
+				c.inOp = true
+				if api.Round() < c.deadline {
+					return congest.Sleep(c.deadline)
+				}
+			} else if !c.feedBFS(api, inbox) {
+				return congest.Sleep(c.deadline)
+			}
+			c.inOp = false
+			if !c.adopted {
+				panic("core: BFS did not reach a part node (invalid partition)")
+			}
+			sort.Ints(c.childPorts)
+			c.tree = congest.Tree{ParentPort: c.parentPort, ChildPorts: c.childPorts}
+			if c.part.Tree.IsRoot() {
+				c.tree.ParentPort = -1
+			}
+			c.pc = pcLevels
+
+		case pcLevels:
+			if !c.inOp {
+				for p, ok := range c.intra {
+					if ok {
+						api.Send(p, lvlMsg{Level: c.level})
+					}
+				}
+				c.inOp = true
+				return congest.Running()
+			}
+			c.inOp = false
+			c.nbrLvl = make([]int64, api.Degree())
+			for _, in := range inbox {
+				if m, ok := in.Msg.(lvlMsg); ok {
+					c.nbrLvl[in.Port] = m.Level
+				}
+			}
+			for p, ok := range c.intra {
+				if !ok {
+					continue
+				}
+				if c.level > c.nbrLvl[p] || (c.level == c.nbrLvl[p] && api.ID() > c.nbrID[p]) {
+					c.assigned = append(c.assigned, p)
+				}
+			}
+			c.pc = pcDone
+
+		default: // pcDone
+			return c.done(api, c)
+		}
+	}
+}
+
+// feedBFS mirrors one wake of the blocking buildBFS loop; returns true at
+// the deadline.
+func (c *PartCtxStep) feedBFS(api *congest.StepAPI, inbox []congest.Inbound) bool {
+	bestPort := -1
+	for _, in := range inbox {
+		switch m := in.Msg.(type) {
+		case bfsMsg:
+			if c.adopted || !c.intra[in.Port] {
+				continue
+			}
+			if bestPort == -1 || c.nbrID[in.Port] < c.nbrID[bestPort] {
+				bestPort = in.Port
+				c.level = m.Level + 1
+			}
+		case childMsg:
+			c.childPorts = append(c.childPorts, in.Port)
+		}
+	}
+	if bestPort >= 0 {
+		c.adopted = true
+		c.parentPort = bestPort
+		api.Send(c.parentPort, childMsg{})
+		for p, ok := range c.intra {
+			if ok && p != c.parentPort {
+				api.Send(p, bfsMsg{Level: c.level})
+			}
+		}
+	}
+	return api.Round() >= c.deadline
+}
+
+type geOp uint8
+
+const (
+	geCountUp   geOp = iota // cvg: (n, m) counts
+	geCountDown             // bcast: counts back down
+	geGather                // pipeline: assigned edges to the root
+	geBit                   // bcast: the root's predicate bit
+	geFinish
+)
+
+// gatherEvalNode is the step-native counterpart of the blocking sequence
+// ctx.Counts() → ctx.GatherGraph(m) → pred at the root →
+// ctx.BroadcastBit(bad), used by the hereditary-property tester.
+type gatherEvalNode struct {
+	c    *PartCtxStep
+	pred func(g *graph.Graph) bool
+	done func(api *congest.StepAPI, reject, rootEvaluated bool) congest.Status
+
+	pc   geOp
+	inOp bool
+	cv   congest.ConvergecastStep
+	bd   congest.BroadcastDownStep
+	pu   congest.PipelineUpStep
+	reg  congest.Message
+	m    int64
+	bad  bool
+}
+
+// NewGatherEval returns the continuation that gathers the part graph at
+// the root, evaluates pred on it, and broadcasts the verdict bit; done
+// receives the part-wide reject bit and whether this node evaluated the
+// predicate (i.e. is the part root holding the gathered graph).
+func (c *PartCtxStep) NewGatherEval(pred func(g *graph.Graph) bool, done func(api *congest.StepAPI, reject, rootEvaluated bool) congest.Status) congest.StepProgram {
+	return &gatherEvalNode{c: c, pred: pred, done: done}
+}
+
+// Step implements congest.StepProgram.
+func (g *gatherEvalNode) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	c := g.c
+	for {
+		switch g.pc {
+		case geCountUp:
+			if !g.inOp {
+				own := countsMsg{N: 1, M: int64(len(c.assigned))}
+				if !g.cv.Begin(api, c.tree, api.Round()+c.budget+2, own, combineCounts) {
+					g.inOp = true
+					return g.cv.Wake()
+				}
+			} else if !g.cv.Feed(api, inbox) {
+				return g.cv.Wake()
+			} else {
+				g.inOp = false
+			}
+			agg, ok := g.cv.Result()
+			if !ok {
+				panic("core: counts convergecast under-budgeted")
+			}
+			g.reg = agg
+			g.pc = geCountDown
+
+		case geCountDown:
+			if !g.inOp {
+				if !g.bd.Begin(api, c.tree, api.Round()+c.budget+2, g.reg, nil) {
+					g.inOp = true
+					return g.bd.Wake()
+				}
+			} else if !g.bd.Feed(api, inbox) {
+				return g.bd.Wake()
+			} else {
+				g.inOp = false
+			}
+			res, ok := g.bd.Result()
+			if !ok {
+				panic("core: counts broadcast under-budgeted")
+			}
+			g.m = res.(countsMsg).M
+			g.pc = geGather
+
+		case geGather:
+			if !g.inOp {
+				items := make([]congest.Message, 0, len(c.assigned))
+				for _, p := range c.assigned {
+					items = append(items, edgeItem{A: api.ID(), B: c.nbrID[p]})
+				}
+				budget := int(g.m) + c.budget + 4
+				if !g.pu.Begin(api, c.tree, api.Round()+budget, items) {
+					g.inOp = true
+					return g.pu.Wake()
+				}
+			} else if !g.pu.Feed(api, inbox) {
+				return g.pu.Wake()
+			} else {
+				g.inOp = false
+			}
+			collected, ok := g.pu.Result()
+			g.bad = false
+			if c.tree.IsRoot() {
+				if !ok {
+					panic("core: edge gather under-budgeted")
+				}
+				pg, _ := buildPartGraph(collected, api.ID())
+				api.ChargeModeledRounds(2 * c.maxDepth)
+				g.bad = !g.pred(pg)
+			}
+			g.pc = geBit
+
+		case geBit:
+			if !g.inOp {
+				v := int64(0)
+				if g.bad {
+					v = 1
+				}
+				if !g.bd.Begin(api, c.tree, api.Round()+c.budget+2, valMsg{V: v}, nil) {
+					g.inOp = true
+					return g.bd.Wake()
+				}
+			} else if !g.bd.Feed(api, inbox) {
+				return g.bd.Wake()
+			} else {
+				g.inOp = false
+			}
+			got, ok := g.bd.Result()
+			if !ok {
+				panic("core: bit broadcast under-budgeted")
+			}
+			g.reg = got
+			g.pc = geFinish
+
+		default: // geFinish
+			reject := g.reg.(valMsg).V == 1
+			return g.done(api, reject, c.tree.IsRoot())
+		}
+	}
+}
+
+// buildPartGraph assembles the gathered edge list into the part's induced
+// graph on dense indices plus the index->id mapping (shared by the
+// blocking GatherGraph and the step-native gather).
+func buildPartGraph(collected []congest.Message, rootID int64) (*graph.Graph, []int64) {
+	idOf := make([]int64, 0, 16)
+	idx := make(map[int64]int, 16)
+	add := func(id int64) int {
+		if i, ok := idx[id]; ok {
+			return i
+		}
+		idx[id] = len(idOf)
+		idOf = append(idOf, id)
+		return len(idOf) - 1
+	}
+	add(rootID)
+	type pair struct{ a, b int }
+	pairs := make([]pair, 0, len(collected))
+	for _, it := range collected {
+		e := it.(edgeItem)
+		pairs = append(pairs, pair{add(e.A), add(e.B)})
+	}
+	b := graph.NewBuilder(len(idOf))
+	for _, p := range pairs {
+		b.AddEdge(p.a, p.b)
+	}
+	return b.Build(), idOf
+}

@@ -1,16 +1,16 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/congest"
 	"repro/internal/partition"
 )
 
 // This file is the native StepProgram port of Stage II (stage2.go). The
-// schedule is a linear script of tree operations (driven by the step
-// state machines of package congest), single exchange rounds, and three
-// message-driven windows (BFS construction and the two label streams).
+// §2.2.1 preprocessing (budget, boundary round, BFS, edge assignment) is
+// the shared PartCtxStep prelude in partctx_step.go; the remaining
+// schedule here is a linear script of tree operations (driven by the step
+// state machines of package congest), single exchange rounds, and two
+// message-driven label-stream windows.
 // The port is round-exact: it sends the same messages in the same rounds,
 // draws the same per-node randomness in the same order, and calls Output
 // at the same rounds as the blocking implementation, so the hybrid tester
@@ -21,13 +21,7 @@ import (
 type s2op uint8
 
 const (
-	o2DepthDown  s2op = iota // bcast: depth probe (+1 per hop)
-	o2DepthUp                // cvg: max depth
-	o2DepthAgree             // bcast: agreed depth -> budget
-	o2Identity               // cross: part root + id exchange
-	o2BFS                    // window: BFS tree construction
-	o2Levels                 // cross: BFS levels -> edge assignment
-	o2CountUp                // cvg: (n, m) counts
+	o2CountUp    s2op = iota // cvg: (n, m) counts
 	o2CountDown              // bcast: counts + Euler decision
 	o2GatherUp               // pipeline: edge list to the root
 	o2Scatter                // stream: rotation items down (root embeds)
@@ -40,9 +34,26 @@ const (
 
 // NewStageIINode returns the native Stage II continuation for a node with
 // the given Stage I outcome. It is the step counterpart of RunStageII plus
-// the TestPlanarity verdict wrap-up.
+// the TestPlanarity verdict wrap-up. The §2.2.1 preprocessing runs as the
+// shared PartCtxStep prelude (partctx_step.go) — the same machine the
+// minor-free testers chain from — which then hands over to the Stage II
+// op script in the same round.
 func NewStageIINode(part *partition.Outcome, opts StageIIOptions) congest.StepProgram {
-	return &stage2Node{part: part, opts: opts.withDefaults()}
+	o := opts.withDefaults()
+	return NewPartCtxStep(part, func(api *congest.StepAPI, c *PartCtxStep) congest.Status {
+		return congest.BecomeStep(&stage2Node{
+			part:     part,
+			opts:     o,
+			budget:   c.budget,
+			maxDepth: c.maxDepth,
+			intra:    c.intra,
+			nbrID:    c.nbrID,
+			nbrLvl:   c.nbrLvl,
+			tree:     c.tree,
+			level:    c.level,
+			assigned: c.assigned,
+		})
+	})
 }
 
 type stage2Node struct {
@@ -74,21 +85,18 @@ type stage2Node struct {
 	edgePos   map[int]int32
 	nbrLabels map[int]Label
 
-	// Window state (BFS / label wave / label exchange).
-	deadline   int
-	adopted    bool
-	parentPort int
-	childPorts []int
-	per        int
-	chunks     int
-	ci         int
-	childLbl   []Label
-	streaming  bool
-	gotAll     bool
-	childIdx   map[int]int32
-	xPorts     []int
-	attach     map[int]Label
-	finished   map[int]bool
+	// Window state (label wave / label exchange).
+	deadline  int
+	per       int
+	chunks    int
+	ci        int
+	childLbl  []Label
+	streaming bool
+	gotAll    bool
+	childIdx  map[int]int32
+	xPorts    []int
+	attach    map[int]Label
+	finished  map[int]bool
 
 	// Sampling state.
 	capChunks int // capEdges * chunksPer truncation bound
@@ -102,140 +110,6 @@ type stage2Node struct {
 func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
 	for {
 		switch s.pc {
-		case o2DepthDown:
-			if !s.inOp {
-				if !s.bd.Begin(api, s.part.Tree, api.Round()+api.N()+2, valMsg{V: 0}, depthTransform) {
-					s.inOp = true
-					return s.bd.Wake()
-				}
-			} else if !s.bd.Feed(api, inbox) {
-				return s.bd.Wake()
-			} else {
-				s.inOp = false
-			}
-			d, ok := s.bd.Result()
-			if !ok {
-				panic("core: depth probe under-budgeted")
-			}
-			s.reg = d
-			s.pc = o2DepthUp
-
-		case o2DepthUp:
-			if !s.inOp {
-				if !s.cv.Begin(api, s.part.Tree, api.Round()+api.N()+2, s.reg, combineMaxVal) {
-					s.inOp = true
-					return s.cv.Wake()
-				}
-			} else if !s.cv.Feed(api, inbox) {
-				return s.cv.Wake()
-			} else {
-				s.inOp = false
-			}
-			maxd, ok := s.cv.Result()
-			if !ok {
-				panic("core: depth convergecast under-budgeted")
-			}
-			s.reg = maxd
-			s.pc = o2DepthAgree
-
-		case o2DepthAgree:
-			if !s.inOp {
-				if !s.bd.Begin(api, s.part.Tree, api.Round()+api.N()+2, s.reg, nil) {
-					s.inOp = true
-					return s.bd.Wake()
-				}
-			} else if !s.bd.Feed(api, inbox) {
-				return s.bd.Wake()
-			} else {
-				s.inOp = false
-			}
-			agreed, ok := s.bd.Result()
-			if !ok {
-				panic("core: depth broadcast under-budgeted")
-			}
-			s.maxDepth = int(agreed.(valMsg).V)
-			s.budget = 2*s.maxDepth + 2
-			s.pc = o2Identity
-
-		case o2Identity:
-			if !s.inOp {
-				api.SendAll(announceMsg{PartRoot: s.part.RootID, ID: api.ID()})
-				s.inOp = true
-				return congest.Running()
-			}
-			s.inOp = false
-			deg := api.Degree()
-			s.intra = make([]bool, deg)
-			s.nbrID = make([]int64, deg)
-			for _, in := range inbox {
-				am, ok := in.Msg.(announceMsg)
-				if !ok {
-					continue // skewed-schedule tolerance (see stage2.go)
-				}
-				s.intra[in.Port] = am.PartRoot == s.part.RootID
-				s.nbrID[in.Port] = am.ID
-			}
-			s.pc = o2BFS
-
-		case o2BFS:
-			if !s.inOp {
-				s.deadline = api.Round() + s.budget + 3
-				s.parentPort = -1
-				s.childPorts = nil
-				s.adopted = s.part.Tree.IsRoot()
-				s.level = 0
-				if s.adopted {
-					for p, ok := range s.intra {
-						if ok {
-							api.Send(p, bfsMsg{Level: 0})
-						}
-					}
-				}
-				s.inOp = true
-				if api.Round() < s.deadline {
-					return congest.Sleep(s.deadline)
-				}
-			} else if !s.feedBFS(api, inbox) {
-				return congest.Sleep(s.deadline)
-			}
-			s.inOp = false
-			if !s.adopted {
-				panic("core: BFS did not reach a part node (invalid partition)")
-			}
-			sort.Ints(s.childPorts)
-			s.tree = congest.Tree{ParentPort: s.parentPort, ChildPorts: s.childPorts}
-			if s.part.Tree.IsRoot() {
-				s.tree.ParentPort = -1
-			}
-			s.pc = o2Levels
-
-		case o2Levels:
-			if !s.inOp {
-				for p, ok := range s.intra {
-					if ok {
-						api.Send(p, lvlMsg{Level: s.level})
-					}
-				}
-				s.inOp = true
-				return congest.Running()
-			}
-			s.inOp = false
-			s.nbrLvl = make([]int64, api.Degree())
-			for _, in := range inbox {
-				if m, ok := in.Msg.(lvlMsg); ok {
-					s.nbrLvl[in.Port] = m.Level
-				}
-			}
-			for p, ok := range s.intra {
-				if !ok {
-					continue
-				}
-				if s.level > s.nbrLvl[p] || (s.level == s.nbrLvl[p] && api.ID() > s.nbrID[p]) {
-					s.assigned = append(s.assigned, p)
-				}
-			}
-			s.pc = o2CountUp
-
 		case o2CountUp:
 			if !s.inOp {
 				own := countsMsg{N: 1, M: int64(len(s.assigned))}
@@ -468,37 +342,6 @@ func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 type edgeListMsg struct{ items []congest.Message }
 
 func (edgeListMsg) Bits() int { return 0 }
-
-// feedBFS mirrors one wake of the blocking buildBFS loop; returns true at
-// the deadline.
-func (s *stage2Node) feedBFS(api *congest.StepAPI, inbox []congest.Inbound) bool {
-	bestPort := -1
-	for _, in := range inbox {
-		switch m := in.Msg.(type) {
-		case bfsMsg:
-			if s.adopted || !s.intra[in.Port] {
-				continue
-			}
-			if bestPort == -1 || s.nbrID[in.Port] < s.nbrID[bestPort] {
-				bestPort = in.Port
-				s.level = m.Level + 1
-			}
-		case childMsg:
-			s.childPorts = append(s.childPorts, in.Port)
-		}
-	}
-	if bestPort >= 0 {
-		s.adopted = true
-		s.parentPort = bestPort
-		api.Send(s.parentPort, childMsg{})
-		for p, ok := range s.intra {
-			if ok && p != s.parentPort {
-				api.Send(p, bfsMsg{Level: s.level})
-			}
-		}
-	}
-	return api.Round() >= s.deadline
-}
 
 // beginLabels starts the label wave (the step port of distributeLabels).
 func (s *stage2Node) beginLabels(api *congest.StepAPI) {

@@ -70,44 +70,39 @@ type RunResult struct {
 // the global verdict and metrics. It uses StopOnReject semantics: the run
 // ends at the first reject.
 //
-// When the configuration allows it (deterministic Stage I, no EN
-// baseline), the run uses the engine's native step execution model for
-// Stage I — the hot path — and switches each node to the blocking Stage II
-// continuation via congest.Become. Both paths produce byte-identical
-// results for a fixed seed (TestTesterEngineEquivalence); RunTesterBlocking
-// forces the compatibility path.
+// Every Options combination — deterministic or randomized Stage I, or the
+// Elkin–Neiman baseline — runs on the engine's native step execution
+// model: the partitioning stage hands each node over to the Stage II
+// state machine at the exact round it completes for its part, so the
+// whole tester runs with zero goroutines and zero channel operations.
+// Both paths produce byte-identical results for a fixed seed
+// (TestTesterEngineEquivalence); RunTesterBlocking forces the goroutine
+// compatibility path, which only the equivalence tests use.
 func RunTester(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
 	o := opts.withDefaults()
-	po := o.Partition
-	if po.Variant == 0 {
-		po.Variant = partition.Deterministic
+	if o.UseEN {
+		res, err := congest.RunStep(testerConfig(g, seed), func(node int) congest.StepProgram {
+			return partition.NewENNode(o.Partition.Epsilon, func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
+				return congest.BecomeStep(NewStageIINode(po, o.StageII))
+			})
+		})
+		return newRunResult(res, err)
 	}
-	if !o.UseEN && po.Variant == partition.Deterministic {
-		return runTesterHybrid(g, opts, seed)
-	}
-	return RunTesterBlocking(g, opts, seed)
-}
-
-// RunTesterBlocking executes the full tester on the blocking
-// compatibility path (one goroutine per node).
-func RunTesterBlocking(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
-	res, err := congest.Run(testerConfig(g, seed), func(api *congest.API) {
-		TestPlanarity(api, opts)
-	})
-	return newRunResult(res, err)
-}
-
-// runTesterHybrid runs both stages as native StepPrograms: Stage I hands
-// each node over to the Stage II state machine at the exact round it
-// completes for its part, so the whole deterministic tester runs with
-// zero goroutines and zero channel operations.
-func runTesterHybrid(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
-	o := opts.withDefaults()
 	plan := partition.NewStageIPlan(o.Partition, g.N())
 	res, err := congest.RunStep(testerConfig(g, seed), func(node int) congest.StepProgram {
 		return plan.NewNode(func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
 			return congest.BecomeStep(NewStageIINode(po, o.StageII))
 		})
+	})
+	return newRunResult(res, err)
+}
+
+// RunTesterBlocking executes the full tester on the blocking
+// compatibility path (one goroutine per node); kept for the
+// engine-equivalence tests.
+func RunTesterBlocking(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
+	res, err := congest.Run(testerConfig(g, seed), func(api *congest.API) {
+		TestPlanarity(api, opts)
 	})
 	return newRunResult(res, err)
 }

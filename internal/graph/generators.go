@@ -275,6 +275,38 @@ func PlanarPlusRandomEdges(n, extra int, rng *rand.Rand) (*Graph, int) {
 	return out, EulerDistanceLowerBound(out)
 }
 
+// K5Subdivision returns a subdivision of K_5 on n >= 5 nodes: the ten
+// edges of K_5 become internally disjoint paths whose interior nodes split
+// the remaining n-5 nodes as evenly as possible. The result is non-planar
+// for every n (Kuratowski) while staying sparse (m = n + 5), which makes
+// it the adversarial counterpart of the planar families at large n.
+func K5Subdivision(n int) *Graph {
+	if n < 5 {
+		panic(fmt.Sprintf("gen: K5 subdivision needs n>=5, got %d", n))
+	}
+	b := NewBuilder(n)
+	next := 5
+	extra := n - 5
+	pairIdx := 0
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			interior := extra / 10
+			if pairIdx < extra%10 {
+				interior++
+			}
+			prev := i
+			for t := 0; t < interior; t++ {
+				b.AddEdge(prev, next)
+				prev = next
+				next++
+			}
+			b.AddEdge(prev, j)
+			pairIdx++
+		}
+	}
+	return b.Build()
+}
+
 // EulerDistanceLowerBound returns a certified lower bound on the number of
 // edges that must be removed from g to make it planar: any planar graph on
 // n >= 3 nodes has at most 3n-6 edges, so at least m-(3n-6) edges must go.

@@ -483,3 +483,29 @@ func TestUnweightedConversion(t *testing.T) {
 		t.Fatalf("id map wrong: %v", ids)
 	}
 }
+
+func TestK5Subdivision(t *testing.T) {
+	for _, n := range []int{5, 6, 17, 100} {
+		g := K5Subdivision(n)
+		if g.N() != n {
+			t.Fatalf("n=%d: got %d nodes", n, g.N())
+		}
+		if g.M() != n+5 {
+			t.Fatalf("n=%d: got %d edges, want %d", n, g.M(), n+5)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+		// The five branch nodes keep degree 4; every subdivision node has
+		// degree 2.
+		for v := 0; v < n; v++ {
+			want := 2
+			if v < 5 {
+				want = 4
+			}
+			if g.Degree(v) != want {
+				t.Fatalf("n=%d: node %d degree %d, want %d", n, v, g.Degree(v), want)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -9,9 +10,10 @@ import (
 )
 
 // TestStageIEngineEquivalence proves that the native StepProgram port of
-// Stage I and the blocking implementation produce byte-identical Results
-// (verdicts, rounds, messages, bits) and identical per-node outcomes for
-// fixed seeds across several graph families (issue acceptance criterion).
+// Stage I (both variants) and the blocking implementation produce
+// byte-identical Results (verdicts, rounds, messages, bits) and identical
+// per-node outcomes for fixed seeds across several graph families (issue
+// acceptance criterion).
 func TestStageIEngineEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	farG, _ := graph.PlanarPlusRandomEdges(60, 40, rng)
@@ -26,42 +28,95 @@ func TestStageIEngineEquivalence(t *testing.T) {
 		{"star", graph.Star(17)},
 	}
 	schedules := []Schedule{PaperSchedule, PracticalSchedule}
+	variants := []Variant{Deterministic, Randomized}
 	for _, fam := range families {
 		for _, sched := range schedules {
+			for _, variant := range variants {
+				for seed := int64(0); seed < 3; seed++ {
+					opts := Options{Epsilon: 0.25, Schedule: sched, Variant: variant}
+					name := fmt.Sprintf("%s/%v/variant%d/seed%d", fam.name, sched, variant, seed)
+					bOuts, bIDs, bRes, bErr := CollectStageIBlocking(fam.g, opts, seed)
+					sOuts, sIDs, sRes, sErr := CollectStageIStep(fam.g, opts, seed)
+					if (bErr == nil) != (sErr == nil) {
+						t.Fatalf("%s: err mismatch: blocking=%v step=%v", name, bErr, sErr)
+					}
+					if bErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(bIDs, sIDs) {
+						t.Fatalf("%s: id assignment mismatch", name)
+					}
+					if !reflect.DeepEqual(bRes.Metrics, sRes.Metrics) {
+						t.Fatalf("%s: metrics mismatch:\nblocking: %+v\nstep:     %+v",
+							name, bRes.Metrics, sRes.Metrics)
+					}
+					if !reflect.DeepEqual(bRes.Verdicts, sRes.Verdicts) {
+						t.Fatalf("%s: verdicts mismatch", name)
+					}
+					for v := range bOuts {
+						bo, so := bOuts[v], sOuts[v]
+						if (bo == nil) != (so == nil) {
+							t.Fatalf("%s: node %d outcome presence mismatch", name, v)
+						}
+						if bo == nil {
+							continue
+						}
+						if bo.RootID != so.RootID || bo.Rejected != so.Rejected ||
+							bo.PhasesRun != so.PhasesRun || bo.EarlyExit != so.EarlyExit ||
+							bo.Tree.ParentPort != so.Tree.ParentPort ||
+							!equalPorts(bo.Tree.ChildPorts, so.Tree.ChildPorts) {
+							t.Fatalf("%s: node %d outcome mismatch:\nblocking: %+v\nstep:     %+v",
+								name, v, bo, so)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestENEngineEquivalence proves the same for the Elkin–Neiman baseline:
+// the step-native state machine and the blocking loop produce
+// byte-identical Results and identical per-node cluster outcomes.
+func TestENEngineEquivalence(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(8, 8)},
+		{"cycle", graph.Cycle(37)},
+		{"tree-plus-edges", graph.TreePlusRandomEdges(60, 15, rand.New(rand.NewSource(3)))},
+		{"star", graph.Star(21)},
+	}
+	for _, fam := range families {
+		for _, eps := range []float64{0.25, 0.5} {
 			for seed := int64(0); seed < 3; seed++ {
-				opts := Options{Epsilon: 0.25, Schedule: sched}
-				bOuts, bIDs, bRes, bErr := CollectStageI(fam.g, opts, seed)
-				sOuts, sIDs, sRes, sErr := CollectStageIStep(fam.g, opts, seed)
+				name := fmt.Sprintf("%s/eps%v/seed%d", fam.name, eps, seed)
+				bOuts, bIDs, bRes, bErr := CollectENBlocking(fam.g, eps, seed)
+				sOuts, sIDs, sRes, sErr := CollectENStep(fam.g, eps, seed)
 				if (bErr == nil) != (sErr == nil) {
-					t.Fatalf("%s/%v/seed%d: err mismatch: blocking=%v step=%v", fam.name, sched, seed, bErr, sErr)
+					t.Fatalf("%s: err mismatch: blocking=%v step=%v", name, bErr, sErr)
 				}
 				if bErr != nil {
 					continue
 				}
 				if !reflect.DeepEqual(bIDs, sIDs) {
-					t.Fatalf("%s/%v/seed%d: id assignment mismatch", fam.name, sched, seed)
+					t.Fatalf("%s: id assignment mismatch", name)
 				}
 				if !reflect.DeepEqual(bRes.Metrics, sRes.Metrics) {
-					t.Fatalf("%s/%v/seed%d: metrics mismatch:\nblocking: %+v\nstep:     %+v",
-						fam.name, sched, seed, bRes.Metrics, sRes.Metrics)
+					t.Fatalf("%s: metrics mismatch:\nblocking: %+v\nstep:     %+v",
+						name, bRes.Metrics, sRes.Metrics)
 				}
 				if !reflect.DeepEqual(bRes.Verdicts, sRes.Verdicts) {
-					t.Fatalf("%s/%v/seed%d: verdicts mismatch", fam.name, sched, seed)
+					t.Fatalf("%s: verdicts mismatch", name)
 				}
 				for v := range bOuts {
 					bo, so := bOuts[v], sOuts[v]
-					if (bo == nil) != (so == nil) {
-						t.Fatalf("%s/%v/seed%d: node %d outcome presence mismatch", fam.name, sched, seed, v)
-					}
-					if bo == nil {
-						continue
-					}
-					if bo.RootID != so.RootID || bo.Rejected != so.Rejected ||
-						bo.PhasesRun != so.PhasesRun || bo.EarlyExit != so.EarlyExit ||
+					if bo.RootID != so.RootID ||
 						bo.Tree.ParentPort != so.Tree.ParentPort ||
 						!equalPorts(bo.Tree.ChildPorts, so.Tree.ChildPorts) {
-						t.Fatalf("%s/%v/seed%d: node %d outcome mismatch:\nblocking: %+v\nstep:     %+v",
-							fam.name, sched, seed, v, bo, so)
+						t.Fatalf("%s: node %d outcome mismatch:\nblocking: %+v\nstep:     %+v",
+							name, v, bo, so)
 					}
 				}
 			}

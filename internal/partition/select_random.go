@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"math/rand"
+
 	"repro/internal/congest"
 )
 
@@ -32,31 +34,7 @@ func (s *state) selectRandomized(D int) {
 			}
 		}
 		pick := s.cvg(D, own, func(o congest.Message, ch []congest.Message) congest.Message {
-			cands := make([]trialMsg, 0, len(ch)+1)
-			if tm, ok := o.(trialMsg); ok {
-				cands = append(cands, tm)
-			}
-			for _, c := range ch {
-				if tm, ok := c.(trialMsg); ok {
-					cands = append(cands, tm)
-				}
-			}
-			if len(cands) == 0 {
-				return noneMsg{}
-			}
-			total := int64(0)
-			for _, c := range cands {
-				total += c.Degree
-			}
-			r := s.api.Rand().Int63n(total)
-			for _, c := range cands {
-				if r < c.Degree {
-					c.Degree = total
-					return c
-				}
-				r -= c.Degree
-			}
-			panic("partition: weighted pick out of range")
+			return combineTrial(s.api.Rand(), o, ch)
 		})
 
 		// (2) Announce the drawn target.
@@ -91,4 +69,36 @@ func (s *state) selectRandomized(D int) {
 		s.partTarget = bestTarget
 		s.partWeight = bestW
 	}
+}
+
+// combineTrial is the weighted reservoir combiner of the tree-sampling
+// procedure (§4.1), shared by the blocking and the step-native selection:
+// it picks one candidate with probability proportional to its subtree
+// cross-degree and re-labels the winner with the subtree total.
+func combineTrial(rng *rand.Rand, o congest.Message, ch []congest.Message) congest.Message {
+	cands := make([]trialMsg, 0, len(ch)+1)
+	if tm, ok := o.(trialMsg); ok {
+		cands = append(cands, tm)
+	}
+	for _, c := range ch {
+		if tm, ok := c.(trialMsg); ok {
+			cands = append(cands, tm)
+		}
+	}
+	if len(cands) == 0 {
+		return noneMsg{}
+	}
+	total := int64(0)
+	for _, c := range cands {
+		total += c.Degree
+	}
+	r := rng.Int63n(total)
+	for _, c := range cands {
+		if r < c.Degree {
+			c.Degree = total
+			return c
+		}
+		r -= c.Degree
+	}
+	panic("partition: weighted pick out of range")
 }

@@ -8,12 +8,16 @@ import (
 	"repro/internal/graph"
 )
 
-// This file is the native StepProgram port of the deterministic Stage I
-// algorithm (stage1.go). Every node executes the same static script of
+// This file is the native StepProgram port of Stage I (stage1.go), in both
+// variants. Every node executes the same static script of
 // budget-synchronized operations per phase — broadcasts, convergecasts,
 // single cross-boundary rounds, and the contraction flip window — so the
 // whole phase schedule compiles to a flat op list interpreted by a small
-// state machine. The port is round-exact: it sends the same messages in
+// state machine. The Deterministic variant compiles the forest
+// decomposition into the script; the Randomized variant compiles the
+// weighted-edge-selection trials (select_random.go) instead, drawing
+// per-node randomness in the same program order as the blocking
+// implementation. The port is round-exact: it sends the same messages in
 // the same rounds (and calls Output at the same rounds) as the blocking
 // implementation, so both execution models produce byte-identical Results
 // for a fixed seed (verified by TestStageIEngineEquivalence).
@@ -32,44 +36,47 @@ const (
 type sTag uint8
 
 const (
-	tBoundary   sTag = iota
-	tHasCross        // cvg: OR of per-node has-cross-edge flags
-	tEarlyDec        // bcast: early-exit decision
-	tFDStatus        // bcast: forest-decomposition status (arg = super-round)
-	tFDActivity      // cross: activity exchange (arg = super-round)
-	tFDAgg           // cvg: decomposition aggregate (arg = super-round)
-	tSel             // bcast: selected out-edge
-	tCand            // cvg: min-id candidate for u^j
-	tWinner          // bcast: designated node announcement
-	tFSelect         // cross: u^j -> v^j child notice
-	tMutual          // cvg: OR of mutual-selection evidence
-	tDrop            // bcast: mutual-selection drop decision
-	tWithdraw        // cross: withdraw child notice
-	tKids            // cvg: child count sum
-	tCVIter          // fFetch: Cole-Vishkin iteration (arg = k)
-	tShift           // fFetch: shift-down pass (arg = dropped class)
-	tRecolor         // fFetch: recolor pass (arg = dropped class)
-	tReport          // bcast: part color/weight report
-	tReportX         // cross: child report u^j -> v^j
-	tColorSums       // cvg: per-color incoming weights
-	tMarkPC          // fFetch: parent color for the chi=2 marking rule
-	tMarkDec         // bcast: marking decision
-	tMarkX           // cross: marked-edge notifications
-	tByParent        // cvg: OR of marked-by-parent evidence
-	tAnyKid          // cvg: OR of has-marked-child flags
-	tOutMkd          // bcast: out-edge-marked mirror bit
-	tLvlAnn          // bcast: level announcement (arg = hop)
-	tLvlX            // cross: level cascade (arg = hop)
-	tLvlUp           // cvg: level pickup (arg = hop)
-	tParAnn          // bcast: parity-weight announcement (arg = hop, descending)
-	tParX            // cross: parity-weight cascade (arg = hop)
-	tParUp           // cvg: parity-weight pickup (arg = hop)
-	tDecAnn          // bcast: contraction parity announcement (arg = hop)
-	tDecX            // cross: parity cascade (arg = hop)
-	tDecUp           // cvg: parity pickup (arg = hop)
-	tContract        // bcast: contraction announcement
-	tFlip            // flip window
-	tAttach          // cross: u^j attaches under v^j
+	tBoundary    sTag = iota
+	tHasCross         // cvg: OR of per-node has-cross-edge flags
+	tEarlyDec         // bcast: early-exit decision
+	tFDStatus         // bcast: forest-decomposition status (arg = super-round)
+	tFDActivity       // cross: activity exchange (arg = super-round)
+	tFDAgg            // cvg: decomposition aggregate (arg = super-round)
+	tSel              // bcast: selected out-edge
+	tCand             // cvg: min-id candidate for u^j
+	tWinner           // bcast: designated node announcement
+	tFSelect          // cross: u^j -> v^j child notice
+	tMutual           // cvg: OR of mutual-selection evidence
+	tDrop             // bcast: mutual-selection drop decision
+	tWithdraw         // cross: withdraw child notice
+	tKids             // cvg: child count sum
+	tCVIter           // fFetch: Cole-Vishkin iteration (arg = k)
+	tShift            // fFetch: shift-down pass (arg = dropped class)
+	tRecolor          // fFetch: recolor pass (arg = dropped class)
+	tReport           // bcast: part color/weight report
+	tReportX          // cross: child report u^j -> v^j
+	tColorSums        // cvg: per-color incoming weights
+	tMarkPC           // fFetch: parent color for the chi=2 marking rule
+	tMarkDec          // bcast: marking decision
+	tMarkX            // cross: marked-edge notifications
+	tByParent         // cvg: OR of marked-by-parent evidence
+	tAnyKid           // cvg: OR of has-marked-child flags
+	tOutMkd           // bcast: out-edge-marked mirror bit
+	tLvlAnn           // bcast: level announcement (arg = hop)
+	tLvlX             // cross: level cascade (arg = hop)
+	tLvlUp            // cvg: level pickup (arg = hop)
+	tParAnn           // bcast: parity-weight announcement (arg = hop, descending)
+	tParX             // cross: parity-weight cascade (arg = hop)
+	tParUp            // cvg: parity-weight pickup (arg = hop)
+	tDecAnn           // bcast: contraction parity announcement (arg = hop)
+	tDecX             // cross: parity cascade (arg = hop)
+	tDecUp            // cvg: parity pickup (arg = hop)
+	tContract         // bcast: contraction announcement
+	tFlip             // flip window
+	tAttach           // cross: u^j attaches under v^j
+	tTrialPick        // cvg: weighted cut-edge reservoir pick (arg = trial)
+	tTrialAnn         // bcast: drawn target announcement (arg = trial)
+	tTrialWeight      // cvg: w(P, target) evaluation (arg = trial)
 )
 
 // fFetch sites expand to the op triple [bcast own | cross forward | cvg
@@ -82,29 +89,29 @@ type sOp struct {
 	arg  int32
 }
 
-// StageIPlan is the compiled per-phase op script of the deterministic
-// Stage I schedule, shared by every node of a run.
+// StageIPlan is the compiled per-phase op script of the Stage I schedule
+// (either variant), shared by every node of a run.
 type StageIPlan struct {
 	opts   Options
 	phases int
 	S      int // forest-decomposition super-rounds
 	iters  int // Cole-Vishkin reduction iterations
+	trials int // randomized: weighted-edge-selection trials
 	ops    []sOp
 }
 
-// NewStageIPlan compiles the Stage I schedule for an n-node network. Only
-// the Deterministic variant is supported natively; callers fall back to
-// the blocking RunStageI for the Randomized variant.
+// NewStageIPlan compiles the Stage I schedule for an n-node network. Both
+// the Deterministic and the Randomized variant compile to a script: they
+// differ only in the out-edge-selection ops (forest decomposition versus
+// weighted selection trials).
 func NewStageIPlan(opts Options, n int) *StageIPlan {
 	opts = opts.withDefaults()
-	if opts.Variant != Deterministic {
-		panic("partition: StageIPlan supports the Deterministic variant only")
-	}
 	pl := &StageIPlan{
 		opts:   opts,
 		phases: opts.Phases(),
 		S:      superRounds(n),
 		iters:  forest.CVIterations(int64(n)),
+		trials: opts.SelectionTrials(),
 	}
 	add := func(kind sOpKind, tag sTag, arg int32) {
 		pl.ops = append(pl.ops, sOp{kind: kind, tag: tag, arg: arg})
@@ -120,11 +127,21 @@ func NewStageIPlan(opts Options, n int) *StageIPlan {
 	add(sBoundary, tBoundary, 0)
 	add(sCvg, tHasCross, 0)
 	add(sBcast, tEarlyDec, 0)
-	// Steps 2-3: forest decomposition and out-edge selection/designation.
-	for l := 0; l < pl.S; l++ {
-		add(sBcast, tFDStatus, int32(l))
-		add(sCross, tFDActivity, int32(l))
-		add(sCvg, tFDAgg, int32(l))
+	// Steps 2-3: out-edge selection (forest decomposition + heaviest edge
+	// in the deterministic variant; weighted random trials otherwise),
+	// then designation.
+	if opts.Variant == Randomized {
+		for t := 0; t < pl.trials; t++ {
+			add(sCvg, tTrialPick, int32(t))
+			add(sBcast, tTrialAnn, int32(t))
+			add(sCvg, tTrialWeight, int32(t))
+		}
+	} else {
+		for l := 0; l < pl.S; l++ {
+			add(sBcast, tFDStatus, int32(l))
+			add(sCross, tFDActivity, int32(l))
+			add(sCvg, tFDAgg, int32(l))
+		}
 	}
 	add(sBcast, tSel, 0)
 	add(sCvg, tCand, 0)
@@ -241,6 +258,13 @@ type stageINode struct {
 	actSeen    []bool       // per port: activity flag received
 	stStatus   statusMsg    // this super-round's status broadcast
 	fdCombine  func(own congest.Message, children []congest.Message) congest.Message
+
+	// Randomized-variant selection state (root-only best tracking plus a
+	// reusable cross-port scratch buffer and the RNG-bearing combiner).
+	bestW        int64
+	bestTarget   int64
+	crossScratch []int
+	trialCombine func(own congest.Message, children []congest.Message) congest.Message
 
 	// Scratch buffers for decompAgg payloads (see mergeFD).
 	ownEntries []rootWeight
@@ -395,6 +419,9 @@ func (s *stageINode) initNode(api *congest.StepAPI) {
 	s.fdCombine = func(own congest.Message, children []congest.Message) congest.Message {
 		return s.mergeFD(own.(decompAgg), children)
 	}
+	s.trialCombine = func(own congest.Message, children []congest.Message) congest.Message {
+		return combineTrial(api.Rand(), own, children)
+	}
 }
 
 // beginPhase mirrors state.resetPhase plus the per-phase bookkeeping of
@@ -437,6 +464,8 @@ func (s *stageINode) beginPhase(api *congest.StepAPI) {
 	s.parity = -1
 	s.merging = false
 	s.flipped = false
+	s.bestW = -1
+	s.bestTarget = 0
 }
 
 // markedChildPorts iterates ports with a marked child edge in ascending
@@ -474,6 +503,11 @@ func (s *stageINode) prepBcast(api *congest.StepAPI, op *sOp) congest.Message {
 		return vmsg(any)
 	case tFDStatus:
 		return statusMsg{Active: s.fdActive, Watch: s.watch}
+	case tTrialAnn:
+		if tm, ok := s.cvRes.(trialMsg); ok {
+			return vmsg(tm.Target)
+		}
+		return noneMsg{}
 	case tSel:
 		return selMsg{HasOut: s.partHasOut, Target: s.partTarget, Weight: s.partWeight}
 	case tWinner:
@@ -584,6 +618,8 @@ func (s *stageINode) absorbBcast(api *congest.StepAPI, op *sOp, got congest.Mess
 		}
 	case tFDStatus:
 		s.stStatus = got.(statusMsg)
+	case tTrialAnn:
+		s.opMsg = got // the drawn target (valMsg) or noneMsg
 	case tSel:
 		s.gotSel = got.(selMsg)
 	case tWinner:
@@ -669,6 +705,37 @@ func (s *stageINode) prepCvg(api *congest.StepAPI, op *sOp) (congest.Message, fu
 			return emptyDecomp, s.fdCombine // interior nodes: no boxing
 		}
 		return own, s.fdCombine
+	case tTrialPick:
+		// Mirror of selectRandomized step (1): each node draws a uniform
+		// incident cut edge; the convergecast performs the weighted
+		// reservoir pick (combineTrial draws the same randomness in the
+		// same program order as the blocking combiner).
+		s.crossScratch = s.crossScratch[:0]
+		for p, c := range s.cross {
+			if c {
+				s.crossScratch = append(s.crossScratch, p)
+			}
+		}
+		if len(s.crossScratch) > 0 {
+			p := s.crossScratch[api.Rand().Intn(len(s.crossScratch))]
+			return trialMsg{
+				NodeID: api.ID(),
+				Target: s.nbrRoot[p],
+				Degree: int64(len(s.crossScratch)),
+			}, s.trialCombine
+		}
+		return noneMsg{}, s.trialCombine
+	case tTrialWeight:
+		// Step (3): count this node's edges into the announced target.
+		cnt := int64(0)
+		if tv, ok := s.opMsg.(valMsg); ok {
+			for p, c := range s.cross {
+				if c && s.nbrRoot[p] == tv.V {
+					cnt++
+				}
+			}
+		}
+		return vmsg(cnt), combineSum
 	case tCand:
 		if s.gotSel.HasOut {
 			for p, c := range s.cross {
@@ -786,6 +853,20 @@ func (s *stageINode) absorbCvg(api *congest.StepAPI, op *sOp, agg congest.Messag
 		}
 		if int(op.arg) == s.plan.S-1 {
 			s.fdFinish(api)
+		}
+	case tTrialWeight:
+		if root {
+			if tv, ok := s.opMsg.(valMsg); ok {
+				if w := agg.(valMsg).V; w > s.bestW {
+					s.bestW, s.bestTarget = w, tv.V
+				}
+			}
+			if int(op.arg) == s.plan.trials-1 && s.bestW > 0 {
+				// selectRandomized exit glue: the maximum-weight draw wins.
+				s.partHasOut = true
+				s.partTarget = s.bestTarget
+				s.partWeight = s.bestW
+			}
 		}
 	case tMutual:
 		s.dropDec = 0

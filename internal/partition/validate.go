@@ -8,9 +8,18 @@ import (
 	"repro/internal/graph"
 )
 
-// CollectStageI runs Stage I on g over the simulator and returns the
-// per-node outcomes, the assigned ids, and the run result.
+// CollectStageI runs Stage I on g and returns the per-node outcomes, the
+// assigned ids, and the run result. It executes on the engine's native
+// step path (both variants are ported); CollectStageIBlocking forces the
+// goroutine compatibility path, which produces byte-identical results for
+// a fixed seed (TestStageIEngineEquivalence).
 func CollectStageI(g *graph.Graph, opts Options, seed int64) ([]*Outcome, []int64, *congest.Result, error) {
+	return CollectStageIStep(g, opts, seed)
+}
+
+// CollectStageIBlocking runs Stage I on the blocking compatibility path
+// (one goroutine per node); kept for the engine-equivalence tests.
+func CollectStageIBlocking(g *graph.Graph, opts Options, seed int64) ([]*Outcome, []int64, *congest.Result, error) {
 	ids := permIDs(g.N(), seed)
 	outs := make([]*Outcome, g.N())
 	res, err := congest.Run(congest.Config{
@@ -25,8 +34,15 @@ func CollectStageI(g *graph.Graph, opts Options, seed int64) ([]*Outcome, []int6
 	return outs, ids, res, err
 }
 
-// CollectEN runs the Elkin–Neiman-style baseline partition.
+// CollectEN runs the Elkin–Neiman-style baseline partition on the native
+// step path; CollectENBlocking forces the compatibility path.
 func CollectEN(g *graph.Graph, eps float64, seed int64) ([]*Outcome, []int64, *congest.Result, error) {
+	return CollectENStep(g, eps, seed)
+}
+
+// CollectENBlocking runs the baseline partition on the blocking
+// compatibility path; kept for the engine-equivalence tests.
+func CollectENBlocking(g *graph.Graph, eps float64, seed int64) ([]*Outcome, []int64, *congest.Result, error) {
 	ids := permIDs(g.N(), seed)
 	outs := make([]*Outcome, g.N())
 	res, err := congest.Run(congest.Config{Graph: g, Seed: seed, IDs: ids}, func(api *congest.API) {

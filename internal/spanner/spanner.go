@@ -50,21 +50,11 @@ func Build(api *congest.API, opts Options) *NodeSpanner {
 
 	// Depth probe on the part tree for the stretch certificate.
 	probe := api.N() + 2
-	d, ok := po.Tree.BroadcastDown(api, api.Round()+probe, depthMsg{}, func(m congest.Message) congest.Message {
-		return depthMsg{D: m.(depthMsg).D + 1}
-	})
+	d, ok := po.Tree.BroadcastDown(api, api.Round()+probe, depthMsg{}, depthHop)
 	if !ok {
 		panic("spanner: depth probe under-budgeted")
 	}
-	maxd, ok := po.Tree.Convergecast(api, api.Round()+probe, d, func(own congest.Message, ch []congest.Message) congest.Message {
-		best := own.(depthMsg).D
-		for _, c := range ch {
-			if v := c.(depthMsg).D; v > best {
-				best = v
-			}
-		}
-		return depthMsg{D: best}
-	})
+	maxd, ok := po.Tree.Convergecast(api, api.Round()+probe, d, combineMaxDepth)
 	if !ok {
 		panic("spanner: depth convergecast under-budgeted")
 	}
@@ -99,13 +89,41 @@ type depthMsg struct{ D int64 }
 
 func (m depthMsg) Bits() int { return 2 + congest.BitsForValue(m.D) }
 
+// depthHop increments the depth-probe payload on each hop (shared by both
+// execution models).
+func depthHop(m congest.Message) congest.Message {
+	return depthMsg{D: m.(depthMsg).D + 1}
+}
+
+// combineMaxDepth keeps the maximum depth contribution (shared by both
+// execution models).
+func combineMaxDepth(own congest.Message, ch []congest.Message) congest.Message {
+	best := own.(depthMsg).D
+	for _, c := range ch {
+		if v := c.(depthMsg).D; v > best {
+			best = v
+		}
+	}
+	return depthMsg{D: best}
+}
+
 type rootMsg struct{ Root int64 }
 
 func (m rootMsg) Bits() int { return 2 + congest.BitsForValue(m.Root) }
 
 // Collect runs the construction on g and returns the spanner subgraph,
-// the per-node views, and the run metrics.
+// the per-node views, and the run metrics. It runs on the engine's native
+// step path; CollectBlocking forces the goroutine compatibility path,
+// which produces byte-identical results for a fixed seed
+// (TestSpannerEngineEquivalence). Panics on invalid Options (Epsilon
+// outside (0,1]), like Build.
 func Collect(g *graph.Graph, opts Options, seed int64) (*graph.Graph, []*NodeSpanner, congest.Metrics, error) {
+	return CollectStep(g, opts, seed)
+}
+
+// CollectBlocking runs the construction on the blocking compatibility
+// path (one goroutine per node); kept for the engine-equivalence tests.
+func CollectBlocking(g *graph.Graph, opts Options, seed int64) (*graph.Graph, []*NodeSpanner, congest.Metrics, error) {
 	views := make([]*NodeSpanner, g.N())
 	res, err := congest.Run(congest.Config{
 		Graph:     g,
@@ -117,15 +135,7 @@ func Collect(g *graph.Graph, opts Options, seed int64) (*graph.Graph, []*NodeSpa
 	if err != nil {
 		return nil, nil, congest.Metrics{}, err
 	}
-	b := graph.NewBuilder(g.N())
-	for v := 0; v < g.N(); v++ {
-		for p, keep := range views[v].Ports {
-			if keep {
-				b.AddEdge(v, int(g.Neighbors(v)[p]))
-			}
-		}
-	}
-	return b.Build(), views, res.Metrics, nil
+	return assembleSpanner(g, views), views, res.Metrics, nil
 }
 
 // VerifySymmetric checks that both endpoints of every spanner edge agree

@@ -1,12 +1,58 @@
 package spanner
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
+
+// TestSpannerEngineEquivalence proves that the native step path of the
+// spanner construction and the blocking path produce byte-identical
+// Metrics, views, and spanner subgraphs for fixed seeds across ≥3 graph
+// families and both Stage I variants (issue acceptance criterion).
+func TestSpannerEngineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(7, 8)},
+		{"maximal-planar", graph.MaximalPlanar(50, rng)},
+		{"outerplanar", graph.Outerplanar(35, rng)},
+		{"tree", graph.RandomTree(40, rng)},
+	}
+	variants := []partition.Variant{partition.Deterministic, partition.Randomized}
+	for _, fam := range families {
+		for _, variant := range variants {
+			for seed := int64(0); seed < 2; seed++ {
+				name := fmt.Sprintf("%s/variant%d/seed%d", fam.name, variant, seed)
+				opts := Options{Epsilon: 0.3, Partition: partition.Options{
+					Epsilon: 0.3, Variant: variant, Schedule: partition.PracticalSchedule}}
+				nsp, nviews, nm, nErr := CollectStep(fam.g, opts, seed)
+				bsp, bviews, bm, bErr := CollectBlocking(fam.g, opts, seed)
+				if (nErr == nil) != (bErr == nil) {
+					t.Fatalf("%s: err mismatch: native=%v blocking=%v", name, nErr, bErr)
+				}
+				if nErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(nm, bm) {
+					t.Fatalf("%s: metrics mismatch:\nnative:   %+v\nblocking: %+v", name, nm, bm)
+				}
+				if !reflect.DeepEqual(nviews, bviews) {
+					t.Fatalf("%s: views mismatch", name)
+				}
+				if !reflect.DeepEqual(nsp.Edges(), bsp.Edges()) {
+					t.Fatalf("%s: spanner subgraph mismatch", name)
+				}
+			}
+		}
+	}
+}
 
 func TestSpannerOnGrid(t *testing.T) {
 	g := graph.Grid(8, 8)

@@ -1,0 +1,84 @@
+package testers
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/planar"
+)
+
+// TestMinorFreeEngineEquivalence proves that the native step path of the
+// minor-free property testers and the blocking path produce byte-identical
+// RunResults for fixed seeds, across ≥3 graph families (accepting and
+// rejecting), both properties, and both Stage I variants (issue acceptance
+// criterion).
+func TestMinorFreeEngineEquivalence(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(7, 7)},                                                          // accepts both properties' bipartite side
+		{"tree", graph.RandomTree(50, rand.New(rand.NewSource(1)))},                         // accepts cycle-freeness
+		{"tree-plus-edges", graph.TreePlusRandomEdges(60, 20, rand.New(rand.NewSource(2)))}, // rejects cycle-freeness
+		{"odd-chords", graph.GridWithOddChords(6, 6, 5, rand.New(rand.NewSource(3)))},       // rejects bipartiteness
+	}
+	variants := []partition.Variant{partition.Deterministic, partition.Randomized}
+	for _, fam := range families {
+		for _, prop := range []Property{CycleFreeness, Bipartiteness} {
+			for _, variant := range variants {
+				for seed := int64(0); seed < 2; seed++ {
+					name := fmt.Sprintf("%s/%v/variant%d/seed%d", fam.name, prop, variant, seed)
+					opts := Options{Epsilon: 0.2, Partition: partition.Options{
+						Epsilon: 0.2, Variant: variant, Schedule: partition.PracticalSchedule}}
+					nr, nErr := Run(fam.g, prop, opts, seed)
+					br, bErr := RunBlocking(fam.g, prop, opts, seed)
+					if (nErr == nil) != (bErr == nil) {
+						t.Fatalf("%s: err mismatch: native=%v blocking=%v", name, nErr, bErr)
+					}
+					if nErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(nr, br) {
+						t.Fatalf("%s: result mismatch:\nnative:   %+v\nblocking: %+v", name, nr, br)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHereditaryEngineEquivalence proves the same for the generic
+// hereditary-property tester (outerplanarity as the predicate), including
+// a rejecting family.
+func TestHereditaryEngineEquivalence(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"outerplanar", graph.Outerplanar(30, rand.New(rand.NewSource(5)))}, // accepts
+		{"cycle", graph.Cycle(25)}, // accepts
+		{"grid", graph.Grid(6, 6)}, // rejects (not outerplanar)
+	}
+	for _, fam := range families {
+		for seed := int64(0); seed < 2; seed++ {
+			name := fmt.Sprintf("%s/seed%d", fam.name, seed)
+			opts := Options{Epsilon: 0.25, Partition: partition.Options{
+				Epsilon: 0.25, Schedule: partition.PracticalSchedule}}
+			nr, nErr := RunHereditary(fam.g, planar.IsOuterplanar, opts, seed)
+			br, bErr := RunHereditaryBlocking(fam.g, planar.IsOuterplanar, opts, seed)
+			if (nErr == nil) != (bErr == nil) {
+				t.Fatalf("%s: err mismatch: native=%v blocking=%v", name, nErr, bErr)
+			}
+			if nErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(nr, br) {
+				t.Fatalf("%s: result mismatch:\nnative:   %+v\nblocking: %+v", name, nr, br)
+			}
+		}
+	}
+}

@@ -52,22 +52,24 @@ func TestHereditary(api *congest.API, pred PartPredicate, opts Options) congest.
 	return congest.VerdictAccept
 }
 
-// RunHereditary executes TestHereditary on g over the simulator.
+// RunHereditary executes TestHereditary on g over the simulator. It runs
+// on the engine's native step path; RunHereditaryBlocking forces the
+// goroutine compatibility path, which produces byte-identical results for
+// a fixed seed (TestHereditaryEngineEquivalence). Panics on invalid
+// Options (Epsilon outside (0,1]), like core.RunTester.
 func RunHereditary(g *graph.Graph, pred PartPredicate, opts Options, seed int64) (*core.RunResult, error) {
-	res, err := congest.Run(congest.Config{
-		Graph:        g,
-		Seed:         seed,
-		StopOnReject: true,
-		MaxRounds:    1 << 40,
-	}, func(api *congest.API) {
+	plan := stageIPlanFor(g, opts)
+	res, err := congest.RunStep(testersConfig(g, seed), func(node int) congest.StepProgram {
+		return newHereditaryProgram(plan, pred)
+	})
+	return newRunResult(res, err)
+}
+
+// RunHereditaryBlocking executes TestHereditary on the blocking
+// compatibility path; kept for the engine-equivalence tests.
+func RunHereditaryBlocking(g *graph.Graph, pred PartPredicate, opts Options, seed int64) (*core.RunResult, error) {
+	res, err := congest.Run(testersConfig(g, seed), func(api *congest.API) {
 		TestHereditary(api, pred, opts)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &core.RunResult{
-		Rejected:   res.Rejected(),
-		RejectedBy: res.RejectCount(),
-		Metrics:    res.Metrics,
-	}, nil
+	return newRunResult(res, err)
 }

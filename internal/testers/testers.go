@@ -90,22 +90,24 @@ func Test(api *congest.API, prop Property, opts Options) congest.Verdict {
 }
 
 // Run executes the tester on g over the simulator and returns the run
-// result (StopOnReject semantics).
+// result (StopOnReject semantics). It runs on the engine's native step
+// path; RunBlocking forces the goroutine compatibility path, which
+// produces byte-identical results for a fixed seed
+// (TestMinorFreeEngineEquivalence). Panics on invalid Options (Epsilon
+// outside (0,1]), like core.RunTester.
 func Run(g *graph.Graph, prop Property, opts Options, seed int64) (*core.RunResult, error) {
-	res, err := congest.Run(congest.Config{
-		Graph:        g,
-		Seed:         seed,
-		StopOnReject: true,
-		MaxRounds:    1 << 40,
-	}, func(api *congest.API) {
+	plan := stageIPlanFor(g, opts)
+	res, err := congest.RunStep(testersConfig(g, seed), func(node int) congest.StepProgram {
+		return newPropertyProgram(plan, prop)
+	})
+	return newRunResult(res, err)
+}
+
+// RunBlocking executes the tester on the blocking compatibility path (one
+// goroutine per node); kept for the engine-equivalence tests.
+func RunBlocking(g *graph.Graph, prop Property, opts Options, seed int64) (*core.RunResult, error) {
+	res, err := congest.Run(testersConfig(g, seed), func(api *congest.API) {
 		Test(api, prop, opts)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &core.RunResult{
-		Rejected:   res.Rejected(),
-		RejectedBy: res.RejectCount(),
-		Metrics:    res.Metrics,
-	}, nil
+	return newRunResult(res, err)
 }

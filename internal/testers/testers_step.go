@@ -1,0 +1,96 @@
+package testers
+
+import (
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// This file contains the native StepProgram runners behind Run and
+// RunHereditary: the step-model Stage I plan (either variant) hands each
+// node over to the part-context builder (core.PartCtxStep), whose done
+// callback performs the same local checks and verdict outputs, in the same
+// rounds, as the blocking Test/TestHereditary. The blocking runners are
+// kept as *Blocking for the engine-equivalence tests.
+
+// newPropertyProgram builds the per-node step program of the minor-free
+// property tester: after the part context is ready the checks are purely
+// local, so the done callback outputs the verdict directly.
+func newPropertyProgram(plan *partition.StageIPlan, prop Property) congest.StepProgram {
+	return plan.NewNode(func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
+		return congest.BecomeStep(core.NewPartCtxStep(po, func(api *congest.StepAPI, c *core.PartCtxStep) congest.Status {
+			reject := false
+			switch prop {
+			case CycleFreeness:
+				reject = len(c.NonTreeAssignedPorts()) > 0
+			case Bipartiteness:
+				for _, p := range c.AssignedPorts() {
+					if (c.Level()+c.NeighborLevel(p))%2 == 0 {
+						reject = true
+						break
+					}
+				}
+			default:
+				panic("testers: unknown property")
+			}
+			if reject || po.Rejected {
+				api.Output(congest.VerdictReject)
+			} else {
+				api.Output(congest.VerdictAccept)
+			}
+			return congest.Done()
+		}))
+	})
+}
+
+// newHereditaryProgram builds the per-node step program of the generic
+// hereditary-property tester: the part context chains into the
+// gather-and-evaluate continuation, and the verdict rule mirrors
+// TestHereditary (only the root — or a Stage I rejector — rejects).
+func newHereditaryProgram(plan *partition.StageIPlan, pred PartPredicate) congest.StepProgram {
+	return plan.NewNode(func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
+		return congest.BecomeStep(core.NewPartCtxStep(po, func(api *congest.StepAPI, c *core.PartCtxStep) congest.Status {
+			return congest.BecomeStep(c.NewGatherEval(pred, func(api *congest.StepAPI, reject, rootEvaluated bool) congest.Status {
+				if (reject || po.Rejected) && (rootEvaluated || po.Rejected) {
+					api.Output(congest.VerdictReject)
+				} else {
+					api.Output(congest.VerdictAccept)
+				}
+				return congest.Done()
+			}))
+		}))
+	})
+}
+
+// stageIPlanFor validates the options exactly like the blocking testers
+// and compiles the shared Stage I plan.
+func stageIPlanFor(g *graph.Graph, opts Options) *partition.StageIPlan {
+	if opts.Epsilon <= 0 || opts.Epsilon > 1 {
+		panic("testers: Epsilon must be in (0,1]")
+	}
+	if opts.Partition.Epsilon == 0 {
+		opts.Partition.Epsilon = opts.Epsilon
+	}
+	return partition.NewStageIPlan(opts.Partition, g.N())
+}
+
+func testersConfig(g *graph.Graph, seed int64) congest.Config {
+	return congest.Config{
+		Graph:        g,
+		Seed:         seed,
+		StopOnReject: true,
+		MaxRounds:    1 << 40,
+	}
+}
+
+func newRunResult(res *congest.Result, err error) (*core.RunResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &core.RunResult{
+		Rejected:   res.Rejected(),
+		RejectedBy: res.RejectCount(),
+		Metrics:    res.Metrics,
+	}, nil
+}

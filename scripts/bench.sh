@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
-# Runs the flagship experiment benchmarks (E1/E11/E12) and the engine
-# microbenchmarks, then writes a BENCH_<utc-timestamp>.json trajectory
-# file in the repo root so future PRs can track the perf curve.
+# Runs the flagship experiment benchmarks (E1/E11/E12), the engine
+# microbenchmarks, and the large-n family (BenchmarkLargeN), then writes a
+# BENCH_<utc-timestamp>.json trajectory file in the repo root so future
+# PRs can track the perf curve (scripts/bench_compare.sh gates regressions
+# against the latest committed file).
 #
-# Usage: scripts/bench.sh [benchtime]   (default: 5x)
+# Usage: scripts/bench.sh [-short] [benchtime]
+#   -short     CI mode: 1x benchtime and skip the 10^6-node LargeN sizes.
+#   benchtime  go test -benchtime for the flagship/engine benchmarks
+#              (default: 5x; the LargeN family always runs at 1x — each
+#              iteration is tens of seconds to minutes, so one iteration
+#              is the measurement).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+SHORT=0
+if [ "${1:-}" = "-short" ]; then
+    SHORT=1
+    shift
+fi
 BENCHTIME="${1:-5x}"
+SHORTFLAG=""
+if [ "$SHORT" = 1 ]; then
+    BENCHTIME="${1:-1x}"
+    SHORTFLAG="-short"
+fi
 STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
 OUT="BENCH_${STAMP}.json"
 RAW="$(mktemp)"
@@ -17,6 +34,8 @@ go test -run '^$' -bench 'BenchmarkE1RoundsVsN|BenchmarkE11Baseline|BenchmarkE12
     -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkEngine' \
     -benchmem -benchtime "$BENCHTIME" ./internal/congest/ | tee -a "$RAW"
+go test $SHORTFLAG -run '^$' -bench 'BenchmarkLargeN' -timeout 6h \
+    -benchmem -benchtime 1x . | tee -a "$RAW"
 
 awk -v stamp="$STAMP" '
 BEGIN { printf "{\n  \"timestamp\": \"%s\",\n  \"benchmarks\": [\n", stamp }
