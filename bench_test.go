@@ -236,7 +236,7 @@ func BenchmarkE11Baseline(b *testing.B) {
 func BenchmarkLargeN(b *testing.B) {
 	opts := core.Options{Epsilon: 0.5}
 	opts.Partition = partition.Options{Epsilon: 0.5, Schedule: partition.PracticalSchedule}
-	for _, n := range []int{100_000, 1_000_000} {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
 		if n > 100_000 && testing.Short() {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"slices"
 	"sync"
 
@@ -37,6 +38,18 @@ type Config struct {
 	// reject decides the global output, so testers use this to terminate
 	// promptly once evidence is found (remaining nodes are shut down).
 	StopOnReject bool
+	// Workers is the number of engine worker goroutines that step due
+	// nodes inside a round barrier. 0 uses runtime.GOMAXPROCS(0); 1 keeps
+	// the engine fully sequential. Inboxes are captured before any due
+	// node steps and sends only become deliverable at the next barrier,
+	// so stepping is data-parallel; outboxes, scheduling effects, and
+	// metrics are merged in node-index order after the barrier, making
+	// Results byte-identical for every Workers value
+	// (TestParallelEngineEquivalence, DESIGN.md §6). Runs that end in an
+	// error (node panic, bit-bound violation) report the same error, but
+	// verdicts recorded in the failing round by nodes after the failing
+	// one may differ from the sequential engine's.
+	Workers int
 }
 
 // DefaultBitBound is the default per-message bound: c*ceil(log2 n) bits
@@ -116,6 +129,7 @@ const (
 type nodeState struct {
 	phase    nodePhase
 	deadline int       // absolute round to wake by
+	heapDl   int       // deadline of a live heap entry for this node (0: none)
 	mailbox  []Inbound // deliverable at the next barrier (reused buffer)
 	inbox    []Inbound // buffer handed to Step at the current wake (reused)
 	prog     StepProgram
@@ -164,6 +178,10 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 	if maxRounds == 0 {
 		maxRounds = 4_000_000
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	eng := &engine{
 		g:         g,
@@ -175,6 +193,7 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 		bitBound:  bitBound,
 		maxRounds: maxRounds,
 		stopOnRej: cfg.StopOnReject,
+		workers:   workers,
 	}
 	eng.m.BitBound = bitBound
 	for i := 0; i < n; i++ {
@@ -198,14 +217,18 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 	eng.shutdown()
 
 	eng.m.Rounds = eng.round
-	eng.m.ModeledRounds = eng.modeled
+	for i := range eng.apis {
+		eng.m.ModeledRounds += eng.apis[i].modeled
+	}
 	return &Result{Verdicts: eng.verdicts, Metrics: eng.m}, eng.runErr
 }
 
-// engine is the single-threaded scheduler core. All fields are owned by
-// the engine loop; blocking-node goroutines only observe them through the
-// sequential channel handoff, which establishes the necessary
-// happens-before edges without atomics.
+// engine is the scheduler core. All fields are owned by the engine loop
+// between barriers; inside a barrier, worker goroutines only touch
+// per-node state (states[i], apis[i], verdicts[i]) of the nodes in their
+// chunk plus their own panic slot, and the barrier join establishes the
+// happens-before edges back to the engine loop. Blocking-node goroutines
+// observe engine state only through the sequential channel handoff.
 type engine struct {
 	g         *graph.Graph
 	revPort   [][]int32
@@ -219,7 +242,6 @@ type engine struct {
 	maxRounds int
 	stopOnRej bool
 	rejected  bool
-	modeled   int64
 	curNode   int // node being stepped (for the run-level panic recover)
 	runErr    error
 	wg        sync.WaitGroup // started shim goroutines
@@ -229,13 +251,44 @@ type engine struct {
 	dlHeap  []dlEntry // deadline min-heap (lazily invalidated entries)
 	mailDue []int32   // nodes whose mailbox went non-empty this round
 	queued  []bool    // per node: already collected for the current barrier
+	nrList  []int32   // nodes parked for exactly round+1 (ascending order)
+	extra   []int32   // scratch: mail/heap wakes of the current barrier
+
+	// Worker pool (Workers > 1): barriers with enough due nodes are
+	// stepped by a pool of persistent goroutines, then merged in index
+	// order by the engine loop.
+	workers  int
+	pool     int // started worker goroutines
+	workCh   chan workChunk
+	doneCh   chan struct{}
+	statuses []Status // per due position, filled by the workers
+	wPanPos  []int    // per worker: due position of its panic (-1: none)
+	wPanVal  []any
 }
+
+// workChunk is one worker's share of a barrier: a contiguous slice of the
+// due list and the matching slice of the status buffer.
+type workChunk struct {
+	due      []int32
+	statuses []Status
+	base     int // due position of due[0]
+	wi       int // worker slot for panic reporting
+}
+
+// minParallelDue is the barrier size below which the engine steps due
+// nodes inline even when a worker pool is configured: dispatching a
+// handful of nodes to workers costs more than stepping them. Both paths
+// produce identical Results, so the threshold is purely a tuning knob.
+const minParallelDue = 64
 
 // run is the scheduler loop: step every due node (in index order, which
 // keeps inboxes sorted by sender without any sorting), route its sends,
 // then fast-forward the global round to the next deadline or delivery.
-// A panic from a native step program unwinds to the single recover here
-// (one deferred frame per run instead of one per node step).
+// With Workers > 1, large barriers are stepped by the worker pool and
+// merged in index order (see stepParallel); small barriers and
+// single-worker runs step inline, where a panic from a native step
+// program unwinds to the single recover here (one deferred frame per run
+// instead of one per node step).
 func (e *engine) run() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -252,10 +305,17 @@ func (e *engine) run() {
 		due = append(due, int32(i)) // round 0: every node wakes, empty inbox
 	}
 	for {
-		for _, i := range due {
-			e.curNode = int(i)
-			if !e.stepNode(int(i)) {
-				return // fatal error; sends of this round stay unrouted
+		if e.workers > 1 && len(due) >= minParallelDue {
+			if !e.stepParallel(due) {
+				return // fatal error; later nodes' sends stay unrouted
+			}
+		} else {
+			for _, i := range due {
+				e.curNode = int(i)
+				st := e.computeNode(int(i))
+				if !e.finishNode(int(i), st) {
+					return // fatal error; sends of this round stay unrouted
+				}
 			}
 		}
 		if e.stopOnRej && e.rejected {
@@ -264,15 +324,20 @@ func (e *engine) run() {
 		if e.alive == 0 {
 			return
 		}
-		// All nodes are parked; find the next event round. Mail wakes its
+		// All nodes are parked; find the next event round. Nodes parked
+		// for the immediately next round sit in nrList; mail wakes its
 		// recipient one round after delivery; otherwise the next event is
 		// the earliest live deadline in the heap (stale entries — nodes
 		// re-parked with a different deadline — are dropped lazily).
 		next := -1
-		for _, i := range e.mailDue {
-			if e.states[i].phase == phaseWaiting {
-				next = e.round + 1
-				break
+		if len(e.nrList) > 0 {
+			next = e.round + 1
+		} else {
+			for _, i := range e.mailDue {
+				if e.states[i].phase == phaseWaiting {
+					next = e.round + 1
+					break
+				}
 			}
 		}
 		if next == -1 {
@@ -280,14 +345,19 @@ func (e *engine) run() {
 				top := e.dlHeap[0]
 				st := &e.states[top.node]
 				if st.phase != phaseWaiting || st.deadline != top.round {
-					e.heapPop() // stale
+					p := e.heapPop() // stale
+					if ps := &e.states[p.node]; ps.heapDl == p.round {
+						ps.heapDl = 0
+					}
 					continue
 				}
 				next = top.round
 				break
 			}
 			if next == -1 {
-				return // unreachable: every live node has a heap entry
+				// Unreachable: every live waiting node is either in
+				// nrList (checked above) or has a live heap entry.
+				return
 			}
 		}
 		if next > e.maxRounds {
@@ -295,33 +365,177 @@ func (e *engine) run() {
 			return
 		}
 		e.round = next // fast-forward over empty rounds
-		// Wake every node that is due: deadline reached or mail waiting.
-		// Inboxes are captured for all due nodes before any of them steps,
-		// so same-round sends are only deliverable at the next barrier.
-		due = due[:0]
+		// Wake every node that is due: parked for this round or mail
+		// waiting. nrList is already in ascending index order (finishNode
+		// appends in due order), so only the mail/heap wakes need sorting
+		// before the two lists merge. Inboxes are captured for all due
+		// nodes before any of them steps, so same-round sends are only
+		// deliverable at the next barrier.
+		e.extra = e.extra[:0]
+		for _, i := range e.nrList {
+			e.queued[i] = true
+		}
 		for _, i := range e.mailDue {
 			st := &e.states[i]
 			if st.phase == phaseWaiting && !e.queued[i] {
 				e.queued[i] = true
-				due = append(due, i)
+				e.extra = append(e.extra, i)
 			}
 		}
 		e.mailDue = e.mailDue[:0]
 		for len(e.dlHeap) > 0 && e.dlHeap[0].round <= e.round {
 			top := e.heapPop()
 			st := &e.states[top.node]
+			if st.heapDl == top.round {
+				st.heapDl = 0
+			}
 			if st.phase != phaseWaiting || st.deadline != top.round || e.queued[top.node] {
 				continue // stale or already queued via mail
 			}
 			e.queued[top.node] = true
-			due = append(due, top.node)
+			e.extra = append(e.extra, top.node)
 		}
-		slices.Sort(due) // deterministic index order (keeps inboxes sender-sorted)
+		if k := len(e.nrList) + len(e.extra); k >= len(e.queued)/16 {
+			// Dense barrier (streaming phases wake most of the network):
+			// scanning the queued bitset in index order is cheaper than
+			// sorting the mail/heap wakes.
+			due = due[:0]
+			for i, q := range e.queued {
+				if q {
+					due = append(due, int32(i))
+				}
+			}
+		} else {
+			slices.Sort(e.extra)
+			due = mergeAscending(due[:0], e.nrList, e.extra)
+		}
+		e.nrList = e.nrList[:0]
 		for _, i := range due {
 			st := &e.states[i]
 			e.queued[i] = false
 			st.inbox, st.mailbox = st.mailbox, st.inbox[:0]
 		}
+	}
+}
+
+// mergeAscending merges two disjoint ascending lists into dst.
+func mergeAscending(dst, a, b []int32) []int32 {
+	if len(b) == 0 {
+		return append(dst, a...)
+	}
+	if len(a) == 0 {
+		return append(dst, b...)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// stepParallel runs one barrier on the worker pool: due is split into
+// contiguous chunks, each worker steps its chunk's nodes concurrently
+// (compute phase: only per-node state is touched), and the engine loop
+// then routes outboxes and applies statuses in due order (merge phase) —
+// exactly the order the sequential engine uses, so Results are
+// byte-identical. It reports false when the run must end.
+func (e *engine) stepParallel(due []int32) bool {
+	w := e.workers
+	if maxW := (len(due) + minParallelDue - 1) / minParallelDue; w > maxW {
+		w = maxW
+	}
+	e.ensurePool(w)
+	if cap(e.statuses) < len(due) {
+		e.statuses = make([]Status, len(due))
+	}
+	sts := e.statuses[:len(due)]
+	chunk := (len(due) + w - 1) / w
+	nw := 0
+	for lo := 0; lo < len(due); lo += chunk {
+		hi := lo + chunk
+		if hi > len(due) {
+			hi = len(due)
+		}
+		e.wPanPos[nw] = -1
+		e.workCh <- workChunk{due: due[lo:hi], statuses: sts[lo:hi], base: lo, wi: nw}
+		nw++
+	}
+	for k := 0; k < nw; k++ {
+		<-e.doneCh
+	}
+	panPos := -1
+	var panVal any
+	for wi := 0; wi < nw; wi++ {
+		if p := e.wPanPos[wi]; p >= 0 && (panPos == -1 || p < panPos) {
+			panPos, panVal = p, e.wPanVal[wi]
+		}
+	}
+	for k, i := range due {
+		if k == panPos {
+			// Matches the sequential engine's panic handling: the first
+			// panicking node in due order decides, its round's sends and
+			// those of all later due nodes stay unrouted.
+			e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
+				int(i), e.ids[i], e.round, panVal)
+			e.states[i].phase = phaseDone
+			return false
+		}
+		// A panic out of finishNode itself (e.g. a Message.Bits
+		// implementation panicking during routing) unwinds to run()'s
+		// recover, which attributes it via curNode — keep it current so
+		// the report matches the sequential engine's.
+		e.curNode = int(i)
+		if !e.finishNode(int(i), sts[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ensurePool lazily starts the worker goroutines. Workers exit when
+// workCh closes (engine shutdown).
+func (e *engine) ensurePool(w int) {
+	if e.workCh == nil {
+		e.workCh = make(chan workChunk, e.workers)
+		e.doneCh = make(chan struct{}, e.workers)
+		e.wPanPos = make([]int, e.workers)
+		e.wPanVal = make([]any, e.workers)
+	}
+	for e.pool < w {
+		go e.workerLoop()
+		e.pool++
+	}
+}
+
+func (e *engine) workerLoop() {
+	for wc := range e.workCh {
+		e.computeChunk(wc)
+		e.doneCh <- struct{}{}
+	}
+}
+
+// computeChunk steps every node of one chunk. A panic (from a native step
+// program; blocking programs convert theirs to statusPanic in the shim)
+// is recorded with its due position and ends the chunk — the merge phase
+// aborts at the earliest panic position, so the unstepped tail of this
+// chunk is never read.
+func (e *engine) computeChunk(wc workChunk) {
+	k := 0
+	defer func() {
+		if r := recover(); r != nil {
+			e.wPanPos[wc.wi] = wc.base + k
+			e.wPanVal[wc.wi] = r
+		}
+	}()
+	for ; k < len(wc.due); k++ {
+		wc.statuses[k] = e.computeNode(int(wc.due[k]))
 	}
 }
 
@@ -371,9 +585,12 @@ func (e *engine) heapPop() dlEntry {
 	return top
 }
 
-// stepNode advances node i by one round and routes its sends. It reports
-// false when the run must end (program panic or bit-bound violation).
-func (e *engine) stepNode(i int) bool {
+// computeNode advances node i by one round: it runs the node's Step (and
+// any same-round Become/BecomeStep handovers) and returns the resulting
+// status. It touches only node i's state, so distinct nodes' computes
+// may run concurrently; all shared effects (routing, scheduling,
+// metrics) happen in finishNode.
+func (e *engine) computeNode(i int) Status {
 	st := &e.states[i]
 	api := &e.apis[i]
 	status := st.prog.Step(api, st.inbox)
@@ -389,6 +606,17 @@ func (e *engine) stepNode(i int) bool {
 		}
 		status = st.prog.Step(api, st.inbox)
 	}
+	return status
+}
+
+// finishNode routes node i's sends and applies its status. Called in due
+// (node index) order for every stepped node, which keeps every mailbox
+// sorted by sender (at most one message per ordered node pair per
+// round). It reports false when the run must end (program panic or
+// bit-bound violation).
+func (e *engine) finishNode(i int, status Status) bool {
+	st := &e.states[i]
+	api := &e.apis[i]
 	if status.kind == statusPanic {
 		// A blocking program panicked on its goroutine; the shim converts
 		// that into a status instead of unwinding the engine stack.
@@ -398,8 +626,7 @@ func (e *engine) stepNode(i int) bool {
 		return false
 	}
 	// Route this node's outbox; messages become deliverable at the next
-	// barrier. Routing in node index order keeps every mailbox sorted by
-	// sender (at most one message per ordered node pair per round).
+	// barrier.
 	for _, om := range api.outbox {
 		bits := om.msg.Bits()
 		if bits > e.bitBound {
@@ -434,6 +661,9 @@ func (e *engine) stepNode(i int) bool {
 		}
 	}
 	api.clearRound()
+	if api.rejected {
+		e.rejected = true
+	}
 	switch status.kind {
 	case statusDone:
 		st.phase = phaseDone
@@ -444,18 +674,36 @@ func (e *engine) stepNode(i int) bool {
 		if st.deadline <= e.round {
 			st.deadline = e.round + 1
 		}
-		e.heapPush(st.deadline, int32(i))
+		e.parkNode(i, st)
 	default: // statusRunning
 		st.phase = phaseWaiting
 		st.deadline = e.round + 1
-		e.heapPush(st.deadline, int32(i))
+		e.parkNode(i, st)
 	}
 	return true
 }
 
+// parkNode records where the waiting node wakes next. Nodes due at the
+// very next round go to nrList (drained every barrier — no heap traffic
+// for the dominant streaming case); others enter the deadline heap
+// unless a live entry with the same deadline is already there (a node
+// woken by mail every round while sleeping toward a fixed deadline would
+// otherwise push one duplicate entry per round).
+func (e *engine) parkNode(i int, st *nodeState) {
+	if st.deadline == e.round+1 {
+		e.nrList = append(e.nrList, int32(i))
+		return
+	}
+	if st.heapDl == st.deadline {
+		return
+	}
+	st.heapDl = st.deadline
+	e.heapPush(st.deadline, int32(i))
+}
+
 // shutdown aborts every blocking-node goroutine still parked at a yield
 // point and waits for all of them to exit, so that no node code runs
-// after Run returns.
+// after Run returns, then releases the worker pool.
 func (e *engine) shutdown() {
 	for i := range e.states {
 		sh := e.states[i].shim
@@ -465,4 +713,7 @@ func (e *engine) shutdown() {
 		}
 	}
 	e.wg.Wait()
+	if e.workCh != nil {
+		close(e.workCh) // workers exit; no chunk is in flight here
+	}
 }

@@ -88,8 +88,10 @@ type StepAPI struct {
 	bitBound int
 	rng      *rand.Rand
 
-	outbox []outMsg
-	sent   []uint64 // per-port duplicate-send bitset, cleared each round
+	outbox   []outMsg
+	sent     []uint64 // per-port duplicate-send bitset, cleared each round
+	rejected bool     // this node ever output VerdictReject (merged at barriers)
+	modeled  int64    // this node's modeled-rounds charges (summed at run end)
 }
 
 // ID returns this node's CONGEST identifier.
@@ -139,11 +141,13 @@ func (a *StepAPI) SendAll(m Message) {
 }
 
 // Output records this node's verdict. The last call wins; a node that
-// never calls Output contributes VerdictNone.
+// never calls Output contributes VerdictNone. Only this node's slot and
+// per-node flags are written, so Output is safe from parallel workers;
+// the engine folds the reject flag into its global state at the barrier.
 func (a *StepAPI) Output(v Verdict) {
 	a.eng.verdicts[a.node] = v
 	if v == VerdictReject {
-		a.eng.rejected = true
+		a.rejected = true
 	}
 }
 
@@ -153,9 +157,10 @@ func (a *StepAPI) Verdict() Verdict {
 }
 
 // ChargeModeledRounds adds r to the modeled-rounds counter, accounting for
-// the documented black-box substitutions (DESIGN.md §3).
+// the documented black-box substitutions (DESIGN.md §3). Charges are
+// per-node and summed into Metrics.ModeledRounds when the run ends.
 func (a *StepAPI) ChargeModeledRounds(r int) {
-	a.eng.modeled += int64(r)
+	a.modeled += int64(r)
 }
 
 // clearRound resets the per-round send state after the engine drained the

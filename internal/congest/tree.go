@@ -100,18 +100,81 @@ func (t Tree) Convergecast(api *API, deadline int, own Message, combine func(own
 }
 
 // pipeItem wraps a payload moving through PipelineUp/BroadcastItemsDown.
-type pipeItem struct{ payload Message }
+// The wrapped size is computed once at boxing time: the same boxed item
+// is re-routed at every tree hop, and the engine checks Bits() per hop.
+type pipeItem struct {
+	payload Message
+	bits    int
+}
 
-func (p pipeItem) Bits() int { return 1 + p.payload.Bits() }
+func newPipeItem(payload Message) pipeItem {
+	return pipeItem{payload: payload, bits: 1 + payload.Bits()}
+}
+
+func (p pipeItem) Bits() int { return p.bits }
+
+// pipeBatch packs consecutive pipelined payloads into a single message.
+// The pipelined primitives use the full CONGEST bit bound this way: a
+// stream of small items (rotation entries, edge ids) moves in
+// ceil(total bits / B) rounds instead of one round per item, exactly
+// like the paper's own label chunking (§2.2.2) exploits B-bit messages.
+// The size is computed once at packing time.
+type pipeBatch struct {
+	payloads []Message
+	bits     int
+}
+
+func (p pipeBatch) Bits() int { return p.bits }
+
+// packPipe packs a maximal prefix of items into one pipelined message
+// within bitBound bits (batch header 1 bit, plus 1+Bits() per payload,
+// mirroring pipeItem's framing) and returns it with the count consumed.
+// A single payload travels as a bare pipeItem — also the fallback when
+// the batch framing would not fit the bound. The returned batch aliases
+// items, so callers must not rewrite consumed slots while the message
+// may be in flight (popping a prefix and appending is fine).
+func packPipe(items []Message, bitBound int) (Message, int) {
+	bits := 1 + 1 + items[0].Bits()
+	if bits > bitBound {
+		return newPipeItem(items[0]), 1
+	}
+	n := 1
+	for n < len(items) {
+		nb := 1 + items[n].Bits()
+		if bits+nb > bitBound {
+			break
+		}
+		bits += nb
+		n++
+	}
+	if n == 1 {
+		return newPipeItem(items[0]), 1
+	}
+	return pipeBatch{payloads: items[:n:n], bits: bits}, n
+}
+
+// pushPipePayloads appends the payloads of a received pipeItem/pipeBatch
+// to a relay queue (shared receive path of the pipelined primitives).
+// It reports false for messages that are not pipelined items.
+func pushPipePayloads(queue []Message, m Message) ([]Message, bool) {
+	switch pm := m.(type) {
+	case pipeItem:
+		return append(queue, pm.payload), true
+	case pipeBatch:
+		return append(queue, pm.payloads...), true
+	}
+	return queue, false
+}
 
 // pipeEnd marks the end of a pipelined stream.
 type pipeEnd struct{}
 
 func (pipeEnd) Bits() int { return 1 }
 
-// PipelineUp streams every node's items to the root, one item per tree
-// edge per round (the standard CONGEST pipelining bound: completion within
-// #items + depth rounds). The root returns all items of the tree (its own
+// PipelineUp streams every node's items to the root, one B-bit batch of
+// items per tree edge per round (the standard CONGEST pipelining bound,
+// with the bit bound fully used: completion within ceil(total bits / B)
+// + depth rounds). The root returns all items of the tree (its own
 // first, then received ones in deterministic arrival order); other nodes
 // return nil. ok=false at the root means the deadline was too small.
 func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bool) {
@@ -123,13 +186,12 @@ func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bo
 				if !t.isChildPort(in.Port) {
 					panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
 				}
-				switch m := in.Msg.(type) {
-				case pipeItem:
-					collected = append(collected, m.payload)
-				case pipeEnd:
+				var ok bool
+				if collected, ok = pushPipePayloads(collected, in.Msg); !ok {
+					if _, end := in.Msg.(pipeEnd); !end {
+						panic("congest: PipelineUp: unexpected message type")
+					}
 					doneChildren++
-				default:
-					panic("congest: PipelineUp: unexpected message type")
 				}
 			}
 		}
@@ -137,21 +199,21 @@ func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bo
 		api.Idle(deadline - api.Round())
 		return collected, ok
 	}
-	// The forward queue holds pre-boxed pipeItem messages: own items are
-	// wrapped once here, received items are forwarded as-is, so an item
-	// is boxed once on its whole root path instead of once per hop.
+	// The forward queue holds unboxed payloads; each round a maximal
+	// bit-bound-sized batch is packed from its front (own items and
+	// received ones re-batch together, so links stay fully utilized).
+	// The queue backing must be fresh: in-flight batches alias it.
 	queue := make([]Message, 0, len(items))
-	for _, it := range items {
-		queue = append(queue, pipeItem{payload: it})
-	}
+	queue = append(queue, items...)
 	doneChildren := 0
 	sentEnd := false
 	for api.Round() < deadline {
 		allDone := doneChildren == len(t.ChildPorts)
 		switch {
 		case len(queue) > 0:
-			api.Send(t.ParentPort, queue[0])
-			queue = queue[1:]
+			m, n := packPipe(queue, api.BitBound())
+			api.Send(t.ParentPort, m)
+			queue = queue[n:]
 		case allDone && !sentEnd:
 			api.Send(t.ParentPort, pipeEnd{})
 			sentEnd = true
@@ -166,13 +228,12 @@ func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bo
 			if !t.isChildPort(in.Port) {
 				panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
 			}
-			switch in.Msg.(type) {
-			case pipeItem:
-				queue = append(queue, in.Msg)
-			case pipeEnd:
+			var ok bool
+			if queue, ok = pushPipePayloads(queue, in.Msg); !ok {
+				if _, end := in.Msg.(pipeEnd); !end {
+					panic("congest: PipelineUp: unexpected message type")
+				}
 				doneChildren++
-			default:
-				panic("congest: PipelineUp: unexpected message type")
 			}
 		}
 	}
@@ -180,13 +241,15 @@ func (t Tree) PipelineUp(api *API, deadline int, items []Message) ([]Message, bo
 }
 
 // BroadcastItemsDown streams a sequence of items from the root to every
-// tree node (each node sees all items, one per round, pipelined through
-// the tree). Every node returns the full item slice; ok=false means the
-// deadline was too small. Items must individually fit the bit bound.
+// tree node (each node sees all items, one B-bit batch per round,
+// pipelined through the tree). Every node returns the full item slice;
+// ok=false means the deadline was too small. Items must individually fit
+// the bit bound.
 func (t Tree) BroadcastItemsDown(api *API, deadline int, items []Message) ([]Message, bool) {
 	if t.IsRoot() {
-		for _, it := range items {
-			var m Message = pipeItem{payload: it} // boxed once for all children
+		for next := 0; next < len(items); {
+			m, n := packPipe(items[next:], api.BitBound()) // boxed once for all children
+			next += n
 			for _, c := range t.ChildPorts {
 				api.Send(c, m)
 			}
@@ -205,19 +268,19 @@ func (t Tree) BroadcastItemsDown(api *API, deadline int, items []Message) ([]Mes
 			if in.Port != t.ParentPort {
 				panic(fmt.Sprintf("congest: BroadcastItemsDown: unexpected message on port %d (node %d)", in.Port, api.Index()))
 			}
-			switch m := in.Msg.(type) {
-			case pipeItem:
-				got = append(got, m.payload)
+			var ok bool
+			if got, ok = pushPipePayloads(got, in.Msg); ok {
 				for _, c := range t.ChildPorts {
 					api.Send(c, in.Msg) // forward the already-boxed message
 				}
-			case pipeEnd:
-				done = true
-				for _, c := range t.ChildPorts {
-					api.Send(c, pipeEnd{})
-				}
-			default:
+				continue
+			}
+			if _, end := in.Msg.(pipeEnd); !end {
 				panic("congest: BroadcastItemsDown: unexpected message type")
+			}
+			done = true
+			for _, c := range t.ChildPorts {
+				api.Send(c, pipeEnd{})
 			}
 		}
 	}

@@ -146,12 +146,13 @@ func (c *ConvergecastStep) Wake() Status { return Sleep(c.deadline) }
 func (c *ConvergecastStep) Result() (Message, bool) { return c.agg, c.ok }
 
 // PipelineUpStep is the step-native Tree.PipelineUp: it streams every
-// node's items to the root, one item per tree edge per round.
+// node's items to the root, one B-bit batch of items per tree edge per
+// round (packPipe).
 type PipelineUpStep struct {
 	t            Tree
 	deadline     int
 	collected    []Message // root: gathered items
-	queue        []Message // non-root: pending items to forward
+	queue        []Message // non-root: pending payloads to forward
 	doneChildren int
 	sentEnd      bool
 	wantNext     bool // non-root: advance one round (NextRound) vs sleep
@@ -161,16 +162,17 @@ type PipelineUpStep struct {
 func (p *PipelineUpStep) Begin(api *StepAPI, t Tree, deadline int, items []Message) bool {
 	p.t, p.deadline = t, deadline
 	p.collected = p.collected[:0]
-	p.queue = p.queue[:0]
+	// The queue backing must be fresh each operation: the batches packed
+	// from it alias its slots, and the previous operation's final batches
+	// may still sit in a recipient's mailbox at the handover round.
+	p.queue = make([]Message, 0, len(items))
 	p.doneChildren = 0
 	p.sentEnd = false
 	if t.IsRoot() {
 		p.collected = append(p.collected, items...)
 		return api.Round() >= p.deadline
 	}
-	for _, it := range items {
-		p.queue = append(p.queue, pipeItem{payload: it}) // boxed once per item
-	}
+	p.queue = append(p.queue, items...)
 	if api.Round() >= p.deadline {
 		return true
 	}
@@ -178,13 +180,16 @@ func (p *PipelineUpStep) Begin(api *StepAPI, t Tree, deadline int, items []Messa
 	return false
 }
 
-// sendPhase mirrors one send step of the blocking loop body.
+// sendPhase mirrors one send step of the blocking loop body: a maximal
+// bit-bound-sized batch is packed from the queue front (own items and
+// received ones re-batch together, so links stay fully utilized).
 func (p *PipelineUpStep) sendPhase(api *StepAPI) {
 	allDone := p.doneChildren == len(p.t.ChildPorts)
 	switch {
 	case len(p.queue) > 0:
-		api.Send(p.t.ParentPort, p.queue[0])
-		p.queue = p.queue[1:]
+		m, n := packPipe(p.queue, api.BitBound())
+		api.Send(p.t.ParentPort, m)
+		p.queue = p.queue[n:]
 	case allDone && !p.sentEnd:
 		api.Send(p.t.ParentPort, pipeEnd{})
 		p.sentEnd = true
@@ -201,13 +206,12 @@ func (p *PipelineUpStep) Feed(api *StepAPI, inbox []Inbound) bool {
 				if !p.t.isChildPort(in.Port) {
 					panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
 				}
-				switch m := in.Msg.(type) {
-				case pipeItem:
-					p.collected = append(p.collected, m.payload)
-				case pipeEnd:
+				var ok bool
+				if p.collected, ok = pushPipePayloads(p.collected, in.Msg); !ok {
+					if _, end := in.Msg.(pipeEnd); !end {
+						panic("congest: PipelineUp: unexpected message type")
+					}
 					p.doneChildren++
-				default:
-					panic("congest: PipelineUp: unexpected message type")
 				}
 			}
 		}
@@ -217,13 +221,12 @@ func (p *PipelineUpStep) Feed(api *StepAPI, inbox []Inbound) bool {
 		if !p.t.isChildPort(in.Port) {
 			panic(fmt.Sprintf("congest: PipelineUp: unexpected message on port %d (node %d)", in.Port, api.Index()))
 		}
-		switch in.Msg.(type) {
-		case pipeItem:
-			p.queue = append(p.queue, in.Msg)
-		case pipeEnd:
+		var ok bool
+		if p.queue, ok = pushPipePayloads(p.queue, in.Msg); !ok {
+			if _, end := in.Msg.(pipeEnd); !end {
+				panic("congest: PipelineUp: unexpected message type")
+			}
 			p.doneChildren++
-		default:
-			panic("congest: PipelineUp: unexpected message type")
 		}
 	}
 	if api.Round() >= p.deadline {
@@ -262,6 +265,16 @@ type BroadcastItemsDownStep struct {
 	next     int       // root: index of the next item to send
 	endSent  bool      // root: pipeEnd dispatched
 	done     bool      // non-root: pipeEnd received
+
+	// Keep, when non-nil, filters which received items a non-root node
+	// retains in its Result slice. Forwarding down the tree (and thus the
+	// message schedule) is unaffected — the filter only cuts the local
+	// buffer, for streams where a node needs a small slice of the items
+	// (e.g. its own rotation entries out of the whole part's). Set it
+	// before Begin; it applies until replaced, so callers reusing the
+	// struct for an unfiltered stream must reset it to nil before that
+	// Begin. The root's Result is always the unfiltered source items.
+	Keep func(Message) bool
 }
 
 // Begin starts the stream at the current round (the root sends the first
@@ -278,11 +291,11 @@ func (b *BroadcastItemsDownStep) Begin(api *StepAPI, t Tree, deadline int, items
 
 func (b *BroadcastItemsDownStep) rootSend(api *StepAPI) {
 	if b.next < len(b.items) {
-		var m Message = pipeItem{payload: b.items[b.next]} // boxed once
+		m, n := packPipe(b.items[b.next:], api.BitBound()) // boxed once for all children
+		b.next += n
 		for _, c := range b.t.ChildPorts {
 			api.Send(c, m)
 		}
-		b.next++
 		return
 	}
 	if !b.endSent {
@@ -308,17 +321,26 @@ func (b *BroadcastItemsDownStep) Feed(api *StepAPI, inbox []Inbound) bool {
 			}
 			switch m := in.Msg.(type) {
 			case pipeItem:
-				b.got = append(b.got, m.payload)
-				for _, c := range b.t.ChildPorts {
-					api.Send(c, in.Msg) // forward the already-boxed message
+				if b.Keep == nil || b.Keep(m.payload) {
+					b.got = append(b.got, m.payload)
+				}
+			case pipeBatch:
+				for _, pl := range m.payloads {
+					if b.Keep == nil || b.Keep(pl) {
+						b.got = append(b.got, pl)
+					}
 				}
 			case pipeEnd:
 				b.done = true
 				for _, c := range b.t.ChildPorts {
 					api.Send(c, pipeEnd{})
 				}
+				continue
 			default:
 				panic("congest: BroadcastItemsDown: unexpected message type")
+			}
+			for _, c := range b.t.ChildPorts {
+				api.Send(c, in.Msg) // forward the already-boxed message
 			}
 		}
 	}

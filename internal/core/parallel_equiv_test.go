@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// TestParallelTesterEngineEquivalence proves the full tester produces
+// byte-identical RunResults on the sequential engine (Workers=1) and the
+// sharded engine (Workers=NumCPU, plus a fixed multi-worker count so the
+// pool engages even on single-core CI) for the same seeds and graph
+// families, on accepting and rejecting inputs (issue acceptance
+// criterion). CI runs it under -race.
+func TestParallelTesterEngineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	far, _ := graph.PlanarPlusRandomEdges(90, 70, rng)
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(10, 10)},
+		{"far-from-planar", far},
+		{"tree-plus-edges", graph.TreePlusRandomEdges(110, 30, rand.New(rand.NewSource(8)))},
+	}
+	workers := []int{4}
+	if n := runtime.NumCPU(); n > 1 && n != 4 {
+		workers = append(workers, n)
+	}
+	optsList := []Options{
+		{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Schedule: partition.PracticalSchedule}},
+		{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Variant: partition.Randomized, Schedule: partition.PracticalSchedule}},
+	}
+	for _, fam := range families {
+		for oi, opts := range optsList {
+			for seed := int64(0); seed < 2; seed++ {
+				seqOpts := opts
+				seqOpts.Workers = 1
+				sr, err := RunTester(fam.g, seqOpts, seed)
+				if err != nil {
+					t.Fatalf("%s/opts%d/seed%d: sequential: %v", fam.name, oi, seed, err)
+				}
+				for _, w := range workers {
+					parOpts := opts
+					parOpts.Workers = w
+					pr, err := RunTester(fam.g, parOpts, seed)
+					if err != nil {
+						t.Fatalf("%s/opts%d/seed%d/w%d: parallel: %v", fam.name, oi, seed, w, err)
+					}
+					if !reflect.DeepEqual(sr, pr) {
+						t.Fatalf("%s/opts%d/seed%d/w%d: result mismatch:\nworkers=1: %+v\nworkers=%d: %+v",
+							fam.name, oi, seed, w, sr, w, pr)
+					}
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -115,9 +116,11 @@ type stage2 struct {
 
 	rotPorts []int // clockwise rotation as ports (intra-part edges)
 
-	label     Label         // vertex label (tree path edge positions)
-	edgePos   map[int]int32 // port -> attachment position in the rotation
-	nbrLabels map[int]Label // non-tree intra port -> neighbor's attachment label
+	label       Label   // vertex label (tree path edge positions)
+	edgePos     []int32 // per port: attachment position in the rotation (-1 none)
+	nbrLabels   []Label // per port: non-tree neighbor's attachment label
+	nonTree     []LabeledEdge
+	haveNonTree bool
 }
 
 // computeBudget measures the Stage I tree's depth exactly and derives the
@@ -418,11 +421,7 @@ func (s *stage2) chunksPerLabel() int {
 // (counted from the parent edge in the embedding's rotation). Labels are
 // chunked down the BFS tree.
 func (s *stage2) distributeLabels() {
-	s.edgePos = edgePositionsFromRotation(s.rotPorts, s.tree.ParentPort)
-	childIdx := make(map[int]int32, len(s.tree.ChildPorts))
-	for _, c := range s.tree.ChildPorts {
-		childIdx[c] = s.edgePos[c]
-	}
+	s.edgePos = edgePositionsFromRotation(s.rotPorts, s.tree.ParentPort, s.api.Degree())
 
 	per := s.labelElemsPerChunk()
 	deadline := s.api.Round() + (s.budget+1)*(s.chunksPerLabel()+1) + 4
@@ -432,7 +431,7 @@ func (s *stage2) distributeLabels() {
 		// one chunk per round per child, in lockstep across children.
 		childLbl := make([]Label, len(s.tree.ChildPorts))
 		for i, c := range s.tree.ChildPorts {
-			childLbl[i] = append(append(make(Label, 0, len(s.label)+1), s.label...), childIdx[c])
+			childLbl[i] = append(append(make(Label, 0, len(s.label)+1), s.label...), s.edgePos[c])
 		}
 		maxLen := len(s.label) + 1
 		chunks := (maxLen + per - 1) / per
@@ -479,7 +478,7 @@ func (s *stage2) distributeLabels() {
 // (vertex label extended by the edge's rotation position), chunked, over
 // every intra-part non-tree edge (both directions simultaneously).
 func (s *stage2) exchangeNonTreeLabels() {
-	s.nbrLabels = make(map[int]Label)
+	s.nbrLabels = make([]Label, s.api.Degree())
 	var ports []int
 	for p, ok := range s.intra {
 		if !ok || p == s.tree.ParentPort || isIn(s.tree.ChildPorts, p) {
@@ -546,10 +545,14 @@ func isIn(xs []int, x int) bool {
 // attachment position: the counterclockwise walk order starting from the
 // parent edge (the tree's outer-face walk order; see EdgePositions). All
 // intra-part edges get positions; tree children extend vertex labels,
-// non-tree edges extend attachment labels. Shared by both execution
-// models.
-func edgePositionsFromRotation(rotPorts []int, parentPort int) map[int]int32 {
-	edgePos := make(map[int]int32, len(rotPorts))
+// non-tree edges extend attachment labels. The result is indexed by port
+// (deg entries, -1 on ports without a position). Shared by both
+// execution models.
+func edgePositionsFromRotation(rotPorts []int, parentPort, deg int) []int32 {
+	edgePos := make([]int32, deg)
+	for i := range edgePos {
+		edgePos[i] = -1
+	}
 	start := 0
 	if parentPort >= 0 {
 		for i, p := range rotPorts {
@@ -570,23 +573,44 @@ func edgePositionsFromRotation(rotPorts []int, parentPort int) map[int]int32 {
 }
 
 // assignedNonTree returns the labeled pairs of this node's assigned
-// non-tree edges, using attachment labels at both endpoints.
+// non-tree edges, using attachment labels at both endpoints. The result
+// is computed once and cached (both the sampling and the violation-check
+// steps read it).
 func (s *stage2) assignedNonTree() []LabeledEdge {
-	return assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
+	if !s.haveNonTree {
+		s.nonTree = assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
+		s.haveNonTree = true
+	}
+	return s.nonTree
 }
 
 // assignedNonTreeEdges is the shared implementation of assignedNonTree.
-func assignedNonTreeEdges(assigned []int, tree congest.Tree, nbrLabels map[int]Label, label Label, edgePos map[int]int32) []LabeledEdge {
-	var out []LabeledEdge
+// All of this node's attachment labels (own label plus one position
+// element) are carved out of a single backing array.
+func assignedNonTreeEdges(assigned []int, tree congest.Tree, nbrLabels []Label, label Label, edgePos []int32) []LabeledEdge {
+	cnt := 0
 	for _, p := range assigned {
 		if p == tree.ParentPort || isIn(tree.ChildPorts, p) {
 			continue
 		}
-		nl, ok := nbrLabels[p]
-		if !ok {
+		cnt++
+	}
+	if cnt == 0 {
+		return nil
+	}
+	out := make([]LabeledEdge, 0, cnt)
+	llen := len(label) + 1
+	backing := make([]int32, 0, cnt*llen)
+	for _, p := range assigned {
+		if p == tree.ParentPort || isIn(tree.ChildPorts, p) {
+			continue
+		}
+		nl := nbrLabels[p]
+		if nl == nil {
 			panic("core: missing neighbor label on assigned non-tree edge")
 		}
-		mine := append(append(Label{}, label...), edgePos[p])
+		backing = append(append(backing, label...), edgePos[p])
+		mine := Label(backing[len(backing)-llen:])
 		out = append(out, NewLabeledEdge(mine, nl))
 	}
 	return out
@@ -646,15 +670,32 @@ func buildSampleChunks(mine []LabeledEdge, p float64, per int, id int64, rng *ra
 	return items
 }
 
+// sampleScratch pools the chunk-reassembly scratch of collectSamples:
+// every node of a part reassembles the same broadcast sample stream, so
+// without pooling the tester allocates one scratch slice per node.
+var sampleScratch = sync.Pool{
+	New: func() any { return new([]sampleChunk) },
+}
+
 // collectSamples reassembles the scattered sample chunks into label pairs
-// (shared by both execution models).
+// (shared by both execution models). Only the scratch is pooled; the
+// returned edges own their label storage.
 func collectSamples(down []congest.Message) []LabeledEdge {
-	chunks := make([]sampleChunk, 0, len(down))
+	scratch := sampleScratch.Get().(*[]sampleChunk)
+	chunks := (*scratch)[:0]
+	if cap(chunks) < len(down) {
+		chunks = make([]sampleChunk, 0, len(down))
+	}
 	for _, it := range down {
 		if sc, ok := it.(sampleChunk); ok {
 			chunks = append(chunks, sc)
 		}
 	}
+	defer func() {
+		clear(chunks) // drop chunk references before pooling
+		*scratch = chunks[:0]
+		sampleScratch.Put(scratch)
+	}()
 	// One global (owner, edge, chunk) sort replaces the per-edge grouping
 	// map; chunk keys are unique, so the grouped order is identical.
 	sort.Slice(chunks, func(i, j int) bool {
@@ -666,6 +707,14 @@ func collectSamples(down []congest.Message) []LabeledEdge {
 		}
 		return chunks[i].CIdx < chunks[j].CIdx
 	})
+	// All reassembled label pairs share one backing array (the returned
+	// edges alias it), so reassembly costs two allocations per call, not
+	// two per sample.
+	total := 0
+	for _, c := range chunks {
+		total += len(c.Elems)
+	}
+	backing := make([]int32, 0, total)
 	var out []LabeledEdge
 	for lo := 0; lo < len(chunks); {
 		hi := lo + 1
@@ -677,15 +726,11 @@ func collectSamples(down []congest.Message) []LabeledEdge {
 		if !cs[len(cs)-1].Last {
 			continue // truncated edge; skip
 		}
-		n := 0
+		start := len(backing)
 		for _, c := range cs {
-			n += len(c.Elems)
+			backing = append(backing, c.Elems...)
 		}
-		elems := make([]int32, 0, n)
-		for _, c := range cs {
-			elems = append(elems, c.Elems...)
-		}
-		if le, ok := parseLabelPair(elems); ok {
+		if le, ok := parseLabelPair(backing[start:]); ok {
 			out = append(out, le)
 		}
 	}

@@ -69,7 +69,8 @@ type stage2Node struct {
 	bid congest.BroadcastItemsDownStep
 	reg congest.Message // result register between dependent ops
 
-	// Mirror of the blocking stage2 state.
+	// Mirror of the blocking stage2 state. edgePos and nbrLabels are
+	// port-indexed slices (the step port interns all per-port lookups).
 	budget    int
 	maxDepth  int
 	intra     []bool
@@ -82,21 +83,29 @@ type stage2Node struct {
 	partM     int64
 	rotPorts  []int
 	label     Label
-	edgePos   map[int]int32
-	nbrLabels map[int]Label
+	edgePos   []int32
+	nbrLabels []Label
 
-	// Window state (label wave / label exchange).
+	// Window state (label wave / label exchange). Outgoing labels share
+	// the node's own label as their prefix: every child's (or non-tree
+	// neighbor's) label differs from it only in the final element, so all
+	// chunks but the last slice s.label directly and only the per-port
+	// tails live in the tails backing array (see startLabelStream).
 	deadline  int
 	per       int
 	chunks    int
 	ci        int
-	childLbl  []Label
+	tails     []int32 // per target: label[tailLo:] + final element
+	tailLo    int     // label offset covered by the tails
 	streaming bool
 	gotAll    bool
-	childIdx  map[int]int32
 	xPorts    []int
-	attach    map[int]Label
-	finished  map[int]bool
+	finished  []bool
+
+	// Cached assigned non-tree attachment-label pairs (shared by the
+	// sampling and violation-check steps).
+	nonTree     []LabeledEdge
+	haveNonTree bool
 
 	// Sampling state.
 	capChunks int // capEdges * chunksPer truncation bound
@@ -204,6 +213,14 @@ func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 				if strictFail {
 					out = []congest.Message{embedFail{}}
 				}
+				// Only this node's rotation entries (plus any control
+				// message) are retained; forwarding is unaffected, so the
+				// whole part's stream no longer lives in every node.
+				id := api.ID()
+				s.bid.Keep = func(m congest.Message) bool {
+					r, ok := m.(rotItem)
+					return !ok || r.Node == id
+				}
 				scatterBudget := int(2*s.partM) + s.budget + 6
 				if !s.bid.Begin(api, s.tree, api.Round()+scatterBudget, out) {
 					s.inOp = true
@@ -268,8 +285,7 @@ func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 				s.sBudget = s.capChunks + s.budget + 6
 				var items []congest.Message
 				if mt > 0 {
-					mine := assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
-					items = buildSampleChunks(mine, want/float64(mt), s.per, api.ID(), api.Rand())
+					items = buildSampleChunks(s.assignedNonTree(), want/float64(mt), s.per, api.ID(), api.Rand())
 				}
 				if !s.pu.Begin(api, s.tree, api.Round()+s.sBudget, items) {
 					s.inOp = true
@@ -292,9 +308,14 @@ func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 				if s.tree.IsRoot() {
 					up = s.reg.(edgeListMsg).items
 					if len(up) > s.capChunks {
-						up = up[:s.capChunks] // oversampling tail event
+						// Oversampling tail event: truncate, and clear the
+						// dropped entries so the backing array does not
+						// keep their chunks live for the whole stream.
+						clear(up[s.capChunks:])
+						up = up[:s.capChunks]
 					}
 				}
+				s.bid.Keep = nil // every node needs the full sample stream
 				if !s.bid.Begin(api, s.tree, api.Round()+s.sBudget, up) {
 					s.inOp = true
 					return s.bid.Wake()
@@ -310,9 +331,8 @@ func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 
 			// Step K: local violation checks (Definition 7).
 			s.verdict = congest.VerdictAccept
-			mine := assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
 		detect:
-			for _, m := range mine {
+			for _, m := range s.assignedNonTree() {
 				for _, sm := range s.samples {
 					if Intersects(m, sm) {
 						api.Output(congest.VerdictReject)
@@ -337,6 +357,17 @@ func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 	}
 }
 
+// assignedNonTree returns this node's assigned non-tree attachment-label
+// pairs, computed once and cached (the sampling and violation-check
+// steps both read it).
+func (s *stage2Node) assignedNonTree() []LabeledEdge {
+	if !s.haveNonTree {
+		s.nonTree = assignedNonTreeEdges(s.assigned, s.tree, s.nbrLabels, s.label, s.edgePos)
+		s.haveNonTree = true
+	}
+	return s.nonTree
+}
+
 // edgeListMsg is an internal register wrapper (never sent) for passing an
 // item slice between dependent ops.
 type edgeListMsg struct{ items []congest.Message }
@@ -345,11 +376,7 @@ func (edgeListMsg) Bits() int { return 0 }
 
 // beginLabels starts the label wave (the step port of distributeLabels).
 func (s *stage2Node) beginLabels(api *congest.StepAPI) {
-	s.edgePos = edgePositionsFromRotation(s.rotPorts, s.tree.ParentPort)
-	s.childIdx = make(map[int]int32, len(s.tree.ChildPorts))
-	for _, c := range s.tree.ChildPorts {
-		s.childIdx[c] = s.edgePos[c]
-	}
+	s.edgePos = edgePositionsFromRotation(s.rotPorts, s.tree.ParentPort, api.Degree())
 	s.per = labelElemsPerChunkFor(api.BitBound(), api.N())
 	s.deadline = api.Round() + (s.budget+1)*(chunksPerLabelFor(s.budget, s.per)+1) + 4
 	s.streaming = false
@@ -360,28 +387,55 @@ func (s *stage2Node) beginLabels(api *congest.StepAPI) {
 	}
 }
 
+// buildTails prepares the per-target tail chunks of an outgoing label
+// wave over the given ports: the port's full outgoing label is s.label +
+// edgePos[port], so every chunk but the last is a plain prefix slice of
+// s.label (shared by all targets and by the in-flight messages — labels
+// are immutable once streamed) and only the final chunk, label[tailLo:]
+// plus the port's attachment element, needs materializing. All tails
+// live in one backing array.
+func (s *stage2Node) buildTails(ports []int) {
+	llen := len(s.label) + 1
+	s.chunks = (llen + s.per - 1) / s.per
+	s.tailLo = (s.chunks - 1) * s.per
+	tlen := llen - s.tailLo
+	// Fresh backing per phase: the previous phase's tail chunks may still
+	// sit in a recipient's mailbox at the phase boundary, so the old
+	// array must not be overwritten.
+	s.tails = make([]int32, 0, len(ports)*tlen)
+	for _, p := range ports {
+		s.tails = append(append(s.tails, s.label[s.tailLo:]...), s.edgePos[p])
+	}
+}
+
+// tailChunk returns target k's final chunk.
+func (s *stage2Node) tailChunk(k int) []int32 {
+	tlen := len(s.label) + 1 - s.tailLo
+	return s.tails[k*tlen : (k+1)*tlen]
+}
+
 // startLabelStream mirrors sendToChildren: the first chunk goes out in the
 // current round, one chunk per round follows.
 func (s *stage2Node) startLabelStream(api *congest.StepAPI) {
-	s.childLbl = make([]Label, len(s.tree.ChildPorts))
-	for i, c := range s.tree.ChildPorts {
-		s.childLbl[i] = append(append(make(Label, 0, len(s.label)+1), s.label...), s.childIdx[c])
-	}
-	s.chunks = (len(s.label) + 1 + s.per - 1) / s.per
+	s.buildTails(s.tree.ChildPorts)
 	s.ci = 0
 	s.streaming = true
 	s.sendLabelChunk(api)
 }
 
 func (s *stage2Node) sendLabelChunk(api *congest.StepAPI) {
-	for i, c := range s.tree.ChildPorts {
-		lbl := s.childLbl[i]
+	last := s.ci == s.chunks-1
+	if !last {
+		// Prefix chunk: identical for every child — box one message.
 		lo := s.ci * s.per
-		hi := lo + s.per
-		if hi > len(lbl) {
-			hi = len(lbl)
+		m := congest.Message(labelChunk{Elems: s.label[lo : lo+s.per]})
+		for _, c := range s.tree.ChildPorts {
+			api.Send(c, m)
 		}
-		api.Send(c, labelChunk{Elems: lbl[lo:hi], Last: s.ci == s.chunks-1})
+	} else {
+		for i, c := range s.tree.ChildPorts {
+			api.Send(c, labelChunk{Elems: s.tailChunk(i), Last: true})
+		}
 	}
 	s.ci++
 }
@@ -429,9 +483,11 @@ func (s *stage2Node) feedLabels(api *congest.StepAPI, inbox []congest.Inbound) (
 }
 
 // beginExchange starts the non-tree attachment label swap (the step port
-// of exchangeNonTreeLabels).
+// of exchangeNonTreeLabels). Attachment labels share s.label as their
+// prefix exactly like the child labels of the wave, so only the per-port
+// tails are materialized (buildTails).
 func (s *stage2Node) beginExchange(api *congest.StepAPI) {
-	s.nbrLabels = make(map[int]Label)
+	s.nbrLabels = make([]Label, api.Degree())
 	s.xPorts = s.xPorts[:0]
 	for p, ok := range s.intra {
 		if !ok || p == s.tree.ParentPort || isIn(s.tree.ChildPorts, p) {
@@ -439,14 +495,9 @@ func (s *stage2Node) beginExchange(api *congest.StepAPI) {
 		}
 		s.xPorts = append(s.xPorts, p)
 	}
-	s.attach = make(map[int]Label, len(s.xPorts))
-	for _, p := range s.xPorts {
-		s.attach[p] = append(append(Label{}, s.label...), s.edgePos[p])
-	}
-	llen := len(s.label) + 1
-	s.chunks = (llen + s.per - 1) / s.per
+	s.buildTails(s.xPorts)
 	s.deadline = api.Round() + chunksPerLabelFor(s.budget, s.per) + 3
-	s.finished = make(map[int]bool)
+	s.finished = make([]bool, api.Degree())
 	s.ci = 0
 	s.sendExchangeChunk(api)
 }
@@ -455,14 +506,17 @@ func (s *stage2Node) sendExchangeChunk(api *congest.StepAPI) {
 	if s.ci >= s.chunks {
 		return
 	}
-	llen := len(s.label) + 1
-	lo := s.ci * s.per
-	hi := lo + s.per
-	if hi > llen {
-		hi = llen
-	}
-	for _, p := range s.xPorts {
-		api.Send(p, labelChunk{Elems: s.attach[p][lo:hi], Last: s.ci == s.chunks-1})
+	last := s.ci == s.chunks-1
+	if !last {
+		lo := s.ci * s.per
+		m := congest.Message(labelChunk{Elems: s.label[lo : lo+s.per]})
+		for _, p := range s.xPorts {
+			api.Send(p, m)
+		}
+	} else {
+		for k, p := range s.xPorts {
+			api.Send(p, labelChunk{Elems: s.tailChunk(k), Last: true})
+		}
 	}
 	s.ci++
 }

@@ -73,6 +73,27 @@ func (m statusMsg) Bits() int {
 	return b
 }
 
+// statusInterned are the two watch-free status values, pre-boxed: most
+// part roots broadcast an empty watch list every super-round, and the
+// interned values keep that hot path allocation-free. An empty Watch
+// and a nil Watch are indistinguishable to receivers (same Bits, same
+// iteration), so the substitution does not change Results.
+var statusInterned = [2]congest.Message{
+	statusMsg{Active: false},
+	statusMsg{Active: true},
+}
+
+// smsg boxes a statusMsg, reusing the interned watch-free values.
+func smsg(active bool, watch []int64) congest.Message {
+	if len(watch) == 0 {
+		if active {
+			return statusInterned[1]
+		}
+		return statusInterned[0]
+	}
+	return statusMsg{Active: active, Watch: watch}
+}
+
 // activityMsg crosses part boundaries each super-round.
 type activityMsg struct {
 	Root   int64

@@ -121,7 +121,7 @@ func (s *state) forestDecomposition(D int) {
 
 	for l := 0; l < S; l++ {
 		// (a) Status broadcast.
-		st := s.bcast(D, statusMsg{Active: active, Watch: watch}).(statusMsg)
+		st := s.bcast(D, smsg(active, watch)).(statusMsg)
 		// (b) Cross activity exchange.
 		sends := make(map[int]congest.Message)
 		for p, c := range s.cross {

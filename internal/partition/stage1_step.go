@@ -502,7 +502,7 @@ func (s *stageINode) prepBcast(api *congest.StepAPI, op *sOp) congest.Message {
 		}
 		return vmsg(any)
 	case tFDStatus:
-		return statusMsg{Active: s.fdActive, Watch: s.watch}
+		return smsg(s.fdActive, s.watch)
 	case tTrialAnn:
 		if tm, ok := s.cvRes.(trialMsg); ok {
 			return vmsg(tm.Target)

@@ -5,37 +5,57 @@
 # PRs can track the perf curve (scripts/bench_compare.sh gates regressions
 # against the latest committed file).
 #
-# Usage: scripts/bench.sh [-short] [benchtime]
-#   -short     CI mode: 1x benchtime and skip the 10^6-node LargeN sizes.
-#   benchtime  go test -benchtime for the flagship/engine benchmarks
-#              (default: 5x; the LargeN family always runs at 1x — each
-#              iteration is tens of seconds to minutes, so one iteration
-#              is the measurement).
+# Usage: scripts/bench.sh [-short] [-cpuprofile FILE] [-memprofile FILE] [benchtime]
+#   -short       CI mode: 1x benchtime and skip the 10^6-node LargeN sizes.
+#   -cpuprofile  pass -cpuprofile to every go test invocation; since the
+#                three benchmark groups are separate test runs, the file
+#                name is suffixed per group (FILE.E.prof, FILE.engine.prof,
+#                FILE.largen.prof). Inspect with `go tool pprof`.
+#   -memprofile  same, for allocation profiles.
+#   benchtime    go test -benchtime for the flagship/engine benchmarks
+#                (default: 5x; the LargeN family always runs at 1x — each
+#                iteration is tens of seconds to minutes, so one iteration
+#                is the measurement).
+# The profiling workflow is documented in DESIGN.md §5.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SHORT=0
-if [ "${1:-}" = "-short" ]; then
-    SHORT=1
-    shift
-fi
+CPUPROF=""
+MEMPROF=""
+while :; do
+    case "${1:-}" in
+    -short) SHORT=1; shift ;;
+    -cpuprofile) CPUPROF="$2"; shift 2 ;;
+    -memprofile) MEMPROF="$2"; shift 2 ;;
+    *) break ;;
+    esac
+done
 BENCHTIME="${1:-5x}"
 SHORTFLAG=""
 if [ "$SHORT" = 1 ]; then
     BENCHTIME="${1:-1x}"
     SHORTFLAG="-short"
 fi
+
+# profflags GROUP -> per-group -cpuprofile/-memprofile arguments.
+profflags() {
+    local out=""
+    [ -n "$CPUPROF" ] && out="$out -cpuprofile $CPUPROF.$1.prof"
+    [ -n "$MEMPROF" ] && out="$out -memprofile $MEMPROF.$1.prof"
+    echo "$out"
+}
 STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
 OUT="BENCH_${STAMP}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'BenchmarkE1RoundsVsN|BenchmarkE11Baseline|BenchmarkE12Congestion' \
-    -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW"
+    -benchmem -benchtime "$BENCHTIME" $(profflags E) . | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkEngine' \
-    -benchmem -benchtime "$BENCHTIME" ./internal/congest/ | tee -a "$RAW"
+    -benchmem -benchtime "$BENCHTIME" $(profflags engine) ./internal/congest/ | tee -a "$RAW"
 go test $SHORTFLAG -run '^$' -bench 'BenchmarkLargeN' -timeout 6h \
-    -benchmem -benchtime 1x . | tee -a "$RAW"
+    -benchmem -benchtime 1x $(profflags largen) . | tee -a "$RAW"
 
 awk -v stamp="$STAMP" '
 BEGIN { printf "{\n  \"timestamp\": \"%s\",\n  \"benchmarks\": [\n", stamp }
