@@ -1,9 +1,11 @@
 // Command graphgen generates the synthetic graph families used by the
-// experiments and writes them as edge lists or DOT.
+// experiments and writes them in any internal/graphio format (edge
+// list, DIMACS, JSON, compact binary) or as DOT.
 //
 // Usage:
 //
 //	graphgen -family maxplanar -n 200 > g.txt
+//	graphgen -family randplanar -n 10000 -format binary > g.pgb
 //	graphgen -family lowerbound -n 1024 -format dot > g.dot
 package main
 
@@ -15,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/graph"
+	"repro/internal/graphio"
 	"repro/internal/lowerbound"
 )
 
@@ -26,7 +29,7 @@ func main() {
 		extra  = flag.Int("extra", 50, "extra edges (planar+noise)")
 		degree = flag.Float64("degree", 8, "average degree (gnp, lowerbound)")
 		seed   = flag.Int64("seed", 1, "seed")
-		format = flag.String("format", "edges", "edges|dot")
+		format = flag.String("format", "edges", "edges|dimacs|json|binary|dot")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -73,20 +76,27 @@ func main() {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	switch *format {
-	case "edges":
-		fmt.Fprintf(w, "# %s n=%d m=%d seed=%d\n", *family, g.N(), g.M(), *seed)
-		for _, e := range g.Edges() {
-			fmt.Fprintf(w, "%d %d\n", e.U, e.V)
-		}
-	case "dot":
+	if *format == "dot" {
 		fmt.Fprintf(w, "graph g {\n")
 		for _, e := range g.Edges() {
 			fmt.Fprintf(w, "  %d -- %d;\n", e.U, e.V)
 		}
 		fmt.Fprintf(w, "}\n")
-	default:
+		return
+	}
+	f, err := graphio.ParseFormat(*format)
+	if err != nil || f == graphio.Auto {
 		fmt.Fprintf(os.Stderr, "graphgen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+	if f == graphio.EdgeList {
+		// Provenance comment; the canonical "# graphio edge-list n= m="
+		// header follows from the writer, so isolated trailing nodes
+		// survive round trips into the CLIs and planard.
+		fmt.Fprintf(w, "# %s seed=%d\n", *family, *seed)
+	}
+	if err := graphio.Write(w, g, f); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/service"
+)
+
+// runLoadgen drives a planard instance with a mixed workload: random
+// graph families and sizes, all four wire formats, every property, and
+// a configurable fraction of repeated requests that should land in the
+// result cache. It reports sustained throughput and a latency profile.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("planard loadgen", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "planard base URL")
+		duration    = fs.Duration("duration", 15*time.Second, "how long to drive load")
+		concurrency = fs.Int("concurrency", 4, "client goroutines")
+		nmin        = fs.Int("nmin", 64, "smallest graph")
+		nmax        = fs.Int("nmax", 2048, "largest graph")
+		eps         = fs.Float64("eps", 0.25, "distance parameter")
+		seed        = fs.Int64("seed", 1, "workload seed")
+		repeat      = fs.Float64("repeat", 0.5, "fraction of requests re-sent from the recent pool (cache exercise)")
+		properties  = fs.String("properties", "planarity,cycle-freeness,bipartiteness,spanner", "comma list of properties to mix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	props, err := splitProps(*properties)
+	if err != nil {
+		return err
+	}
+
+	// Probe the server before unleashing the fleet.
+	if resp, err := http.Get(*addr + "/healthz"); err != nil {
+		return fmt.Errorf("server not reachable: %w", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var (
+		wg        sync.WaitGroup
+		requests  atomic.Int64
+		failures  atomic.Int64
+		rejects   atomic.Int64
+		cacheHits atomic.Int64
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	started := time.Now()
+	stopAt := started.Add(*duration)
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)*7919))
+			w := newWorkload(rng, *nmin, *nmax, *eps, props, *repeat)
+			client := &http.Client{Timeout: 5 * time.Minute}
+			for time.Now().Before(stopAt) {
+				body, ctype := w.next()
+				start := time.Now()
+				view, err := postTest(client, *addr, body, ctype)
+				lat := time.Since(start)
+				requests.Add(1)
+				latMu.Lock()
+				latencies = append(latencies, lat)
+				latMu.Unlock()
+				switch {
+				case err != nil:
+					failures.Add(1)
+				default:
+					if view.CacheHit {
+						cacheHits.Add(1)
+					}
+					if view.Outcome != nil && view.Outcome.Rejected {
+						rejects.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(started) // actual window: late sync requests overshoot -duration
+
+	n := requests.Load()
+	if n == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("planard loadgen: %d requests in %s (%.1f req/s, %d clients)\n",
+		n, elapsed.Round(time.Second), float64(n)/elapsed.Seconds(), *concurrency)
+	fmt.Printf("  failures:   %d\n", failures.Load())
+	fmt.Printf("  rejects:    %d (far-from-property instances in the mix)\n", rejects.Load())
+	fmt.Printf("  cache hits: %d (%.0f%%)\n", cacheHits.Load(), 100*float64(cacheHits.Load())/float64(n))
+	fmt.Printf("  latency:    p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("%d requests failed", f)
+	}
+	return nil
+}
+
+func splitProps(s string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			continue
+		}
+		ok := false
+		for _, known := range service.Properties() {
+			if name == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown property %q", name)
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no properties selected")
+	}
+	return out, nil
+}
+
+// workload generates requests: fresh random (family, size, seed)
+// combinations serialized in a rotating format, with a `repeat`
+// fraction re-sent from a pool of recently issued requests so the
+// server's cache sees realistic re-reference traffic.
+type workload struct {
+	rng        *rand.Rand
+	nmin, nmax int
+	eps        float64
+	props      []string
+	repeat     float64
+	recent     [][2]string // body, content type
+	k          int
+}
+
+func newWorkload(rng *rand.Rand, nmin, nmax int, eps float64, props []string, repeat float64) *workload {
+	return &workload{rng: rng, nmin: nmin, nmax: nmax, eps: eps, props: props, repeat: repeat}
+}
+
+func (w *workload) next() (body, contentType string) {
+	if len(w.recent) > 0 && w.rng.Float64() < w.repeat {
+		r := w.recent[w.rng.Intn(len(w.recent))]
+		return r[0], r[1]
+	}
+	n := w.nmin + w.rng.Intn(w.nmax-w.nmin+1)
+	prop := w.props[w.rng.Intn(len(w.props))]
+	g := w.randomGraph(prop, n)
+	format := graphio.Formats()[w.k%4]
+	w.k++
+
+	var buf bytes.Buffer
+	if err := graphio.Write(&buf, g, format); err != nil {
+		panic(err)
+	}
+	gobj := map[string]any{"format": format.String()}
+	if format == graphio.Binary {
+		gobj["data_base64"] = base64.StdEncoding.EncodeToString(buf.Bytes())
+	} else {
+		gobj["data"] = buf.String()
+	}
+	req, err := json.Marshal(map[string]any{
+		"property": prop,
+		"epsilon":  w.eps,
+		"seed":     w.rng.Int63n(1 << 30),
+		"graph":    gobj,
+	})
+	if err != nil {
+		panic(err)
+	}
+	body = string(req)
+	if len(w.recent) < 256 {
+		w.recent = append(w.recent, [2]string{body, "application/json"})
+	} else {
+		w.recent[w.rng.Intn(len(w.recent))] = [2]string{body, "application/json"}
+	}
+	return body, "application/json"
+}
+
+// randomGraph draws a family suited to the property: mostly positive
+// instances, with a sprinkle of far-from-property graphs so reject
+// paths stay exercised.
+func (w *workload) randomGraph(prop string, n int) *graph.Graph {
+	r := w.rng
+	if r.Float64() < 0.15 { // adversarial share
+		switch prop {
+		case service.PropCycleFree:
+			return graph.Cycle(n)
+		case service.PropBipartiteness:
+			g, _ := graph.PlanarPlusRandomEdges(n, n/4+1, r)
+			return g
+		default:
+			return graph.K5Subdivision(n)
+		}
+	}
+	switch prop {
+	case service.PropCycleFree:
+		return graph.RandomTree(n, r)
+	case service.PropBipartiteness:
+		rows := 2 + r.Intn(8)
+		return graph.Grid(rows, (n+rows-1)/rows)
+	case service.PropOuterplanar:
+		return graph.Outerplanar(n, r)
+	default:
+		switch r.Intn(4) {
+		case 0:
+			rows := 2 + r.Intn(30)
+			return graph.Grid(rows, (n+rows-1)/rows)
+		case 1:
+			return graph.MaximalPlanar(n, r)
+		case 2:
+			return graph.RandomTree(n, r)
+		default:
+			return graph.RandomPlanar(n, 2*n, r)
+		}
+	}
+}
+
+// postTest issues one synchronous POST /v1/test and decodes the view.
+func postTest(client *http.Client, addr, body, contentType string) (*service.View, error) {
+	resp, err := client.Post(addr+"/v1/test", contentType, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var v service.View
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}

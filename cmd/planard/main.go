@@ -1,0 +1,113 @@
+// Command planard serves the distributed property testers over HTTP: a
+// job manager with a bounded run pool and a content-addressed result
+// cache (internal/service) behind a small REST API. It also ships a
+// load generator for throughput experiments.
+//
+// Usage:
+//
+//	planard [serve] [-addr :8080] [-concurrency N] [-cache N] ...
+//	planard loadgen -addr http://localhost:8080 -duration 30s -concurrency 8
+//
+// Endpoints:
+//
+//	POST   /v1/test       {"property","epsilon","seed","variant","async","graph":{...}}
+//	                      or multipart/form-data with a "graph" file part
+//	GET    /v1/jobs/{id}  poll an async job
+//	DELETE /v1/jobs/{id}  cancel a job
+//	GET    /metrics       Prometheus text exposition
+//	GET    /healthz       liveness
+//
+// A quickstart transcript lives in README.md; the architecture and the
+// cache-soundness argument are in DESIGN.md §7.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "loadgen" {
+		if err := runLoadgen(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "planard loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+	}
+	if err := serve(args); err != nil {
+		fmt.Fprintln(os.Stderr, "planard:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("planard serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		concurrency = fs.Int("concurrency", 0, "max jobs running the engine at once (0: GOMAXPROCS/engine-workers)")
+		queue       = fs.Int("queue", 0, "queued-job bound before 503s (0: 64*concurrency)")
+		cache       = fs.Int("cache", 0, "result cache entries (0: 4096, negative: disable)")
+		workers     = fs.Int("engine-workers", 0, "engine worker goroutines per job (0: GOMAXPROCS)")
+		retention   = fs.Int("job-retention", 0, "finished jobs kept pollable (0: 16384)")
+		maxMB       = fs.Int64("max-request-mb", 512, "request body limit, MiB")
+		drain       = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := service.New(service.Config{
+		MaxConcurrent: *concurrency,
+		QueueDepth:    *queue,
+		CacheEntries:  *cache,
+		EngineWorkers: *workers,
+		JobRetention:  *retention,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(m, service.HandlerConfig{MaxRequestBytes: *maxMB << 20}),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("planard: serving on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		m.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight HTTP, then
+	// cancel whatever is still running on the engine.
+	log.Printf("planard: shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	m.Close()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("planard: bye")
+	return nil
+}

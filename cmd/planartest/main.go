@@ -6,19 +6,26 @@
 //	planartest -family grid -n 256 -eps 0.25
 //	planartest -family planar+noise -n 100 -extra 60 -eps 0.1 -seeds 5
 //	planartest -family gnp -n 400 -degree 8 -en
-//	planartest -edges graph.txt -eps 0.2   # whitespace-separated "u v" lines
+//	planartest -edges graph.txt -eps 0.2             # format autodetected
+//	planartest -edges graph.pgb -format binary       # or forced explicitly
+//
+// -edges accepts every internal/graphio format: edge-list, DIMACS,
+// JSON, and the compact binary encoding; -format defaults to "auto"
+// (file extension, then content sniffing). Unlike the pre-graphio
+// parser, inputs are validated: duplicate edges, self-loops, and
+// malformed lines (e.g. trailing fields) are rejected rather than
+// silently dropped.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 
 	"repro"
 	"repro/internal/graph"
+	"repro/internal/graphio"
 	"repro/internal/partition"
 )
 
@@ -35,11 +42,12 @@ func main() {
 		en     = flag.Bool("en", false, "use the Elkin-Neiman baseline partition")
 		random = flag.Bool("randomized", false, "use the randomized Stage I variant (Theorem 4)")
 		strict = flag.Bool("strict-embed", false, "reject as soon as the embedding step sees non-planarity")
-		edges  = flag.String("edges", "", "read edge list from file instead of generating")
+		edges  = flag.String("edges", "", "read graph from file instead of generating (edge-list|dimacs|json|binary)")
+		format = flag.String("format", "auto", "format of -edges: auto|edge-list|dimacs|json|binary")
 	)
 	flag.Parse()
 
-	g, desc, err := buildGraph(*family, *n, *m, *extra, *degree, *seed, *edges)
+	g, desc, err := buildGraph(*family, *n, *m, *extra, *degree, *seed, *edges, *format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "planartest:", err)
 		os.Exit(1)
@@ -78,9 +86,13 @@ func main() {
 	}
 }
 
-func buildGraph(family string, n, m, extra int, degree float64, seed int64, edgeFile string) (*repro.Graph, string, error) {
+func buildGraph(family string, n, m, extra int, degree float64, seed int64, edgeFile, format string) (*repro.Graph, string, error) {
 	if edgeFile != "" {
-		g, err := readEdges(edgeFile)
+		f, err := graphio.ParseFormat(format)
+		if err != nil {
+			return nil, "", err
+		}
+		g, err := graphio.ReadFile(edgeFile, f)
 		return g, "file " + edgeFile, err
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -115,40 +127,4 @@ func buildGraph(family string, n, m, extra int, degree float64, seed int64, edge
 	default:
 		return nil, "", fmt.Errorf("unknown family %q", family)
 	}
-}
-
-func readEdges(path string) (*repro.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var es [][2]int
-	maxNode := -1
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		var u, v int
-		if _, err := fmt.Sscan(line, &u, &v); err != nil {
-			return nil, fmt.Errorf("bad edge line %q: %w", line, err)
-		}
-		es = append(es, [2]int{u, v})
-		if u > maxNode {
-			maxNode = u
-		}
-		if v > maxNode {
-			maxNode = v
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	b := graph.NewBuilder(maxNode + 1)
-	for _, e := range es {
-		b.AddEdge(e[0], e[1])
-	}
-	return b.Build(), nil
 }

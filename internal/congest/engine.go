@@ -50,6 +50,13 @@ type Config struct {
 	// verdicts recorded in the failing round by nodes after the failing
 	// one may differ from the sequential engine's.
 	Workers int
+	// Cancel aborts the run when it becomes readable: the engine polls it
+	// at every round barrier and ends the run with ErrCanceled. Pass a
+	// context's Done() channel to make a simulation cancelable; nil (the
+	// zero value) disables the check. Cancellation does not affect the
+	// determinism of completed runs — a run that finishes before the
+	// channel fires is byte-identical to an uncancelable one.
+	Cancel <-chan struct{}
 }
 
 // DefaultBitBound is the default per-message bound: c*ceil(log2 n) bits
@@ -138,6 +145,10 @@ type nodeState struct {
 
 var errAborted = errors.New("congest: run aborted")
 
+// ErrCanceled is the error reported (wrapped with round context) when a
+// run is aborted through Config.Cancel. Test with errors.Is.
+var ErrCanceled = errors.New("congest: run canceled")
+
 // Run executes prog on every node of cfg.Graph under the blocking
 // compatibility model and returns the verdicts and metrics. It returns an
 // error when a node program panics or the round limit is exceeded.
@@ -194,6 +205,7 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 		maxRounds: maxRounds,
 		stopOnRej: cfg.StopOnReject,
 		workers:   workers,
+		cancel:    cfg.Cancel,
 	}
 	eng.m.BitBound = bitBound
 	for i := 0; i < n; i++ {
@@ -242,6 +254,7 @@ type engine struct {
 	maxRounds int
 	stopOnRej bool
 	rejected  bool
+	cancel    <-chan struct{}
 	curNode   int // node being stepped (for the run-level panic recover)
 	runErr    error
 	wg        sync.WaitGroup // started shim goroutines
@@ -305,6 +318,14 @@ func (e *engine) run() {
 		due = append(due, int32(i)) // round 0: every node wakes, empty inbox
 	}
 	for {
+		if e.cancel != nil {
+			select {
+			case <-e.cancel:
+				e.runErr = fmt.Errorf("%w at round %d", ErrCanceled, e.round)
+				return
+			default:
+			}
+		}
 		if e.workers > 1 && len(due) >= minParallelDue {
 			if !e.stepParallel(due) {
 				return // fatal error; later nodes' sends stay unrouted

@@ -1,6 +1,8 @@
 package congest
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -519,5 +521,48 @@ func TestBitsHelpers(t *testing.T) {
 func TestVerdictString(t *testing.T) {
 	if VerdictAccept.String() != "accept" || VerdictReject.String() != "reject" || VerdictNone.String() != "none" {
 		t.Fatal("verdict strings wrong")
+	}
+}
+
+func TestCancelAbortsRun(t *testing.T) {
+	g := graph.Cycle(9)
+	prog := func(api *API) {
+		for r := 0; r < 1_000_000; r++ {
+			api.SendAll(intMsg{int64(r)})
+			api.NextRound()
+		}
+	}
+
+	// A channel that fires mid-run ends it with ErrCanceled. Closing
+	// before the run starts makes the abort deterministic: the engine
+	// polls at the first barrier.
+	done := make(chan struct{})
+	close(done)
+	_, err := Run(Config{Graph: g, Seed: 3, Cancel: done}, prog)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled run: err = %v, want ErrCanceled", err)
+	}
+
+	// A cancel channel that never fires must not perturb the run:
+	// byte-identical Results vs. a run without one.
+	idle := make(chan struct{})
+	defer close(idle)
+	short := func(api *API) {
+		for r := 0; r < 10; r++ {
+			api.SendAll(intMsg{int64(r)})
+			api.NextRound()
+		}
+		api.Output(VerdictAccept)
+	}
+	base, err := Run(Config{Graph: g, Seed: 3}, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(Config{Graph: g, Seed: 3, Cancel: idle}, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("idle cancel channel changed the run: %+v vs %+v", base, got)
 	}
 }

@@ -26,6 +26,10 @@ type Options struct {
 	// engine worker goroutines stepping due nodes within a barrier
 	// (0: GOMAXPROCS). Results are byte-identical for every value.
 	Workers int
+	// Cancel is passed through to congest.Config.Cancel: when it becomes
+	// readable the run aborts with congest.ErrCanceled. Pass a context's
+	// Done() channel; nil disables cancellation.
+	Cancel <-chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -85,7 +89,7 @@ type RunResult struct {
 func RunTester(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
 	o := opts.withDefaults()
 	if o.UseEN {
-		res, err := congest.RunStep(testerConfig(g, seed, o.Workers), func(node int) congest.StepProgram {
+		res, err := congest.RunStep(testerConfig(g, seed, o), func(node int) congest.StepProgram {
 			return partition.NewENNode(o.Partition.Epsilon, func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
 				return congest.BecomeStep(NewStageIINode(po, o.StageII))
 			})
@@ -93,7 +97,7 @@ func RunTester(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
 		return newRunResult(res, err)
 	}
 	plan := partition.NewStageIPlan(o.Partition, g.N())
-	res, err := congest.RunStep(testerConfig(g, seed, o.Workers), func(node int) congest.StepProgram {
+	res, err := congest.RunStep(testerConfig(g, seed, o), func(node int) congest.StepProgram {
 		return plan.NewNode(func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
 			return congest.BecomeStep(NewStageIINode(po, o.StageII))
 		})
@@ -105,13 +109,13 @@ func RunTester(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
 // compatibility path (one goroutine per node); kept for the
 // engine-equivalence tests.
 func RunTesterBlocking(g *graph.Graph, opts Options, seed int64) (*RunResult, error) {
-	res, err := congest.Run(testerConfig(g, seed, opts.Workers), func(api *congest.API) {
+	res, err := congest.Run(testerConfig(g, seed, opts), func(api *congest.API) {
 		TestPlanarity(api, opts)
 	})
 	return newRunResult(res, err)
 }
 
-func testerConfig(g *graph.Graph, seed int64, workers int) congest.Config {
+func testerConfig(g *graph.Graph, seed int64, opts Options) congest.Config {
 	ids := make([]int64, g.N())
 	rng := rand.New(rand.NewSource(seed ^ 0x7A31))
 	for i, p := range rng.Perm(g.N()) {
@@ -123,7 +127,8 @@ func testerConfig(g *graph.Graph, seed int64, workers int) congest.Config {
 		IDs:          ids,
 		StopOnReject: true,
 		MaxRounds:    1 << 40,
-		Workers:      workers,
+		Workers:      opts.Workers,
+		Cancel:       opts.Cancel,
 	}
 }
 

@@ -1,0 +1,87 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// readDIMACS parses the DIMACS edge format: 'c' comment lines, exactly
+// one 'p edge <n> <m>' problem line before any edge, and m 'e <u> <v>'
+// lines with 1-based endpoints.
+func readDIMACS(br *bufio.Reader) (*graph.Graph, error) {
+	var acc *edgeAccum
+	line := 0
+	for {
+		line++
+		s, err := br.ReadString('\n')
+		if s == "" && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		t := strings.TrimSpace(s)
+		switch {
+		case t == "" || t[0] == 'c':
+		case strings.HasPrefix(t, "p "):
+			if acc != nil {
+				return nil, parseErrf(DIMACS, line, "duplicate problem line")
+			}
+			f := strings.Fields(t)
+			if len(f) != 4 || f[1] != "edge" {
+				return nil, parseErrf(DIMACS, line, "bad problem line %q (want \"p edge n m\")", t)
+			}
+			n, err1 := strconv.Atoi(f[2])
+			m, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, parseErrf(DIMACS, line, "bad problem line %q", t)
+			}
+			if acc, err = newEdgeAccum(DIMACS, n, m); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(t, "e "):
+			if acc == nil {
+				return nil, parseErrf(DIMACS, line, "edge before problem line")
+			}
+			u, v, perr := parseEdgePair(t[2:])
+			if perr != nil {
+				return nil, parseErrf(DIMACS, line, "bad edge line %q: %v", t, perr)
+			}
+			if u < 1 || v < 1 {
+				return nil, parseErrf(DIMACS, line, "node below 1 in edge line %q (DIMACS is 1-based)", t)
+			}
+			if aerr := acc.add(line, u-1, v-1); aerr != nil {
+				return nil, aerr
+			}
+		default:
+			return nil, parseErrf(DIMACS, line, "unknown record %q", t)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		return nil, parseErrf(DIMACS, 0, "missing problem line")
+	}
+	return acc.build()
+}
+
+// writeDIMACS emits the problem line plus 1-based edges in canonical
+// sorted order.
+func writeDIMACS(bw *bufio.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	return eachEdge(g, func(u, v int) error {
+		_, err := fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
+		return err
+	})
+}

@@ -1,0 +1,138 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// edgeListHeader is the comment header the writer emits so that node
+// counts (including isolated trailing nodes) survive round trips.
+// Readers treat any other '#' line as a plain comment.
+const edgeListHeaderPrefix = "# graphio edge-list "
+
+// readEdgeList parses whitespace-separated "u v" lines. Blank lines and
+// '#' comments are skipped; the optional writer header pins n and m.
+func readEdgeList(br *bufio.Reader) (*graph.Graph, error) {
+	acc, err := newEdgeAccum(EdgeList, -1, -1)
+	if err != nil {
+		return nil, err
+	}
+	line := 0
+	for {
+		line++
+		s, err := br.ReadString('\n')
+		if s == "" && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		t := strings.TrimSpace(s)
+		switch {
+		case t == "":
+		case strings.HasPrefix(t, edgeListHeaderPrefix):
+			if acc.n >= 0 || len(acc.edges) > 0 {
+				return nil, parseErrf(EdgeList, line, "header after data")
+			}
+			n, m, herr := parseEdgeListHeader(t)
+			if herr != nil {
+				return nil, parseErrf(EdgeList, line, "%v", herr)
+			}
+			if acc, err = newEdgeAccum(EdgeList, n, m); err != nil {
+				return nil, err
+			}
+		case t[0] == '#':
+		default:
+			u, v, perr := parseEdgePair(t)
+			if perr != nil {
+				return nil, parseErrf(EdgeList, line, "bad edge line %q: %v", t, perr)
+			}
+			if aerr := acc.add(line, u, v); aerr != nil {
+				return nil, aerr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.build()
+}
+
+// parseEdgeListHeader parses "# graphio edge-list n=<n> m=<m>".
+func parseEdgeListHeader(t string) (n, m int, err error) {
+	n, m = -1, -1
+	for _, field := range strings.Fields(t[len(edgeListHeaderPrefix):]) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad header field %q", field)
+		}
+		x, err := strconv.Atoi(val)
+		if err != nil || x < 0 {
+			return 0, 0, fmt.Errorf("bad header value %q", field)
+		}
+		switch key {
+		case "n":
+			n = x
+		case "m":
+			m = x
+		default:
+			return 0, 0, fmt.Errorf("unknown header field %q", field)
+		}
+	}
+	if n < 0 {
+		return 0, 0, fmt.Errorf("header missing n")
+	}
+	return n, m, nil
+}
+
+// parseEdgePair parses exactly two non-negative integers.
+func parseEdgePair(t string) (u, v int, err error) {
+	us, rest, ok := cutFields(t)
+	if !ok {
+		return 0, 0, fmt.Errorf("want two fields")
+	}
+	vs, rest, _ := cutFields(rest)
+	if rest != "" {
+		return 0, 0, fmt.Errorf("trailing data %q", rest)
+	}
+	if u, err = strconv.Atoi(us); err != nil {
+		return 0, 0, err
+	}
+	if v, err = strconv.Atoi(vs); err != nil {
+		return 0, 0, err
+	}
+	return u, v, nil
+}
+
+// cutFields splits off the first whitespace-separated field.
+func cutFields(s string) (field, rest string, ok bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", "", false
+	}
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, "", true
+	}
+	return s[:i], strings.TrimSpace(s[i:]), true
+}
+
+// writeEdgeList emits the header plus one "u v" line per edge in
+// canonical sorted order.
+func writeEdgeList(bw *bufio.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(bw, "%sn=%d m=%d\n", edgeListHeaderPrefix, g.N(), g.M()); err != nil {
+		return err
+	}
+	return eachEdge(g, func(u, v int) error {
+		_, err := fmt.Fprintf(bw, "%d %d\n", u, v)
+		return err
+	})
+}

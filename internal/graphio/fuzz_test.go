@@ -1,0 +1,71 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzReadBinary throws arbitrary bytes at the binary reader: it must
+// never panic, and anything it accepts must re-encode byte-identically
+// (the format has exactly one encoding per graph).
+func FuzzReadBinary(f *testing.F) {
+	seed := func(g *graph.Graph) {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, Binary); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(graph.NewBuilder(0).Build())
+	seed(graph.Path(9))
+	seed(graph.Grid(4, 5))
+	seed(graph.Complete(6))
+	f.Add([]byte("PGB1"))
+	f.Add([]byte("PGB1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data), Binary)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, g, Binary); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(data, out.Bytes()) {
+			t.Fatalf("accepted %q but re-encoded as %q", data, out.Bytes())
+		}
+	})
+}
+
+// FuzzReadAuto exercises format sniffing plus every text reader: no
+// input may panic, and accepted graphs must round-trip through their
+// detected format.
+func FuzzReadAuto(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# graphio edge-list n=3 m=1\n0 1\n"))
+	f.Add([]byte("p edge 3 2\ne 1 2\ne 2 3\n"))
+	f.Add([]byte(`{"n":3,"edges":[[0,1],[1,2]]}`))
+	f.Add([]byte("PGB1\x03\x02\x00\x00\x01\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data), Auto)
+		if err != nil {
+			return
+		}
+		fmtDetected := DetectBytes(data)
+		var out bytes.Buffer
+		if err := Write(&out, g, fmtDetected); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		got, err := Read(&out, fmtDetected)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v", err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("round trip changed size: n=%d m=%d vs n=%d m=%d", got.N(), got.M(), g.N(), g.M())
+		}
+	})
+}

@@ -1,0 +1,291 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// testFamilies spans the generator families the experiments use,
+// including edge cases: empty, single node, isolated nodes, dense.
+func testFamilies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	fams := map[string]*graph.Graph{
+		"empty":       graph.NewBuilder(0).Build(),
+		"single":      graph.NewBuilder(1).Build(),
+		"isolated":    graph.NewBuilder(7).Build(),
+		"path":        graph.Path(17),
+		"cycle":       graph.Cycle(23),
+		"star":        graph.Star(12),
+		"grid":        graph.Grid(9, 7),
+		"complete":    graph.Complete(13),
+		"bipartite":   graph.CompleteBipartite(5, 9),
+		"tree":        graph.RandomTree(64, rng),
+		"maxplanar":   graph.MaximalPlanar(80, rng),
+		"randplanar":  graph.RandomPlanar(100, 180, rng),
+		"outerplanar": graph.Outerplanar(40, rng),
+		"gnp":         graph.GNP(60, 0.1, rng),
+		"k5sub":       graph.K5Subdivision(50),
+	}
+	g, _ := graph.PlanarPlusRandomEdges(70, 25, rng)
+	fams["planar+noise"] = g
+	// Trailing isolated nodes: the regression case for formats that
+	// would otherwise infer n from the max endpoint.
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	fams["trailing-isolated"] = b.Build()
+	return fams
+}
+
+func sameGraph(t *testing.T, want, got *graph.Graph, ctx string) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("%s: got n=%d m=%d, want n=%d m=%d", ctx, got.N(), got.M(), want.N(), want.M())
+	}
+	for v := 0; v < want.N(); v++ {
+		w, g := want.Neighbors(v), got.Neighbors(v)
+		if len(w) != len(g) {
+			t.Fatalf("%s: node %d degree %d, want %d", ctx, v, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s: node %d neighbor %d is %d, want %d", ctx, v, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestRoundTrip checks, for every family x format: read(write(g)) == g,
+// write(read(write(g))) is byte-identical, and Auto detection decodes
+// the written bytes.
+func TestRoundTrip(t *testing.T) {
+	for name, g := range testFamilies(t) {
+		for _, f := range Formats() {
+			t.Run(name+"/"+f.String(), func(t *testing.T) {
+				var buf bytes.Buffer
+				if err := Write(&buf, g, f); err != nil {
+					t.Fatalf("write: %v", err)
+				}
+				first := append([]byte(nil), buf.Bytes()...)
+
+				got, err := Read(bytes.NewReader(first), f)
+				if err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				sameGraph(t, g, got, "after round trip")
+
+				var second bytes.Buffer
+				if err := Write(&second, got, f); err != nil {
+					t.Fatalf("rewrite: %v", err)
+				}
+				if !bytes.Equal(first, second.Bytes()) {
+					t.Fatalf("round trip not byte-identical:\n%q\nvs\n%q", first, second.Bytes())
+				}
+
+				auto, err := Read(bytes.NewReader(first), Auto)
+				if err != nil {
+					t.Fatalf("auto read: %v", err)
+				}
+				sameGraph(t, g, auto, "after auto-detected round trip")
+			})
+		}
+	}
+}
+
+// TestHashStability checks that the content hash is invariant under
+// serialization round trips and distinguishes distinct graphs.
+func TestHashStability(t *testing.T) {
+	seen := map[string]string{}
+	for name, g := range testFamilies(t) {
+		h := HashString(g)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %s and %s", prev, name)
+		}
+		seen[h] = name
+		for _, f := range Formats() {
+			var buf bytes.Buffer
+			if err := Write(&buf, g, f); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(&buf, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if HashString(got) != h {
+				t.Fatalf("%s: hash changed through %v round trip", name, f)
+			}
+		}
+	}
+	// The hash must see the node count, not just edges.
+	a := graph.NewBuilder(3)
+	a.AddEdge(0, 1)
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	if HashString(a.Build()) == HashString(b.Build()) {
+		t.Fatal("hash ignores isolated nodes")
+	}
+}
+
+// TestKeyHasher checks field separation: distinct (name,value) splits
+// must produce distinct keys.
+func TestKeyHasher(t *testing.T) {
+	g := graph.Path(4)
+	k1 := NewKeyHasher(g).Field("eps", 0.25).Field("seed", 1).Sum()
+	k2 := NewKeyHasher(g).Field("eps", 0.2).Field("seed", 51).Sum()
+	k3 := NewKeyHasher(g).Field("eps", 0.25).Field("seed", 1).Sum()
+	if k1 == k2 {
+		t.Fatal("different options produced the same key")
+	}
+	if k1 != k3 {
+		t.Fatal("identical options produced different keys")
+	}
+}
+
+func TestHeaderlessEdgeList(t *testing.T) {
+	g, err := Read(strings.NewReader("0 1\n1 2\n\n# comment\n2 3\n"), EdgeList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d, want n=4 m=3", g.N(), g.M())
+	}
+	// Tab separation and no trailing newline parse too.
+	g, err = Read(strings.NewReader("0\t5\n3 4"), EdgeList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want n=6 m=2", g.N(), g.M())
+	}
+}
+
+// TestCorruptInputs drives every reader's error paths.
+func TestCorruptInputs(t *testing.T) {
+	binOK := func(g *graph.Graph) []byte {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, Binary); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	pathBin := binOK(graph.Path(5))
+
+	cases := []struct {
+		name string
+		f    Format
+		in   string
+		want string // substring of the error
+	}{
+		{"edgelist/garbage", EdgeList, "0 x\n", "bad edge line"},
+		{"edgelist/three-fields", EdgeList, "0 1 2\n", "bad edge line"},
+		{"edgelist/one-field", EdgeList, "7\n", "bad edge line"},
+		{"edgelist/self-loop", EdgeList, "3 3\n", "self-loop"},
+		{"edgelist/negative", EdgeList, "-1 2\n", "negative node"},
+		{"edgelist/dup", EdgeList, "0 1\n1 0\n", "duplicate"},
+		{"edgelist/out-of-range", EdgeList, "# graphio edge-list n=2 m=1\n0 5\n", "out of range"},
+		{"edgelist/m-mismatch", EdgeList, "# graphio edge-list n=3 m=2\n0 1\n", "declared m=2"},
+		{"edgelist/bad-header", EdgeList, "# graphio edge-list n=x\n", "bad header"},
+		{"edgelist/header-after-data", EdgeList, "0 1\n# graphio edge-list n=5 m=1\n", "header after data"},
+		{"dimacs/no-p", DIMACS, "e 1 2\n", "edge before problem line"},
+		{"dimacs/missing-p", DIMACS, "c only comments\n", "missing problem line"},
+		{"dimacs/double-p", DIMACS, "p edge 3 0\np edge 3 0\n", "duplicate problem line"},
+		{"dimacs/bad-p", DIMACS, "p clique 3 1\n", "bad problem line"},
+		{"dimacs/zero-based", DIMACS, "p edge 3 1\ne 0 1\n", "1-based"},
+		{"dimacs/out-of-range", DIMACS, "p edge 3 1\ne 1 9\n", "out of range"},
+		{"dimacs/self-loop", DIMACS, "p edge 3 1\ne 2 2\n", "self-loop"},
+		{"dimacs/m-mismatch", DIMACS, "p edge 3 2\ne 1 2\n", "declared m=2"},
+		{"dimacs/unknown-record", DIMACS, "p edge 3 0\nx 1 2\n", "unknown record"},
+		{"json/not-object", JSON, "[1,2]", "unexpected token"},
+		{"json/unknown-key", JSON, `{"n":3,"nodes":[]}`, "unknown key"},
+		{"json/missing-n", JSON, `{"edges":[[0,1]]}`, `missing key "n"`},
+		{"json/missing-edges", JSON, `{"n":3}`, `missing key "edges"`},
+		{"json/float-n", JSON, `{"n":2.5,"edges":[]}`, "non-integer"},
+		{"json/edge-arity", JSON, `{"n":3,"edges":[[0,1,2]]}`, "more than two"},
+		{"json/edge-not-array", JSON, `{"n":3,"edges":[5]}`, "unexpected token"},
+		{"json/self-loop", JSON, `{"n":3,"edges":[[1,1]]}`, "self-loop"},
+		{"json/out-of-range", JSON, `{"n":2,"edges":[[0,5]]}`, "out of range"},
+		{"json/edges-before-n-bound", JSON, `{"edges":[[0,9]],"n":3}`, "out of range"},
+		{"json/trailing", JSON, `{"n":1,"edges":[]}{}`, "trailing data"},
+		{"json/truncated", JSON, `{"n":3,"edges":[[0,`, ""},
+		{"binary/bad-magic", Binary, "NOPE" + string(pathBin[4:]), "bad magic"},
+		{"binary/truncated-header", Binary, "PGB1", "truncated n"},
+		{"binary/truncated-edges", Binary, string(pathBin[:len(pathBin)-1]), "truncated"},
+		{"binary/trailing", Binary, string(pathBin) + "\x00", "trailing bytes"},
+		{"binary/huge-n", Binary, "PGB1" + string([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00}), "limit"},
+		// n=5 m=1, then du so large that prevU+du wraps uint64 to a
+		// small in-range u: must be rejected, not decoded.
+		{"binary/wrapping-delta", Binary, "PGB1\x05\x01" + string([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00}), "out of range"},
+		// Non-minimal varint (0xe8 0x00 decodes like 0x68): one value,
+		// one encoding — anything else breaks content addressing.
+		{"binary/non-minimal-varint", Binary, "PGB1\xe8\x00\x00", "non-minimal"},
+		{"empty-auto", Auto, "", "empty input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in), tc.f)
+			if err == nil {
+				t.Fatalf("corrupt input parsed without error")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			var pe *ParseError
+			if tc.name != "empty-auto" && tc.name != "json/truncated" && !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError", err)
+			}
+		})
+	}
+}
+
+func TestDetectBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Format
+	}{
+		{"PGB1\x05\x04", Binary},
+		{`{"n":3,"edges":[]}`, JSON},
+		{"c comment\np edge 3 1\n", DIMACS},
+		{"p edge 3 1\ne 1 2\n", DIMACS},
+		{"0 1\n1 2\n", EdgeList},
+		{"# graphio edge-list n=3 m=1\n0 1\n", EdgeList},
+		{"# just a comment\n", EdgeList},
+	}
+	for _, tc := range cases {
+		if got := DetectBytes([]byte(tc.in)); got != tc.want {
+			t.Errorf("DetectBytes(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, f := range Formats() {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFormat(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFormat("gexf"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := graph.Grid(4, 4)
+	for _, ext := range []string{".txt", ".col", ".json", ".pgb"} {
+		path := t.TempDir() + "/g" + ext
+		if err := WriteFile(path, g, Auto); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path, Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, g, got, ext)
+	}
+}

@@ -1,0 +1,63 @@
+package graphio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// Hash returns the canonical content hash of g: the SHA-256 of its
+// canonical binary encoding (magic, n, m, delta-coded sorted edges),
+// streamed straight into the hasher. Two graphs hash equally iff they
+// are the same labeled graph, which makes the hash a sound
+// content-address for deterministic runs keyed on (graph, options):
+// the service layer's result cache builds its keys on top of it.
+func Hash(g *graph.Graph) [sha256.Size]byte {
+	h := sha256.New()
+	if err := writeBinary(h, g); err != nil {
+		panic(fmt.Sprintf("graphio: hashing cannot fail: %v", err)) // hash.Hash never errors
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// HashString returns Hash(g) in hex.
+func HashString(g *graph.Graph) string {
+	h := Hash(g)
+	return hex.EncodeToString(h[:])
+}
+
+// KeyHasher accumulates a content-addressed cache key: the graph hash
+// plus any number of option fields. Field order matters (callers fix a
+// canonical order); every field is length-prefixed so concatenations
+// cannot collide.
+type KeyHasher struct {
+	h interface {
+		io.Writer
+		Sum([]byte) []byte
+	}
+}
+
+// NewKeyHasher starts a key over the canonical hash of g.
+func NewKeyHasher(g *graph.Graph) *KeyHasher {
+	k := &KeyHasher{h: sha256.New()}
+	gh := Hash(g)
+	k.h.Write(gh[:])
+	return k
+}
+
+// Field mixes one labeled option value into the key.
+func (k *KeyHasher) Field(name string, value any) *KeyHasher {
+	s := fmt.Sprintf("%v", value)
+	fmt.Fprintf(k.h, "%d:%s=%d:%s;", len(name), name, len(s), s)
+	return k
+}
+
+// Sum returns the final key in hex.
+func (k *KeyHasher) Sum() string {
+	return hex.EncodeToString(k.h.Sum(nil))
+}

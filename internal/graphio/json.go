@@ -1,0 +1,164 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// readJSON parses {"n": <n>, "edges": [[u,v], ...]} token by token, so
+// the edge array streams through the accumulator instead of
+// materializing as [][]int. Keys may appear in either order; unknown
+// keys are rejected. Exactly one JSON value is allowed (trailing data
+// errors).
+func readJSON(br *bufio.Reader) (*graph.Graph, error) {
+	dec := json.NewDecoder(br)
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	n := -1
+	sawEdges := false
+	acc, err := newEdgeAccum(JSON, -1, -1)
+	if err != nil {
+		return nil, err
+	}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, jsonErr(err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, parseErrf(JSON, 0, "unexpected token %v for object key", tok)
+		}
+		switch key {
+		case "n":
+			if n >= 0 {
+				return nil, parseErrf(JSON, 0, "duplicate key %q", key)
+			}
+			var v int64
+			if err := decodeInt(dec, &v); err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				return nil, parseErrf(JSON, 0, "negative n %d", v)
+			}
+			n = int(v)
+			prev := acc.edges
+			if acc, err = newEdgeAccum(JSON, n, -1); err != nil {
+				return nil, err
+			}
+			// Re-validate any edges parsed before n was known.
+			for _, e := range prev {
+				if aerr := acc.add(0, int(e.U), int(e.V)); aerr != nil {
+					return nil, aerr
+				}
+			}
+		case "edges":
+			if sawEdges {
+				return nil, parseErrf(JSON, 0, "duplicate key %q", key)
+			}
+			sawEdges = true
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, err
+			}
+			for dec.More() {
+				if err := expectDelim(dec, '['); err != nil {
+					return nil, err
+				}
+				var u, v int64
+				if err := decodeInt(dec, &u); err != nil {
+					return nil, err
+				}
+				if err := decodeInt(dec, &v); err != nil {
+					return nil, err
+				}
+				if dec.More() {
+					return nil, parseErrf(JSON, 0, "edge with more than two endpoints")
+				}
+				if err := expectDelim(dec, ']'); err != nil {
+					return nil, err
+				}
+				if aerr := acc.add(0, int(u), int(v)); aerr != nil {
+					return nil, aerr
+				}
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, parseErrf(JSON, 0, "unknown key %q", key)
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, parseErrf(JSON, 0, "missing key \"n\"")
+	}
+	if !sawEdges {
+		return nil, parseErrf(JSON, 0, "missing key \"edges\"")
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, parseErrf(JSON, 0, "trailing data after graph object")
+	}
+	return acc.build()
+}
+
+func jsonErr(err error) error {
+	return parseErrf(JSON, 0, "%v", err)
+}
+
+// expectDelim consumes one token and requires it to be the delimiter d.
+func expectDelim(dec *json.Decoder, d rune) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return jsonErr(err)
+	}
+	if got, ok := tok.(json.Delim); !ok || rune(got) != d {
+		return parseErrf(JSON, 0, "unexpected token %v (want %q)", tok, string(d))
+	}
+	return nil
+}
+
+// decodeInt consumes one token and requires an integral JSON number.
+func decodeInt(dec *json.Decoder, out *int64) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return jsonErr(err)
+	}
+	num, ok := tok.(float64)
+	if !ok {
+		return parseErrf(JSON, 0, "unexpected token %v (want integer)", tok)
+	}
+	v := int64(num)
+	if float64(v) != num {
+		return parseErrf(JSON, 0, "non-integer number %v", num)
+	}
+	*out = v
+	return nil
+}
+
+// writeJSON emits the compact canonical encoding with n before edges.
+func writeJSON(bw *bufio.Writer, g *graph.Graph) error {
+	if _, err := fmt.Fprintf(bw, "{\"n\":%d,\"edges\":[", g.N()); err != nil {
+		return err
+	}
+	first := true
+	err := eachEdge(g, func(u, v int) error {
+		sep := ","
+		if first {
+			sep, first = "", false
+		}
+		_, err := fmt.Fprintf(bw, "%s[%d,%d]", sep, u, v)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	_, err = bw.WriteString("]}\n")
+	return err
+}

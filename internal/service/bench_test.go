@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// BenchmarkService tracks the serving overhead on the two paths that
+// matter: a content-addressed cache hit (the steady-state fast path —
+// hash the graph, look up, return; no engine) and a cold run on a
+// 1000-node random planar graph (hash + full CONGEST simulation).
+// scripts/bench.sh records both; bench_compare.sh gates the cache-hit
+// path against the committed baseline.
+func BenchmarkService(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	g := graph.RandomPlanar(1000, 2000, rng)
+	ctx := context.Background()
+
+	b.Run("cache-hit", func(b *testing.B) {
+		m := New(Config{EngineWorkers: 1})
+		defer m.Close()
+		warm := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: g}
+		if _, err := m.Run(ctx, warm); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: g}
+			out, err := m.Run(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Rejected {
+				b.Fatal("rejected planar graph")
+			}
+		}
+		b.StopTimer()
+		if misses := m.Metrics().CacheMisses.Load(); misses != 1 {
+			b.Fatalf("cache-hit bench ran the engine %d times", misses)
+		}
+	})
+
+	b.Run("cache-miss-n1000", func(b *testing.B) {
+		m := New(Config{EngineWorkers: 1})
+		defer m.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh seed per iteration defeats the cache: every run
+			// simulates.
+			req := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: int64(i + 1), Graph: g}
+			out, err := m.Run(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Rejected {
+				b.Fatal("rejected planar graph")
+			}
+		}
+		b.StopTimer()
+		if hits := m.Metrics().CacheHits.Load(); hits != 0 {
+			b.Fatalf("cache-miss bench hit the cache %d times", hits)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a thread-safe LRU cache mapping content-addressed
+// request keys to finished Outcomes. Because every run is deterministic
+// in its key (the engine is a pure function of graph, options, and
+// seed; see DESIGN.md §7), a hit can skip the whole CONGEST simulation
+// and replay the stored outcome.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	outcome *Outcome
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached outcome for key and marks it recently used.
+func (c *resultCache) get(key string) (*Outcome, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).outcome, true
+}
+
+// put stores an outcome, evicting the least recently used entry when
+// over capacity. The stored outcome must never be mutated afterwards.
+func (c *resultCache) put(key string, o *Outcome) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).outcome = o
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, outcome: o})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of live entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

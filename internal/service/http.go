@@ -1,0 +1,250 @@
+package service
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// HandlerConfig tunes the HTTP front-end.
+type HandlerConfig struct {
+	// MaxRequestBytes bounds request bodies (0: 512 MiB).
+	MaxRequestBytes int64
+}
+
+// wireRequest is the JSON body of POST /v1/test. The graph travels
+// inline ("data" for text formats, "data_base64" for binary) or as a
+// multipart part named "graph".
+type wireRequest struct {
+	Property string  `json:"property"`
+	Epsilon  float64 `json:"epsilon"`
+	Seed     int64   `json:"seed"`
+	Variant  string  `json:"variant"`
+	Async    bool    `json:"async"`
+	Graph    *struct {
+		Format     string `json:"format"`
+		Data       string `json:"data"`
+		DataBase64 string `json:"data_base64"`
+	} `json:"graph"`
+}
+
+// NewHandler exposes m over HTTP:
+//
+//	POST   /v1/test       run a test (sync by default, async=true for 202 + job)
+//	GET    /v1/jobs/{id}  poll a job
+//	DELETE /v1/jobs/{id}  release one submission's interest; the run
+//	                      aborts once all coalesced submitters canceled
+//	GET    /metrics       Prometheus text exposition
+//	GET    /healthz       liveness
+func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
+	if hc.MaxRequestBytes == 0 {
+		hc.MaxRequestBytes = 512 << 20
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/test", func(w http.ResponseWriter, r *http.Request) {
+		handleTest(m, hc, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSONResponse(w, http.StatusOK, j.View())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		j.Cancel()
+		writeJSONResponse(w, http.StatusOK, j.View())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// handleTest decodes a test request (JSON or multipart), submits it,
+// and either waits (sync) or returns the queued job (async, 202).
+func handleTest(m *Manager, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, hc.MaxRequestBytes)
+	req, async, err := decodeTestRequest(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, err)
+		return
+	}
+	if r.URL.Query().Get("async") == "1" || r.URL.Query().Get("async") == "true" {
+		async = true
+	}
+	j, err := m.Submit(r.Context(), req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	if async {
+		writeJSONResponse(w, http.StatusAccepted, j.View())
+		return
+	}
+	if _, err := j.Wait(r.Context()); err != nil {
+		if j.State() == StateFailed {
+			// Engine-side failure (panic, cancellation): the view
+			// carries the error.
+			writeJSONResponse(w, http.StatusInternalServerError, j.View())
+			return
+		}
+		// The client went away; the job keeps running for the cache.
+		httpError(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	writeJSONResponse(w, http.StatusOK, j.View())
+}
+
+// decodeTestRequest parses the two wire shapes of POST /v1/test.
+func decodeTestRequest(r *http.Request) (*Request, bool, error) {
+	ct := r.Header.Get("Content-Type")
+	mediaType := ct
+	if ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			mediaType = mt
+		}
+	}
+	if strings.HasPrefix(mediaType, "multipart/") {
+		return decodeMultipart(r)
+	}
+	var wire wireRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return nil, false, fmt.Errorf("bad request body: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		if err == nil {
+			err = fmt.Errorf("unexpected token")
+		}
+		return nil, false, fmt.Errorf("trailing data after request object: %w", err)
+	}
+	if wire.Graph == nil {
+		return nil, false, fmt.Errorf("request has no graph (inline \"graph\" object or multipart part)")
+	}
+	f, err := graphio.ParseFormat(wire.Graph.Format)
+	if err != nil {
+		return nil, false, err
+	}
+	// Both payload shapes stream into the reader; no intermediate
+	// copies of a potentially huge graph.
+	var rd io.Reader
+	switch {
+	case wire.Graph.DataBase64 != "" && wire.Graph.Data != "":
+		return nil, false, fmt.Errorf("graph has both data and data_base64")
+	case wire.Graph.DataBase64 != "":
+		rd = base64.NewDecoder(base64.StdEncoding, strings.NewReader(wire.Graph.DataBase64))
+	default:
+		rd = strings.NewReader(wire.Graph.Data)
+	}
+	g, err := graphio.Read(rd, f)
+	if err != nil {
+		return nil, false, err
+	}
+	return wireToRequest(wire, g), wire.Async, nil
+}
+
+// decodeMultipart parses multipart/form-data: a "request" field with
+// the options JSON (graph omitted) and a "graph" file part, optionally
+// a "format" field (default: autodetect, trying the filename first).
+func decodeMultipart(r *http.Request) (*Request, bool, error) {
+	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		return nil, false, fmt.Errorf("bad multipart body: %w", err)
+	}
+	var wire wireRequest
+	if s := r.FormValue("request"); s != "" {
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wire); err != nil {
+			return nil, false, fmt.Errorf("bad request field: %w", err)
+		}
+		if wire.Graph != nil {
+			return nil, false, fmt.Errorf("multipart request must carry the graph as a part, not inline")
+		}
+	} else {
+		// Bare-form convenience: property/epsilon/seed as form values.
+		wire.Property = r.FormValue("property")
+		wire.Variant = r.FormValue("variant")
+		if s := r.FormValue("epsilon"); s != "" {
+			if _, err := fmt.Sscan(s, &wire.Epsilon); err != nil {
+				return nil, false, fmt.Errorf("bad epsilon %q", s)
+			}
+		}
+		if s := r.FormValue("seed"); s != "" {
+			if _, err := fmt.Sscan(s, &wire.Seed); err != nil {
+				return nil, false, fmt.Errorf("bad seed %q", s)
+			}
+		}
+		wire.Async = r.FormValue("async") == "1" || r.FormValue("async") == "true"
+	}
+	file, hdr, err := r.FormFile("graph")
+	if err != nil {
+		return nil, false, fmt.Errorf("missing graph part: %w", err)
+	}
+	defer file.Close()
+	f, err := graphio.ParseFormat(r.FormValue("format"))
+	if err != nil {
+		return nil, false, err
+	}
+	if f == graphio.Auto && hdr != nil {
+		f = graphio.DetectPath(hdr.Filename)
+	}
+	g, err := graphio.Read(file, f)
+	if err != nil {
+		return nil, false, err
+	}
+	return wireToRequest(wire, g), wire.Async, nil
+}
+
+func wireToRequest(wire wireRequest, g *graph.Graph) *Request {
+	return &Request{
+		Property: wire.Property,
+		Epsilon:  wire.Epsilon,
+		Seed:     wire.Seed,
+		Variant:  wire.Variant,
+		Graph:    g,
+	}
+}
+
+func writeJSONResponse(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSONResponse(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,345 @@
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := New(Config{EngineWorkers: 1})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func encodeGraph(t *testing.T, g *graph.Graph, f graphio.Format) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graphio.Write(&buf, g, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func testRequestBody(g *graph.Graph, f graphio.Format, data string, extra map[string]any) map[string]any {
+	body := map[string]any{
+		"property": PropPlanarity,
+		"epsilon":  0.25,
+		"seed":     1,
+		"graph":    map[string]any{"format": f.String(), "data": data},
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}
+
+func TestHTTPSyncTestAllFormats(t *testing.T) {
+	srv, _ := testServer(t)
+	g := graph.Grid(8, 8)
+	var views []View
+	for _, f := range graphio.Formats() {
+		body := map[string]any{
+			"property": PropPlanarity,
+			"epsilon":  0.25,
+			"seed":     1,
+		}
+		if f == graphio.Binary {
+			body["graph"] = map[string]any{
+				"format":      f.String(),
+				"data_base64": base64.StdEncoding.EncodeToString([]byte(encodeGraph(t, g, f))),
+			}
+		} else {
+			body["graph"] = map[string]any{"format": f.String(), "data": encodeGraph(t, g, f)}
+		}
+		resp, out := postJSON(t, srv.URL+"/v1/test", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%v: status %d: %s", f, resp.StatusCode, out)
+		}
+		var v View
+		if err := json.Unmarshal(out, &v); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if v.State != "done" || v.Outcome == nil || v.Outcome.Rejected {
+			t.Fatalf("%v: unexpected view %s", f, out)
+		}
+		if v.Outcome.Metrics.Rounds <= 0 || v.Outcome.Metrics.BitBound <= 0 {
+			t.Fatalf("%v: CONGEST metrics missing from %s", f, out)
+		}
+		views = append(views, v)
+	}
+	// All four wire formats address the same cache entry: one miss.
+	for i, v := range views {
+		if (i > 0) != v.CacheHit {
+			t.Fatalf("format %d: cacheHit=%v, want %v", i, v.CacheHit, i > 0)
+		}
+	}
+}
+
+func TestHTTPAsyncJobLifecycle(t *testing.T) {
+	srv, _ := testServer(t)
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomPlanar(2000, 4000, rng)
+	body := testRequestBody(g, graphio.EdgeList, encodeGraph(t, g, graphio.EdgeList), map[string]any{"async": true})
+	resp, out := postJSON(t, srv.URL+"/v1/test", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST: status %d: %s", resp.StatusCode, out)
+	}
+	var v View
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatalf("async POST returned no job id: %s", out)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll: status %d: %s", r.StatusCode, out)
+		}
+		if err := json.Unmarshal(out, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == "done" {
+			break
+		}
+		if v.State == "failed" {
+			t.Fatalf("job failed: %s", out)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v.Outcome == nil || v.Outcome.Rejected {
+		t.Fatalf("bad terminal view: %+v", v)
+	}
+}
+
+func TestHTTPMultipartUpload(t *testing.T) {
+	srv, _ := testServer(t)
+	g := graph.Grid(6, 6)
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if err := mw.WriteField("request", fmt.Sprintf(`{"property":%q,"epsilon":0.25,"seed":2}`, PropBipartiteness)); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := mw.CreateFormFile("graph", "grid.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(fw, g, graphio.DIMACS); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/test", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multipart POST: status %d: %s", resp.StatusCode, out)
+	}
+	var v View
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Property != PropBipartiteness || v.State != "done" || v.Outcome.Rejected {
+		t.Fatalf("unexpected view: %s", out)
+	}
+}
+
+func TestHTTPCancelJob(t *testing.T) {
+	srv, _ := testServer(t)
+	rng := rand.New(rand.NewSource(12))
+	g := graph.MaximalPlanar(20000, rng)
+	body := testRequestBody(g, graphio.EdgeList, encodeGraph(t, g, graphio.EdgeList),
+		map[string]any{"async": true, "epsilon": 0.05})
+	resp, out := postJSON(t, srv.URL+"/v1/test", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST: status %d: %s", resp.StatusCode, out)
+	}
+	var v View
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v.ID, nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", r.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err := json.Unmarshal(out, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == "failed" {
+			if !strings.Contains(v.Error, "cancel") {
+				t.Fatalf("failed without cancellation error: %s", out)
+			}
+			break
+		}
+		if v.State == "done" {
+			t.Skip("job finished before the cancel landed") // tiny host: not an error
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q after cancel", v.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	g := graph.Grid(5, 5)
+	body := testRequestBody(g, graphio.JSON, encodeGraph(t, g, graphio.JSON), nil)
+	for i := 0; i < 2; i++ {
+		if resp, out := postJSON(t, srv.URL+"/v1/test", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %d: %d %s", i, resp.StatusCode, out)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"planard_cache_hits_total 1",
+		"planard_cache_misses_total 1",
+		`planard_jobs_total{property="planarity",status="done"} 2`,
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	el := encodeGraph(t, graph.Grid(3, 3), graphio.EdgeList)
+	cases := []struct {
+		name string
+		body map[string]any
+	}{
+		{"no graph", map[string]any{"property": PropPlanarity, "epsilon": 0.25}},
+		{"bad epsilon", testRequestBody(nil, graphio.EdgeList, el, map[string]any{"epsilon": 7})},
+		{"bad property", testRequestBody(nil, graphio.EdgeList, el, map[string]any{"property": "chordality"})},
+		{"bad format", map[string]any{"epsilon": 0.25, "graph": map[string]any{"format": "gexf", "data": el}}},
+		{"corrupt graph", map[string]any{"epsilon": 0.25, "graph": map[string]any{"format": "edge-list", "data": "0 x\n"}}},
+		{"unknown field", testRequestBody(nil, graphio.EdgeList, el, map[string]any{"bogus": 1})},
+		{"both datas", map[string]any{"epsilon": 0.25, "graph": map[string]any{"data": el, "data_base64": "AAAA"}}},
+	}
+	for _, tc := range cases {
+		resp, out := postJSON(t, srv.URL+"/v1/test", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (want 400): %s", tc.name, resp.StatusCode, out)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(out, &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s: error body %q", tc.name, out)
+		}
+	}
+	if r, _ := http.Get(srv.URL + "/v1/jobs/nope"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", r.StatusCode)
+	}
+	if r, _ := http.Get(srv.URL + "/healthz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", r.StatusCode)
+	}
+}
+
+// TestHTTPEndToEnd10k is the acceptance scenario: POST a 10^4-node
+// random planar graph, expect an accept verdict with CONGEST metrics;
+// POST it again and observe the cache hit through the counters.
+func TestHTTPEndToEnd10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^4-node end-to-end run skipped in -short mode")
+	}
+	srv, m := testServer(t)
+	rng := rand.New(rand.NewSource(20260730))
+	g := graph.RandomPlanar(10000, 20000, rng)
+	body := testRequestBody(g, graphio.Binary, "", map[string]any{"graph": map[string]any{
+		"format":      "binary",
+		"data_base64": base64.StdEncoding.EncodeToString([]byte(encodeGraph(t, g, graphio.Binary))),
+	}})
+	var views [2]View
+	for i := range views {
+		resp, out := postJSON(t, srv.URL+"/v1/test", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %d: status %d: %s", i, resp.StatusCode, out)
+		}
+		if err := json.Unmarshal(out, &views[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range views {
+		if v.State != "done" || v.Outcome == nil {
+			t.Fatalf("POST %d: not done: %+v", i, v)
+		}
+		if v.Outcome.Rejected {
+			t.Fatalf("POST %d: rejected a planar graph", i)
+		}
+		if v.Outcome.Metrics.Rounds <= 0 || v.Outcome.Metrics.Messages <= 0 {
+			t.Fatalf("POST %d: missing CONGEST metrics: %+v", i, v.Outcome)
+		}
+	}
+	if views[0].CacheHit || !views[1].CacheHit {
+		t.Fatalf("cache hits: first=%v second=%v, want false/true", views[0].CacheHit, views[1].CacheHit)
+	}
+	if hits, misses := m.Metrics().CacheHits.Load(), m.Metrics().CacheMisses.Load(); hits != 1 || misses != 1 {
+		t.Fatalf("counters: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State int32
+
+// Job states. Queued and Running are transient; Done and Failed are
+// terminal (a canceled job fails with context.Canceled).
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+)
+
+// String implements fmt.Stringer with the wire names.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Job tracks one submitted request through the run pool. Fields set at
+// creation (ID, Key, Request, CacheHit, Created) are immutable; the
+// rest is published through accessors once the job reaches a terminal
+// state.
+type Job struct {
+	ID  string
+	Key string
+	// Request is the submitted work item (its graph included).
+	Request *Request
+	// CacheHit records whether this job was answered by the result
+	// cache without running the engine.
+	CacheHit bool
+	Created  time.Time
+
+	state      atomic.Int32
+	done       chan struct{}
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+	attached   atomic.Int64 // submissions sharing this job (coalescing)
+
+	// Terminal results; written exactly once before done closes.
+	outcome *Outcome
+	err     error
+	ended   time.Time
+}
+
+// State returns the job's current state.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+func (j *Job) setState(s State) { j.state.Store(int32(s)) }
+
+// cancel forces cancellation: a queued job fails before it runs, a
+// running job aborts at the engine's next round barrier. Terminal jobs
+// are unaffected.
+func (j *Job) cancel() {
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+}
+
+// attach records one more submission sharing this job (coalescing).
+func (j *Job) attach() { j.attached.Add(1) }
+
+// Cancel releases one submission's interest in the job. Because
+// identical concurrent submissions coalesce onto one job, the
+// underlying run only aborts once every attached submission has
+// canceled — one client abandoning a shared request must not fail it
+// for the others. (Cancel is therefore not idempotent per client:
+// each call releases one attachment.)
+func (j *Job) Cancel() {
+	if j.attached.Add(-1) <= 0 {
+		j.cancel()
+	}
+}
+
+// releaseGraph drops the job's graph reference so retained (finished)
+// jobs do not pin their inputs in memory. The job owns its Request
+// copy, so the submitter's struct is untouched. Never call while the
+// job can still run.
+func (j *Job) releaseGraph() { j.Request.Graph = nil }
+
+func (j *Job) canceled() bool {
+	select {
+	case <-j.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// finish publishes the terminal state. Must be called exactly once.
+func (j *Job) finish(out *Outcome, err error) {
+	j.outcome, j.err = out, err
+	j.ended = time.Now()
+	if err != nil {
+		j.setState(StateFailed)
+	} else {
+		j.setState(StateDone)
+	}
+	close(j.done)
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx expires; on ctx expiry the
+// job keeps running (async submitters may still be watching it) and
+// ctx.Err() is returned.
+func (j *Job) Wait(ctx context.Context) (*Outcome, error) {
+	select {
+	case <-j.done:
+		return j.outcome, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the terminal outcome and error; valid only after Done
+// is closed.
+func (j *Job) Result() (*Outcome, error) {
+	select {
+	case <-j.done:
+		return j.outcome, j.err
+	default:
+		return nil, nil
+	}
+}
+
+// View is the JSON representation of a job for the HTTP API.
+type View struct {
+	ID       string   `json:"job_id"`
+	State    string   `json:"state"`
+	Property string   `json:"property"`
+	CacheHit bool     `json:"cache_hit"`
+	Error    string   `json:"error,omitempty"`
+	Outcome  *Outcome `json:"outcome,omitempty"`
+}
+
+// View snapshots the job for serialization. Gated on the done channel
+// (not the state) so an outcome is only read once it is published.
+func (j *Job) View() View {
+	v := View{
+		ID:       j.ID,
+		State:    j.State().String(),
+		Property: j.Request.Property,
+		CacheHit: j.CacheHit,
+	}
+	select {
+	case <-j.done:
+		v.State = j.State().String() // terminal by the time done closes
+		if j.err != nil {
+			v.Error = j.err.Error()
+		}
+		v.Outcome = j.outcome
+	default:
+	}
+	return v
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the service's Prometheus-style instrumentation: monotonic
+// counters plus a few gauges, all safe for concurrent use and rendered
+// in the text exposition format by WritePrometheus. Counter names carry
+// the planard_ prefix so several services can share a scrape target.
+type Metrics struct {
+	CacheHits     atomic.Int64 // jobs served from the result cache
+	CacheMisses   atomic.Int64 // jobs that ran the engine
+	Coalesced     atomic.Int64 // jobs attached to an identical in-flight run
+	JobsInFlight  atomic.Int64 // queued + running jobs
+	SimulatedRnds atomic.Int64 // engine rounds across all finished runs
+	ModeledRnds   atomic.Int64 // modeled rounds across all finished runs
+	Messages      atomic.Int64 // CONGEST messages across all finished runs
+	GraphNodes    atomic.Int64 // sum of n over non-cached runs
+	GraphEdges    atomic.Int64 // sum of m over non-cached runs
+	wallMicros    atomic.Int64 // engine wall time, microseconds
+	cacheEntries  func() int   // live cache size, set by the Manager
+	jobsMu        sync.Mutex
+	jobsByOutcome map[jobsKey]*atomic.Int64
+}
+
+type jobsKey struct {
+	property string
+	status   string
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		jobsByOutcome: make(map[jobsKey]*atomic.Int64),
+		cacheEntries:  func() int { return 0 },
+	}
+}
+
+// CountJob bumps the planard_jobs_total{property,status} counter.
+func (m *Metrics) CountJob(property, status string) {
+	k := jobsKey{property, status}
+	m.jobsMu.Lock()
+	c := m.jobsByOutcome[k]
+	if c == nil {
+		c = new(atomic.Int64)
+		m.jobsByOutcome[k] = c
+	}
+	m.jobsMu.Unlock()
+	c.Add(1)
+}
+
+// AddWallSeconds accumulates engine wall time.
+func (m *Metrics) AddWallSeconds(s float64) {
+	m.wallMicros.Add(int64(math.Round(s * 1e6)))
+}
+
+// WallSeconds returns the accumulated engine wall time.
+func (m *Metrics) WallSeconds() float64 {
+	return float64(m.wallMicros.Load()) / 1e6
+}
+
+// WritePrometheus renders every metric in the Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	type line struct {
+		name, help, typ string
+		value           string
+	}
+	plain := []line{
+		{"planard_cache_hits_total", "Jobs served from the content-addressed result cache.", "counter", fmt.Sprint(m.CacheHits.Load())},
+		{"planard_cache_misses_total", "Jobs that ran the CONGEST engine.", "counter", fmt.Sprint(m.CacheMisses.Load())},
+		{"planard_coalesced_jobs_total", "Jobs attached to an identical in-flight run.", "counter", fmt.Sprint(m.Coalesced.Load())},
+		{"planard_jobs_inflight", "Jobs currently queued or running.", "gauge", fmt.Sprint(m.JobsInFlight.Load())},
+		{"planard_cache_entries", "Entries in the result cache.", "gauge", fmt.Sprint(m.cacheEntries())},
+		{"planard_simulated_rounds_total", "CONGEST rounds simulated across all runs.", "counter", fmt.Sprint(m.SimulatedRnds.Load())},
+		{"planard_modeled_rounds_total", "Modeled (black-box substituted) rounds across all runs.", "counter", fmt.Sprint(m.ModeledRnds.Load())},
+		{"planard_messages_total", "CONGEST messages delivered across all runs.", "counter", fmt.Sprint(m.Messages.Load())},
+		{"planard_graph_nodes_total", "Sum of node counts over engine (non-cached) runs.", "counter", fmt.Sprint(m.GraphNodes.Load())},
+		{"planard_graph_edges_total", "Sum of edge counts over engine (non-cached) runs.", "counter", fmt.Sprint(m.GraphEdges.Load())},
+		{"planard_engine_wall_seconds_total", "Engine wall time across all runs.", "counter", fmt.Sprintf("%g", m.WallSeconds())},
+	}
+	for _, l := range plain {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", l.name, l.help, l.name, l.typ, l.name, l.value); err != nil {
+			return err
+		}
+	}
+
+	m.jobsMu.Lock()
+	keys := make([]jobsKey, 0, len(m.jobsByOutcome))
+	for k := range m.jobsByOutcome {
+		keys = append(keys, k)
+	}
+	m.jobsMu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].property != keys[j].property {
+			return keys[i].property < keys[j].property
+		}
+		return keys[i].status < keys[j].status
+	})
+	if _, err := fmt.Fprintf(w, "# HELP planard_jobs_total Jobs by property and terminal status.\n# TYPE planard_jobs_total counter\n"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		m.jobsMu.Lock()
+		v := m.jobsByOutcome[k].Load()
+		m.jobsMu.Unlock()
+		if _, err := fmt.Fprintf(w, "planard_jobs_total{property=%q,status=%q} %d\n", k.property, k.status, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

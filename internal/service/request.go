@@ -1,0 +1,221 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/partition"
+	"repro/internal/planar"
+	"repro/internal/spanner"
+	"repro/internal/testers"
+)
+
+// Property names accepted by the API. Every entry runs on the same
+// Stage I partitioning substrate: the planarity tester of Theorem 1,
+// the minor-free applications of §4 (cycle-freeness, bipartiteness, and
+// the hereditary outerplanarity tester), and the Corollary 17 spanner.
+const (
+	PropPlanarity     = "planarity"
+	PropCycleFree     = "cycle-freeness"
+	PropBipartiteness = "bipartiteness"
+	PropOuterplanar   = "outerplanarity"
+	PropSpanner       = "spanner"
+)
+
+// Properties lists the supported property names.
+func Properties() []string {
+	return []string{PropPlanarity, PropCycleFree, PropBipartiteness, PropOuterplanar, PropSpanner}
+}
+
+// Stage I variant names.
+const (
+	VariantDeterministic = "deterministic"
+	VariantRandomized    = "randomized"
+	VariantEN            = "en"
+)
+
+// Request is one unit of work: test a property of a graph (or build its
+// spanner) at a given distance parameter and seed.
+type Request struct {
+	// Property selects the algorithm; see Properties().
+	Property string `json:"property"`
+	// Epsilon is the distance parameter in (0, 1].
+	Epsilon float64 `json:"epsilon"`
+	// Seed fixes the run's randomness; runs are deterministic per
+	// (graph, options, seed), which is what makes caching sound.
+	Seed int64 `json:"seed"`
+	// Variant selects Stage I: deterministic (default), randomized
+	// (Theorem 4), or en (the Elkin–Neiman baseline, planarity only).
+	Variant string `json:"variant,omitempty"`
+	// Graph is the input graph. Decoded from the wire formats by the
+	// HTTP layer; never nil for a valid request.
+	Graph *graph.Graph `json:"-"`
+}
+
+// Validate normalizes defaults and rejects malformed requests.
+func (r *Request) Validate() error {
+	if r.Graph == nil {
+		return fmt.Errorf("service: request has no graph")
+	}
+	if !(r.Epsilon > 0 && r.Epsilon <= 1) { // NaN fails both comparisons
+		return fmt.Errorf("service: epsilon %v outside (0,1]", r.Epsilon)
+	}
+	switch r.Property {
+	case PropPlanarity, PropCycleFree, PropBipartiteness, PropOuterplanar, PropSpanner:
+	case "":
+		r.Property = PropPlanarity
+	default:
+		return fmt.Errorf("service: unknown property %q (want one of %v)", r.Property, Properties())
+	}
+	switch r.Variant {
+	case "":
+		r.Variant = VariantDeterministic
+	case VariantDeterministic, VariantRandomized:
+	case VariantEN:
+		if r.Property != PropPlanarity {
+			return fmt.Errorf("service: variant %q applies only to %q", VariantEN, PropPlanarity)
+		}
+	default:
+		return fmt.Errorf("service: unknown variant %q", r.Variant)
+	}
+	return nil
+}
+
+// CacheKey is the content address of the request: the canonical graph
+// hash mixed with every option that can change the run's result.
+// Deliberately absent: engine worker count (Results are byte-identical
+// at any Workers value) and anything about the wire format the graph
+// arrived in (all formats canonicalize to the same labeled graph).
+func (r *Request) CacheKey() string {
+	return graphio.NewKeyHasher(r.Graph).
+		Field("property", r.Property).
+		Field("epsilon", r.Epsilon).
+		Field("seed", r.Seed).
+		Field("variant", r.Variant).
+		Sum()
+}
+
+// RunMetrics is the JSON view of the CONGEST accounting.
+type RunMetrics struct {
+	Rounds         int   `json:"rounds"`
+	ModeledRounds  int64 `json:"modeled_rounds"`
+	Messages       int64 `json:"messages"`
+	TotalBits      int64 `json:"total_bits"`
+	MaxMessageBits int   `json:"max_message_bits"`
+	BitBound       int   `json:"bit_bound"`
+}
+
+func newRunMetrics(m congest.Metrics) RunMetrics {
+	return RunMetrics{
+		Rounds:         m.Rounds,
+		ModeledRounds:  m.ModeledRounds,
+		Messages:       m.Messages,
+		TotalBits:      m.TotalBits,
+		MaxMessageBits: m.MaxMessageBits,
+		BitBound:       m.BitBound,
+	}
+}
+
+// Outcome is the result of one finished run. Cached outcomes are shared
+// between jobs and must be treated as immutable.
+type Outcome struct {
+	Property   string     `json:"property"`
+	Verdict    string     `json:"verdict"` // "accept" or "reject"
+	Rejected   bool       `json:"rejected"`
+	RejectedBy int        `json:"rejected_by"`
+	GraphN     int        `json:"graph_n"`
+	GraphM     int        `json:"graph_m"`
+	Metrics    RunMetrics `json:"metrics"`
+	// Spanner-only fields: the subgraph size and the part-diameter
+	// stretch certificate (max over parts).
+	SpannerEdges   int `json:"spanner_edges,omitempty"`
+	SpannerStretch int `json:"spanner_stretch,omitempty"`
+	// WallSeconds is the engine wall time of the original run (a cache
+	// hit reports the cost of the run it reuses, not of the lookup).
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// run executes the request on the engine. cancel aborts the simulation
+// at the next round barrier (congest.ErrCanceled). workers sets the
+// engine worker-pool size per job (0: GOMAXPROCS).
+func run(req *Request, workers int, cancel <-chan struct{}) (*Outcome, error) {
+	start := time.Now()
+	out := &Outcome{
+		Property: req.Property,
+		GraphN:   req.Graph.N(),
+		GraphM:   req.Graph.M(),
+	}
+	popts := partition.Options{Epsilon: req.Epsilon}
+	if req.Variant == VariantRandomized {
+		popts.Variant = partition.Randomized
+	}
+	switch req.Property {
+	case PropPlanarity:
+		res, err := core.RunTester(req.Graph, core.Options{
+			Epsilon:   req.Epsilon,
+			UseEN:     req.Variant == VariantEN,
+			Partition: popts,
+			Workers:   workers,
+			Cancel:    cancel,
+		}, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Rejected, out.RejectedBy, out.Metrics = res.Rejected, res.RejectedBy, newRunMetrics(res.Metrics)
+	case PropCycleFree, PropBipartiteness:
+		prop := testers.CycleFreeness
+		if req.Property == PropBipartiteness {
+			prop = testers.Bipartiteness
+		}
+		res, err := testers.Run(req.Graph, prop, testers.Options{
+			Epsilon:   req.Epsilon,
+			Partition: popts,
+			Workers:   workers,
+			Cancel:    cancel,
+		}, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Rejected, out.RejectedBy, out.Metrics = res.Rejected, res.RejectedBy, newRunMetrics(res.Metrics)
+	case PropOuterplanar:
+		res, err := testers.RunHereditary(req.Graph, planar.IsOuterplanar, testers.Options{
+			Epsilon:   req.Epsilon,
+			Partition: popts,
+			Workers:   workers,
+			Cancel:    cancel,
+		}, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Rejected, out.RejectedBy, out.Metrics = res.Rejected, res.RejectedBy, newRunMetrics(res.Metrics)
+	case PropSpanner:
+		sp, views, m, err := spanner.Collect(req.Graph, spanner.Options{
+			Epsilon:   req.Epsilon,
+			Partition: popts,
+			Workers:   workers,
+			Cancel:    cancel,
+		}, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Metrics = newRunMetrics(m)
+		out.SpannerEdges = sp.M()
+		for _, v := range views {
+			if v != nil && v.StretchBound > out.SpannerStretch {
+				out.SpannerStretch = v.StretchBound
+			}
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown property %q", req.Property)
+	}
+	out.Verdict = "accept"
+	if out.Rejected {
+		out.Verdict = "reject"
+	}
+	out.WallSeconds = time.Since(start).Seconds()
+	return out, nil
+}

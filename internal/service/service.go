@@ -1,0 +1,306 @@
+// Package service is the serving subsystem of the reproduction: a job
+// manager with a bounded run pool, a content-addressed LRU result cache
+// keyed on (graph, options, seed), job states with cancellation, and
+// Prometheus-style counters. cmd/planard exposes it over HTTP; the
+// architecture and the cache-soundness argument live in DESIGN.md §7.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the Manager.
+type Config struct {
+	// MaxConcurrent bounds how many jobs run the engine at once (the
+	// run pool size). 0 means GOMAXPROCS/EngineWorkers (at least 1).
+	MaxConcurrent int
+	// QueueDepth bounds the number of queued jobs; Submit returns
+	// ErrQueueFull beyond it. 0 means 64 * MaxConcurrent.
+	QueueDepth int
+	// CacheEntries sizes the LRU result cache. 0 means 4096; negative
+	// disables caching.
+	CacheEntries int
+	// EngineWorkers is the per-job engine worker-pool size
+	// (core.Options.Workers). 0 means GOMAXPROCS: one job then
+	// saturates the host, which suits few large graphs; set 1 and raise
+	// MaxConcurrent for many small graphs.
+	EngineWorkers int
+	// JobRetention bounds how many finished jobs stay addressable via
+	// Job() after completion. 0 means 16384.
+	JobRetention int
+}
+
+func (c Config) withDefaults() Config {
+	// Non-positive values fall back to defaults (CacheEntries excepted:
+	// negative documented as "disable"), so a stray -1 flag cannot
+	// start a manager with zero workers or a negative queue.
+	if c.MaxConcurrent <= 0 {
+		per := c.EngineWorkers
+		if per <= 0 {
+			per = runtime.GOMAXPROCS(0)
+		}
+		c.MaxConcurrent = runtime.GOMAXPROCS(0) / per
+		if c.MaxConcurrent < 1 {
+			c.MaxConcurrent = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64 * c.MaxConcurrent
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 16384
+	}
+	return c
+}
+
+// Errors reported by Submit.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: manager closed")
+)
+
+// Manager owns the job queue, the run pool, the result cache, and the
+// metrics. Create with New, dispose with Close.
+type Manager struct {
+	cfg     Config
+	cache   *resultCache
+	metrics *Metrics
+	seq     atomic.Int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job // by job ID; finished jobs kept for polling
+	retained []*Job          // FIFO over jobs, for retention eviction
+	inflight map[string]*Job // by cache key; queued or running only
+}
+
+// New starts a Manager with cfg.withDefaults(): MaxConcurrent pool
+// goroutines consuming a QueueDepth-bounded queue.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheEntries),
+		metrics:  newMetrics(),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	m.metrics.cacheEntries = m.cache.len
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close drains the pool: no new jobs are accepted, and queued or
+// running jobs are canceled (they finish with context.Canceled before
+// touching the engine, or abort at the next round barrier). Blocks
+// until every pool goroutine exits.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	for _, j := range m.inflight {
+		j.cancel()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Metrics returns the service counters.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// CacheLen returns the number of cached outcomes.
+func (m *Manager) CacheLen() int { return m.cache.len() }
+
+// Submit validates req and returns its job without waiting for it:
+//
+//   - cache hit: a job already in StateDone, served without touching
+//     the engine;
+//   - an identical request is queued or running: that job is returned
+//     (work is coalesced; all submitters observe the same run);
+//   - otherwise: a fresh job, enqueued for the run pool.
+//
+// The returned job may be shared; read it through its accessors.
+func (m *Manager) Submit(ctx context.Context, req *Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if m.isClosed() {
+		return nil, ErrClosed
+	}
+	key := req.CacheKey()
+
+	if out, ok := m.cache.get(key); ok {
+		m.metrics.CacheHits.Add(1)
+		m.metrics.CountJob(req.Property, "done")
+		j := m.newJob(req, key)
+		j.CacheHit = true
+		j.releaseGraph()
+		j.finish(out, nil)
+		m.mu.Lock()
+		m.rememberLocked(j) // registered even when racing Close: the id must poll
+		m.mu.Unlock()
+		return j, nil
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if j, ok := m.inflight[key]; ok {
+		j.attach()
+		m.mu.Unlock()
+		m.metrics.Coalesced.Add(1)
+		return j, nil
+	}
+	j := m.newJob(req, key)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		m.metrics.CountJob(req.Property, "rejected")
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	// Incremented before the lock drops: a worker that races this
+	// submit cannot drive the gauge below zero.
+	m.metrics.JobsInFlight.Add(1)
+	m.inflight[key] = j
+	m.rememberLocked(j)
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Run is the synchronous convenience wrapper: Submit then Wait.
+func (m *Manager) Run(ctx context.Context, req *Request) (*Outcome, error) {
+	j, err := m.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Job returns a job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// newJob allocates a job shell in StateQueued. The request is copied:
+// the job owns its Request (releaseGraph drops the graph reference at a
+// terminal state without mutating the caller's struct).
+func (m *Manager) newJob(req *Request, key string) *Job {
+	cp := *req
+	j := &Job{
+		ID:       fmt.Sprintf("j%06d-%s", m.seq.Add(1), key[:12]),
+		Key:      key,
+		Request:  &cp,
+		Created:  time.Now(),
+		done:     make(chan struct{}),
+		cancelCh: make(chan struct{}),
+	}
+	j.state.Store(int32(StateQueued))
+	j.attached.Store(1)
+	return j
+}
+
+// rememberLocked indexes j for polling, evicting the oldest finished
+// jobs beyond the retention bound. Live (queued/running) jobs are never
+// evicted — they rotate to the back so eviction continues behind a
+// long-running head instead of stalling on it. Callers hold m.mu.
+func (m *Manager) rememberLocked(j *Job) {
+	m.jobs[j.ID] = j
+	m.retained = append(m.retained, j)
+	rotations := 0
+	for len(m.retained) > m.cfg.JobRetention {
+		old := m.retained[0]
+		m.retained = m.retained[1:]
+		if old.State() == StateQueued || old.State() == StateRunning {
+			m.retained = append(m.retained, old)
+			if rotations++; rotations > len(m.retained) {
+				return // everything retained is live; nothing to evict
+			}
+			continue
+		}
+		delete(m.jobs, old.ID)
+	}
+}
+
+// forget drops j's in-flight key reservation.
+func (m *Manager) forget(j *Job) {
+	m.mu.Lock()
+	if m.inflight[j.Key] == j {
+		delete(m.inflight, j.Key)
+	}
+	m.mu.Unlock()
+}
+
+// worker is one run-pool goroutine: it drains the queue and executes
+// jobs on the engine.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state. The graph reference is
+// dropped once the run is over: up to JobRetention finished jobs stay
+// pollable, and they must not pin their (potentially huge) inputs.
+func (m *Manager) execute(j *Job) {
+	defer m.metrics.JobsInFlight.Add(-1)
+	defer m.forget(j)
+	defer j.releaseGraph()
+
+	if j.canceled() {
+		m.metrics.CountJob(j.Request.Property, "failed")
+		j.finish(nil, context.Canceled)
+		return
+	}
+	j.setState(StateRunning)
+	m.metrics.CacheMisses.Add(1)
+
+	out, err := run(j.Request, m.cfg.EngineWorkers, j.cancelCh)
+	if err != nil {
+		m.metrics.CountJob(j.Request.Property, "failed")
+		j.finish(nil, err)
+		return
+	}
+	mm := out.Metrics
+	m.metrics.SimulatedRnds.Add(int64(mm.Rounds))
+	m.metrics.ModeledRnds.Add(mm.ModeledRounds)
+	m.metrics.Messages.Add(mm.Messages)
+	m.metrics.GraphNodes.Add(int64(out.GraphN))
+	m.metrics.GraphEdges.Add(int64(out.GraphM))
+	m.metrics.AddWallSeconds(out.WallSeconds)
+	m.metrics.CountJob(j.Request.Property, "done")
+	m.cache.put(j.Key, out)
+	j.finish(out, nil)
+}

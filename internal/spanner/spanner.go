@@ -23,6 +23,13 @@ type Options struct {
 	// deterministic Stage I of Theorem 3; set Variant to
 	// partition.Randomized for the Theorem 4 variant).
 	Partition partition.Options
+	// Workers is passed through to congest.Config.Workers (0: GOMAXPROCS).
+	// Results are byte-identical for every value.
+	Workers int
+	// Cancel is passed through to congest.Config.Cancel: when it becomes
+	// readable the run aborts with congest.ErrCanceled. Pass a context's
+	// Done() channel; nil disables cancellation.
+	Cancel <-chan struct{}
 }
 
 // NodeSpanner is a node's local view of the spanner: which of its ports
@@ -129,6 +136,8 @@ func CollectBlocking(g *graph.Graph, opts Options, seed int64) (*graph.Graph, []
 		Graph:     g,
 		Seed:      seed,
 		MaxRounds: 1 << 40,
+		Workers:   opts.Workers,
+		Cancel:    opts.Cancel,
 	}, func(api *congest.API) {
 		views[api.Index()] = Build(api, opts)
 	})

@@ -59,7 +59,7 @@ func TestHereditary(api *congest.API, pred PartPredicate, opts Options) congest.
 // Options (Epsilon outside (0,1]), like core.RunTester.
 func RunHereditary(g *graph.Graph, pred PartPredicate, opts Options, seed int64) (*core.RunResult, error) {
 	plan := stageIPlanFor(g, opts)
-	res, err := congest.RunStep(testersConfig(g, seed), func(node int) congest.StepProgram {
+	res, err := congest.RunStep(testersConfig(g, opts, seed), func(node int) congest.StepProgram {
 		return newHereditaryProgram(plan, pred)
 	})
 	return newRunResult(res, err)
@@ -68,7 +68,7 @@ func RunHereditary(g *graph.Graph, pred PartPredicate, opts Options, seed int64)
 // RunHereditaryBlocking executes TestHereditary on the blocking
 // compatibility path; kept for the engine-equivalence tests.
 func RunHereditaryBlocking(g *graph.Graph, pred PartPredicate, opts Options, seed int64) (*core.RunResult, error) {
-	res, err := congest.Run(testersConfig(g, seed), func(api *congest.API) {
+	res, err := congest.Run(testersConfig(g, opts, seed), func(api *congest.API) {
 		TestHereditary(api, pred, opts)
 	})
 	return newRunResult(res, err)

@@ -48,6 +48,13 @@ type Options struct {
 	// partition.Randomized for the O(poly(1/eps)(log(1/delta)+log* n))
 	// variant.
 	Partition partition.Options
+	// Workers is passed through to congest.Config.Workers (0: GOMAXPROCS).
+	// Results are byte-identical for every value.
+	Workers int
+	// Cancel is passed through to congest.Config.Cancel: when it becomes
+	// readable the run aborts with congest.ErrCanceled. Pass a context's
+	// Done() channel; nil disables cancellation.
+	Cancel <-chan struct{}
 }
 
 // Test runs the distributed property tester inside a node program and
@@ -97,7 +104,7 @@ func Test(api *congest.API, prop Property, opts Options) congest.Verdict {
 // outside (0,1]), like core.RunTester.
 func Run(g *graph.Graph, prop Property, opts Options, seed int64) (*core.RunResult, error) {
 	plan := stageIPlanFor(g, opts)
-	res, err := congest.RunStep(testersConfig(g, seed), func(node int) congest.StepProgram {
+	res, err := congest.RunStep(testersConfig(g, opts, seed), func(node int) congest.StepProgram {
 		return newPropertyProgram(plan, prop)
 	})
 	return newRunResult(res, err)
@@ -106,7 +113,7 @@ func Run(g *graph.Graph, prop Property, opts Options, seed int64) (*core.RunResu
 // RunBlocking executes the tester on the blocking compatibility path (one
 // goroutine per node); kept for the engine-equivalence tests.
 func RunBlocking(g *graph.Graph, prop Property, opts Options, seed int64) (*core.RunResult, error) {
-	res, err := congest.Run(testersConfig(g, seed), func(api *congest.API) {
+	res, err := congest.Run(testersConfig(g, opts, seed), func(api *congest.API) {
 		Test(api, prop, opts)
 	})
 	return newRunResult(res, err)

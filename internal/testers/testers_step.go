@@ -75,12 +75,14 @@ func stageIPlanFor(g *graph.Graph, opts Options) *partition.StageIPlan {
 	return partition.NewStageIPlan(opts.Partition, g.N())
 }
 
-func testersConfig(g *graph.Graph, seed int64) congest.Config {
+func testersConfig(g *graph.Graph, opts Options, seed int64) congest.Config {
 	return congest.Config{
 		Graph:        g,
 		Seed:         seed,
 		StopOnReject: true,
 		MaxRounds:    1 << 40,
+		Workers:      opts.Workers,
+		Cancel:       opts.Cancel,
 	}
 }
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Runs the flagship experiment benchmarks (E1/E11/E12), the engine
-# microbenchmarks, and the large-n family (BenchmarkLargeN), then writes a
+# microbenchmarks, the serving-layer benchmarks (BenchmarkService:
+# cache-hit and cache-miss paths), and the large-n family
+# (BenchmarkLargeN), then writes a
 # BENCH_<utc-timestamp>.json trajectory file in the repo root so future
 # PRs can track the perf curve (scripts/bench_compare.sh gates regressions
 # against the latest committed file).
@@ -54,6 +56,8 @@ go test -run '^$' -bench 'BenchmarkE1RoundsVsN|BenchmarkE11Baseline|BenchmarkE12
     -benchmem -benchtime "$BENCHTIME" $(profflags E) . | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkEngine' \
     -benchmem -benchtime "$BENCHTIME" $(profflags engine) ./internal/congest/ | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkService' \
+    -benchmem -benchtime "$BENCHTIME" $(profflags service) ./internal/service/ | tee -a "$RAW"
 go test $SHORTFLAG -run '^$' -bench 'BenchmarkLargeN' -timeout 6h \
     -benchmem -benchtime 1x $(profflags largen) . | tee -a "$RAW"
 

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench-regression gate: compares a fresh BENCH_*.json (from
 # scripts/bench.sh) against the latest *committed* BENCH_*.json and fails
-# when any flagship (E1/E11/E12), Engine, or the CI-sized
-# LargeN/planar-n10000 benchmark regressed by more than the threshold in
-# ns/op. New benchmarks (present only in the fresh file) and the larger
+# when any flagship (E1/E11/E12), Engine, Service/cache-hit, or the
+# CI-sized LargeN/planar-n10000 benchmark regressed by more than the
+# threshold in ns/op. New benchmarks (present only in the fresh file) and the larger
 # LargeN sizes (minutes-long single iterations, skipped in -short mode)
 # are reported but never gate; planar-n10000 is a single iteration too,
 # so its threshold rides on the shared BENCH_REGRESSION_THRESHOLD.
@@ -46,7 +46,7 @@ extract() {
         | sed 's/"name"[[:space:]]*:[[:space:]]*"//; s/"[[:space:]]*,[[:space:]]*"ns_per_op"[[:space:]]*:[[:space:]]*/ /'
 }
 
-echo "bench_compare: $fresh vs baseline $base (gate: >${THRESHOLD}% ns/op on E1/E11/E12/Engine/LargeN-n10000)"
+echo "bench_compare: $fresh vs baseline $base (gate: >${THRESHOLD}% ns/op on E1/E11/E12/Engine/Service-cache-hit/LargeN-n10000)"
 base_pairs="$(extract "$base")" || base_pairs=""
 fail=0
 compared=0
@@ -55,6 +55,7 @@ while read -r name ns; do
     case "$name" in
         BenchmarkE1RoundsVsN*|BenchmarkE11Baseline*|BenchmarkE12Congestion*|BenchmarkEngine*) gated=1 ;;
         BenchmarkLargeN/planar-n10000) gated=1 ;;
+        BenchmarkService/cache-hit) gated=1 ;;
     esac
     bns="$(printf '%s\n' "$base_pairs" | awk -v n="$name" '$1 == n { print $2; exit }')" || bns=""
     if [ -z "$bns" ]; then

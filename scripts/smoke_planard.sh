@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the planard service (run by CI):
+#
+#   1. build all command binaries;
+#   2. start planard;
+#   3. POST a 10^4-node random planar graph (multipart, edge-list) and
+#      require an accept verdict with CONGEST metrics;
+#   4. POST the identical graph again and require a cache hit — both in
+#      the response and in the /metrics counters;
+#   5. shut the server down gracefully (SIGTERM) and require a clean exit.
+#
+# No dependencies beyond curl and the go toolchain.
+#
+# Usage: scripts/smoke_planard.sh [n]   (default n=10000)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+N="${1:-10000}"
+PORT="${PLANARD_SMOKE_PORT:-18234}"
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -9 "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building command binaries"
+go build -o "$WORK/bin/" ./cmd/...
+ls "$WORK/bin"
+
+echo "== generating a ${N}-node random planar graph"
+"$WORK/bin/graphgen" -family randplanar -n "$N" -seed 7 > "$WORK/graph.txt"
+wc -l "$WORK/graph.txt"
+
+echo "== starting planard on :$PORT"
+"$WORK/bin/planard" -addr "127.0.0.1:$PORT" > "$WORK/planard.log" 2>&1 &
+SRV_PID=$!
+for i in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 && break
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "planard died on startup:"; cat "$WORK/planard.log"; exit 1; }
+    sleep 0.1
+done
+curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null
+
+post() {
+    curl -sf -X POST "http://127.0.0.1:$PORT/v1/test" \
+        -F 'request={"property":"planarity","epsilon":0.25,"seed":1}' \
+        -F "graph=@$WORK/graph.txt"
+}
+
+# require BODY SUBSTRING LABEL: fail loudly when a response lacks a marker.
+require() {
+    if ! printf '%s' "$1" | grep -q "$2"; then
+        echo "FAIL: $3: response missing '$2'" >&2
+        printf '%s\n' "$1" >&2
+        exit 1
+    fi
+}
+
+echo "== POST 1 (cold): expect accept verdict with CONGEST metrics"
+R1="$(post)"
+require "$R1" '"state":"done"'        "first POST"
+require "$R1" '"verdict":"accept"'    "first POST"
+require "$R1" '"cache_hit":false'     "first POST"
+require "$R1" '"rounds":'             "first POST (metrics)"
+require "$R1" '"graph_n":'"$N"        "first POST (graph size)"
+
+echo "== POST 2 (identical): expect a cache hit, no engine run"
+R2="$(post)"
+require "$R2" '"state":"done"'        "second POST"
+require "$R2" '"verdict":"accept"'    "second POST"
+require "$R2" '"cache_hit":true'      "second POST"
+
+echo "== /metrics: one miss (the cold run), one hit (the replay)"
+M="$(curl -sf "http://127.0.0.1:$PORT/metrics")"
+require "$M" '^planard_cache_hits_total 1$'   "/metrics"
+require "$M" '^planard_cache_misses_total 1$' "/metrics"
+require "$M" 'planard_jobs_total{property="planarity",status="done"} 2' "/metrics"
+
+echo "== graceful shutdown"
+kill -TERM "$SRV_PID"
+for i in $(seq 1 100); do
+    kill -0 "$SRV_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "FAIL: planard did not exit after SIGTERM" >&2
+    exit 1
+fi
+SRV_PID=""
+grep -q "planard: bye" "$WORK/planard.log" || { echo "FAIL: no clean shutdown marker"; cat "$WORK/planard.log"; exit 1; }
+
+echo "smoke_planard: OK (n=$N, accept + cache hit + graceful shutdown)"
