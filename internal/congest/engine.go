@@ -3,6 +3,7 @@ package congest
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"slices"
@@ -21,6 +22,7 @@ type Program func(api *API)
 
 // Config configures a simulation run.
 type Config struct {
+	// Graph is the network to simulate. Required.
 	Graph *graph.Graph
 	// IDs are the CONGEST identifiers, one per node index. When nil, the
 	// engine assigns a pseudorandom permutation of 1..n derived from Seed.
@@ -32,6 +34,9 @@ type Config struct {
 	BitBound int
 	// MaxRounds aborts the run when exceeded (a safety net against
 	// deadlocked or diverging programs). When 0, defaults to 4_000_000.
+	// Round numbers can legitimately grow far past the executed-barrier
+	// count: the engine fast-forwards over empty rounds, and schedules
+	// with exponentially growing budgets sleep across billions of them.
 	MaxRounds int
 	// StopOnReject ends the run at the first barrier after some node
 	// outputs VerdictReject. In distributed property testing a single
@@ -126,22 +131,24 @@ type outMsg struct {
 	msg  Message
 }
 
+// nodeHot is the per-node dispatch cluster: exactly the state every
+// node wake touches, packed into one 64-byte cache line (16-byte
+// interface + two 24-byte slice headers). Stepping a node — whether in
+// a dense streaming barrier or a sparse frontier wake — loads this one
+// line; routing a message to the node touches the same line its own
+// next wake needs (DESIGN.md §8).
+type nodeHot struct {
+	prog    StepProgram // current program; *shim once blocking
+	inbox   []Inbound   // buffer handed to Step at the current wake (reused)
+	mailbox []Inbound   // deliverable at the next barrier (reused buffer)
+}
+
 type nodePhase uint8
 
 const (
 	phaseWaiting nodePhase = iota // parked until deadline or mail
 	phaseDone
 )
-
-type nodeState struct {
-	phase    nodePhase
-	deadline int       // absolute round to wake by
-	heapDl   int       // deadline of a live heap entry for this node (0: none)
-	mailbox  []Inbound // deliverable at the next barrier (reused buffer)
-	inbox    []Inbound // buffer handed to Step at the current wake (reused)
-	prog     StepProgram
-	shim     *shim // non-nil once the node entered the blocking model
-}
 
 var errAborted = errors.New("congest: run aborted")
 
@@ -198,7 +205,16 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 		g:         g,
 		revPort:   g.RevPorts(),
 		ids:       ids,
-		states:    make([]nodeState, n),
+		n:         n,
+		seed:      cfg.Seed,
+		phase:     make([]nodePhase, n),
+		deadline:  make([]int64, n),
+		heapDl:    make([]int64, n),
+		hot:       make([]nodeHot, n),
+		outbox:    make([][]outMsg, n),
+		rejFlag:   make([]bool, n),
+		modeled:   make([]int64, n),
+		rngs:      make([]*rand.Rand, n),
 		apis:      make([]StepAPI, n),
 		verdicts:  make([]Verdict, n),
 		bitBound:  bitBound,
@@ -208,52 +224,77 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 		cancel:    cfg.Cancel,
 	}
 	eng.m.BitBound = bitBound
+	sentWords := 0
 	for i := 0; i < n; i++ {
+		sentWords += (g.Degree(i) + 63) / 64
+	}
+	eng.sentBits = make([]uint64, sentWords)
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		deg := g.Degree(i)
 		eng.apis[i] = StepAPI{
-			eng:      eng,
-			node:     i,
-			id:       ids[i],
-			n:        n,
-			degree:   g.Degree(i),
-			bitBound: bitBound,
-			rng:      rand.New(rand.NewSource(cfg.Seed ^ (0x5E3779B97F4A7C15 * int64(i+1)))),
-			sent:     make([]uint64, (g.Degree(i)+63)/64),
+			eng:     eng,
+			node:    int32(i),
+			degree:  int32(deg),
+			sentOff: off,
+			id:      ids[i],
 		}
-		eng.states[i].prog = progs(i)
-		if sh, ok := eng.states[i].prog.(*shim); ok {
-			eng.states[i].shim = sh
-		}
+		off += int32((deg + 63) / 64)
+		eng.hot[i].prog = progs(i)
 	}
 
 	eng.run()
 	eng.shutdown()
 
 	eng.m.Rounds = eng.round
-	for i := range eng.apis {
-		eng.m.ModeledRounds += eng.apis[i].modeled
+	for i := range eng.modeled {
+		eng.m.ModeledRounds += eng.modeled[i]
 	}
 	return &Result{Verdicts: eng.verdicts, Metrics: eng.m}, eng.runErr
 }
 
-// engine is the scheduler core. All fields are owned by the engine loop
-// between barriers; inside a barrier, worker goroutines only touch
-// per-node state (states[i], apis[i], verdicts[i]) of the nodes in their
-// chunk plus their own panic slot, and the barrier join establishes the
-// happens-before edges back to the engine loop. Blocking-node goroutines
-// observe engine state only through the sequential channel handoff.
+// engine is the scheduler core. The per-node hot state is laid out as
+// struct-of-arrays: each field the scheduler or a barrier scan touches
+// lives in its own dense slab indexed by node id, so walking all due
+// nodes streams through contiguous cache lines instead of chasing one
+// heap object per node (DESIGN.md §8). All slabs are owned by the engine
+// loop between barriers; inside a barrier, worker goroutines only read
+// and write the slab entries of the nodes in their chunk (distinct
+// indices, so the compute phase is race-free) plus their own panic slot,
+// and the barrier join establishes the happens-before edges back to the
+// engine loop. Blocking-node goroutines observe engine state only
+// through the sequential channel handoff.
 type engine struct {
-	g         *graph.Graph
-	revPort   [][]int32
-	ids       []int64
-	states    []nodeState
-	apis      []StepAPI
-	verdicts  []Verdict
+	g       *graph.Graph
+	revPort [][]int32
+	ids     []int64
+	n       int
+	seed    int64
+
+	// Hot per-node slabs, indexed by node id. The scan-heavy scalar
+	// fields (phase, deadline, heapDl) are struct-of-arrays so barrier
+	// scans stream dense cache lines; the dispatch cluster — everything
+	// a single node wake must touch — is one 64-byte nodeHot line per
+	// node, so a sparse wake costs one line instead of one per slab.
+	// See DESIGN.md §8 for the layout rationale and field sizes.
+	phase    []nodePhase  // parked/done; the barrier scan's hottest byte
+	deadline []int64      // absolute round to wake by (while waiting)
+	heapDl   []int64      // deadline of a live heap entry (0: none)
+	hot      []nodeHot    // dispatch cluster: program, inbox, mailbox
+	outbox   [][]outMsg   // sends queued by the current Step call
+	sentBits []uint64     // flat dup-send bitsets; node i owns words [apis[i].sentOff, +⌈deg/64⌉)
+	rejFlag  []bool       // node ever output VerdictReject (merged at barriers)
+	modeled  []int64      // per-node modeled-round charges (summed at run end)
+	rngs     []*rand.Rand // lazily created on first StepAPI.Rand call
+	apis     []StepAPI    // per-node API handles (stable addresses; shims retain them)
+	verdicts []Verdict
+
 	m         Metrics
 	round     int
 	bitBound  int
 	maxRounds int
 	stopOnRej bool
-	rejected  bool
+	rejected  bool // some node rejected (StopOnReject trigger)
 	cancel    <-chan struct{}
 	curNode   int // node being stepped (for the run-level panic recover)
 	runErr    error
@@ -263,7 +304,7 @@ type engine struct {
 	alive   int       // nodes not yet done
 	dlHeap  []dlEntry // deadline min-heap (lazily invalidated entries)
 	mailDue []int32   // nodes whose mailbox went non-empty this round
-	queued  []bool    // per node: already collected for the current barrier
+	queued  []uint64  // bitset: already collected for the current barrier
 	nrList  []int32   // nodes parked for exactly round+1 (ascending order)
 	extra   []int32   // scratch: mail/heap wakes of the current barrier
 
@@ -280,7 +321,9 @@ type engine struct {
 }
 
 // workChunk is one worker's share of a barrier: a contiguous slice of the
-// due list and the matching slice of the status buffer.
+// due list and the matching slice of the status buffer. Because the due
+// list is in ascending node order, a chunk walks a contiguous span of
+// every slab.
 type workChunk struct {
 	due      []int32
 	statuses []Status
@@ -307,12 +350,12 @@ func (e *engine) run() {
 		if r := recover(); r != nil {
 			e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
 				e.curNode, e.ids[e.curNode], e.round, r)
-			e.states[e.curNode].phase = phaseDone
+			e.phase[e.curNode] = phaseDone
 		}
 	}()
-	n := len(e.states)
+	n := e.n
 	e.alive = n
-	e.queued = make([]bool, n)
+	e.queued = make([]uint64, (n+63)/64)
 	due := make([]int32, 0, n)
 	for i := 0; i < n; i++ {
 		due = append(due, int32(i)) // round 0: every node wakes, empty inbox
@@ -355,7 +398,7 @@ func (e *engine) run() {
 			next = e.round + 1
 		} else {
 			for _, i := range e.mailDue {
-				if e.states[i].phase == phaseWaiting {
+				if e.phase[i] == phaseWaiting {
 					next = e.round + 1
 					break
 				}
@@ -364,15 +407,14 @@ func (e *engine) run() {
 		if next == -1 {
 			for len(e.dlHeap) > 0 {
 				top := e.dlHeap[0]
-				st := &e.states[top.node]
-				if st.phase != phaseWaiting || st.deadline != top.round {
+				if e.phase[top.node] != phaseWaiting || e.deadline[top.node] != top.round {
 					p := e.heapPop() // stale
-					if ps := &e.states[p.node]; ps.heapDl == p.round {
-						ps.heapDl = 0
+					if e.heapDl[p.node] == p.round {
+						e.heapDl[p.node] = 0
 					}
 					continue
 				}
-				next = top.round
+				next = int(top.round)
 				break
 			}
 			if next == -1 {
@@ -394,36 +436,36 @@ func (e *engine) run() {
 		// deliverable at the next barrier.
 		e.extra = e.extra[:0]
 		for _, i := range e.nrList {
-			e.queued[i] = true
+			e.queued[i>>6] |= 1 << (i & 63)
 		}
 		for _, i := range e.mailDue {
-			st := &e.states[i]
-			if st.phase == phaseWaiting && !e.queued[i] {
-				e.queued[i] = true
+			if e.phase[i] == phaseWaiting && e.queued[i>>6]&(1<<(i&63)) == 0 {
+				e.queued[i>>6] |= 1 << (i & 63)
 				e.extra = append(e.extra, i)
 			}
 		}
 		e.mailDue = e.mailDue[:0]
-		for len(e.dlHeap) > 0 && e.dlHeap[0].round <= e.round {
+		for len(e.dlHeap) > 0 && e.dlHeap[0].round <= int64(e.round) {
 			top := e.heapPop()
-			st := &e.states[top.node]
-			if st.heapDl == top.round {
-				st.heapDl = 0
+			if e.heapDl[top.node] == top.round {
+				e.heapDl[top.node] = 0
 			}
-			if st.phase != phaseWaiting || st.deadline != top.round || e.queued[top.node] {
+			if e.phase[top.node] != phaseWaiting || e.deadline[top.node] != top.round ||
+				e.queued[top.node>>6]&(1<<(top.node&63)) != 0 {
 				continue // stale or already queued via mail
 			}
-			e.queued[top.node] = true
+			e.queued[top.node>>6] |= 1 << (top.node & 63)
 			e.extra = append(e.extra, top.node)
 		}
-		if k := len(e.nrList) + len(e.extra); k >= len(e.queued)/16 {
+		if k := len(e.nrList) + len(e.extra); k >= e.n/16 {
 			// Dense barrier (streaming phases wake most of the network):
-			// scanning the queued bitset in index order is cheaper than
-			// sorting the mail/heap wakes.
+			// extracting ascending ids from the queued bitset — one word
+			// per 64 nodes — is cheaper than sorting the mail/heap wakes.
 			due = due[:0]
-			for i, q := range e.queued {
-				if q {
-					due = append(due, int32(i))
+			for w, bw := range e.queued {
+				for bw != 0 {
+					due = append(due, int32(w<<6+bits.TrailingZeros64(bw)))
+					bw &= bw - 1
 				}
 			}
 		} else {
@@ -432,9 +474,9 @@ func (e *engine) run() {
 		}
 		e.nrList = e.nrList[:0]
 		for _, i := range due {
-			st := &e.states[i]
-			e.queued[i] = false
-			st.inbox, st.mailbox = st.mailbox, st.inbox[:0]
+			e.queued[i>>6] &^= 1 << (i & 63)
+			h := &e.hot[i]
+			h.inbox, h.mailbox = h.mailbox, h.inbox[:0]
 		}
 	}
 }
@@ -463,10 +505,10 @@ func mergeAscending(dst, a, b []int32) []int32 {
 
 // stepParallel runs one barrier on the worker pool: due is split into
 // contiguous chunks, each worker steps its chunk's nodes concurrently
-// (compute phase: only per-node state is touched), and the engine loop
-// then routes outboxes and applies statuses in due order (merge phase) —
-// exactly the order the sequential engine uses, so Results are
-// byte-identical. It reports false when the run must end.
+// (compute phase: only the chunk's slab entries are touched), and the
+// engine loop then routes outboxes and applies statuses in due order
+// (merge phase) — exactly the order the sequential engine uses, so
+// Results are byte-identical. It reports false when the run must end.
 func (e *engine) stepParallel(due []int32) bool {
 	w := e.workers
 	if maxW := (len(due) + minParallelDue - 1) / minParallelDue; w > maxW {
@@ -505,7 +547,7 @@ func (e *engine) stepParallel(due []int32) bool {
 			// those of all later due nodes stay unrouted.
 			e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
 				int(i), e.ids[i], e.round, panVal)
-			e.states[i].phase = phaseDone
+			e.phase[i] = phaseDone
 			return false
 		}
 		// A panic out of finishNode itself (e.g. a Message.Bits
@@ -542,11 +584,13 @@ func (e *engine) workerLoop() {
 	}
 }
 
-// computeChunk steps every node of one chunk. A panic (from a native step
-// program; blocking programs convert theirs to statusPanic in the shim)
-// is recorded with its due position and ends the chunk — the merge phase
-// aborts at the earliest panic position, so the unstepped tail of this
-// chunk is never read.
+// computeChunk steps every node of one chunk. The due list is ascending,
+// so the chunk's slab accesses sweep one contiguous span per slab — the
+// parallel compute phase keeps the sequential engine's streaming access
+// pattern. A panic (from a native step program; blocking programs
+// convert theirs to statusPanic in the shim) is recorded with its due
+// position and ends the chunk — the merge phase aborts at the earliest
+// panic position, so the unstepped tail of this chunk is never read.
 func (e *engine) computeChunk(wc workChunk) {
 	k := 0
 	defer func() {
@@ -560,13 +604,16 @@ func (e *engine) computeChunk(wc workChunk) {
 	}
 }
 
-// dlEntry is a (wake round, node) pair in the deadline min-heap.
+// dlEntry is a (wake round, node) pair in the deadline min-heap. Rounds
+// are 64-bit like the deadline slab: round numbers legitimately exceed
+// 2^31 in fast-forwarded exponential-budget schedules, so they cannot
+// be narrowed.
 type dlEntry struct {
-	round int
+	round int64
 	node  int32
 }
 
-func (e *engine) heapPush(round int, node int32) {
+func (e *engine) heapPush(round int64, node int32) {
 	h := append(e.dlHeap, dlEntry{round: round, node: node})
 	i := len(h) - 1
 	for i > 0 {
@@ -608,24 +655,23 @@ func (e *engine) heapPop() dlEntry {
 
 // computeNode advances node i by one round: it runs the node's Step (and
 // any same-round Become/BecomeStep handovers) and returns the resulting
-// status. It touches only node i's state, so distinct nodes' computes
-// may run concurrently; all shared effects (routing, scheduling,
-// metrics) happen in finishNode.
+// status. It touches only node i's slab entries, so distinct nodes'
+// computes may run concurrently; all shared effects (routing,
+// scheduling, metrics) happen in finishNode.
 func (e *engine) computeNode(i int) Status {
-	st := &e.states[i]
+	h := &e.hot[i]
 	api := &e.apis[i]
-	status := st.prog.Step(api, st.inbox)
+	status := h.prog.Step(api, h.inbox)
 	for status.kind == statusBecome || status.kind == statusBecomeStep {
 		if status.kind == statusBecome {
 			// Switch to the blocking model: the continuation starts
 			// running immediately, in the current round, on its own
 			// goroutine.
-			st.shim = newShim(status.cont)
-			st.prog = st.shim
+			h.prog = newShim(status.cont)
 		} else {
-			st.prog = status.contStep // native handover, same round
+			h.prog = status.contStep // native handover, same round
 		}
-		status = st.prog.Step(api, st.inbox)
+		status = h.prog.Step(api, h.inbox)
 	}
 	return status
 }
@@ -636,70 +682,75 @@ func (e *engine) computeNode(i int) Status {
 // round). It reports false when the run must end (program panic or
 // bit-bound violation).
 func (e *engine) finishNode(i int, status Status) bool {
-	st := &e.states[i]
 	api := &e.apis[i]
 	if status.kind == statusPanic {
 		// A blocking program panicked on its goroutine; the shim converts
 		// that into a status instead of unwinding the engine stack.
 		e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
 			i, e.ids[i], e.round, status.panicVal)
-		st.phase = phaseDone
+		e.phase[i] = phaseDone
 		return false
 	}
 	// Route this node's outbox; messages become deliverable at the next
-	// barrier.
-	for _, om := range api.outbox {
-		bits := om.msg.Bits()
-		if bits > e.bitBound {
-			e.runErr = fmt.Errorf("congest: node %d sent %d-bit message, bound is %d",
-				i, bits, e.bitBound)
-			api.clearRound()
-			return false
+	// barrier. The adjacency and reverse-port rows are loaded once per
+	// node, not once per message.
+	if ob := e.outbox[i]; len(ob) > 0 {
+		nbrs := e.g.Neighbors(i)
+		rp := e.revPort[i]
+		for _, om := range ob {
+			bits := om.msg.Bits()
+			if bits > e.bitBound {
+				e.runErr = fmt.Errorf("congest: node %d sent %d-bit message, bound is %d",
+					i, bits, e.bitBound)
+				api.clearRound()
+				return false
+			}
+			to := int(nbrs[om.port])
+			// DroppedToDone counts sends to nodes already done at routing
+			// time. A recipient that terminates later in the same round
+			// keeps the message in its mailbox unread and it still counts
+			// as delivered — the deterministic version of the seed
+			// engine's same-round termination race.
+			if e.phase[to] == phaseDone {
+				e.m.DroppedToDone++
+				continue
+			}
+			th := &e.hot[to]
+			if len(th.mailbox) == 0 {
+				e.mailDue = append(e.mailDue, int32(to))
+			}
+			th.mailbox = append(th.mailbox, Inbound{
+				Port: int(rp[om.port]),
+				From: i,
+				Msg:  om.msg,
+			})
+			e.m.Messages++
+			e.m.TotalBits += int64(bits)
+			if bits > e.m.MaxMessageBits {
+				e.m.MaxMessageBits = bits
+			}
 		}
-		to := int(e.g.Neighbors(i)[om.port])
-		tst := &e.states[to]
-		// DroppedToDone counts sends to nodes already done at routing
-		// time. A recipient that terminates later in the same round keeps
-		// the message in its mailbox unread and it still counts as
-		// delivered — the deterministic version of the seed engine's
-		// same-round termination race.
-		if tst.phase == phaseDone {
-			e.m.DroppedToDone++
-			continue
-		}
-		if len(tst.mailbox) == 0 {
-			e.mailDue = append(e.mailDue, int32(to))
-		}
-		tst.mailbox = append(tst.mailbox, Inbound{
-			Port: int(e.revPort[i][om.port]),
-			From: i,
-			Msg:  om.msg,
-		})
-		e.m.Messages++
-		e.m.TotalBits += int64(bits)
-		if bits > e.m.MaxMessageBits {
-			e.m.MaxMessageBits = bits
-		}
+		api.clearRound()
 	}
-	api.clearRound()
-	if api.rejected {
+	if e.rejFlag[i] {
 		e.rejected = true
 	}
 	switch status.kind {
 	case statusDone:
-		st.phase = phaseDone
+		e.phase[i] = phaseDone
 		e.alive--
 	case statusSleep:
-		st.phase = phaseWaiting
-		st.deadline = status.wake
-		if st.deadline <= e.round {
-			st.deadline = e.round + 1
+		e.phase[i] = phaseWaiting
+		d := status.wake
+		if d <= e.round {
+			d = e.round + 1
 		}
-		e.parkNode(i, st)
+		e.deadline[i] = int64(d)
+		e.parkNode(i)
 	default: // statusRunning
-		st.phase = phaseWaiting
-		st.deadline = e.round + 1
-		e.parkNode(i, st)
+		e.phase[i] = phaseWaiting
+		e.deadline[i] = int64(e.round + 1)
+		e.parkNode(i)
 	}
 	return true
 }
@@ -710,25 +761,27 @@ func (e *engine) finishNode(i int, status Status) bool {
 // unless a live entry with the same deadline is already there (a node
 // woken by mail every round while sleeping toward a fixed deadline would
 // otherwise push one duplicate entry per round).
-func (e *engine) parkNode(i int, st *nodeState) {
-	if st.deadline == e.round+1 {
+func (e *engine) parkNode(i int) {
+	d := e.deadline[i]
+	if d == int64(e.round+1) {
 		e.nrList = append(e.nrList, int32(i))
 		return
 	}
-	if st.heapDl == st.deadline {
+	if e.heapDl[i] == d {
 		return
 	}
-	st.heapDl = st.deadline
-	e.heapPush(st.deadline, int32(i))
+	e.heapDl[i] = d
+	e.heapPush(d, int32(i))
 }
 
 // shutdown aborts every blocking-node goroutine still parked at a yield
 // point and waits for all of them to exit, so that no node code runs
-// after Run returns, then releases the worker pool.
+// after Run returns, then releases the worker pool. A node that entered
+// the blocking model has its shim as its current program, so the scan
+// needs no dedicated shim slab.
 func (e *engine) shutdown() {
-	for i := range e.states {
-		sh := e.states[i].shim
-		if sh != nil && sh.started && !sh.closed {
+	for i := range e.hot {
+		if sh, ok := e.hot[i].prog.(*shim); ok && sh.started && !sh.closed {
 			sh.closed = true
 			close(sh.resume)
 		}

@@ -17,6 +17,12 @@
 // Everything is deterministic for a fixed Config.Seed: nodes interact only
 // at round barriers, inboxes are sorted by sender, and per-node randomness
 // comes from seeded generators.
+//
+// The engine stores per-node hot state as struct-of-arrays slabs indexed
+// by node id (plus one 64-byte array-of-structs dispatch line per node),
+// sized for simulations in the 10⁵–10⁷-node range; DESIGN.md §8
+// documents the memory model, and the README's scaling guide gives
+// practical per-size limits.
 package congest
 
 import (

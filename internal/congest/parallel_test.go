@@ -18,9 +18,12 @@ import (
 // a Workers>1 run are exercised. CI runs this file under -race, which
 // verifies the compute phase touches only per-node state.
 
+// workerCounts is the issue-mandated equivalence matrix {1, 4,
+// GOMAXPROCS} plus 2 (the smallest pool): every count must produce
+// Results byte-identical to the Workers=1 baseline.
 func workerCounts() []int {
-	counts := []int{2, 4}
-	if n := runtime.NumCPU(); n > 1 && n != 2 && n != 4 {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 1 && n != 2 && n != 4 {
 		counts = append(counts, n)
 	}
 	return counts

@@ -79,19 +79,17 @@ func BecomeStep(cont StepProgram) Status { return Status{kind: statusBecomeStep,
 // only valid during the node's Step call (or, for blocking programs,
 // between the engine's resume and the program's next yield) and is not
 // safe for concurrent use.
+//
+// The handle itself is a 32-byte view: per-round mutable state (outbox,
+// duplicate-send bits, verdict/charge flags) lives in the engine's
+// struct-of-arrays slabs, indexed by the node id, so accessors write
+// dense arrays the barrier merge then streams through (DESIGN.md §8).
 type StepAPI struct {
-	eng      *engine
-	node     int
-	id       int64
-	n        int
-	degree   int
-	bitBound int
-	rng      *rand.Rand
-
-	outbox   []outMsg
-	sent     []uint64 // per-port duplicate-send bitset, cleared each round
-	rejected bool     // this node ever output VerdictReject (merged at barriers)
-	modeled  int64    // this node's modeled-rounds charges (summed at run end)
+	eng     *engine
+	node    int32 // slab index of this node
+	degree  int32
+	sentOff int32 // first word of this node's bitset in eng.sentBits
+	id      int64
 }
 
 // ID returns this node's CONGEST identifier.
@@ -99,21 +97,33 @@ func (a *StepAPI) ID() int64 { return a.id }
 
 // Index returns the node's simulation index (0..n-1). Exposed for tests
 // and output collection; faithful algorithms use ID and ports only.
-func (a *StepAPI) Index() int { return a.node }
+func (a *StepAPI) Index() int { return int(a.node) }
 
 // N returns the number of nodes in the network (standard CONGEST
 // assumption: n is global knowledge).
-func (a *StepAPI) N() int { return a.n }
+func (a *StepAPI) N() int { return a.eng.n }
 
 // Degree returns the number of incident edges (ports 0..Degree()-1).
-func (a *StepAPI) Degree() int { return a.degree }
+func (a *StepAPI) Degree() int { return int(a.degree) }
 
 // BitBound returns the per-message bit bound B of this network, so that
 // algorithms can chunk long logical payloads into B-bit messages.
-func (a *StepAPI) BitBound() int { return a.bitBound }
+func (a *StepAPI) BitBound() int { return a.eng.bitBound }
 
-// Rand returns this node's private deterministic randomness source.
-func (a *StepAPI) Rand() *rand.Rand { return a.rng }
+// Rand returns this node's private deterministic randomness source. The
+// source is created on first use: only the sampling phases draw
+// randomness, so most nodes of a deterministic-schedule run never pay
+// the ~5KB math/rand state (the draw sequence is unaffected — seeding
+// depends only on the run seed and the node id).
+func (a *StepAPI) Rand() *rand.Rand {
+	e := a.eng
+	r := e.rngs[a.node]
+	if r == nil {
+		r = rand.New(rand.NewSource(e.seed ^ (0x5E3779B97F4A7C15 * int64(a.node+1))))
+		e.rngs[a.node] = r
+	}
+	return r
+}
 
 // Round returns the current global round number.
 func (a *StepAPI) Round() int { return a.eng.round }
@@ -122,32 +132,33 @@ func (a *StepAPI) Round() int { return a.eng.round }
 // twice on one port in a single round violates the CONGEST model and
 // panics, as does an out-of-range port.
 func (a *StepAPI) Send(port int, m Message) {
-	if port < 0 || port >= a.degree {
+	if port < 0 || port >= int(a.degree) {
 		panic(fmt.Sprintf("congest: node %d: send on invalid port %d (degree %d)", a.node, port, a.degree))
 	}
-	w, b := port>>6, uint64(1)<<(port&63)
-	if a.sent[w]&b != 0 {
+	e := a.eng
+	w, b := int(a.sentOff)+(port>>6), uint64(1)<<(port&63)
+	if e.sentBits[w]&b != 0 {
 		panic(fmt.Sprintf("congest: node %d: two messages on port %d in one round", a.node, port))
 	}
-	a.sent[w] |= b
-	a.outbox = append(a.outbox, outMsg{port: port, msg: m})
+	e.sentBits[w] |= b
+	e.outbox[a.node] = append(e.outbox[a.node], outMsg{port: port, msg: m})
 }
 
 // SendAll queues m on every port.
 func (a *StepAPI) SendAll(m Message) {
-	for p := 0; p < a.degree; p++ {
+	for p := 0; p < int(a.degree); p++ {
 		a.Send(p, m)
 	}
 }
 
 // Output records this node's verdict. The last call wins; a node that
-// never calls Output contributes VerdictNone. Only this node's slot and
-// per-node flags are written, so Output is safe from parallel workers;
-// the engine folds the reject flag into its global state at the barrier.
+// never calls Output contributes VerdictNone. Only this node's slab
+// slots are written, so Output is safe from parallel workers; the engine
+// folds the reject flag into its global state at the barrier.
 func (a *StepAPI) Output(v Verdict) {
 	a.eng.verdicts[a.node] = v
 	if v == VerdictReject {
-		a.rejected = true
+		a.eng.rejFlag[a.node] = true
 	}
 }
 
@@ -160,14 +171,20 @@ func (a *StepAPI) Verdict() Verdict {
 // the documented black-box substitutions (DESIGN.md §3). Charges are
 // per-node and summed into Metrics.ModeledRounds when the run ends.
 func (a *StepAPI) ChargeModeledRounds(r int) {
-	a.modeled += int64(r)
+	a.eng.modeled[a.node] += int64(r)
 }
 
 // clearRound resets the per-round send state after the engine drained the
-// outbox. Buffers are retained to avoid per-round allocation.
+// outbox. Buffers are retained to avoid per-round allocation. A node
+// that sent nothing has nothing to clear (every set bit in sentBits is
+// paired with an outbox append), so silent nodes skip the word loop.
 func (a *StepAPI) clearRound() {
-	a.outbox = a.outbox[:0]
-	for i := range a.sent {
-		a.sent[i] = 0
+	e := a.eng
+	if len(e.outbox[a.node]) == 0 {
+		return
+	}
+	e.outbox[a.node] = e.outbox[a.node][:0]
+	for w, end := int(a.sentOff), int(a.sentOff)+(int(a.degree)+63)/64; w < end; w++ {
+		e.sentBits[w] = 0
 	}
 }

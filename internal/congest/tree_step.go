@@ -17,7 +17,11 @@ import "fmt"
 // their deadline, so a step program composed of them produces byte-identical
 // Results (rounds, message counts, bits) to its blocking counterpart. The
 // structs are reusable: Begin fully resets them, and retained buffers are
-// recycled across operations to keep the hot path allocation-free.
+// recycled across operations to keep the hot path allocation-free. They
+// are embedded by value in the per-node program state, and everything
+// they need per wake reaches them through the slab-backed StepAPI
+// (DESIGN.md §8); the run-constant bit bound is captured at Begin so the
+// per-round send path does not re-chase it through the engine.
 
 // BroadcastDownStep is the step-native Tree.BroadcastDown: it distributes
 // a message from the root to every tree node, transformed on each hop.
@@ -151,6 +155,7 @@ func (c *ConvergecastStep) Result() (Message, bool) { return c.agg, c.ok }
 type PipelineUpStep struct {
 	t            Tree
 	deadline     int
+	bitBound     int       // captured at Begin (run constant)
 	collected    []Message // root: gathered items
 	queue        []Message // non-root: pending payloads to forward
 	doneChildren int
@@ -160,7 +165,7 @@ type PipelineUpStep struct {
 
 // Begin starts the pipeline at the current round.
 func (p *PipelineUpStep) Begin(api *StepAPI, t Tree, deadline int, items []Message) bool {
-	p.t, p.deadline = t, deadline
+	p.t, p.deadline, p.bitBound = t, deadline, api.BitBound()
 	p.collected = p.collected[:0]
 	// The queue backing must be fresh each operation: the batches packed
 	// from it alias its slots, and the previous operation's final batches
@@ -187,7 +192,7 @@ func (p *PipelineUpStep) sendPhase(api *StepAPI) {
 	allDone := p.doneChildren == len(p.t.ChildPorts)
 	switch {
 	case len(p.queue) > 0:
-		m, n := packPipe(p.queue, api.BitBound())
+		m, n := packPipe(p.queue, p.bitBound)
 		api.Send(p.t.ParentPort, m)
 		p.queue = p.queue[n:]
 	case allDone && !p.sentEnd:
@@ -260,6 +265,7 @@ func (p *PipelineUpStep) Result() ([]Message, bool) {
 type BroadcastItemsDownStep struct {
 	t        Tree
 	deadline int
+	bitBound int       // captured at Begin (run constant)
 	items    []Message // root: the source items
 	got      []Message // non-root: received items (reused)
 	next     int       // root: index of the next item to send
@@ -281,6 +287,7 @@ type BroadcastItemsDownStep struct {
 // item immediately).
 func (b *BroadcastItemsDownStep) Begin(api *StepAPI, t Tree, deadline int, items []Message) bool {
 	b.t, b.deadline, b.items = t, deadline, items
+	b.bitBound = api.BitBound()
 	b.got = b.got[:0]
 	b.next, b.endSent, b.done = 0, false, false
 	if t.IsRoot() {
@@ -291,7 +298,7 @@ func (b *BroadcastItemsDownStep) Begin(api *StepAPI, t Tree, deadline int, items
 
 func (b *BroadcastItemsDownStep) rootSend(api *StepAPI) {
 	if b.next < len(b.items) {
-		m, n := packPipe(b.items[b.next:], api.BitBound()) // boxed once for all children
+		m, n := packPipe(b.items[b.next:], b.bitBound) // boxed once for all children
 		b.next += n
 		for _, c := range b.t.ChildPorts {
 			api.Send(c, m)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
 
@@ -375,7 +377,7 @@ func rotationPorts(got []congest.Message, id int64, intra []bool, nbrID []int64)
 			mine = append(mine, entry{r.Idx, r.Nbr})
 		}
 	}
-	sort.Slice(mine, func(i, j int) bool { return mine[i].idx < mine[j].idx })
+	slices.SortFunc(mine, func(a, b entry) int { return cmp.Compare(a.idx, b.idx) })
 	rotPorts := make([]int, 0, len(mine))
 	for _, e := range mine {
 		p, ok := portOf[e.nbr]
@@ -698,14 +700,14 @@ func collectSamples(down []congest.Message) []LabeledEdge {
 	}()
 	// One global (owner, edge, chunk) sort replaces the per-edge grouping
 	// map; chunk keys are unique, so the grouped order is identical.
-	sort.Slice(chunks, func(i, j int) bool {
-		if chunks[i].Owner != chunks[j].Owner {
-			return chunks[i].Owner < chunks[j].Owner
+	slices.SortFunc(chunks, func(a, b sampleChunk) int {
+		if c := cmp.Compare(a.Owner, b.Owner); c != 0 {
+			return c
 		}
-		if chunks[i].EIdx != chunks[j].EIdx {
-			return chunks[i].EIdx < chunks[j].EIdx
+		if c := cmp.Compare(a.EIdx, b.EIdx); c != 0 {
+			return c
 		}
-		return chunks[i].CIdx < chunks[j].CIdx
+		return cmp.Compare(a.CIdx, b.CIdx)
 	})
 	// All reassembled label pairs share one backing array (the returned
 	// edges alias it), so reassembly costs two allocations per call, not

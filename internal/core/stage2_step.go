@@ -5,7 +5,10 @@ import (
 	"repro/internal/partition"
 )
 
-// This file is the native StepProgram port of Stage II (stage2.go). The
+// This file is the native StepProgram port of Stage II (stage2.go); its
+// per-node state is engine-"cold" (one object per node behind the
+// StepProgram interface, see DESIGN.md §8) and every per-wake access
+// goes through the slab-backed StepAPI. The
 // §2.2.1 preprocessing (budget, boundary round, BFS, edge assignment) is
 // the shared PartCtxStep prelude in partctx_step.go; the remaining
 // schedule here is a linear script of tree operations (driven by the step

@@ -9,7 +9,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -56,11 +58,11 @@ func (b *Builder) AddEdge(u, v int) {
 
 // Build finalizes the Builder into an immutable Graph.
 func (b *Builder) Build() *Graph {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i][0] != b.edges[j][0] {
-			return b.edges[i][0] < b.edges[j][0]
+	slices.SortFunc(b.edges, func(x, y [2]int32) int {
+		if c := cmp.Compare(x[0], y[0]); c != 0 {
+			return c
 		}
-		return b.edges[i][1] < b.edges[j][1]
+		return cmp.Compare(x[1], y[1])
 	})
 	deg := make([]int, b.n)
 	m := 0
@@ -88,7 +90,7 @@ func (b *Builder) Build() *Graph {
 		adj[e[1]] = append(adj[e[1]], e[0])
 	}
 	for v := range adj {
-		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		slices.Sort(adj[v])
 	}
 	return &Graph{n: b.n, m: m, adj: adj}
 }

@@ -1,7 +1,8 @@
 package partition
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/congest"
 )
@@ -163,7 +164,7 @@ func mergeDecomp(own decompAgg, children []congest.Message, limit int) decompAgg
 	for r, w := range byRoot {
 		out.Entries = append(out.Entries, rootWeight{Root: r, Weight: w})
 	}
-	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Root < out.Entries[j].Root })
+	slices.SortFunc(out.Entries, func(a, b rootWeight) int { return cmp.Compare(a.Root, b.Root) })
 	if len(out.Entries) > limit {
 		out.TooMany = true
 		out.Entries = out.Entries[:limit]
@@ -171,7 +172,7 @@ func mergeDecomp(own decompAgg, children []congest.Message, limit int) decompAgg
 	for r, f := range watch {
 		out.Watch = append(out.Watch, rootFlag{Root: r, Active: f})
 	}
-	sort.Slice(out.Watch, func(i, j int) bool { return out.Watch[i].Root < out.Watch[j].Root })
+	slices.SortFunc(out.Watch, func(a, b rootFlag) int { return cmp.Compare(a.Root, b.Root) })
 	return out
 }
 

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"repro/internal/congest"
@@ -145,7 +147,7 @@ func (s *state) forestDecomposition(D int) {
 		for r, w := range seen {
 			own.Entries = append(own.Entries, rootWeight{Root: r, Weight: w})
 		}
-		sort.Slice(own.Entries, func(a, b int) bool { return own.Entries[a].Root < own.Entries[b].Root })
+		slices.SortFunc(own.Entries, func(a, b rootWeight) int { return cmp.Compare(a.Root, b.Root) })
 		for _, wr := range st.Watch {
 			if f, ok := nbrActive[wr]; ok {
 				own.Watch = append(own.Watch, rootFlag{Root: wr, Active: f})

@@ -9,7 +9,11 @@ import (
 )
 
 // This file is the native StepProgram port of Stage I (stage1.go), in both
-// variants. Every node executes the same static script of
+// variants. The interpreter state below is the per-node "cold" side of
+// the engine's memory model (DESIGN.md §8): one heap object per node
+// behind the StepProgram interface, reached once per wake through the
+// slab-backed StepAPI, with its own per-wake-hot fields (pc, inOp, the
+// embedded bd/cv machines) declared up front. Every node executes the same static script of
 // budget-synchronized operations per phase — broadcasts, convergecasts,
 // single cross-boundary rounds, and the contraction flip window — so the
 // whole phase schedule compiles to a flat op list interpreted by a small
@@ -1102,7 +1106,7 @@ func (s *stageINode) prepCross(api *congest.StepAPI, op *sOp) {
 			}
 		}
 		// Sends in ascending port order (u^j's out-edge and child edges).
-		for p := 0; p < api.Degree(); p++ {
+		for p, deg := 0, api.Degree(); p < deg; p++ {
 			if (s.isU && s.mkDec.MarkOut && p == s.uPort) || s.fChildMark[p] {
 				api.Send(p, edgeMarked{})
 			}

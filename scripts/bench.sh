@@ -9,6 +9,11 @@
 #
 # Usage: scripts/bench.sh [-short] [-cpuprofile FILE] [-memprofile FILE] [benchtime]
 #   -short       CI mode: 1x benchtime and skip the 10^6-node LargeN sizes.
+#                -short numbers are for the CI regression gate ONLY: one
+#                iteration of the flagship benchmarks is too noisy to
+#                serve as a baseline. Committed BENCH_*.json baselines
+#                must come from a full run (no -short), and are committed
+#                with `git add -f` past the .gitignore (DESIGN.md §5).
 #   -cpuprofile  pass -cpuprofile to every go test invocation; since the
 #                three benchmark groups are separate test runs, the file
 #                name is suffixed per group (FILE.E.prof, FILE.engine.prof,

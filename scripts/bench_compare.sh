@@ -2,11 +2,13 @@
 # Bench-regression gate: compares a fresh BENCH_*.json (from
 # scripts/bench.sh) against the latest *committed* BENCH_*.json and fails
 # when any flagship (E1/E11/E12), Engine, Service/cache-hit, or the
-# CI-sized LargeN/planar-n10000 benchmark regressed by more than the
-# threshold in ns/op. New benchmarks (present only in the fresh file) and the larger
-# LargeN sizes (minutes-long single iterations, skipped in -short mode)
-# are reported but never gate; planar-n10000 is a single iteration too,
-# so its threshold rides on the shared BENCH_REGRESSION_THRESHOLD.
+# CI-sized LargeN planar benchmarks (n10000, n100000) regressed by more
+# than the threshold in ns/op. New benchmarks (present only in the fresh
+# file) and the 10^6-node LargeN sizes (minutes-long single iterations,
+# skipped in -short mode) are reported but never gate; the gated LargeN
+# sizes are single iterations too, so their threshold rides on the
+# shared BENCH_REGRESSION_THRESHOLD. Committed baselines must come from
+# full (non -short) bench.sh runs — see the bench.sh header.
 #
 # Usage: scripts/bench_compare.sh [fresh.json] [baseline.json]
 #   fresh.json     defaults to the newest BENCH_*.json in the repo root
@@ -46,7 +48,7 @@ extract() {
         | sed 's/"name"[[:space:]]*:[[:space:]]*"//; s/"[[:space:]]*,[[:space:]]*"ns_per_op"[[:space:]]*:[[:space:]]*/ /'
 }
 
-echo "bench_compare: $fresh vs baseline $base (gate: >${THRESHOLD}% ns/op on E1/E11/E12/Engine/Service-cache-hit/LargeN-n10000)"
+echo "bench_compare: $fresh vs baseline $base (gate: >${THRESHOLD}% ns/op on E1/E11/E12/Engine/Service-cache-hit/LargeN-n10000/LargeN-n100000)"
 base_pairs="$(extract "$base")" || base_pairs=""
 fail=0
 compared=0
@@ -54,7 +56,7 @@ while read -r name ns; do
     gated=0
     case "$name" in
         BenchmarkE1RoundsVsN*|BenchmarkE11Baseline*|BenchmarkE12Congestion*|BenchmarkEngine*) gated=1 ;;
-        BenchmarkLargeN/planar-n10000) gated=1 ;;
+        BenchmarkLargeN/planar-n10000|BenchmarkLargeN/planar-n100000) gated=1 ;;
         BenchmarkService/cache-hit) gated=1 ;;
     esac
     bns="$(printf '%s\n' "$base_pairs" | awk -v n="$name" '$1 == n { print $2; exit }')" || bns=""
