@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -59,6 +60,7 @@ func runLoadgen(args []string) error {
 		failures  atomic.Int64
 		rejects   atomic.Int64
 		cacheHits atomic.Int64
+		retries   atomic.Int64
 		latMu     sync.Mutex
 		latencies []time.Duration
 	)
@@ -74,7 +76,7 @@ func runLoadgen(args []string) error {
 			for time.Now().Before(stopAt) {
 				body, ctype := w.next()
 				start := time.Now()
-				view, err := postTest(client, *addr, body, ctype)
+				view, err := postTestRetry(client, *addr, body, ctype, rng, &retries)
 				lat := time.Since(start)
 				requests.Add(1)
 				latMu.Lock()
@@ -109,6 +111,7 @@ func runLoadgen(args []string) error {
 	fmt.Printf("planard loadgen: %d requests in %s (%.1f req/s, %d clients)\n",
 		n, elapsed.Round(time.Second), float64(n)/elapsed.Seconds(), *concurrency)
 	fmt.Printf("  failures:   %d\n", failures.Load())
+	fmt.Printf("  retries:    %d (503 answers retried with backoff)\n", retries.Load())
 	fmt.Printf("  rejects:    %d (far-from-property instances in the mix)\n", rejects.Load())
 	fmt.Printf("  cache hits: %d (%.0f%%)\n", cacheHits.Load(), 100*float64(cacheHits.Load())/float64(n))
 	fmt.Printf("  latency:    p50 %s  p90 %s  p99 %s  max %s\n",
@@ -240,6 +243,32 @@ func (w *workload) randomGraph(prop string, n int) *graph.Graph {
 	}
 }
 
+// errUnavailable marks a 503 answer — the queue is full or the server
+// is draining. The request was not started, so it is safe to retry.
+type errUnavailable struct{ body string }
+
+func (e *errUnavailable) Error() string { return "status 503: " + e.body }
+
+// postTestRetry issues postTest, retrying 503 answers with exponential
+// backoff plus jitter (so a fleet of clients does not re-slam a full
+// queue in lockstep). Other failures are returned as-is; after
+// maxAttempts the last 503 is.
+func postTestRetry(client *http.Client, addr, body, contentType string, rng *rand.Rand, retries *atomic.Int64) (*service.View, error) {
+	const maxAttempts = 5
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		view, err := postTest(client, addr, body, contentType)
+		var unavail *errUnavailable
+		if err == nil || attempt == maxAttempts || !errors.As(err, &unavail) {
+			return view, err
+		}
+		retries.Add(1)
+		// Uniform jitter in [backoff/2, backoff*3/2).
+		time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff))))
+		backoff *= 2
+	}
+}
+
 // postTest issues one synchronous POST /v1/test and decodes the view.
 func postTest(client *http.Client, addr, body, contentType string) (*service.View, error) {
 	resp, err := client.Post(addr+"/v1/test", contentType, bytes.NewReader([]byte(body)))
@@ -250,6 +279,9 @@ func postTest(client *http.Client, addr, body, contentType string) (*service.Vie
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, &errUnavailable{body: string(raw)}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)

@@ -10,10 +10,10 @@
 //
 // Endpoints:
 //
-//	POST   /v1/test       {"property","epsilon","seed","variant","async","graph":{...}}
+//	POST   /v1/test       {"property","epsilon","seed","variant","timeout","async","graph":{...}}
 //	                      or multipart/form-data with a "graph" file part
 //	GET    /v1/jobs/{id}  poll an async job
-//	DELETE /v1/jobs/{id}  cancel a job
+//	DELETE /v1/jobs/{id}  cancel a job (idempotent)
 //	GET    /metrics       Prometheus text exposition
 //	GET    /healthz       liveness
 //
@@ -65,18 +65,32 @@ func serve(args []string) error {
 		retention   = fs.Int("job-retention", 0, "finished jobs kept pollable (0: 16384)")
 		maxMB       = fs.Int64("max-request-mb", 512, "request body limit, MiB")
 		drain       = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		ckptDir     = fs.String("checkpoint-dir", "", "directory for durable job checkpoints; interrupted runs resume on restart (empty: disabled)")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "engine barriers between durable checkpoints (0: 256)")
+		maxTimeout  = fs.Duration("max-timeout", 0, "server-side cap and default for per-request timeouts (0: unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	m := service.New(service.Config{
-		MaxConcurrent: *concurrency,
-		QueueDepth:    *queue,
-		CacheEntries:  *cache,
-		EngineWorkers: *workers,
-		JobRetention:  *retention,
+		MaxConcurrent:   *concurrency,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		EngineWorkers:   *workers,
+		JobRetention:    *retention,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		MaxTimeout:      *maxTimeout,
 	})
+	if *ckptDir != "" {
+		n, err := m.Recover()
+		if err != nil {
+			log.Printf("planard: checkpoint recovery: %v", err)
+		} else if n > 0 {
+			log.Printf("planard: resumed %d interrupted job(s) from %s", n, *ckptDir)
+		}
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: service.NewHandler(m, service.HandlerConfig{MaxRequestBytes: *maxMB << 20}),

@@ -8,9 +8,16 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/graph"
 )
+
+// FaultBarrier is the faultpoint hook name the engine hits after every
+// executed round barrier (after the periodic checkpoint, if any). Tests
+// arm it to crash or slow the run at an exact barrier.
+const FaultBarrier = "congest.barrier"
 
 // Program is the code run by every node under the blocking compatibility
 // model. It must communicate only through the provided API and must
@@ -62,6 +69,15 @@ type Config struct {
 	// determinism of completed runs — a run that finishes before the
 	// channel fires is byte-identical to an uncancelable one.
 	Cancel <-chan struct{}
+	// Deadline, when non-zero, aborts the run with ErrDeadlineExceeded
+	// at the first round barrier past the wall-clock instant. Like
+	// Cancel it never affects the determinism of runs that finish in
+	// time.
+	Deadline time.Time
+	// Checkpoint asks the engine to snapshot its state periodically at
+	// round barriers (see CheckpointConfig). The zero value disables
+	// checkpointing.
+	Checkpoint CheckpointConfig
 }
 
 // DefaultBitBound is the default per-message bound: c*ceil(log2 n) bits
@@ -202,26 +218,29 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 	}
 
 	eng := &engine{
-		g:         g,
-		revPort:   g.RevPorts(),
-		ids:       ids,
-		n:         n,
-		seed:      cfg.Seed,
-		phase:     make([]nodePhase, n),
-		deadline:  make([]int64, n),
-		heapDl:    make([]int64, n),
-		hot:       make([]nodeHot, n),
-		outbox:    make([][]outMsg, n),
-		rejFlag:   make([]bool, n),
-		modeled:   make([]int64, n),
-		rngs:      make([]*rand.Rand, n),
-		apis:      make([]StepAPI, n),
-		verdicts:  make([]Verdict, n),
-		bitBound:  bitBound,
-		maxRounds: maxRounds,
-		stopOnRej: cfg.StopOnReject,
-		workers:   workers,
-		cancel:    cfg.Cancel,
+		g:            g,
+		revPort:      g.RevPorts(),
+		ids:          ids,
+		n:            n,
+		seed:         cfg.Seed,
+		phase:        make([]nodePhase, n),
+		deadline:     make([]int64, n),
+		heapDl:       make([]int64, n),
+		hot:          make([]nodeHot, n),
+		outbox:       make([][]outMsg, n),
+		rejFlag:      make([]bool, n),
+		modeled:      make([]int64, n),
+		rngs:         make([]*rand.Rand, n),
+		rngSrc:       make([]*countingSource, n),
+		apis:         make([]StepAPI, n),
+		verdicts:     make([]Verdict, n),
+		bitBound:     bitBound,
+		maxRounds:    maxRounds,
+		stopOnRej:    cfg.StopOnReject,
+		workers:      workers,
+		cancel:       cfg.Cancel,
+		ckpt:         cfg.Checkpoint,
+		wallDeadline: cfg.Deadline,
 	}
 	eng.m.BitBound = bitBound
 	sentWords := 0
@@ -243,7 +262,12 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 		eng.hot[i].prog = progs(i)
 	}
 
-	eng.run()
+	eng.alive = n
+	due := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		due = append(due, int32(i)) // round 0: every node wakes, empty inbox
+	}
+	eng.run(due, false)
 	eng.shutdown()
 
 	eng.m.Rounds = eng.round
@@ -277,28 +301,33 @@ type engine struct {
 	// a single node wake must touch — is one 64-byte nodeHot line per
 	// node, so a sparse wake costs one line instead of one per slab.
 	// See DESIGN.md §8 for the layout rationale and field sizes.
-	phase    []nodePhase  // parked/done; the barrier scan's hottest byte
-	deadline []int64      // absolute round to wake by (while waiting)
-	heapDl   []int64      // deadline of a live heap entry (0: none)
-	hot      []nodeHot    // dispatch cluster: program, inbox, mailbox
-	outbox   [][]outMsg   // sends queued by the current Step call
-	sentBits []uint64     // flat dup-send bitsets; node i owns words [apis[i].sentOff, +⌈deg/64⌉)
-	rejFlag  []bool       // node ever output VerdictReject (merged at barriers)
-	modeled  []int64      // per-node modeled-round charges (summed at run end)
-	rngs     []*rand.Rand // lazily created on first StepAPI.Rand call
-	apis     []StepAPI    // per-node API handles (stable addresses; shims retain them)
+	phase    []nodePhase       // parked/done; the barrier scan's hottest byte
+	deadline []int64           // absolute round to wake by (while waiting)
+	heapDl   []int64           // deadline of a live heap entry (0: none)
+	hot      []nodeHot         // dispatch cluster: program, inbox, mailbox
+	outbox   [][]outMsg        // sends queued by the current Step call
+	sentBits []uint64          // flat dup-send bitsets; node i owns words [apis[i].sentOff, +⌈deg/64⌉)
+	rejFlag  []bool            // node ever output VerdictReject (merged at barriers)
+	modeled  []int64           // per-node modeled-round charges (summed at run end)
+	rngs     []*rand.Rand      // lazily created on first StepAPI.Rand call
+	rngSrc   []*countingSource // draw-counting sources behind rngs (snapshot.go)
+	apis     []StepAPI         // per-node API handles (stable addresses; shims retain them)
 	verdicts []Verdict
 
-	m         Metrics
-	round     int
-	bitBound  int
-	maxRounds int
-	stopOnRej bool
-	rejected  bool // some node rejected (StopOnReject trigger)
-	cancel    <-chan struct{}
-	curNode   int // node being stepped (for the run-level panic recover)
-	runErr    error
-	wg        sync.WaitGroup // started shim goroutines
+	m            Metrics
+	round        int
+	barriers     int64 // executed round barriers (checkpoint cadence)
+	bitBound     int
+	maxRounds    int
+	stopOnRej    bool
+	rejected     bool // some node rejected (StopOnReject trigger)
+	cancel       <-chan struct{}
+	wallDeadline time.Time        // Config.Deadline (zero: none)
+	ckpt         CheckpointConfig // periodic snapshots (zero: none)
+	ckptOff      bool             // ErrNotSnapshottable seen; stop trying
+	curNode      int              // node being stepped (for the run-level panic recover)
+	runErr       error
+	wg           sync.WaitGroup // started shim goroutines
 
 	// Event-driven wake tracking: no O(n) scans at round barriers.
 	alive   int       // nodes not yet done
@@ -345,7 +374,13 @@ const minParallelDue = 64
 // single-worker runs step inline, where a panic from a native step
 // program unwinds to the single recover here (one deferred frame per run
 // instead of one per node step).
-func (e *engine) run() {
+//
+// A restored run (ResumeStep) enters with resumed=true and an empty due
+// list: the snapshot was taken right after a barrier's steps, so the
+// first iteration skips straight to the post-barrier checks and the
+// next-round computation, re-joining the original run's barrier sequence
+// exactly.
+func (e *engine) run(due []int32, resumed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
@@ -354,34 +389,61 @@ func (e *engine) run() {
 		}
 	}()
 	n := e.n
-	e.alive = n
 	e.queued = make([]uint64, (n+63)/64)
-	due := make([]int32, 0, n)
-	for i := 0; i < n; i++ {
-		due = append(due, int32(i)) // round 0: every node wakes, empty inbox
-	}
 	for {
-		if e.cancel != nil {
-			select {
-			case <-e.cancel:
-				e.runErr = fmt.Errorf("%w at round %d", ErrCanceled, e.round)
-				return
-			default:
-			}
-		}
-		if e.workers > 1 && len(due) >= minParallelDue {
-			if !e.stepParallel(due) {
-				return // fatal error; later nodes' sends stay unrouted
-			}
-		} else {
-			for _, i := range due {
-				e.curNode = int(i)
-				st := e.computeNode(int(i))
-				if !e.finishNode(int(i), st) {
-					return // fatal error; sends of this round stay unrouted
+		if !resumed {
+			if e.cancel != nil {
+				select {
+				case <-e.cancel:
+					e.runErr = fmt.Errorf("%w at round %d", ErrCanceled, e.round)
+					return
+				default:
 				}
 			}
+			if e.workers > 1 && len(due) >= minParallelDue {
+				if !e.stepParallel(due) {
+					return // fatal error; later nodes' sends stay unrouted
+				}
+			} else {
+				for _, i := range due {
+					e.curNode = int(i)
+					st := e.computeNode(int(i))
+					if !e.finishNode(int(i), st) {
+						return // fatal error; sends of this round stay unrouted
+					}
+				}
+			}
+			// The barrier is complete: outboxes are drained and the
+			// engine is quiescent. This is the only point where a
+			// snapshot, an injected fault, or a wall-clock deadline can
+			// cut the run — all three preserve the invariant that a run
+			// either finished a barrier entirely or not at all.
+			e.barriers++
+			if e.ckpt.Sink != nil && !e.ckptOff && e.ckpt.EveryBarriers > 0 &&
+				e.barriers%int64(e.ckpt.EveryBarriers) == 0 {
+				data, err := e.encodeSnapshot()
+				if err == nil {
+					err = e.ckpt.Sink(e.round, data)
+				}
+				if err != nil {
+					if errors.Is(err, ErrNotSnapshottable) {
+						e.ckptOff = true
+					}
+					if e.ckpt.OnError != nil {
+						e.ckpt.OnError(e.round, err)
+					}
+				}
+			}
+			if err := faultpoint.Hit(FaultBarrier); err != nil {
+				e.runErr = fmt.Errorf("congest: fault injected at round %d: %w", e.round, err)
+				return
+			}
+			if !e.wallDeadline.IsZero() && time.Now().After(e.wallDeadline) {
+				e.runErr = fmt.Errorf("%w at round %d", ErrDeadlineExceeded, e.round)
+				return
+			}
 		}
+		resumed = false
 		if e.stopOnRej && e.rejected {
 			return
 		}

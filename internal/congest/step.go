@@ -114,12 +114,16 @@ func (a *StepAPI) BitBound() int { return a.eng.bitBound }
 // source is created on first use: only the sampling phases draw
 // randomness, so most nodes of a deterministic-schedule run never pay
 // the ~5KB math/rand state (the draw sequence is unaffected — seeding
-// depends only on the run seed and the node id).
+// depends only on the run seed and the node id). The source counts its
+// draws so a checkpoint can replay it by fast-forwarding a fresh source
+// (snapshot.go).
 func (a *StepAPI) Rand() *rand.Rand {
 	e := a.eng
 	r := e.rngs[a.node]
 	if r == nil {
-		r = rand.New(rand.NewSource(e.seed ^ (0x5E3779B97F4A7C15 * int64(a.node+1))))
+		src := &countingSource{src: nodeRNGSource(e.seed, int(a.node))}
+		e.rngSrc[a.node] = src
+		r = rand.New(src)
 		e.rngs[a.node] = r
 	}
 	return r

@@ -77,6 +77,29 @@ func (b *BroadcastDownStep) Wake() Status { return Sleep(b.deadline) }
 // passed before the message arrived (budget too small).
 func (b *BroadcastDownStep) Result() (Message, bool) { return b.got, b.ok }
 
+// EncodeState serializes the machine for a checkpoint. The transform
+// function is not serialized: the owning program must reinstall it after
+// DecodeState (before the next Feed) when it uses one.
+func (b *BroadcastDownStep) EncodeState(e *SnapEncoder) {
+	e.Tree(b.t)
+	e.Int(b.deadline)
+	e.Msg(b.got)
+	e.Bool(b.ok)
+}
+
+// DecodeState restores the machine from a checkpoint record.
+func (b *BroadcastDownStep) DecodeState(d *SnapDecoder) {
+	b.t = d.Tree()
+	b.deadline = d.Int()
+	b.got = d.Msg()
+	b.ok = d.Bool()
+	b.transform = nil
+}
+
+// SetTransform reinstalls the per-hop transform after DecodeState; the
+// function itself cannot be serialized.
+func (b *BroadcastDownStep) SetTransform(f func(Message) Message) { b.transform = f }
+
 // ConvergecastStep is the step-native Tree.Convergecast: it aggregates one
 // message from every tree node to the root.
 type ConvergecastStep struct {
@@ -148,6 +171,35 @@ func (c *ConvergecastStep) Wake() Status { return Sleep(c.deadline) }
 // subtree aggregate elsewhere); ok is false when the deadline passed
 // before all children reported.
 func (c *ConvergecastStep) Result() (Message, bool) { return c.agg, c.ok }
+
+// EncodeState serializes the machine for a checkpoint. The combine
+// function is not serialized: the owning program must reinstall it after
+// DecodeState when the operation is still in flight.
+func (c *ConvergecastStep) EncodeState(e *SnapEncoder) {
+	e.Tree(c.t)
+	e.Int(c.deadline)
+	e.Msg(c.own)
+	e.Msgs(c.children)
+	e.Int(c.missing)
+	e.Msg(c.agg)
+	e.Bool(c.ok)
+}
+
+// DecodeState restores the machine from a checkpoint record.
+func (c *ConvergecastStep) DecodeState(d *SnapDecoder) {
+	c.t = d.Tree()
+	c.deadline = d.Int()
+	c.own = d.Msg()
+	c.children = d.Msgs()
+	c.missing = d.Int()
+	c.agg = d.Msg()
+	c.ok = d.Bool()
+	c.combine = nil
+}
+
+// SetCombine reinstalls the aggregation function after DecodeState; the
+// function itself cannot be serialized.
+func (c *ConvergecastStep) SetCombine(f func(own Message, children []Message) Message) { c.combine = f }
 
 // PipelineUpStep is the step-native Tree.PipelineUp: it streams every
 // node's items to the root, one B-bit batch of items per tree edge per
@@ -257,6 +309,32 @@ func (p *PipelineUpStep) Result() ([]Message, bool) {
 		return p.collected, p.doneChildren == len(p.t.ChildPorts)
 	}
 	return nil, p.sentEnd && len(p.queue) == 0
+}
+
+// EncodeState serializes the machine for a checkpoint.
+func (p *PipelineUpStep) EncodeState(e *SnapEncoder) {
+	e.Tree(p.t)
+	e.Int(p.deadline)
+	e.Int(p.bitBound)
+	e.Msgs(p.collected)
+	e.Msgs(p.queue)
+	e.Int(p.doneChildren)
+	e.Bool(p.sentEnd)
+	e.Bool(p.wantNext)
+}
+
+// DecodeState restores the machine from a checkpoint record. The queue
+// backing decoded here is necessarily fresh, which preserves Begin's
+// no-aliasing invariant for batches still in flight.
+func (p *PipelineUpStep) DecodeState(d *SnapDecoder) {
+	p.t = d.Tree()
+	p.deadline = d.Int()
+	p.bitBound = d.Int()
+	p.collected = d.Msgs()
+	p.queue = d.Msgs()
+	p.doneChildren = d.Int()
+	p.sentEnd = d.Bool()
+	p.wantNext = d.Bool()
 }
 
 // BroadcastItemsDownStep is the step-native Tree.BroadcastItemsDown: it
@@ -370,4 +448,31 @@ func (b *BroadcastItemsDownStep) Result() ([]Message, bool) {
 		return b.items, true
 	}
 	return b.got, b.done
+}
+
+// EncodeState serializes the machine for a checkpoint. Keep is not
+// serialized: the owning program must reinstall it after DecodeState
+// when the in-flight stream uses a filter.
+func (b *BroadcastItemsDownStep) EncodeState(e *SnapEncoder) {
+	e.Tree(b.t)
+	e.Int(b.deadline)
+	e.Int(b.bitBound)
+	e.Msgs(b.items)
+	e.Msgs(b.got)
+	e.Int(b.next)
+	e.Bool(b.endSent)
+	e.Bool(b.done)
+}
+
+// DecodeState restores the machine from a checkpoint record.
+func (b *BroadcastItemsDownStep) DecodeState(d *SnapDecoder) {
+	b.t = d.Tree()
+	b.deadline = d.Int()
+	b.bitBound = d.Int()
+	b.items = d.Msgs()
+	b.got = d.Msgs()
+	b.next = d.Int()
+	b.endSent = d.Bool()
+	b.done = d.Bool()
+	b.Keep = nil
 }

@@ -39,11 +39,12 @@ type PartCtxStep struct {
 	part *partition.Outcome
 	done func(api *congest.StepAPI, c *PartCtxStep) congest.Status
 
-	pc   pcOp
-	inOp bool
-	bd   congest.BroadcastDownStep
-	cv   congest.ConvergecastStep
-	reg  congest.Message
+	pc       pcOp
+	inOp     bool
+	restored bool // decoded from a checkpoint; machines need reattaching
+	bd       congest.BroadcastDownStep
+	cv       congest.ConvergecastStep
+	reg      congest.Message
 
 	budget   int
 	maxDepth int
@@ -119,6 +120,10 @@ func (c *PartCtxStep) NonTreeAssignedPorts() []int {
 // preprocessing ops (the same linear script as BuildPartContext) and hands
 // over to the done callback once the context is complete.
 func (c *PartCtxStep) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	if c.restored {
+		c.restored = false
+		c.reattach()
+	}
 	for {
 		switch c.pc {
 		case pcDepthDown:

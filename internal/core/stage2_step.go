@@ -42,8 +42,14 @@ const (
 // minor-free testers chain from — which then hands over to the Stage II
 // op script in the same round.
 func NewStageIINode(part *partition.Outcome, opts StageIIOptions) congest.StepProgram {
-	o := opts.withDefaults()
-	return NewPartCtxStep(part, func(api *congest.StepAPI, c *PartCtxStep) congest.Status {
+	return NewPartCtxStep(part, stageIIHandoff(part, opts.withDefaults()))
+}
+
+// stageIIHandoff is the prelude-done callback that becomes the Stage II
+// machine; shared by NewStageIINode and the checkpoint-restore path
+// (snapshot.go), which must reinstall the exact same continuation.
+func stageIIHandoff(part *partition.Outcome, o StageIIOptions) func(api *congest.StepAPI, c *PartCtxStep) congest.Status {
+	return func(api *congest.StepAPI, c *PartCtxStep) congest.Status {
 		return congest.BecomeStep(&stage2Node{
 			part:     part,
 			opts:     o,
@@ -56,15 +62,16 @@ func NewStageIINode(part *partition.Outcome, opts StageIIOptions) congest.StepPr
 			level:    c.level,
 			assigned: c.assigned,
 		})
-	})
+	}
 }
 
 type stage2Node struct {
 	part *partition.Outcome
 	opts StageIIOptions
 
-	pc   s2op
-	inOp bool
+	pc       s2op
+	inOp     bool
+	restored bool // decoded from a checkpoint; machines need reattaching
 
 	bd  congest.BroadcastDownStep
 	cv  congest.ConvergecastStep
@@ -120,6 +127,10 @@ type stage2Node struct {
 // Step advances the linear Stage II script; completed ops chain into the
 // next one within the same wake (ops complete exactly at their deadline).
 func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	if s.restored {
+		s.restored = false
+		s.reattach(api)
+	}
 	for {
 		switch s.pc {
 		case o2CountUp:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -30,6 +31,14 @@ type Options struct {
 	// readable the run aborts with congest.ErrCanceled. Pass a context's
 	// Done() channel; nil disables cancellation.
 	Cancel <-chan struct{}
+	// Deadline is passed through to congest.Config.Deadline: a non-zero
+	// wall-clock instant after which the run aborts with
+	// congest.ErrDeadlineExceeded at the next barrier.
+	Deadline time.Time
+	// Checkpoint is passed through to congest.Config.Checkpoint: a
+	// configured sink receives periodic engine snapshots that
+	// ResumeTester can continue from.
+	Checkpoint congest.CheckpointConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -129,6 +138,8 @@ func testerConfig(g *graph.Graph, seed int64, opts Options) congest.Config {
 		MaxRounds:    1 << 40,
 		Workers:      opts.Workers,
 		Cancel:       opts.Cancel,
+		Deadline:     opts.Deadline,
+		Checkpoint:   opts.Checkpoint,
 	}
 }
 

@@ -1,0 +1,105 @@
+// Package faultpoint provides deterministic fault-injection hooks for
+// robustness tests. Production code plants named hooks at interesting
+// sites (a round barrier, a checkpoint write); tests arm a hook with a
+// trigger count and a fault function, then exercise the code path. The
+// fault fires on an exact hit number, so "crash at barrier N" or "fail
+// the third checkpoint write" is reproducible — the property the
+// kill-and-resume equivalence suite relies on.
+//
+// When nothing is armed, Hit is a single relaxed atomic load and no map
+// or mutex is touched — the disabled hooks compile down to a no-op
+// branch, so leaving them in hot paths (the engine's barrier loop) costs
+// nothing measurable.
+package faultpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// armed tracks the number of armed hooks; Hit's fast path checks it
+// before taking the registry lock.
+var armed atomic.Int64
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+type point struct {
+	at    uint64 // hit number that triggers (1-based); 0 = every hit
+	hits  uint64
+	fault func() error
+}
+
+// Arm installs a fault at the named hook: the at-th call to Hit(name)
+// after arming invokes fault and returns its result (at <= 0 means
+// every call). Re-arming a name replaces the previous fault and resets
+// its hit count. The fault function may also just sleep and return nil
+// to model a slow site rather than a failing one.
+func Arm(name string, at int, fault func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	n := uint64(0)
+	if at > 0 {
+		n = uint64(at)
+	}
+	points[name] = &point{at: n, fault: fault}
+}
+
+// Disarm removes the named fault, if armed.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every hook. Tests call it in cleanup so an armed fault
+// never leaks into the next test.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(points)))
+	points = map[string]*point{}
+}
+
+// Hit reports the named hook was reached. It returns nil unless a fault
+// is armed for the name and this call is its trigger; then it runs the
+// fault and returns its error. The no-fault fast path is one atomic
+// load.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	fire := p.at == 0 || p.hits == p.at
+	fault := p.fault
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	return fault()
+}
+
+// Hits returns how many times the named hook has been reached since it
+// was armed (0 when not armed). For test assertions.
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return int(p.hits)
+	}
+	return 0
+}

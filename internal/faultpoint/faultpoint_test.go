@@ -1,0 +1,78 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHitWithoutArmIsNil(t *testing.T) {
+	defer Reset()
+	if err := Hit("nothing.armed"); err != nil {
+		t.Fatalf("unarmed hit returned %v", err)
+	}
+	if Hits("nothing.armed") != 0 {
+		t.Fatal("unarmed hook reported hits")
+	}
+}
+
+func TestArmTriggersOnExactHit(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("p", 3, func() error { return boom })
+	for i := 1; i <= 2; i++ {
+		if err := Hit("p"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Hit("p"); !errors.Is(err, boom) {
+		t.Fatalf("hit 3 did not fire: %v", err)
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit 4 fired again: %v", err)
+	}
+	if Hits("p") != 4 {
+		t.Fatalf("Hits = %d, want 4", Hits("p"))
+	}
+}
+
+func TestArmEveryHit(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("p", 0, func() error { return boom })
+	for i := 0; i < 3; i++ {
+		if err := Hit("p"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d did not fire: %v", i, err)
+		}
+	}
+}
+
+func TestRearmResetsCount(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("p", 2, func() error { return boom })
+	Hit("p")
+	Arm("p", 2, func() error { return boom })
+	if err := Hit("p"); err != nil {
+		t.Fatalf("first hit after re-arm fired: %v", err)
+	}
+	if err := Hit("p"); !errors.Is(err, boom) {
+		t.Fatalf("second hit after re-arm did not fire: %v", err)
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	defer Reset()
+	Arm("a", 1, func() error { return errors.New("a") })
+	Arm("b", 1, func() error { return errors.New("b") })
+	Disarm("a")
+	if err := Hit("a"); err != nil {
+		t.Fatalf("disarmed hook fired: %v", err)
+	}
+	Reset()
+	if err := Hit("b"); err != nil {
+		t.Fatalf("reset hook fired: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d after Reset", armed.Load())
+	}
+}

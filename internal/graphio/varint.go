@@ -1,0 +1,53 @@
+package graphio
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The exported varint helpers below are the byte-slice counterparts of
+// the stream codec in binary.go: the same unsigned LEB128 layout and the
+// same canonicality rule (exactly one accepted byte sequence per value).
+// The checkpoint format in internal/congest builds on them so that both
+// binary formats of the repository share one set of encoding rules.
+
+// ErrVarint is the error reported (wrapped with detail) by ConsumeUvarint
+// for a truncated, non-minimal, or overflowing varint. Test with
+// errors.Is.
+var ErrVarint = errors.New("graphio: invalid varint")
+
+// AppendUvarint appends the canonical (minimal) varint encoding of v to b
+// and returns the extended slice.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// ConsumeUvarint decodes one varint from the front of b, returning the
+// value and the number of bytes consumed. Like readUvarint in the binary
+// graph codec it rejects non-minimal encodings (a zero final byte after a
+// continuation) and 64-bit overflow, so accepted inputs re-encode
+// byte-identically.
+func ConsumeUvarint(b []byte) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		if i >= len(b) {
+			return 0, 0, errors.Join(ErrVarint, errors.New("truncated"))
+		}
+		c := b[i]
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, 0, errors.Join(ErrVarint, errors.New("overflows 64 bits"))
+			}
+			if c == 0 && i > 0 {
+				return 0, 0, errors.Join(ErrVarint, errors.New("non-minimal encoding"))
+			}
+			return x | uint64(c)<<s, i + 1, nil
+		}
+		if i == 9 {
+			return 0, 0, errors.Join(ErrVarint, errors.New("overflows 64 bits"))
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+}

@@ -214,7 +214,8 @@ type stageINode struct {
 
 	started  bool
 	finished bool
-	phase    int // 1-based
+	restored bool // decoded from a checkpoint; closures need reattaching
+	phase    int  // 1-based
 	pc       int
 	inOp     bool
 	D        int
@@ -311,6 +312,10 @@ func (s *stageINode) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 	if !s.started {
 		s.started = true
 		s.initNode(api)
+	}
+	if s.restored {
+		s.restored = false
+		s.reattach(api)
 	}
 	for {
 		if s.finished {

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/faultpoint"
+	"repro/internal/graphio"
+)
+
+// FaultCheckpointWrite is the faultpoint guarding every durable
+// checkpoint write. Arming it injects I/O errors into the sink so tests
+// can prove a failing disk degrades durability, never correctness.
+const FaultCheckpointWrite = "service.checkpoint.write"
+
+// Store layout under Config.CheckpointDir:
+//
+//	jobs/<cache-key>/request.json  options sidecar (jobSpec)
+//	jobs/<cache-key>/graph.pgb     input graph, graphio binary format
+//	jobs/<cache-key>/state.ckpt    latest engine snapshot (atomic rename)
+//	quarantine/...                 rejected files, kept for inspection
+//
+// A job directory exists exactly while its run is in flight: it is
+// created when the run starts and removed at any terminal state, so a
+// directory found at startup is a run interrupted by a crash.
+const (
+	specFile  = "request.json"
+	graphFile = "graph.pgb"
+	ckptFile  = "state.ckpt"
+)
+
+// ckptStore is the on-disk side of crash recovery. All I/O is lazy (the
+// directory is created on first use) and every visible file appears via
+// write-to-temp-then-rename, so readers never observe a torn write.
+type ckptStore struct{ dir string }
+
+func newCkptStore(dir string) *ckptStore { return &ckptStore{dir: dir} }
+
+func (s *ckptStore) jobDir(key string) string { return filepath.Join(s.dir, "jobs", key) }
+
+// jobSpec is the JSON sidecar that makes a job directory self-contained:
+// together with the graph file it reconstructs the Request after a crash.
+type jobSpec struct {
+	Property string  `json:"property"`
+	Epsilon  float64 `json:"epsilon"`
+	Seed     int64   `json:"seed"`
+	Variant  string  `json:"variant"`
+	Timeout  string  `json:"timeout,omitempty"`
+}
+
+// writeSpec persists the request sidecar and graph; called once when a
+// durable job starts running. The write order does not matter: recovery
+// quarantines any directory it cannot fully load.
+func (s *ckptStore) writeSpec(key string, req *Request) error {
+	dir := s.jobDir(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	spec := jobSpec{
+		Property: req.Property,
+		Epsilon:  req.Epsilon,
+		Seed:     req.Seed,
+		Variant:  req.Variant,
+	}
+	if req.Timeout > 0 {
+		spec.Timeout = req.Timeout.String()
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, specFile), b); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, graphFile+".tmp")
+	if err := graphio.WriteFile(tmp, req.Graph, graphio.Binary); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, graphFile))
+}
+
+// writeCkpt lands one engine snapshot as the job's latest checkpoint.
+// It is the congest.CheckpointConfig sink for durable jobs, so it runs
+// between two engine barriers; a failure here is reported through
+// OnError and costs durability, not the run.
+func (s *ckptStore) writeCkpt(key string, data []byte) error {
+	if err := faultpoint.Hit(FaultCheckpointWrite); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(s.jobDir(key), ckptFile), data)
+}
+
+// remove drops a job's directory once the job is terminal.
+func (s *ckptStore) remove(key string) { os.RemoveAll(s.jobDir(key)) }
+
+// quarantine moves one file of a job directory (or, with name == "",
+// the whole directory) under quarantine/ instead of deleting it, so a
+// corrupt checkpoint stays inspectable. The destination carries a
+// timestamp: repeated crashes must not collide.
+func (s *ckptStore) quarantine(key, name string) error {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	src, dst := s.jobDir(key), key
+	if name != "" {
+		src = filepath.Join(src, name)
+		dst = key + "-" + name
+	}
+	dst = fmt.Sprintf("%s.%d", dst, time.Now().UnixNano())
+	return os.Rename(src, filepath.Join(qdir, dst))
+}
+
+// recoveredJob is one crash-interrupted run found on disk.
+type recoveredJob struct {
+	req    *Request
+	resume []byte // latest valid snapshot; nil restarts from round 0
+}
+
+// scan loads every job directory, quarantining the ones that cannot be
+// reconstructed. A valid directory with a corrupt or mismatched
+// checkpoint loses only the checkpoint: the job re-runs from scratch.
+func (s *ckptStore) scan() ([]recoveredJob, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var jobs []recoveredJob
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		key := e.Name()
+		rj, err := s.load(key)
+		if err != nil {
+			s.quarantine(key, "")
+			continue
+		}
+		jobs = append(jobs, rj)
+	}
+	return jobs, nil
+}
+
+// load reconstructs one job directory into a validated Request plus the
+// latest checkpoint, if it passes integrity and shape checks.
+func (s *ckptStore) load(key string) (recoveredJob, error) {
+	dir := s.jobDir(key)
+	b, err := os.ReadFile(filepath.Join(dir, specFile))
+	if err != nil {
+		return recoveredJob{}, err
+	}
+	var spec jobSpec
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return recoveredJob{}, fmt.Errorf("bad %s: %w", specFile, err)
+	}
+	req := &Request{
+		Property: spec.Property,
+		Epsilon:  spec.Epsilon,
+		Seed:     spec.Seed,
+		Variant:  spec.Variant,
+	}
+	if spec.Timeout != "" {
+		if req.Timeout, err = time.ParseDuration(spec.Timeout); err != nil {
+			return recoveredJob{}, fmt.Errorf("bad timeout in %s: %w", specFile, err)
+		}
+	}
+	if req.Graph, err = graphio.ReadFile(filepath.Join(dir, graphFile), graphio.Binary); err != nil {
+		return recoveredJob{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return recoveredJob{}, err
+	}
+	rj := recoveredJob{req: req}
+	data, err := os.ReadFile(filepath.Join(dir, ckptFile))
+	if err != nil {
+		return rj, nil // no checkpoint landed before the crash; run fresh
+	}
+	info, err := congest.InspectSnapshot(data)
+	if err != nil || info.N != req.Graph.N() || info.M != req.Graph.M() || info.Seed != req.Seed {
+		s.quarantine(key, ckptFile)
+		return rj, nil
+	}
+	rj.resume = data
+	return rj, nil
+}
+
+// writeFileAtomic writes data so the destination path only ever holds a
+// complete file: temp file in the same directory, then rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

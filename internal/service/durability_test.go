@@ -1,0 +1,253 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/faultpoint"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// crashState fabricates what a SIGKILLed daemon leaves behind for req: a
+// job directory with the spec, the graph, and a mid-run engine
+// checkpoint captured by killing a run at a barrier.
+func crashState(t *testing.T, dir string, req *Request) string {
+	t.Helper()
+	defer faultpoint.Reset()
+	key := req.CacheKey()
+	store := newCkptStore(dir)
+	if err := store.writeSpec(key, req); err != nil {
+		t.Fatal(err)
+	}
+	var last []byte
+	copts := core.Options{
+		Epsilon:   req.Epsilon,
+		Partition: partition.Options{Epsilon: req.Epsilon},
+		Workers:   1,
+		Checkpoint: congest.CheckpointConfig{
+			EveryBarriers: 1,
+			Sink:          func(round int, data []byte) error { last = data; return nil },
+		},
+	}
+	boom := errors.New("killed")
+	faultpoint.Arm(congest.FaultBarrier, 5, func() error { return boom })
+	_, err := core.RunTester(req.Graph, copts, req.Seed)
+	faultpoint.Disarm(congest.FaultBarrier)
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected injected kill, got %v", err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint captured before the kill")
+	}
+	if err := store.writeCkpt(key, last); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestServiceCrashRecovery is the service half of the kill-and-resume
+// story: a job directory left by a crashed daemon is picked up by
+// Recover, resumed from its checkpoint, finishes with the same outcome
+// as an uninterrupted run, lands in the result cache, and releases its
+// durability state.
+func TestServiceCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	req := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 3, Graph: graph.Grid(12, 12)}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := run(req, runEnv{workers: 1})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	key := crashState(t, dir, req)
+
+	m := New(Config{EngineWorkers: 1, CheckpointDir: dir, CheckpointEvery: 1})
+	defer m.Close()
+	n, err := m.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	if got := m.Metrics().RecoveredJobs.Load(); got != 1 {
+		t.Fatalf("RecoveredJobs = %d, want 1", got)
+	}
+
+	ctx := context.Background()
+	sub, err := m.Submit(ctx, req) // coalesces onto (or cache-hits) the recovered run
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sub.Wait(ctx)
+	if err != nil {
+		t.Fatalf("recovered job failed: %v", err)
+	}
+	if out.Verdict != base.Verdict || out.Rejected != base.Rejected ||
+		out.RejectedBy != base.RejectedBy || out.Metrics != base.Metrics {
+		t.Fatalf("recovered outcome differs from baseline:\nbase:      %+v\nrecovered: %+v", base, out)
+	}
+
+	// The cache survived the "restart": a fresh submission is a hit.
+	sub2, err := m.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub2.CacheHit {
+		t.Fatal("re-submission after recovery missed the cache")
+	}
+	// Terminal state closed the durability window.
+	if _, err := os.Stat(filepath.Join(dir, "jobs", key)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("job directory still present after completion (stat err %v)", err)
+	}
+}
+
+// TestServiceRecoverQuarantines asserts startup recovery rejects what it
+// cannot trust: a corrupt checkpoint costs only the checkpoint (the job
+// re-runs from scratch), an unreadable job directory is quarantined
+// whole, and both stay on disk for inspection.
+func TestServiceRecoverQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	req := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 7, Graph: graph.Grid(8, 8)}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	key := req.CacheKey()
+	store := newCkptStore(dir)
+	if err := store.writeSpec(key, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store.jobDir(key), ckptFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken := filepath.Join(dir, "jobs", "deadbeef")
+	if err := os.MkdirAll(broken, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(broken, specFile), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(Config{EngineWorkers: 1, CheckpointDir: dir, CheckpointEvery: 1})
+	defer m.Close()
+	n, err := m.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d jobs, want 1 (the corrupt-checkpoint job, restarted fresh)", n)
+	}
+	ctx := context.Background()
+	sub, err := m.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := sub.Wait(ctx); err != nil || out.Rejected {
+		t.Fatalf("restarted job: out=%+v err=%v", out, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatalf("quarantine dir: %v", err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("quarantine holds %v, want the corrupt checkpoint and the broken directory", names)
+	}
+}
+
+// TestServiceCheckpointWriteFaults injects I/O errors into every durable
+// checkpoint write and asserts the failure costs durability only: the
+// run completes with the correct verdict, errors are counted, nothing
+// is written.
+func TestServiceCheckpointWriteFaults(t *testing.T) {
+	defer faultpoint.Reset()
+	m := New(Config{EngineWorkers: 1, CheckpointDir: t.TempDir(), CheckpointEvery: 1})
+	defer m.Close()
+	faultpoint.Arm(FaultCheckpointWrite, 0, func() error { return errors.New("disk gone") })
+	out, err := m.Run(context.Background(), &Request{
+		Property: PropPlanarity, Epsilon: 0.25, Seed: 2, Graph: graph.Grid(8, 8),
+	})
+	faultpoint.Disarm(FaultCheckpointWrite)
+	if err != nil {
+		t.Fatalf("run with failing checkpoint disk: %v", err)
+	}
+	if out.Rejected {
+		t.Fatal("grid rejected")
+	}
+	if m.Metrics().CheckpointErrs.Load() == 0 {
+		t.Fatal("checkpoint errors not counted")
+	}
+	if m.Metrics().CheckpointsWritten.Load() != 0 {
+		t.Fatal("checkpoints written despite injected faults")
+	}
+}
+
+// TestServiceDurableRunCheckpointsAndCleans asserts the happy path:
+// a durable run lands checkpoints while in flight and removes its job
+// directory at completion.
+func TestServiceDurableRunCheckpointsAndCleans(t *testing.T) {
+	dir := t.TempDir()
+	m := New(Config{EngineWorkers: 1, CheckpointDir: dir, CheckpointEvery: 1})
+	defer m.Close()
+	out, err := m.Run(context.Background(), &Request{
+		Property: PropPlanarity, Epsilon: 0.25, Seed: 4, Graph: graph.Grid(10, 10),
+	})
+	if err != nil || out.Rejected {
+		t.Fatalf("durable run: out=%+v err=%v", out, err)
+	}
+	if m.Metrics().CheckpointsWritten.Load() == 0 {
+		t.Fatal("no checkpoints written during a durable run")
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "jobs"))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("jobs directory not cleaned after completion: %v", entries)
+	}
+}
+
+// TestRequestTimeout asserts the wall-clock bound: a too-small request
+// timeout fails the job with congest.ErrDeadlineExceeded, the failure
+// is never cached, the server-side MaxTimeout applies to requests that
+// carry no bound, and the timeout never enters the cache key.
+func TestRequestTimeout(t *testing.T) {
+	big := graph.Grid(300, 300)
+	m := New(Config{EngineWorkers: 1})
+	defer m.Close()
+	_, err := m.Run(context.Background(), &Request{
+		Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: big, Timeout: time.Millisecond,
+	})
+	if !errors.Is(err, congest.ErrDeadlineExceeded) {
+		t.Fatalf("expected ErrDeadlineExceeded, got %v", err)
+	}
+	if m.CacheLen() != 0 {
+		t.Fatal("timed-out run was cached")
+	}
+
+	m2 := New(Config{EngineWorkers: 1, MaxTimeout: time.Millisecond})
+	defer m2.Close()
+	_, err = m2.Run(context.Background(), &Request{
+		Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: big,
+	})
+	if !errors.Is(err, congest.ErrDeadlineExceeded) {
+		t.Fatalf("expected MaxTimeout to bound an unbounded request, got %v", err)
+	}
+
+	a := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: big}
+	b := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: big, Timeout: time.Hour}
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("timeout leaked into the cache key")
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"mime"
 	"net/http"
 	"strings"
+	"time"
 
+	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 )
@@ -28,8 +30,12 @@ type wireRequest struct {
 	Epsilon  float64 `json:"epsilon"`
 	Seed     int64   `json:"seed"`
 	Variant  string  `json:"variant"`
-	Async    bool    `json:"async"`
-	Graph    *struct {
+	// Timeout is a Go duration string ("30s", "2m") bounding the run's
+	// wall clock; a timed-out sync request answers 504. The server's
+	// MaxTimeout caps it.
+	Timeout string `json:"timeout,omitempty"`
+	Async   bool   `json:"async"`
+	Graph   *struct {
 		Format     string `json:"format"`
 		Data       string `json:"data"`
 		DataBase64 string `json:"data_base64"`
@@ -40,8 +46,9 @@ type wireRequest struct {
 //
 //	POST   /v1/test       run a test (sync by default, async=true for 202 + job)
 //	GET    /v1/jobs/{id}  poll a job
-//	DELETE /v1/jobs/{id}  release one submission's interest; the run
-//	                      aborts once all coalesced submitters canceled
+//	DELETE /v1/jobs/{id}  release the HTTP submitters' interest
+//	                      (idempotent); the run aborts once all
+//	                      coalesced submitters canceled
 //	GET    /metrics       Prometheus text exposition
 //	GET    /healthz       liveness
 func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
@@ -66,7 +73,7 @@ func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
-		j.Cancel()
+		j.cancelHTTP()
 		writeJSONResponse(w, http.StatusOK, j.View())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -114,6 +121,12 @@ func handleTest(m *Manager, hc HandlerConfig, w http.ResponseWriter, r *http.Req
 		return
 	}
 	if _, err := j.Wait(r.Context()); err != nil {
+		if errors.Is(err, congest.ErrDeadlineExceeded) {
+			// The run hit its wall-clock bound; the failure is terminal
+			// (and, like every failure, never cached).
+			writeJSONResponse(w, http.StatusGatewayTimeout, j.View())
+			return
+		}
 		if j.State() == StateFailed {
 			// Engine-side failure (panic, cancellation): the view
 			// carries the error.
@@ -173,7 +186,8 @@ func decodeTestRequest(r *http.Request) (*Request, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return wireToRequest(wire, g), wire.Async, nil
+	req, err := wireToRequest(wire, g)
+	return req, wire.Async, err
 }
 
 // decodeMultipart parses multipart/form-data: a "request" field with
@@ -209,6 +223,9 @@ func decodeMultipart(r *http.Request) (*Request, bool, error) {
 		}
 		wire.Async = r.FormValue("async") == "1" || r.FormValue("async") == "true"
 	}
+	if s := r.FormValue("timeout"); s != "" {
+		wire.Timeout = s
+	}
 	file, hdr, err := r.FormFile("graph")
 	if err != nil {
 		return nil, false, fmt.Errorf("missing graph part: %w", err)
@@ -225,17 +242,26 @@ func decodeMultipart(r *http.Request) (*Request, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return wireToRequest(wire, g), wire.Async, nil
+	req, err := wireToRequest(wire, g)
+	return req, wire.Async, err
 }
 
-func wireToRequest(wire wireRequest, g *graph.Graph) *Request {
-	return &Request{
+func wireToRequest(wire wireRequest, g *graph.Graph) (*Request, error) {
+	req := &Request{
 		Property: wire.Property,
 		Epsilon:  wire.Epsilon,
 		Seed:     wire.Seed,
 		Variant:  wire.Variant,
 		Graph:    g,
 	}
+	if wire.Timeout != "" {
+		d, err := time.ParseDuration(wire.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("bad timeout %q: %w", wire.Timeout, err)
+		}
+		req.Timeout = d
+	}
+	return req, nil
 }
 
 func writeJSONResponse(w http.ResponseWriter, status int, v any) {

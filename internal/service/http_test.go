@@ -343,3 +343,58 @@ func TestHTTPEndToEnd10k(t *testing.T) {
 		t.Fatalf("counters: hits=%d misses=%d, want 1/1", hits, misses)
 	}
 }
+
+func TestHTTPTimeoutAnswers504(t *testing.T) {
+	srv, _ := testServer(t)
+	g := graph.Grid(300, 300)
+	data := encodeGraph(t, g, graphio.EdgeList)
+	body := testRequestBody(g, graphio.EdgeList, data, map[string]any{"timeout": "1ms"})
+	resp, out := postJSON(t, srv.URL+"/v1/test", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out sync POST: status %d: %s", resp.StatusCode, out)
+	}
+	var v View
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "failed" || !strings.Contains(v.Error, "deadline") {
+		t.Fatalf("504 view: %s", out)
+	}
+
+	// A malformed timeout is a client error, not a run.
+	body = testRequestBody(g, graphio.EdgeList, data, map[string]any{"timeout": "soon"})
+	resp, out = postJSON(t, srv.URL+"/v1/test", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout: status %d: %s", resp.StatusCode, out)
+	}
+}
+
+func TestHTTPDeleteIdempotent(t *testing.T) {
+	srv, _ := testServer(t)
+	rng := rand.New(rand.NewSource(23))
+	g := graph.MaximalPlanar(20000, rng)
+	body := testRequestBody(g, graphio.EdgeList, encodeGraph(t, g, graphio.EdgeList),
+		map[string]any{"async": true, "epsilon": 0.05})
+	resp, out := postJSON(t, srv.URL+"/v1/test", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST: status %d: %s", resp.StatusCode, out)
+	}
+	var v View
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	// Two DELETEs of the same job must both answer 200 and release at
+	// most one attachment (the second is a no-op, not an over-release).
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v.ID, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE %d: status %d", i, r.StatusCode)
+		}
+	}
+}

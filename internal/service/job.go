@@ -49,11 +49,13 @@ type Job struct {
 	CacheHit bool
 	Created  time.Time
 
-	state      atomic.Int32
-	done       chan struct{}
-	cancelOnce sync.Once
-	cancelCh   chan struct{}
-	attached   atomic.Int64 // submissions sharing this job (coalescing)
+	state        atomic.Int32
+	done         chan struct{}
+	cancelOnce   sync.Once
+	cancelCh     chan struct{}
+	attached     atomic.Int64 // submissions sharing this job (coalescing)
+	httpReleased atomic.Bool  // DELETE /v1/jobs/{id} already released once
+	resume       []byte       // engine checkpoint to continue from (crash recovery)
 
 	// Terminal results; written exactly once before done closes.
 	outcome *Outcome
@@ -76,15 +78,52 @@ func (j *Job) cancel() {
 // attach records one more submission sharing this job (coalescing).
 func (j *Job) attach() { j.attached.Add(1) }
 
-// Cancel releases one submission's interest in the job. Because
+// release drops one submission's attachment; the job is canceled when
+// the last one goes. The count is clamped at zero so a stray extra
+// release (a bug upstream) cannot push it negative and swallow a later
+// legitimate attachment's veto.
+func (j *Job) release() {
+	for {
+		n := j.attached.Load()
+		if n <= 0 {
+			return
+		}
+		if j.attached.CompareAndSwap(n, n-1) {
+			if n == 1 {
+				j.cancel()
+			}
+			return
+		}
+	}
+}
+
+// cancelHTTP releases the HTTP-side interest in the job, at most once
+// per job: HTTP submissions are not addressable per client, so repeated
+// DELETEs of the same job id must stay no-ops instead of draining other
+// submitters' attachments.
+func (j *Job) cancelHTTP() {
+	if j.httpReleased.CompareAndSwap(false, true) {
+		j.release()
+	}
+}
+
+// Submission is one submitter's handle on a (possibly shared) job.
+// Job accessors are promoted; Cancel releases only this handle's
+// attachment and is idempotent — calling it twice on the same handle
+// is a no-op, not a second submitter's veto.
+type Submission struct {
+	*Job
+	released atomic.Bool
+}
+
+// Cancel releases this submission's interest in the job. Because
 // identical concurrent submissions coalesce onto one job, the
 // underlying run only aborts once every attached submission has
 // canceled — one client abandoning a shared request must not fail it
-// for the others. (Cancel is therefore not idempotent per client:
-// each call releases one attachment.)
-func (j *Job) Cancel() {
-	if j.attached.Add(-1) <= 0 {
-		j.cancel()
+// for the others. Repeated calls on the same handle are no-ops.
+func (s *Submission) Cancel() {
+	if s.released.CompareAndSwap(false, true) {
+		s.Job.release()
 	}
 }
 

@@ -54,6 +54,10 @@ type Request struct {
 	// Graph is the input graph. Decoded from the wire formats by the
 	// HTTP layer; never nil for a valid request.
 	Graph *graph.Graph `json:"-"`
+	// Timeout bounds the run's wall clock; the run aborts with
+	// congest.ErrDeadlineExceeded at the first barrier past it. 0 means
+	// no request-side bound (Config.MaxTimeout still applies).
+	Timeout time.Duration `json:"-"`
 }
 
 // Validate normalizes defaults and rejects malformed requests.
@@ -63,6 +67,9 @@ func (r *Request) Validate() error {
 	}
 	if !(r.Epsilon > 0 && r.Epsilon <= 1) { // NaN fails both comparisons
 		return fmt.Errorf("service: epsilon %v outside (0,1]", r.Epsilon)
+	}
+	if r.Timeout < 0 {
+		return fmt.Errorf("service: negative timeout %v", r.Timeout)
 	}
 	switch r.Property {
 	case PropPlanarity, PropCycleFree, PropBipartiteness, PropOuterplanar, PropSpanner:
@@ -88,8 +95,10 @@ func (r *Request) Validate() error {
 // CacheKey is the content address of the request: the canonical graph
 // hash mixed with every option that can change the run's result.
 // Deliberately absent: engine worker count (Results are byte-identical
-// at any Workers value) and anything about the wire format the graph
-// arrived in (all formats canonicalize to the same labeled graph).
+// at any Workers value), anything about the wire format the graph
+// arrived in (all formats canonicalize to the same labeled graph), and
+// Timeout (a deadline can only fail a run, and failed runs are never
+// cached — it cannot change a cached outcome).
 func (r *Request) CacheKey() string {
 	return graphio.NewKeyHasher(r.Graph).
 		Field("property", r.Property).
@@ -139,10 +148,22 @@ type Outcome struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// run executes the request on the engine. cancel aborts the simulation
-// at the next round barrier (congest.ErrCanceled). workers sets the
-// engine worker-pool size per job (0: GOMAXPROCS).
-func run(req *Request, workers int, cancel <-chan struct{}) (*Outcome, error) {
+// runEnv is the engine-facing execution environment of one job: the
+// manager-owned knobs that are not part of the request's content
+// address (worker count, cancellation, wall-clock deadline, checkpoint
+// plumbing, and an optional snapshot to resume from).
+type runEnv struct {
+	workers    int
+	cancel     <-chan struct{}
+	deadline   time.Time
+	checkpoint congest.CheckpointConfig
+	resume     []byte // engine checkpoint to continue from (planarity only)
+}
+
+// run executes the request on the engine. env.cancel aborts the
+// simulation at the next round barrier (congest.ErrCanceled),
+// env.deadline at the first barrier past it (congest.ErrDeadlineExceeded).
+func run(req *Request, env runEnv) (*Outcome, error) {
 	start := time.Now()
 	out := &Outcome{
 		Property: req.Property,
@@ -155,13 +176,22 @@ func run(req *Request, workers int, cancel <-chan struct{}) (*Outcome, error) {
 	}
 	switch req.Property {
 	case PropPlanarity:
-		res, err := core.RunTester(req.Graph, core.Options{
-			Epsilon:   req.Epsilon,
-			UseEN:     req.Variant == VariantEN,
-			Partition: popts,
-			Workers:   workers,
-			Cancel:    cancel,
-		}, req.Seed)
+		copts := core.Options{
+			Epsilon:    req.Epsilon,
+			UseEN:      req.Variant == VariantEN,
+			Partition:  popts,
+			Workers:    env.workers,
+			Cancel:     env.cancel,
+			Deadline:   env.deadline,
+			Checkpoint: env.checkpoint,
+		}
+		var res *core.RunResult
+		var err error
+		if env.resume != nil {
+			res, err = core.ResumeTester(req.Graph, copts, req.Seed, env.resume)
+		} else {
+			res, err = core.RunTester(req.Graph, copts, req.Seed)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -174,8 +204,9 @@ func run(req *Request, workers int, cancel <-chan struct{}) (*Outcome, error) {
 		res, err := testers.Run(req.Graph, prop, testers.Options{
 			Epsilon:   req.Epsilon,
 			Partition: popts,
-			Workers:   workers,
-			Cancel:    cancel,
+			Workers:   env.workers,
+			Cancel:    env.cancel,
+			Deadline:  env.deadline,
 		}, req.Seed)
 		if err != nil {
 			return nil, err
@@ -185,8 +216,9 @@ func run(req *Request, workers int, cancel <-chan struct{}) (*Outcome, error) {
 		res, err := testers.RunHereditary(req.Graph, planar.IsOuterplanar, testers.Options{
 			Epsilon:   req.Epsilon,
 			Partition: popts,
-			Workers:   workers,
-			Cancel:    cancel,
+			Workers:   env.workers,
+			Cancel:    env.cancel,
+			Deadline:  env.deadline,
 		}, req.Seed)
 		if err != nil {
 			return nil, err
@@ -196,8 +228,9 @@ func run(req *Request, workers int, cancel <-chan struct{}) (*Outcome, error) {
 		sp, views, m, err := spanner.Collect(req.Graph, spanner.Options{
 			Epsilon:   req.Epsilon,
 			Partition: popts,
-			Workers:   workers,
-			Cancel:    cancel,
+			Workers:   env.workers,
+			Cancel:    env.cancel,
+			Deadline:  env.deadline,
 		}, req.Seed)
 		if err != nil {
 			return nil, err

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/congest"
 )
 
 // Config sizes the Manager.
@@ -34,6 +36,19 @@ type Config struct {
 	// JobRetention bounds how many finished jobs stay addressable via
 	// Job() after completion. 0 means 16384.
 	JobRetention int
+	// CheckpointDir enables crash recovery: eligible runs (planarity,
+	// non-EN Stage I) persist periodic engine checkpoints under this
+	// directory, and Recover re-enqueues interrupted jobs after a
+	// restart. Empty disables durability.
+	CheckpointDir string
+	// CheckpointEvery is the barrier interval between durable
+	// checkpoints. 0 means 256; smaller values bound lost work tighter
+	// at more I/O per run.
+	CheckpointEvery int
+	// MaxTimeout caps (and, when a request carries no timeout, supplies)
+	// the per-job wall-clock bound. 0 means requests without a timeout
+	// run unbounded.
+	MaxTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.JobRetention <= 0 {
 		c.JobRetention = 16384
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 256
+	}
 	return c
 }
 
@@ -74,6 +92,7 @@ type Manager struct {
 	cfg     Config
 	cache   *resultCache
 	metrics *Metrics
+	store   *ckptStore // nil when CheckpointDir is unset
 	seq     atomic.Int64
 
 	queue chan *Job
@@ -97,6 +116,9 @@ func New(cfg Config) *Manager {
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+	}
+	if cfg.CheckpointDir != "" {
+		m.store = newCkptStore(cfg.CheckpointDir)
 	}
 	m.metrics.cacheEntries = m.cache.len
 	for i := 0; i < cfg.MaxConcurrent; i++ {
@@ -139,8 +161,10 @@ func (m *Manager) CacheLen() int { return m.cache.len() }
 //     (work is coalesced; all submitters observe the same run);
 //   - otherwise: a fresh job, enqueued for the run pool.
 //
-// The returned job may be shared; read it through its accessors.
-func (m *Manager) Submit(ctx context.Context, req *Request) (*Job, error) {
+// The underlying job may be shared; the returned Submission is this
+// caller's private handle on it (its Cancel is idempotent and releases
+// only this caller's attachment).
+func (m *Manager) Submit(ctx context.Context, req *Request) (*Submission, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,7 +183,7 @@ func (m *Manager) Submit(ctx context.Context, req *Request) (*Job, error) {
 		m.mu.Lock()
 		m.rememberLocked(j) // registered even when racing Close: the id must poll
 		m.mu.Unlock()
-		return j, nil
+		return &Submission{Job: j}, nil
 	}
 
 	m.mu.Lock()
@@ -171,7 +195,7 @@ func (m *Manager) Submit(ctx context.Context, req *Request) (*Job, error) {
 		j.attach()
 		m.mu.Unlock()
 		m.metrics.Coalesced.Add(1)
-		return j, nil
+		return &Submission{Job: j}, nil
 	}
 	j := m.newJob(req, key)
 	select {
@@ -187,7 +211,7 @@ func (m *Manager) Submit(ctx context.Context, req *Request) (*Job, error) {
 	m.inflight[key] = j
 	m.rememberLocked(j)
 	m.mu.Unlock()
-	return j, nil
+	return &Submission{Job: j}, nil
 }
 
 // Run is the synchronous convenience wrapper: Submit then Wait.
@@ -262,6 +286,97 @@ func (m *Manager) forget(j *Job) {
 	m.mu.Unlock()
 }
 
+// effectiveTimeout combines a request's timeout with the server-side
+// cap: MaxTimeout bounds every request and supplies the bound for
+// requests that carry none.
+func (m *Manager) effectiveTimeout(req time.Duration) time.Duration {
+	limit := m.cfg.MaxTimeout
+	if limit <= 0 {
+		return req
+	}
+	if req <= 0 || req > limit {
+		return limit
+	}
+	return req
+}
+
+// durableRequest reports whether a run can be checkpointed: only the
+// step-model planarity tester implements engine snapshots. The EN
+// baseline and the other properties run fine without durability — their
+// jobs simply restart from scratch after a crash is not offered.
+func durableRequest(req *Request) bool {
+	return req.Property == PropPlanarity && req.Variant != VariantEN
+}
+
+// checkpointConfig is the engine-side checkpoint plumbing for one
+// durable job: snapshots land in the job's directory, sink failures are
+// counted and cost durability only.
+func (m *Manager) checkpointConfig(key string) congest.CheckpointConfig {
+	return congest.CheckpointConfig{
+		EveryBarriers: m.cfg.CheckpointEvery,
+		Sink: func(round int, data []byte) error {
+			if err := m.store.writeCkpt(key, data); err != nil {
+				return err
+			}
+			m.metrics.CheckpointsWritten.Add(1)
+			return nil
+		},
+		OnError: func(round int, err error) { m.metrics.CheckpointErrs.Add(1) },
+	}
+}
+
+// Recover scans CheckpointDir for runs interrupted by a crash and
+// re-enqueues them, resuming each from its latest valid checkpoint (or
+// from round 0 when none landed). Directories that cannot be
+// reconstructed are quarantined. Call once, after New and before
+// serving traffic; returns the number of jobs re-enqueued.
+func (m *Manager) Recover() (int, error) {
+	if m.store == nil {
+		return 0, nil
+	}
+	jobs, err := m.store.scan()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, rj := range jobs {
+		if err := m.resubmit(rj); err != nil {
+			// Queue full or closing: the job directory stays on disk
+			// for the next restart instead of being dropped.
+			continue
+		}
+		n++
+	}
+	return n, nil
+}
+
+// resubmit enqueues one recovered job. Mirrors Submit's fresh-job path
+// (the result cache is empty after a restart) plus the resume snapshot,
+// which must be attached before a worker can pick the job up.
+func (m *Manager) resubmit(rj recoveredJob) error {
+	key := rj.req.CacheKey()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if _, ok := m.inflight[key]; ok {
+		return nil // an identical live job already covers this work
+	}
+	j := m.newJob(rj.req, key)
+	j.resume = rj.resume
+	select {
+	case m.queue <- j:
+	default:
+		return fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	m.metrics.JobsInFlight.Add(1)
+	m.metrics.RecoveredJobs.Add(1)
+	m.inflight[key] = j
+	m.rememberLocked(j)
+	return nil
+}
+
 // worker is one run-pool goroutine: it drains the queue and executes
 // jobs on the engine.
 func (m *Manager) worker() {
@@ -287,10 +402,43 @@ func (m *Manager) execute(j *Job) {
 	j.setState(StateRunning)
 	m.metrics.CacheMisses.Add(1)
 
-	out, err := run(j.Request, m.cfg.EngineWorkers, j.cancelCh)
+	env := runEnv{workers: m.cfg.EngineWorkers, cancel: j.cancelCh, resume: j.resume}
+	if t := m.effectiveTimeout(j.Request.Timeout); t > 0 {
+		env.deadline = time.Now().Add(t)
+	}
+	durable := false
+	if m.store != nil && durableRequest(j.Request) {
+		durable = true
+		if err := m.store.writeSpec(j.Key, j.Request); err != nil {
+			m.metrics.CheckpointErrs.Add(1) // run without durability
+		} else {
+			env.checkpoint = m.checkpointConfig(j.Key)
+		}
+	}
+	// Any terminal state — done, failed, canceled, deadline — ends the
+	// job's durability window: a restart must not re-run it. The dir is
+	// removed before finish publishes, so a completed job is never
+	// observable alongside its durable state.
+	finish := func(out *Outcome, err error) {
+		if durable {
+			m.store.remove(j.Key)
+		}
+		j.finish(out, err)
+	}
+
+	out, err := run(j.Request, env)
+	if err != nil && env.resume != nil && errors.Is(err, congest.ErrBadSnapshot) {
+		// The recovered checkpoint passed the integrity scan but failed
+		// restore (e.g. a format or graph mismatch): quarantine it and
+		// re-run the job from round 0 rather than failing it.
+		m.metrics.CheckpointErrs.Add(1)
+		m.store.quarantine(j.Key, ckptFile)
+		env.resume = nil
+		out, err = run(j.Request, env)
+	}
 	if err != nil {
 		m.metrics.CountJob(j.Request.Property, "failed")
-		j.finish(nil, err)
+		finish(nil, err)
 		return
 	}
 	mm := out.Metrics
@@ -302,5 +450,5 @@ func (m *Manager) execute(j *Job) {
 	m.metrics.AddWallSeconds(out.WallSeconds)
 	m.metrics.CountJob(j.Request.Property, "done")
 	m.cache.put(j.Key, out)
-	j.finish(out, nil)
+	finish(out, nil)
 }

@@ -256,14 +256,60 @@ func TestCoalescedCancelNeedsAllSubmitters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if a.Job != b.Job {
 		t.Fatal("identical queued submits were not coalesced")
 	}
 	a.Cancel() // one of two submitters abandons: run must survive
+	a.Cancel() // double Cancel on one handle must not spend b's veto
 	if a.canceled() {
 		t.Fatal("job canceled while a submitter is still attached")
 	}
 	out, err := b.Wait(ctx)
+	if err != nil {
+		t.Fatalf("surviving submitter got %v", err)
+	}
+	if out.Rejected {
+		t.Fatal("grid rejected")
+	}
+	if _, err := blocker.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelIdempotentPerSubmission(t *testing.T) {
+	// Regression for the old Job.Cancel footgun: each Cancel used to
+	// drain one attachment, so a client calling it twice (e.g. a defer
+	// plus an explicit call) canceled the run for everyone coalesced
+	// onto it. A Submission handle releases at most once.
+	m := testManager(t, Config{MaxConcurrent: 1, QueueDepth: 8})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(15))
+	blocker, err := m.Submit(ctx, &Request{
+		Property: PropPlanarity, Epsilon: 0.1, Seed: 1, Graph: graph.MaximalPlanar(3000, rng),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Submit(ctx, gridRequest(PropBipartiteness))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(ctx, gridRequest(PropBipartiteness))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Submit(ctx, gridRequest(PropBipartiteness))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a.Cancel() // five times, one attachment
+	}
+	b.Cancel()
+	if a.canceled() {
+		t.Fatal("job canceled while a submitter is still attached")
+	}
+	out, err := c.Wait(ctx)
 	if err != nil {
 		t.Fatalf("surviving submitter got %v", err)
 	}

@@ -8,6 +8,7 @@ package spanner
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/graph"
@@ -30,6 +31,10 @@ type Options struct {
 	// readable the run aborts with congest.ErrCanceled. Pass a context's
 	// Done() channel; nil disables cancellation.
 	Cancel <-chan struct{}
+	// Deadline is passed through to congest.Config.Deadline: a non-zero
+	// wall-clock instant after which the run aborts with
+	// congest.ErrDeadlineExceeded at the next barrier.
+	Deadline time.Time
 }
 
 // NodeSpanner is a node's local view of the spanner: which of its ports
@@ -138,6 +143,7 @@ func CollectBlocking(g *graph.Graph, opts Options, seed int64) (*graph.Graph, []
 		MaxRounds: 1 << 40,
 		Workers:   opts.Workers,
 		Cancel:    opts.Cancel,
+		Deadline:  opts.Deadline,
 	}, func(api *congest.API) {
 		views[api.Index()] = Build(api, opts)
 	})

@@ -152,6 +152,7 @@ func CollectStep(g *graph.Graph, opts Options, seed int64) (*graph.Graph, []*Nod
 		MaxRounds: 1 << 40,
 		Workers:   opts.Workers,
 		Cancel:    opts.Cancel,
+		Deadline:  opts.Deadline,
 	}, func(node int) congest.StepProgram {
 		return plan.NewNode(func(api *congest.StepAPI, po *partition.Outcome) congest.Status {
 			return congest.BecomeStep(newSpannerNode(po, func(api *congest.StepAPI, v *NodeSpanner) congest.Status {

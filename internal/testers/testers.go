@@ -7,6 +7,8 @@
 package testers
 
 import (
+	"time"
+
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -55,6 +57,10 @@ type Options struct {
 	// readable the run aborts with congest.ErrCanceled. Pass a context's
 	// Done() channel; nil disables cancellation.
 	Cancel <-chan struct{}
+	// Deadline is passed through to congest.Config.Deadline: a non-zero
+	// wall-clock instant after which the run aborts with
+	// congest.ErrDeadlineExceeded at the next barrier.
+	Deadline time.Time
 }
 
 // Test runs the distributed property tester inside a node program and

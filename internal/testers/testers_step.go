@@ -83,6 +83,7 @@ func testersConfig(g *graph.Graph, opts Options, seed int64) congest.Config {
 		MaxRounds:    1 << 40,
 		Workers:      opts.Workers,
 		Cancel:       opts.Cancel,
+		Deadline:     opts.Deadline,
 	}
 }
 

@@ -4,7 +4,7 @@
 // packages lacks a doc comment. It is the docs-hygiene gate wired into
 // CI (.github/workflows/ci.yml) for the packages whose godoc the
 // repository commits to keeping complete: internal/congest,
-// internal/graphio, and internal/service.
+// internal/graphio, internal/service, and internal/faultpoint.
 //
 // Usage: go run scripts/checkdoc.go [package-dir ...]
 //
@@ -28,7 +28,7 @@ import (
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{"internal/congest", "internal/graphio", "internal/service"}
+		dirs = []string{"internal/congest", "internal/graphio", "internal/service", "internal/faultpoint"}
 	}
 	bad := 0
 	for _, dir := range dirs {

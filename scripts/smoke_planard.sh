@@ -7,7 +7,11 @@
 #      require an accept verdict with CONGEST metrics;
 #   4. POST the identical graph again and require a cache hit — both in
 #      the response and in the /metrics counters;
-#   5. shut the server down gracefully (SIGTERM) and require a clean exit.
+#   5. shut the server down gracefully (SIGTERM) and require a clean exit;
+#   6. restart with -checkpoint-dir, SIGKILL the daemon mid-run, restart
+#      it on the same directory, and require the interrupted job to
+#      resume from its checkpoint, finish with the same verdict, and
+#      repopulate the result cache.
 #
 # No dependencies beyond curl and the go toolchain.
 #
@@ -93,4 +97,72 @@ fi
 SRV_PID=""
 grep -q "planard: bye" "$WORK/planard.log" || { echo "FAIL: no clean shutdown marker"; cat "$WORK/planard.log"; exit 1; }
 
-echo "smoke_planard: OK (n=$N, accept + cache hit + graceful shutdown)"
+echo "== crash recovery: checkpointed run must survive SIGKILL + restart"
+CKPT="$WORK/ckpt"
+# Distinct graph (seed 8) so this section cannot collide with the
+# cache/metrics assertions above. The cadence is sparse — a planarity
+# run executes tens of thousands of barriers, so the first checkpoint
+# still lands a few percent into the run, long before completion.
+"$WORK/bin/graphgen" -family randplanar -n "$N" -seed 8 > "$WORK/big.txt"
+
+start_durable() {
+    "$WORK/bin/planard" -addr "127.0.0.1:$PORT" -checkpoint-dir "$CKPT" -checkpoint-every 2048 \
+        > "$1" 2>&1 &
+    SRV_PID=$!
+    for i in $(seq 1 100); do
+        curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 && break
+        kill -0 "$SRV_PID" 2>/dev/null || { echo "planard died on startup:"; cat "$1"; exit 1; }
+        sleep 0.1
+    done
+    curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null
+}
+
+post_big() {
+    curl -sf -X POST "http://127.0.0.1:$PORT/v1/test" \
+        -F 'request={"property":"planarity","epsilon":0.25,"seed":2'"$1"'}' \
+        -F "graph=@$WORK/big.txt"
+}
+
+start_durable "$WORK/planard2.log"
+R3="$(post_big ',"async":true')"
+require "$R3" '"state":' "async POST (durable)"
+
+CKFILE=""
+for i in $(seq 1 600); do
+    CKFILE="$(ls "$CKPT"/jobs/*/state.ckpt 2>/dev/null | head -n1 || true)"
+    [ -n "$CKFILE" ] && break
+    sleep 0.05
+done
+[ -n "$CKFILE" ] || { echo "FAIL: no checkpoint landed before the kill" >&2; cat "$WORK/planard2.log" >&2; exit 1; }
+
+echo "== SIGKILL mid-run (checkpoint on disk: $CKFILE)"
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "== restart on the same -checkpoint-dir: the interrupted job resumes"
+start_durable "$WORK/planard3.log"
+grep -q "resumed 1 interrupted job" "$WORK/planard3.log" || {
+    echo "FAIL: restart did not resume the interrupted job" >&2
+    cat "$WORK/planard3.log" >&2
+    exit 1
+}
+
+R4="$(post_big '')" # sync: coalesces onto the recovered run (or hits its result)
+require "$R4" '"state":"done"'     "post-restart POST"
+require "$R4" '"verdict":"accept"' "post-restart POST (same verdict as an uninterrupted run)"
+
+R5="$(post_big '')"
+require "$R5" '"cache_hit":true'   "post-restart replay (cache repopulated by the recovered run)"
+
+M2="$(curl -sf "http://127.0.0.1:$PORT/metrics")"
+require "$M2" '^planard_recovered_jobs_total 1$' "/metrics (recovery counter)"
+
+kill -TERM "$SRV_PID"
+for i in $(seq 1 100); do
+    kill -0 "$SRV_PID" 2>/dev/null || break
+    sleep 0.1
+done
+SRV_PID=""
+
+echo "smoke_planard: OK (n=$N, accept + cache hit + graceful shutdown + kill-and-resume)"
