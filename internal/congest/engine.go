@@ -55,12 +55,16 @@ type Config struct {
 	// the engine fully sequential. Inboxes are captured before any due
 	// node steps and sends only become deliverable at the next barrier,
 	// so stepping is data-parallel; outboxes, scheduling effects, and
-	// metrics are merged in node-index order after the barrier, making
+	// metrics are merged in node-index order after the barrier —
+	// message-heavy barriers route in parallel by disjoint receiver
+	// shard, which preserves the same per-mailbox order — making
 	// Results byte-identical for every Workers value
-	// (TestParallelEngineEquivalence, DESIGN.md §6). Runs that end in an
-	// error (node panic, bit-bound violation) report the same error, but
-	// verdicts recorded in the failing round by nodes after the failing
-	// one may differ from the sequential engine's.
+	// (TestParallelEngineEquivalence, DESIGN.md §6, §10). Runs that end
+	// in an error (node panic, bit-bound violation) report the same
+	// error, but verdicts recorded in the failing round by nodes after
+	// the failing one may differ from the sequential engine's, and the
+	// aborted round's message/bit counters and undelivered mailboxes
+	// may differ as well — error runs promise only the identical error.
 	Workers int
 	// Cancel aborts the run when it becomes readable: the engine polls it
 	// at every round barrier and ends the run with ErrCanceled. Pass a
@@ -230,6 +234,8 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 		outbox:       make([][]outMsg, n),
 		rejFlag:      make([]bool, n),
 		modeled:      make([]int64, n),
+		chargedMsgs:  make([]int64, n),
+		chargedBits:  make([]int64, n),
 		rngs:         make([]*rand.Rand, n),
 		rngSrc:       make([]*countingSource, n),
 		apis:         make([]StepAPI, n),
@@ -269,10 +275,13 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 	}
 	eng.run(due, false)
 	eng.shutdown()
+	eng.releaseRNG()
 
 	eng.m.Rounds = eng.round
 	for i := range eng.modeled {
 		eng.m.ModeledRounds += eng.modeled[i]
+		eng.m.Messages += eng.chargedMsgs[i]
+		eng.m.TotalBits += eng.chargedBits[i]
 	}
 	return &Result{Verdicts: eng.verdicts, Metrics: eng.m}, eng.runErr
 }
@@ -347,17 +356,64 @@ type engine struct {
 	statuses []Status // per due position, filled by the workers
 	wPanPos  []int    // per worker: due position of its panic (-1: none)
 	wPanVal  []any
+	wMerge   []mergeState // per worker: sharded-merge accumulators
+
+	// Sharded-merge scratch: due nodes that returned statusDone this
+	// barrier (ascending node ids, parallel due positions), so shard
+	// workers can apply the sequential engine's done-at-routing-time
+	// drop rule before any status has been applied (DESIGN.md §10).
+	doneDue []int32
+	donePos []int32
+
+	// chargedMsgs/chargedBits are per-node slabs of modeled traffic
+	// charged through StepAPI.ChargeTraffic for exchanges a program
+	// elided (e.g. Stage I's fixed-point fast-forward); summed into
+	// Metrics.Messages/TotalBits at run end, and folded into snapshot
+	// headers so resumed totals stay byte-identical (DESIGN.md §10).
+	chargedMsgs []int64
+	chargedBits []int64
 }
 
-// workChunk is one worker's share of a barrier: a contiguous slice of the
-// due list and the matching slice of the status buffer. Because the due
-// list is in ascending node order, a chunk walks a contiguous span of
-// every slab.
+// workChunk is one worker's share of a barrier. In the compute phase it
+// is a contiguous slice of the due list and the matching slice of the
+// status buffer; because the due list is in ascending node order, a
+// chunk walks a contiguous span of every slab. In the merge phase
+// (merge=true) every worker receives the full due list plus a disjoint
+// receiver-id range [shardLo, shardHi) and routes only the messages
+// addressed into its shard (see mergeShard, DESIGN.md §10).
 type workChunk struct {
 	due      []int32
 	statuses []Status
-	base     int // due position of due[0]
-	wi       int // worker slot for panic reporting
+	base     int // due position of due[0] (compute)
+	wi       int // worker slot for panic/event reporting
+	merge    bool
+	shardLo  int32 // merge: receiver-id range [shardLo, shardHi)
+	shardHi  int32
+}
+
+// Merge-phase event kinds: the first (due position, outbox index) event
+// decides the run's error, exactly as the sequential merge would.
+const (
+	evtNone uint8 = iota
+	evtBound
+	evtPanic
+)
+
+// mergeState is one worker's private accumulator for a sharded merge:
+// shard-local metric counters, the shard's mailDue fragment, and the
+// earliest abort event the worker observed. Workers write only their
+// own entry; the engine loop folds all entries after the join.
+type mergeState struct {
+	msgs    int64
+	bits    int64
+	dropped int64
+	maxBits int
+	mail    []int32 // receivers whose mailbox went empty→non-empty
+	evtPos  int     // due position of the first event (-1: none)
+	evtMsg  int     // outbox index of the first event
+	evtKind uint8
+	evtBits int // evtBound: the offending message size
+	evtVal  any // evtPanic: the recovered value
 }
 
 // minParallelDue is the barrier size below which the engine steps due
@@ -602,6 +658,31 @@ func (e *engine) stepParallel(due []int32) bool {
 			panPos, panVal = p, e.wPanVal[wi]
 		}
 	}
+	// Choose the merge strategy. Message-heavy barriers merge by
+	// receiver shard (mergeSharded); barriers with little routing work,
+	// or any abnormal status, take the sequential merge below — which is
+	// byte-for-byte the pre-shard engine, so panic semantics are
+	// inherited rather than re-proved (DESIGN.md §10).
+	useShard := panPos < 0
+	totalMsgs := 0
+	if useShard {
+		for k, i := range due {
+			if sts[k].kind == statusPanic {
+				useShard = false
+				break
+			}
+			totalMsgs += len(e.outbox[i])
+		}
+	}
+	if useShard {
+		mw := e.workers
+		if lim := totalMsgs / minShardMsgs; mw > lim {
+			mw = lim
+		}
+		if mw >= 2 {
+			return e.mergeSharded(due, sts, mw)
+		}
+	}
 	for k, i := range due {
 		if k == panPos {
 			// Matches the sequential engine's panic handling: the first
@@ -624,6 +705,176 @@ func (e *engine) stepParallel(due []int32) bool {
 	return true
 }
 
+// minShardMsgs is the minimum number of queued messages per merge
+// worker: below it, shard workers would spend more time scanning
+// outboxes for other shards' traffic than routing their own. Both merge
+// paths produce identical Results, so — like minParallelDue — this is
+// purely a tuning knob.
+const minShardMsgs = 1024
+
+// mergeSharded is the parallel merge phase of one barrier: the receiver
+// id space [0, n) is cut into mw contiguous shards and each worker
+// routes, in due order, exactly the messages addressed into its shard.
+// Shards are disjoint, so every mailbox has a single writer, and each
+// worker visits senders (and each sender's outbox) in the same order
+// the sequential merge does, so per-mailbox append order — and with it
+// the sorted-by-sender invariant — is preserved by construction.
+// Metric counters and the mailDue list are accumulated per worker and
+// folded sequentially after the join; mailDue order across shards is
+// irrelevant (its consumers filter by phase and dedup through the
+// queued bitset). Status application, clearRound, and the rejection
+// fold run sequentially afterwards in due order, exactly like the
+// sequential merge. See DESIGN.md §10 for the full determinism
+// argument. It reports false when the run must end.
+func (e *engine) mergeSharded(due []int32, sts []Status, mw int) bool {
+	// The sequential merge interleaves routing with status application,
+	// so a message to a node that terminated earlier in due order is
+	// dropped. Shard workers route before any status is applied; the
+	// doneDue/donePos tables let them apply the same rule: drop iff the
+	// receiver was done before the barrier, or returned statusDone at an
+	// earlier due position than the sender.
+	e.doneDue, e.donePos = e.doneDue[:0], e.donePos[:0]
+	for k, i := range due {
+		if sts[k].kind == statusDone {
+			e.doneDue = append(e.doneDue, i)
+			e.donePos = append(e.donePos, int32(k))
+		}
+	}
+	e.ensurePool(mw)
+	shard := (e.n + mw - 1) / mw
+	for wi := 0; wi < mw; wi++ {
+		lo := int32(wi * shard)
+		hi := lo + int32(shard)
+		if hi > int32(e.n) {
+			hi = int32(e.n)
+		}
+		e.workCh <- workChunk{due: due, wi: wi, merge: true, shardLo: lo, shardHi: hi}
+	}
+	for k := 0; k < mw; k++ {
+		<-e.doneCh
+	}
+	// Each worker stopped at its shard's first abort event in
+	// (due position, outbox index) order, so the minimum across shards
+	// is the event the sequential merge would have hit first.
+	evtWi := -1
+	for wi := 0; wi < mw; wi++ {
+		st := &e.wMerge[wi]
+		if st.evtKind == evtNone {
+			continue
+		}
+		if evtWi == -1 || st.evtPos < e.wMerge[evtWi].evtPos ||
+			(st.evtPos == e.wMerge[evtWi].evtPos && st.evtMsg < e.wMerge[evtWi].evtMsg) {
+			evtWi = wi
+		}
+	}
+	if evtWi >= 0 {
+		st := &e.wMerge[evtWi]
+		i := int(due[st.evtPos])
+		e.curNode = i
+		if st.evtKind == evtBound {
+			e.runErr = fmt.Errorf("congest: node %d sent %d-bit message, bound is %d",
+				i, st.evtBits, e.bitBound)
+			e.apis[i].clearRound()
+		} else {
+			e.runErr = fmt.Errorf("congest: node %d (id %d) panicked at round %d: %v",
+				i, e.ids[i], e.round, st.evtVal)
+			e.phase[i] = phaseDone
+		}
+		return false
+	}
+	for wi := 0; wi < mw; wi++ {
+		st := &e.wMerge[wi]
+		e.m.Messages += st.msgs
+		e.m.TotalBits += st.bits
+		e.m.DroppedToDone += st.dropped
+		if st.maxBits > e.m.MaxMessageBits {
+			e.m.MaxMessageBits = st.maxBits
+		}
+		e.mailDue = append(e.mailDue, st.mail...)
+	}
+	for k, i := range due {
+		if len(e.outbox[i]) > 0 {
+			e.apis[i].clearRound()
+		}
+		if e.rejFlag[i] {
+			e.rejected = true
+		}
+		e.applyStatus(int(i), sts[k])
+	}
+	return true
+}
+
+// mergeShard routes one receiver shard: it walks the full due list in
+// order and delivers every queued message whose receiver falls in
+// [shardLo, shardHi), maintaining shard-local counters and stopping at
+// the shard's first abort event (bit-bound violation, or a panicking
+// Message.Bits implementation — the only foreign code on this path).
+func (e *engine) mergeShard(wc workChunk) {
+	st := &e.wMerge[wc.wi]
+	var msgs, totalBits, dropped int64
+	maxBits := 0
+	mail := st.mail[:0]
+	curPos, curMsg := 0, 0
+	evtPos, evtMsg := -1, 0
+	evtKind, evtBits := evtNone, 0
+	defer func() {
+		st.msgs, st.bits, st.dropped, st.maxBits = msgs, totalBits, dropped, maxBits
+		st.mail = mail
+		st.evtPos, st.evtMsg, st.evtKind, st.evtBits = evtPos, evtMsg, evtKind, evtBits
+		if r := recover(); r != nil {
+			st.evtPos, st.evtMsg, st.evtKind, st.evtVal = curPos, curMsg, evtPanic, r
+		}
+	}()
+	for k, i := range wc.due {
+		ob := e.outbox[i]
+		if len(ob) == 0 {
+			continue
+		}
+		nbrs := e.g.Neighbors(int(i))
+		rp := e.revPort[i]
+		for mi := range ob {
+			om := &ob[mi]
+			to := nbrs[om.port]
+			if to < wc.shardLo || to >= wc.shardHi {
+				continue
+			}
+			curPos, curMsg = k, mi
+			bits := om.msg.Bits()
+			if bits > e.bitBound {
+				evtPos, evtMsg, evtKind, evtBits = k, mi, evtBound, bits
+				return
+			}
+			if e.phase[to] == phaseDone || e.doneBefore(to, k) {
+				dropped++
+				continue
+			}
+			th := &e.hot[to]
+			if len(th.mailbox) == 0 {
+				mail = append(mail, to)
+			}
+			th.mailbox = append(th.mailbox, Inbound{
+				Port: int(rp[om.port]),
+				From: int(i),
+				Msg:  om.msg,
+			})
+			msgs++
+			totalBits += int64(bits)
+			if bits > maxBits {
+				maxBits = bits
+			}
+		}
+	}
+}
+
+// doneBefore reports whether receiver to terminated at a due position
+// earlier than senderPos in the current barrier — the sharded merge's
+// stand-in for the sequential merge's "already phaseDone at routing
+// time" test.
+func (e *engine) doneBefore(to int32, senderPos int) bool {
+	j, found := slices.BinarySearch(e.doneDue, to)
+	return found && int(e.donePos[j]) < senderPos
+}
+
 // ensurePool lazily starts the worker goroutines. Workers exit when
 // workCh closes (engine shutdown).
 func (e *engine) ensurePool(w int) {
@@ -632,6 +883,7 @@ func (e *engine) ensurePool(w int) {
 		e.doneCh = make(chan struct{}, e.workers)
 		e.wPanPos = make([]int, e.workers)
 		e.wPanVal = make([]any, e.workers)
+		e.wMerge = make([]mergeState, e.workers)
 	}
 	for e.pool < w {
 		go e.workerLoop()
@@ -641,7 +893,11 @@ func (e *engine) ensurePool(w int) {
 
 func (e *engine) workerLoop() {
 	for wc := range e.workCh {
-		e.computeChunk(wc)
+		if wc.merge {
+			e.mergeShard(wc)
+		} else {
+			e.computeChunk(wc)
+		}
 		e.doneCh <- struct{}{}
 	}
 }
@@ -797,6 +1053,14 @@ func (e *engine) finishNode(i int, status Status) bool {
 	if e.rejFlag[i] {
 		e.rejected = true
 	}
+	e.applyStatus(i, status)
+	return true
+}
+
+// applyStatus applies a stepped node's scheduling outcome: termination,
+// a sleep with an explicit wake round, or re-arming for the next round.
+// Called in due order by both merge paths, so nrList stays ascending.
+func (e *engine) applyStatus(i int, status Status) {
 	switch status.kind {
 	case statusDone:
 		e.phase[i] = phaseDone
@@ -814,7 +1078,6 @@ func (e *engine) finishNode(i int, status Status) bool {
 		e.deadline[i] = int64(e.round + 1)
 		e.parkNode(i)
 	}
-	return true
 }
 
 // parkNode records where the waiting node wakes next. Nodes due at the

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sync"
 
 	"repro/internal/graphio"
 )
@@ -31,7 +32,7 @@ import (
 // version 1"); snapshotVersion is bumped on any layout change.
 const (
 	snapshotMagic   = "PCK1"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
 // snapshotFooterLen is the length of the SHA-256 integrity footer.
@@ -494,9 +495,34 @@ func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
 
 func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
 
-// nodeRNGSource is the seeding rule shared by first use and restore.
+// rngSourcePool recycles the ~5KB math/rand source state across nodes
+// and runs. A pooled source is fully re-seeded before every use —
+// rngSource.Seed rebuilds the exact state NewSource would produce — so
+// reuse never perturbs a draw sequence.
+var rngSourcePool = sync.Pool{
+	New: func() any { return rand.NewSource(1).(rand.Source64) },
+}
+
+// nodeRNGSource is the seeding rule shared by first use and restore. The
+// backing state comes from rngSourcePool; the engine hands it back via
+// releaseRNG when the run ends.
 func nodeRNGSource(seed int64, node int) rand.Source64 {
-	return rand.NewSource(seed ^ (0x5E3779B97F4A7C15 * int64(node+1))).(rand.Source64)
+	src := rngSourcePool.Get().(rand.Source64)
+	src.Seed(seed ^ (0x5E3779B97F4A7C15 * int64(node+1)))
+	return src
+}
+
+// releaseRNG returns every allocated randomness source to the pool.
+// Called once after the run loop finishes; no RNG state is read past
+// this point (Results carry only counters).
+func (e *engine) releaseRNG() {
+	for i, src := range e.rngSrc {
+		if src != nil {
+			rngSourcePool.Put(src.src)
+			e.rngSrc[i] = nil
+			e.rngs[i] = nil
+		}
+	}
 }
 
 // encodeSnapshot serializes the full engine state at the current
@@ -525,8 +551,17 @@ func (e *engine) encodeSnapshot() ([]byte, error) {
 	enc.Uvarint(uint64(e.barriers))
 	enc.Uvarint(uint64(e.alive))
 	enc.Bool(e.rejected)
-	enc.Uvarint(uint64(e.m.Messages))
-	enc.Uvarint(uint64(e.m.TotalBits))
+	// Traffic charged through StepAPI.ChargeTraffic folds into the
+	// header totals: the resumed engine starts with the folded sums and
+	// fresh zero charge slabs, so final Messages/TotalBits are identical
+	// no matter where the run was cut (DESIGN.md §10).
+	var chMsgs, chBits int64
+	for i := 0; i < e.n; i++ {
+		chMsgs += e.chargedMsgs[i]
+		chBits += e.chargedBits[i]
+	}
+	enc.Uvarint(uint64(e.m.Messages + chMsgs))
+	enc.Uvarint(uint64(e.m.TotalBits + chBits))
 	enc.Uvarint(uint64(e.m.MaxMessageBits))
 	enc.Uvarint(uint64(e.m.DroppedToDone))
 	for _, id := range e.ids {
@@ -657,6 +692,8 @@ func ResumeStep(cfg Config, data []byte, restore RestoreFunc) (*Result, error) {
 		outbox:       make([][]outMsg, n),
 		rejFlag:      make([]bool, n),
 		modeled:      make([]int64, n),
+		chargedMsgs:  make([]int64, n),
+		chargedBits:  make([]int64, n),
 		rngs:         make([]*rand.Rand, n),
 		rngSrc:       make([]*countingSource, n),
 		apis:         make([]StepAPI, n),
@@ -799,10 +836,13 @@ func ResumeStep(cfg Config, data []byte, restore RestoreFunc) (*Result, error) {
 
 	eng.run(nil, true)
 	eng.shutdown()
+	eng.releaseRNG()
 
 	eng.m.Rounds = eng.round
 	for i := range eng.modeled {
 		eng.m.ModeledRounds += eng.modeled[i]
+		eng.m.Messages += eng.chargedMsgs[i]
+		eng.m.TotalBits += eng.chargedBits[i]
 	}
 	return &Result{Verdicts: eng.verdicts, Metrics: eng.m}, eng.runErr
 }

@@ -178,6 +178,19 @@ func (a *StepAPI) ChargeModeledRounds(r int) {
 	a.eng.modeled[a.node] += int64(r)
 }
 
+// ChargeTraffic adds msgs messages totaling bits bits to this node's
+// modeled-traffic counters. Programs that elide exchanges whose content
+// is provably fixed — Stage I's forest-decomposition fast-forward
+// (DESIGN.md §10) — charge exactly the traffic the elided rounds would
+// have sent, so Metrics.Messages and Metrics.TotalBits stay identical
+// to an unbatched run. Charges are per-node, summed into the run's
+// Metrics at the end, and folded into snapshot headers so resumed runs
+// report the same totals.
+func (a *StepAPI) ChargeTraffic(msgs, bits int64) {
+	a.eng.chargedMsgs[a.node] += msgs
+	a.eng.chargedBits[a.node] += bits
+}
+
 // clearRound resets the per-round send state after the engine drained the
 // outbox. Buffers are retained to avoid per-round allocation. A node
 // that sent nothing has nothing to clear (every set bit in sentBits is

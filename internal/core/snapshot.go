@@ -114,9 +114,9 @@ func init() {
 		func(d *congest.SnapDecoder) congest.Message {
 			return labelChunk{Elems: d.Int32s(), Last: d.Bool()}
 		})
-	congest.RegisterMessageCodec(msgKindSampleChunk, sampleChunk{},
+	congest.RegisterMessageCodec(msgKindSampleChunk, &sampleChunk{},
 		func(e *congest.SnapEncoder, m congest.Message) {
-			c := m.(sampleChunk)
+			c := m.(*sampleChunk)
 			e.Varint(c.Owner)
 			e.Varint(int64(c.EIdx))
 			e.Varint(int64(c.CIdx))
@@ -124,7 +124,7 @@ func init() {
 			e.Int32s(c.Elems)
 		},
 		func(d *congest.SnapDecoder) congest.Message {
-			return sampleChunk{
+			return &sampleChunk{
 				Owner: d.Varint(),
 				EIdx:  int32(d.Varint()),
 				CIdx:  int32(d.Varint()),

@@ -4,7 +4,12 @@
 // the Barenboim–Elkin H-partition forest decomposition (§2.1.1).
 //
 // The functions here are the pure, single-step building blocks; package
-// partition emulates them distributedly on the CONGEST simulator.
+// partition emulates them distributedly on the CONGEST simulator. In
+// that emulation, one H-partition level = one super-round of 2D+1
+// CONGEST rounds per merging phase of Theorem 3, and
+// HPartitionRounds(n) bounds the levels needed — it is the worst-case
+// super-round count that partition's fixed-point fast-forward trims at
+// run time (DESIGN.md §10).
 package forest
 
 import (

@@ -4,6 +4,21 @@
 // baseline mentioned in §1.1. All algorithms run as node programs on the
 // CONGEST simulator (package congest) and produce, at every node, the part
 // root identity and the rooted spanning tree structure of Lemma 6.
+//
+// The deterministic variant's round structure mirrors Theorem 3: each of
+// the Phases() merging phases runs superRounds(n) = Θ(log n) forest-
+// decomposition super-rounds (package forest supplies the per-level
+// peeling rule), and each super-round spends 2D+1 engine rounds — a
+// status broadcast down the part tree, a cross-edge activity exchange,
+// and a convergecast back up — at the phase's diameter budget D =
+// phaseBudget(phase). The decomposition is monotone and usually reaches
+// its fixed point well before the worst-case super-round count, so the
+// step interpreter detects the fixed point and fast-forwards the dead
+// tail, charging exactly the traffic the skipped exchanges would have
+// sent; the phase's contraction cascades (levels, parity weights,
+// contraction parities over the marked trees) get the same treatment
+// once their deepest part is reached. Results are byte-identical either
+// way (DESIGN.md §10, Options.NoSuperRoundBatching).
 package partition
 
 import (
@@ -62,6 +77,12 @@ type Options struct {
 	// schedule (used by the per-phase experiments E3/E4 to observe the
 	// partition after exactly k phases).
 	MaxPhases int
+	// NoSuperRoundBatching disables the forest-decomposition fixed-point
+	// fast-forward of the step interpreter (DESIGN.md §10) so every
+	// super-round executes literally. Both settings produce byte-identical
+	// Results (TestStageIBatchingEquivalence); the toggle exists for that
+	// test and for profiling the unbatched schedule.
+	NoSuperRoundBatching bool
 }
 
 func (o Options) withDefaults() Options {

@@ -286,6 +286,12 @@ func (s *stageINode) EncodeState(e *congest.SnapEncoder) {
 	e.Bools(s.actSeen)
 	e.Bool(s.stStatus.Active)
 	e.Int64s(s.stStatus.Watch)
+	e.Bool(s.fdJoined)
+	e.Bool(s.fdDirty)
+	e.Uvarint(s.fdCleanMask)
+	e.Bool(s.fdFF)
+	e.Bool(s.cascFF)
+	e.Int(s.fdFFUntil)
 	e.Varint(s.bestW)
 	e.Varint(s.bestTarget)
 	e.Msg(s.opMsg)
@@ -320,7 +326,10 @@ func (s *stageINode) EncodeState(e *congest.SnapEncoder) {
 // NewNode. The returned program reinstalls its function-typed state
 // (convergecast combiners) on its first Step.
 func (pl *StageIPlan) ResumeNode(d *congest.SnapDecoder, onDone func(api *congest.StepAPI, out *Outcome) congest.Status) (congest.StepProgram, error) {
-	s := &stageINode{plan: pl, onDone: onDone, restored: true}
+	s := pl.allocNode()
+	s.plan = pl
+	s.onDone = onDone
+	s.restored = true
 	s.started = d.Bool()
 	s.finished = d.Bool()
 	s.phase = d.Int()
@@ -362,6 +371,12 @@ func (pl *StageIPlan) ResumeNode(d *congest.SnapDecoder, onDone func(api *conges
 	s.actSeen = d.Bools()
 	s.stStatus.Active = d.Bool()
 	s.stStatus.Watch = d.Int64s()
+	s.fdJoined = d.Bool()
+	s.fdDirty = d.Bool()
+	s.fdCleanMask = d.Uvarint()
+	s.fdFF = d.Bool()
+	s.cascFF = d.Bool()
+	s.fdFFUntil = d.Int()
 	s.bestW = d.Varint()
 	s.bestTarget = d.Varint()
 	s.opMsg = d.Msg()
@@ -393,6 +408,42 @@ func (pl *StageIPlan) ResumeNode(d *congest.SnapDecoder, onDone func(api *conges
 	}
 	if !s.finished && (s.pc < 0 || s.pc >= len(pl.ops)) {
 		return nil, fmt.Errorf("partition: stage I snapshot: pc %d out of range [0,%d)", s.pc, len(pl.ops))
+	}
+	// The plan's batching counters (fdParticipants/fdStable) are single-run
+	// state, so the resumed run's fresh plan rebuilds them here from the
+	// decoded nodes. ResumeNode runs before the engine starts, so plain
+	// increments suffice. Finished nodes no longer vote: their phase is
+	// over and its counter slots are never read again.
+	if s.fdJoined && !s.finished && pl.fdParticipants != nil {
+		p := s.phase - 1
+		pl.fdParticipants[p]++
+		for l := 1; l < pl.S && l < 64; l++ {
+			if s.fdCleanMask&(1<<uint(l)) != 0 {
+				pl.fdStable[p*pl.S+l]++
+			}
+		}
+	}
+	// The cascade-window tallies (DESIGN.md §10) rebuild the same way: a
+	// root's restored T-membership, level, and contraction parity imply
+	// exactly the tally writes its history performed this phase — level 0
+	// and its parity are assigned in the hop-0 entry glue, level L >= 1
+	// (and its parity) during hop L-1 of the respective cascade.
+	if !s.finished && s.phase >= 1 && s.tree.ParentPort == -1 {
+		p := s.phase - 1
+		if s.partInT {
+			pl.cascInT[p]++
+		}
+		if L := s.partLevel; L >= 0 && L <= treeHeightBound {
+			slot := 0
+			if L > 0 {
+				slot = L - 1
+			}
+			pl.lvlAt[p*treeHeightBound+slot]++
+			pl.lvlByVal[p*(treeHeightBound+1)+L]++
+			if s.parity >= 0 {
+				pl.decAt[p*treeHeightBound+slot]++
+			}
+		}
 	}
 	return s, nil
 }

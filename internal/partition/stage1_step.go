@@ -2,6 +2,8 @@ package partition
 
 import (
 	"fmt"
+	"slices"
+	"sync/atomic"
 
 	"repro/internal/congest"
 	"repro/internal/forest"
@@ -102,6 +104,43 @@ type StageIPlan struct {
 	iters  int // Cole-Vishkin reduction iterations
 	trials int // randomized: weighted-edge-selection trials
 	ops    []sOp
+	fdEnd  int // op index just past the forest-decomposition loop
+
+	// Super-round batching coordination (DESIGN.md §10). A plan carries
+	// single-run counter state: every run (and every resume) compiles its
+	// own plan, and ResumeNode rebuilds the counters from the decoded
+	// nodes. fdParticipants[p] counts the nodes that entered phase p+1's
+	// forest decomposition; fdStable[p*S+l] counts participants whose
+	// super-round l of phase p+1 was clean (no local decomposition state
+	// change). Both are updated with atomics from parallel workers and
+	// read only at rounds strictly after the last write to the slot, so
+	// the engine barrier provides the happens-before edge (DESIGN.md §10).
+	fdParticipants []int64
+	fdStable       []int64
+
+	// Cascade-window tallies (DESIGN.md §10), maintained for both
+	// variants: cascInT[p] counts the parts of phase p+1 that joined the
+	// marked trees T; lvlAt[p*H+h] and decAt[p*H+h] count the parts whose
+	// level / contraction parity was assigned during hop h of the phase's
+	// cascade loops; lvlByVal[p*(H+1)+L] counts the parts holding level L
+	// (H = treeHeightBound). Roots write with atomics; readers only load
+	// slots whose last write is at least one hop (2D+1 rounds, hence one
+	// engine barrier) old, so the same happens-before argument applies.
+	cascInT  []int64
+	lvlAt    []int64
+	decAt    []int64
+	lvlByVal []int64
+
+	// nodeSlab backs the run's interpreter nodes in node-index order: the
+	// engine walks due lists ascending, and one contiguous array with a
+	// fixed stride keeps the hardware prefetcher ahead of the per-wake
+	// first-line load that dominates the Stage I profile (DESIGN.md §5).
+	// Both RunStep and ResumeStep construct nodes in ascending order, so
+	// slab order matches node order; overflow (never expected) falls back
+	// to individual allocation.
+	nodeSlab []stageINode
+	nodeNext int
+	n        int
 }
 
 // NewStageIPlan compiles the Stage I schedule for an n-node network. Both
@@ -116,7 +155,12 @@ func NewStageIPlan(opts Options, n int) *StageIPlan {
 		S:      superRounds(n),
 		iters:  forest.CVIterations(int64(n)),
 		trials: opts.SelectionTrials(),
+		n:      n,
 	}
+	pl.cascInT = make([]int64, pl.phases)
+	pl.lvlAt = make([]int64, pl.phases*treeHeightBound)
+	pl.decAt = make([]int64, pl.phases*treeHeightBound)
+	pl.lvlByVal = make([]int64, pl.phases*(treeHeightBound+1))
 	add := func(kind sOpKind, tag sTag, arg int32) {
 		pl.ops = append(pl.ops, sOp{kind: kind, tag: tag, arg: arg})
 	}
@@ -141,12 +185,15 @@ func NewStageIPlan(opts Options, n int) *StageIPlan {
 			add(sCvg, tTrialWeight, int32(t))
 		}
 	} else {
+		pl.fdParticipants = make([]int64, pl.phases)
+		pl.fdStable = make([]int64, pl.phases*pl.S)
 		for l := 0; l < pl.S; l++ {
 			add(sBcast, tFDStatus, int32(l))
 			add(sCross, tFDActivity, int32(l))
 			add(sCvg, tFDAgg, int32(l))
 		}
 	}
+	pl.fdEnd = len(pl.ops)
 	add(sBcast, tSel, 0)
 	add(sCvg, tCand, 0)
 	add(sBcast, tWinner, 0)
@@ -202,26 +249,53 @@ func NewStageIPlan(opts Options, n int) *StageIPlan {
 // Outcome; its Status becomes the node's next scheduling instruction
 // (Done for standalone runs, Become(stageII) for the full tester).
 func (pl *StageIPlan) NewNode(onDone func(api *congest.StepAPI, out *Outcome) congest.Status) congest.StepProgram {
-	return &stageINode{plan: pl, onDone: onDone}
+	s := pl.allocNode()
+	s.plan = pl
+	s.onDone = onDone
+	return s
+}
+
+// allocNode hands out the next nodeSlab entry (see the field comment).
+func (pl *StageIPlan) allocNode() *stageINode {
+	if pl.nodeSlab == nil {
+		pl.nodeSlab = make([]stageINode, pl.n)
+	}
+	if pl.nodeNext >= len(pl.nodeSlab) {
+		return &stageINode{}
+	}
+	s := &pl.nodeSlab[pl.nodeNext]
+	pl.nodeNext++
+	return s
 }
 
 // stageINode is the per-node interpreter state plus the mirror of the
 // blocking state struct (state.go), with port-indexed slices in place of
 // maps and reusable scratch buffers in place of per-phase allocation.
 type stageINode struct {
+	// The dispatch cluster — everything Step touches before entering an
+	// op — is packed into the struct's first cache line: with ~19 lines
+	// of interpreter state per node and 10⁵-node due lists, the first
+	// field loads dominate the Stage I profile, so the flags and scalars
+	// the per-wake prologue reads must not be scattered (DESIGN.md §5).
 	plan   *StageIPlan
 	onDone func(api *congest.StepAPI, out *Outcome) congest.Status
 
-	started  bool
-	finished bool
-	restored bool // decoded from a checkpoint; closures need reattaching
-	phase    int  // 1-based
-	pc       int
-	inOp     bool
-	D        int
+	started   bool
+	finished  bool
+	restored  bool // decoded from a checkpoint; closures need reattaching
+	inOp      bool
+	fdJoined  bool // entered this phase's forest decomposition (§10)
+	fdDirty   bool // current super-round changed local FD state
+	fdFF      bool // fast-forwarding the remaining super-rounds
+	cascFF    bool // fast-forwarding a cascade loop's quiet tail (§10)
+	phase     int  // 1-based
+	pc        int
+	D         int
+	fdFFUntil int // round the current fast-forward window ends at
 
-	phasesRun int
-	earlyExit bool
+	phasesRun   int
+	earlyExit   bool
+	fdCleanMask uint64 // bit l set: super-round l was clean at this node
 
 	bd congest.BroadcastDownStep
 	cv congest.ConvergecastStep
@@ -328,6 +402,23 @@ func (s *stageINode) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 			}
 			return s.onDone(api, out)
 		}
+		if s.fdFF {
+			// Inside a batched super-round window (defensive: no message
+			// can reach a windowed node, so only the deadline wakes it).
+			if api.Round() < s.fdFFUntil {
+				return congest.Sleep(s.fdFFUntil)
+			}
+			s.fdFF = false
+			s.fdFinish(api)
+		}
+		if s.cascFF {
+			// Inside a cascade quiet-tail window; unlike the FD window
+			// there is no post-loop glue to run at the wake round.
+			if api.Round() < s.fdFFUntil {
+				return congest.Sleep(s.fdFFUntil)
+			}
+			s.cascFF = false
+		}
 		op := &s.plan.ops[s.pc]
 		switch op.kind {
 		case sBoundary:
@@ -345,6 +436,12 @@ func (s *stageINode) Step(api *congest.StepAPI, inbox []congest.Inbound) congest
 
 		case sBcast:
 			if !s.inOp {
+				if op.tag == tFDStatus && s.fdWindow(api, int(op.arg)) {
+					return congest.Sleep(s.fdFFUntil)
+				}
+				if s.cascWindow(api, op) {
+					return congest.Sleep(s.fdFFUntil)
+				}
 				if !s.bd.Begin(api, s.tree, api.Round()+s.D, s.prepBcast(api, op), nil) {
 					s.inOp = true
 					return s.bd.Wake()
@@ -467,6 +564,12 @@ func (s *stageINode) beginPhase(api *congest.StepAPI) {
 	s.watch = s.watch[:0]
 	s.pending = s.pending[:0]
 	s.outs = s.outs[:0]
+	s.fdJoined = false
+	s.fdDirty = false
+	s.fdCleanMask = 0
+	s.fdFF = false
+	s.cascFF = false
+	s.fdFFUntil = 0
 	s.mkPCOK = false
 	s.sums = colorSums{}
 	s.acc = pairMsg{}
@@ -560,6 +663,7 @@ func (s *stageINode) prepBcast(api *congest.StepAPI, op *sOp) congest.Message {
 	case tLvlAnn:
 		if op.arg == 0 && s.tree.IsRoot() && s.partInT && !s.partOutMkd {
 			s.partLevel = 0 // computeLevels entry glue
+			s.recordLevel(0)
 		}
 		if s.tree.IsRoot() && s.partLevel == int(op.arg) {
 			return vmsg(int64(s.partLevel))
@@ -591,6 +695,7 @@ func (s *stageINode) prepBcast(api *congest.StepAPI, op *sOp) congest.Message {
 				} else {
 					s.parity = 1
 				}
+				atomic.AddInt64(&s.plan.decAt[(s.phase-1)*treeHeightBound], 1)
 			}
 		}
 		if s.tree.IsRoot() && s.partLevel == int(op.arg) && s.parity >= 0 {
@@ -624,9 +729,20 @@ func (s *stageINode) absorbBcast(api *congest.StepAPI, op *sOp, got congest.Mess
 		if got.(valMsg).V == 0 {
 			s.earlyExit = true
 			s.finished = true
+		} else if s.plan.opts.Variant == Deterministic {
+			// This node runs the phase's forest decomposition; register it
+			// so fdWindow can tell when every participant is at the fixed
+			// point. The counter settles at this op's deadline barrier,
+			// strictly before the first read (super-round 3's first round).
+			s.fdJoined = true
+			atomic.AddInt64(&s.plan.fdParticipants[s.phase-1], 1)
 		}
 	case tFDStatus:
-		s.stStatus = got.(statusMsg)
+		g := got.(statusMsg)
+		if g.Active != s.stStatus.Active || !slices.Equal(g.Watch, s.stStatus.Watch) {
+			s.fdDirty = true
+		}
+		s.stStatus = g
 	case tTrialAnn:
 		s.opMsg = got // the drawn target (valMsg) or noneMsg
 	case tSel:
@@ -860,6 +976,13 @@ func (s *stageINode) absorbCvg(api *congest.StepAPI, op *sOp, agg congest.Messag
 		if root {
 			s.fdRootDecision(api, agg.(decompAgg), int(op.arg))
 		}
+		if l := int(op.arg); s.fdJoined && !s.fdDirty && l >= 1 && l < 64 {
+			// Super-round l replayed super-round l-1 at this node verbatim;
+			// fdWindow reads the tally two super-rounds later (DESIGN.md
+			// §10), so the atomic add below settles well before any read.
+			s.fdCleanMask |= 1 << uint(l)
+			atomic.AddInt64(&s.plan.fdStable[(s.phase-1)*s.plan.S+l], 1)
+		}
 		if int(op.arg) == s.plan.S-1 {
 			s.fdFinish(api)
 		}
@@ -899,11 +1022,15 @@ func (s *stageINode) absorbCvg(api *congest.StepAPI, op *sOp, agg congest.Messag
 	case tAnyKid:
 		if root {
 			s.partInT = s.partOutMkd || agg.(valMsg).V == 1
+			if s.partInT {
+				atomic.AddInt64(&s.plan.cascInT[s.phase-1], 1)
+			}
 		}
 	case tLvlUp:
 		if root && s.partLevel == -1 {
 			if v, ok := agg.(valMsg); ok {
 				s.partLevel = int(v.V)
+				s.recordLevel(int(op.arg))
 			}
 		}
 	case tParUp:
@@ -916,6 +1043,7 @@ func (s *stageINode) absorbCvg(api *congest.StepAPI, op *sOp, agg congest.Messag
 		if root && s.parity == -1 {
 			if v, ok := agg.(valMsg); ok {
 				s.parity = v.V
+				atomic.AddInt64(&s.plan.decAt[(s.phase-1)*treeHeightBound+int(op.arg)], 1)
 			}
 		}
 	}
@@ -927,6 +1055,7 @@ func (s *stageINode) fdRootDecision(api *congest.StepAPI, agg decompAgg, l int) 
 	alpha := s.plan.opts.Alpha
 	if s.fdActive {
 		if !agg.TooMany && len(agg.Entries) <= 3*alpha {
+			s.fdDirty = true
 			s.fdActive = false
 			s.pending = append(s.pending[:0], agg.Entries...)
 			s.watch = s.watch[:0]
@@ -936,6 +1065,7 @@ func (s *stageINode) fdRootDecision(api *congest.StepAPI, agg decompAgg, l int) 
 		}
 	} else if len(s.watch) > 0 {
 		// Resolve edge directions one super-round after inactivation.
+		s.fdDirty = true
 		for _, e := range s.pending {
 			active := false
 			for _, wf := range agg.Watch {
@@ -979,6 +1109,157 @@ func (s *stageINode) fdFinish(api *congest.StepAPI) {
 			s.partWeight = e.Weight
 		}
 	}
+}
+
+// fdWindow runs at the first round of forest-decomposition super-round l
+// and decides whether the phase's remaining super-rounds can be
+// fast-forwarded (DESIGN.md §10). Once every participant of the phase has
+// recorded super-round l-2 as clean, the decomposition is at a fixed
+// point: super-rounds l-1, l, ... replay the same messages and decisions
+// verbatim, so executing them can be replaced by charging their traffic
+// and sleeping. The node jumps its program counter past the loop and
+// wakes at exactly the round the unbatched schedule would run fdFinish,
+// which keeps verdict rounds — and hence StopOnReject cuts — identical.
+// The counter slot read here was last written one full super-round (2D+1
+// rounds, hence at least one engine barrier) earlier, so the read is
+// race-free and every participant takes the same branch at the same
+// round: lockstep is preserved.
+func (s *stageINode) fdWindow(api *congest.StepAPI, l int) bool {
+	s.fdDirty = false // super-round l starts here
+	pl := s.plan
+	if pl.opts.NoSuperRoundBatching || l < 3 || l-2 > 63 {
+		return false
+	}
+	p := s.phase - 1
+	if atomic.LoadInt64(&pl.fdStable[p*pl.S+(l-2)]) != atomic.LoadInt64(&pl.fdParticipants[p]) {
+		return false
+	}
+	// Per skipped super-round this node would send: the status broadcast
+	// to each tree child, one activity message per cross edge, and — at
+	// every non-root — one convergecast aggregate to the parent. All
+	// three payloads are the ones of the just-completed super-round
+	// (that is what "fixed point" means), so their sizes are exact.
+	K := pl.S - l
+	nCross := 0
+	for _, c := range s.cross {
+		if c {
+			nCross++
+		}
+	}
+	msgs := int64(len(s.tree.ChildPorts) + nCross)
+	bits := int64(len(s.tree.ChildPorts)) * int64(s.stStatus.Bits())
+	if nCross > 0 {
+		bits += int64(nCross) * int64(activityMsg{Root: s.rootID, Active: s.stStatus.Active}.Bits())
+	}
+	if !s.tree.IsRoot() {
+		msgs++
+		bits += int64(s.cvRes.Bits())
+	}
+	api.ChargeTraffic(int64(K)*msgs, int64(K)*bits)
+	s.fdFF = true
+	s.fdFFUntil = api.Round() + K*(2*s.D+1)
+	s.pc = pl.fdEnd
+	return true
+}
+
+// recordLevel tallies a just-assigned part level for the cascade windows
+// (DESIGN.md §10): the per-hop slot feeds the level loop's quiet-tail
+// predicate, the per-value slot the parity loop's skip target. Root-only
+// (levels live at part roots).
+func (s *stageINode) recordLevel(hop int) {
+	pl := s.plan
+	p := s.phase - 1
+	atomic.AddInt64(&pl.lvlAt[p*treeHeightBound+hop], 1)
+	if s.partLevel <= treeHeightBound {
+		atomic.AddInt64(&pl.lvlByVal[p*(treeHeightBound+1)+s.partLevel], 1)
+	}
+}
+
+// cascWindow runs at the announcement round of a cascade-loop hop and
+// decides whether the loop's remaining inert hops can be fast-forwarded
+// (DESIGN.md §10). A hop of the level or parity-decision loop is provably
+// inert once every part of the marked trees T has its level (respectively
+// contraction parity) assigned: assignments recorded through hop j-2 bound
+// every part level by j-1, so no part announces at hop >= j and no state
+// changes again. The parity-weight loop iterates hops downward with
+// announcements only at hops maxLevel..1, so its quiet PREFIX is skipped:
+// the skip target is the highest assigned level, read from tallies that
+// settled when the level loop ended. An inert hop still carries the
+// broadcast/convergecast scaffolding traffic — a noneMsg to every tree
+// child and one all-none aggregate (noneMsg, or the zero pairMsg in the
+// parity-weight loop) to the parent — which is charged exactly, K hops at
+// once. Every tally slot read here was last written at least one full hop
+// (2D+1 rounds, hence at least one engine barrier) earlier, so all nodes
+// read the same settled values at the same round and take the window in
+// lockstep, exactly as fdWindow does.
+func (s *stageINode) cascWindow(api *congest.StepAPI, op *sOp) bool {
+	pl := s.plan
+	if pl.opts.NoSuperRoundBatching || op.ff {
+		return false
+	}
+	p := s.phase - 1
+	hop := int(op.arg)
+	K := 0
+	switch op.tag {
+	case tLvlAnn, tDecAnn:
+		if hop < 2 {
+			return false
+		}
+		tally := pl.lvlAt
+		if op.tag == tDecAnn {
+			tally = pl.decAt
+		}
+		var sum int64
+		for h := 0; h <= hop-2; h++ {
+			sum += atomic.LoadInt64(&tally[p*treeHeightBound+h])
+		}
+		if sum != atomic.LoadInt64(&pl.cascInT[p]) {
+			return false
+		}
+		K = treeHeightBound - hop
+	case tParAnn:
+		if hop >= treeHeightBound {
+			return false // hop H runs: it carries the loop's entry glue
+		}
+		M := 0
+		for L := treeHeightBound; L >= 1; L-- {
+			if atomic.LoadInt64(&pl.lvlByVal[p*(treeHeightBound+1)+L]) > 0 {
+				M = L
+				break
+			}
+		}
+		K = hop - M
+	default:
+		return false
+	}
+	if K <= 0 {
+		return false
+	}
+	kids := int64(len(s.tree.ChildPorts))
+	msgs := kids
+	bits := kids * int64(noneMsg{}.Bits())
+	if !s.tree.IsRoot() {
+		msgs++
+		if op.tag == tParAnn {
+			bits += int64(pairMsg{}.Bits())
+		} else {
+			bits += int64(noneMsg{}.Bits())
+		}
+	}
+	api.ChargeTraffic(int64(K)*msgs, int64(K)*bits)
+	// Mirror the state the skipped inert hops would have left behind.
+	s.opMsg = noneMsg{}
+	if op.tag == tParAnn {
+		s.cvRes = zeroPair
+		s.crossPair = pairMsg{}
+	} else {
+		s.crossGot = noneMsg{}
+		s.cvRes = noneMsg{}
+	}
+	s.cascFF = true
+	s.fdFFUntil = api.Round() + K*(2*s.D+1)
+	s.pc += 3 * K
+	return true
 }
 
 // mergeFD is the allocation-lean equivalent of mergeDecomp for sorted
@@ -1150,6 +1431,9 @@ func (s *stageINode) absorbCross(api *congest.StepAPI, op *sOp, inbox []congest.
 	case tFDActivity:
 		for _, m := range inbox {
 			am := m.Msg.(activityMsg)
+			if !s.actSeen[m.Port] || s.actPort[m.Port] != am.Active {
+				s.fdDirty = true
+			}
 			s.actPort[m.Port] = am.Active
 			s.actSeen[m.Port] = true
 		}

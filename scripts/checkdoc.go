@@ -4,7 +4,8 @@
 // packages lacks a doc comment. It is the docs-hygiene gate wired into
 // CI (.github/workflows/ci.yml) for the packages whose godoc the
 // repository commits to keeping complete: internal/congest,
-// internal/graphio, internal/service, and internal/faultpoint.
+// internal/graphio, internal/service, internal/faultpoint,
+// internal/partition, and internal/core.
 //
 // Usage: go run scripts/checkdoc.go [package-dir ...]
 //
@@ -28,7 +29,10 @@ import (
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{"internal/congest", "internal/graphio", "internal/service", "internal/faultpoint"}
+		dirs = []string{
+			"internal/congest", "internal/graphio", "internal/service",
+			"internal/faultpoint", "internal/partition", "internal/core",
+		}
 	}
 	bad := 0
 	for _, dir := range dirs {
