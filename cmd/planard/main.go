@@ -16,6 +16,7 @@
 //	DELETE /v1/jobs/{id}  cancel a job (idempotent)
 //	GET    /metrics       Prometheus text exposition
 //	GET    /healthz       liveness
+//	GET    /readyz        readiness (503 while draining or overloaded)
 //
 // A quickstart transcript lives in README.md; the architecture and the
 // cache-soundness argument are in DESIGN.md §7.
@@ -61,6 +62,10 @@ func serve(args []string) error {
 		concurrency = fs.Int("concurrency", 0, "max jobs running the engine at once (0: GOMAXPROCS/engine-workers)")
 		queue       = fs.Int("queue", 0, "queued-job bound before 503s (0: 64*concurrency)")
 		cache       = fs.Int("cache", 0, "result cache entries (0: 4096, negative: disable)")
+		cacheMB     = fs.Int64("cache-mb", 0, "in-memory result cache byte bound, MiB (0: 256, negative: unbounded)")
+		cacheDir    = fs.String("cache-dir", "", "directory for the disk-backed cache tier; cached results survive restarts (empty: disabled)")
+		diskMB      = fs.Int64("disk-cache-mb", 0, "disk cache tier byte bound, MiB (0: 4096, negative: unbounded)")
+		budgetMB    = fs.Int64("mem-budget-mb", 0, "admission byte budget, MiB: bodies + in-flight graphs beyond it are shed with 503 (0: unbounded)")
 		workers     = fs.Int("engine-workers", 0, "engine worker goroutines per job (0: GOMAXPROCS)")
 		retention   = fs.Int("job-retention", 0, "finished jobs kept pollable (0: 16384)")
 		maxMB       = fs.Int64("max-request-mb", 512, "request body limit, MiB")
@@ -73,10 +78,27 @@ func serve(args []string) error {
 		return err
 	}
 
+	if *cacheDir != "" {
+		// Fail fast on a misconfigured cache directory; the manager
+		// itself degrades to memory-only if the disk tier breaks later.
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			return fmt.Errorf("cache-dir: %w", err)
+		}
+	}
+	mb := func(v int64) int64 {
+		if v < 0 {
+			return -1
+		}
+		return v << 20
+	}
 	m := service.New(service.Config{
 		MaxConcurrent:   *concurrency,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
+		CacheBytes:      mb(*cacheMB),
+		CacheDir:        *cacheDir,
+		DiskCacheBytes:  mb(*diskMB),
+		MemoryBudget:    mb(*budgetMB),
 		EngineWorkers:   *workers,
 		JobRetention:    *retention,
 		CheckpointDir:   *ckptDir,
@@ -112,8 +134,10 @@ func serve(args []string) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight HTTP, then
-	// cancel whatever is still running on the engine.
+	// Graceful shutdown: flip /readyz to 503 so load balancers stop
+	// routing, stop accepting, drain in-flight HTTP, then cancel
+	// whatever is still running on the engine.
+	m.BeginDrain()
 	log.Printf("planard: shutting down (drain %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

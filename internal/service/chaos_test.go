@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+// chaosBody is one pre-built request with its known-correct verdict.
+type chaosBody struct {
+	body    []byte
+	verdict string
+}
+
+func chaosJSON(t *testing.T, g *graph.Graph, epsilon float64, seed int64) ([]byte, *Request) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graphio.Write(&buf, g, graphio.EdgeList); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"property": PropPlanarity,
+		"epsilon":  epsilon,
+		"seed":     seed,
+		"graph":    map[string]any{"format": "edge-list", "data": buf.String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, &Request{Property: PropPlanarity, Epsilon: epsilon, Seed: seed, Graph: g}
+}
+
+// TestOverloadChaos drives the service at 4x run-pool capacity with
+// every disk-cache fault site armed intermittently, live entries being
+// corrupted mid-run, and a deliberately tiny admission budget. The
+// assertions are the degradation contract: no crash, no wrong verdict
+// (every 200 matches a fault-free ground-truth run of the same key —
+// runs are deterministic per key, so this is exact), every rejection a
+// 503/429 carrying Retry-After, and the admission meter never exceeding
+// the configured byte budget.
+func TestOverloadChaos(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+
+	// Bodies that recur across clients: their keys get cached, evicted to
+	// disk, corrupted, quarantined. Ground truth comes from a clean
+	// manager below — the one-sided tester always accepts planar inputs,
+	// but rejection is seed-dependent, so we learn it rather than guess.
+	small := graph.RandomPlanar(128, 256, rng)
+	// Sized so that three concurrently held copies overflow the byte
+	// budget below: budget sheds are guaranteed, not incidental.
+	mid := graph.RandomPlanar(300, 600, rng)
+	recurring := make([]chaosBody, 0, 4)
+	requests := make([]*Request, 0, 4)
+	for _, c := range []struct {
+		g       *graph.Graph
+		epsilon float64
+		seed    int64
+	}{
+		{small, 0.25, 1},
+		{mid, 0.25, 2},
+		{graph.Complete(40), 0.05, 3},
+		{graph.K5Subdivision(200), 0.25, 4},
+	} {
+		body, req := chaosJSON(t, c.g, c.epsilon, c.seed)
+		recurring = append(recurring, chaosBody{body: body})
+		requests = append(requests, req)
+	}
+	truth := New(Config{EngineWorkers: 1})
+	for i, req := range requests {
+		out, err := truth.Run(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recurring[i].verdict = out.Verdict
+	}
+	truth.Close()
+
+	const budget = 64 << 10
+	dir := t.TempDir()
+	m := New(Config{
+		MaxConcurrent: 2,
+		QueueDepth:    2,
+		EngineWorkers: 1,
+		MemoryBudget:  budget,
+		CacheDir:      dir,
+		CacheEntries:  2, // force mem evictions so the disk tier serves mid-run
+	})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	defer srv.Close()
+
+	// Every disk-cache I/O site fails intermittently and deterministically.
+	var wHits, rHits, qHits atomic.Int64
+	boom := errors.New("injected disk fault")
+	faultpoint.Arm(FaultCacheWrite, 0, func() error {
+		if wHits.Add(1)%3 == 0 {
+			return boom
+		}
+		return nil
+	})
+	faultpoint.Arm(FaultCacheRead, 0, func() error {
+		if rHits.Add(1)%4 == 0 {
+			return boom
+		}
+		return nil
+	})
+	faultpoint.Arm(FaultCacheQuarantine, 0, func() error {
+		if qHits.Add(1)%2 == 0 {
+			return boom
+		}
+		return nil
+	})
+
+	// Sample the admission meter concurrently with the load: it must
+	// never exceed the budget — everything the ingest path pins (bodies
+	// being decoded, queued and running graphs) is accounted there, so
+	// this is the bounded-memory guarantee under overload.
+	stopSampling := make(chan struct{})
+	var sampled sync.WaitGroup
+	var budgetPeak atomic.Int64
+	sampled.Add(1)
+	go func() {
+		defer sampled.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			if u := m.budget.used.Load(); u > budgetPeak.Load() {
+				budgetPeak.Store(u)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	const clients = 8 // 4x the run pool
+	const perClient = 10
+	var (
+		wg    sync.WaitGroup
+		ok200 atomic.Int64
+		shed  atomic.Int64
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(int64(1000 + c)))
+			for i := 0; i < perClient; i++ {
+				// Corrupt a random live disk entry mid-flight every few
+				// requests: served results must stay correct regardless.
+				if c == 0 && i%3 == 2 {
+					corruptOneDiskEntry(dir)
+				}
+				pick := recurring[crng.Intn(len(recurring))]
+				if crng.Intn(2) == 0 {
+					// Cache-busting planar body with a unique seed: a
+					// guaranteed fresh engine run (so the queue and the
+					// byte budget stay under real pressure all the way
+					// through) with a guaranteed verdict — the tester is
+					// one-sided, planar inputs always accept.
+					body, _ := chaosJSON(t, mid, 0.25, int64(100000+c*1000+i))
+					pick = chaosBody{body: body, verdict: "accept"}
+				}
+				resp, err := http.Post(srv.URL+"/v1/test", "application/json", bytes.NewReader(pick.body))
+				if err != nil {
+					t.Errorf("client %d: transport error: %v", c, err)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+					var v View
+					if err := json.Unmarshal(raw, &v); err != nil {
+						t.Errorf("client %d: bad view: %v", c, err)
+						continue
+					}
+					if v.State != "done" || v.Outcome == nil {
+						t.Errorf("client %d: 200 with non-done view: %s", c, raw)
+						continue
+					}
+					if v.Outcome.Verdict != pick.verdict {
+						t.Errorf("client %d: WRONG VERDICT %q (want %q, cache_hit=%v)",
+							c, v.Outcome.Verdict, pick.verdict, v.CacheHit)
+					}
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					shed.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("client %d: shed %d without Retry-After", c, resp.StatusCode)
+					}
+				default:
+					t.Errorf("client %d: unexpected status %d: %s", c, resp.StatusCode, raw)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopSampling)
+	sampled.Wait()
+
+	if peak := budgetPeak.Load(); peak > budget {
+		t.Fatalf("admission meter peaked at %d, budget %d", peak, budget)
+	}
+	if got := m.budget.used.Load(); got != 0 {
+		t.Fatalf("admission meter did not drain: %d bytes still held", got)
+	}
+	mm := m.Metrics()
+	if shed.Load() != mm.ShedRequests.Load() {
+		t.Fatalf("clients saw %d sheds, metrics counted %d", shed.Load(), mm.ShedRequests.Load())
+	}
+	// The mix (8 sync clients, pool 2, queue 2, cache-busting bodies)
+	// guarantees pressure; zero sheds means admission never engaged.
+	if shed.Load() == 0 {
+		t.Fatal("overload run shed nothing — admission control never engaged")
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("overload run served nothing")
+	}
+	t.Logf("chaos: %d ok, %d shed, faults w/r/q %d/%d/%d, %d quarantined, %d disk hits",
+		ok200.Load(), shed.Load(), wHits.Load(), rHits.Load(), qHits.Load(),
+		mm.Quarantined.Load(), mm.DiskHits.Load())
+}
+
+// corruptOneDiskEntry flips a byte in some live disk-cache entry, if
+// any exists. It runs concurrently with serving: that is the point.
+func corruptOneDiskEntry(dir string) {
+	root := filepath.Join(dir, diskCacheSubdir)
+	filepath.WalkDir(root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil || len(raw) == 0 {
+			return nil
+		}
+		raw[len(raw)-1] ^= 0x10
+		os.WriteFile(path, raw, 0o644)
+		return fmt.Errorf("done") // stop after one
+	})
+}

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultpoint"
+)
+
+// Faultpoints guarding every disk-cache I/O path. Arming them injects
+// errors into the store so the chaos suite can prove a failing disk
+// degrades the hit rate, never correctness: a failed write costs the
+// disk copy, a failed read is a miss, a failed quarantine leaves the
+// corrupt file in place where the integrity check keeps rejecting it.
+const (
+	// FaultCacheWrite fires before a disk-cache entry write.
+	FaultCacheWrite = "service.cache.write"
+	// FaultCacheRead fires before a disk-cache entry read.
+	FaultCacheRead = "service.cache.read"
+	// FaultCacheQuarantine fires before a corrupt entry is moved to
+	// quarantine.
+	FaultCacheQuarantine = "service.cache.quarantine"
+)
+
+// Disk-cache layout under the cache directory:
+//
+//	cache/<key[:2]>/<key>   one entry: "PDC1" magic, the SHA-256 of the
+//	                        payload, then the payload (the outcome's
+//	                        canonical JSON); written via tmp+rename so a
+//	                        crash never leaves a torn entry visible
+//	quarantine/<name>.<ns>  entries that failed the integrity check,
+//	                        moved aside for inspection — never deleted,
+//	                        never served
+//
+// Keys are hex SHA-256 cache keys (Request.CacheKey), so the two-char
+// prefix fans entries out over at most 256 subdirectories and doubles
+// as the natural consistent-hashing boundary for a future shared cache.
+const (
+	diskCacheMagic  = "PDC1"
+	diskCacheSubdir = "cache"
+	quarantineDir   = "quarantine"
+)
+
+// diskCache is the persistent second tier of the result cache. All
+// methods are best-effort: any I/O failure costs at most the cached
+// copy (a put that fails is simply not cached on disk; a get that fails
+// is a miss). Corrupt entries — wrong magic, truncated, bit-flipped,
+// hash-mismatched, or undecodable — are quarantined, never deleted and
+// never served.
+type diskCache struct {
+	dir         string
+	budget      int64 // max payload bytes on disk; <= 0 means unbounded
+	quarantined *atomic.Int64
+
+	mu    sync.Mutex
+	bytes int64 // accounted bytes of live entries
+}
+
+// newDiskCache opens (or creates) a disk cache rooted at dir and scans
+// it: live entry bytes are summed for the eviction budget, and stray
+// .tmp files — partial writes interrupted by a crash — are quarantined.
+func newDiskCache(dir string, budget int64, quarantined *atomic.Int64) (*diskCache, error) {
+	d := &diskCache{dir: dir, budget: budget, quarantined: quarantined}
+	root := filepath.Join(dir, diskCacheSubdir)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	err := filepath.WalkDir(root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return err
+		}
+		if strings.Contains(e.Name(), ".tmp") {
+			d.quarantine(path)
+			return nil
+		}
+		if info, err := e.Info(); err == nil {
+			d.bytes += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.evict()
+	return d, nil
+}
+
+func (d *diskCache) path(key string) string {
+	prefix := "xx"
+	if len(key) >= 2 {
+		prefix = key[:2]
+	}
+	return filepath.Join(d.dir, diskCacheSubdir, prefix, key)
+}
+
+// put lands one serialized outcome on disk, atomically (tmp+rename in
+// the same directory), then evicts oldest entries past the budget.
+func (d *diskCache) put(key string, payload []byte) {
+	if err := faultpoint.Hit(FaultCacheWrite); err != nil {
+		return
+	}
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(diskCacheMagic) + sha256.Size + len(payload))
+	buf.WriteString(diskCacheMagic)
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	buf.Write(payload)
+
+	var prev int64
+	if info, err := os.Stat(path); err == nil {
+		prev = info.Size()
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	d.mu.Lock()
+	d.bytes += int64(buf.Len()) - prev
+	d.mu.Unlock()
+	d.evict()
+}
+
+// get loads, integrity-checks, and decodes one entry. Any corruption
+// quarantines the file and reports a miss; the returned size is the
+// payload length (the memory tier's accounting unit for the promoted
+// entry).
+func (d *diskCache) get(key string) (*Outcome, int64, bool) {
+	if err := faultpoint.Hit(FaultCacheRead); err != nil {
+		return nil, 0, false
+	}
+	path := d.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false
+	}
+	payload, err := verifyDiskEntry(raw)
+	if err != nil {
+		d.quarantine(path)
+		return nil, 0, false
+	}
+	var o Outcome
+	if err := json.Unmarshal(payload, &o); err != nil {
+		d.quarantine(path)
+		return nil, 0, false
+	}
+	return &o, int64(len(payload)), true
+}
+
+// verifyDiskEntry checks magic and SHA-256 integrity, returning the
+// payload of a sound entry.
+func verifyDiskEntry(raw []byte) ([]byte, error) {
+	hdr := len(diskCacheMagic) + sha256.Size
+	if len(raw) < hdr {
+		return nil, fmt.Errorf("truncated entry (%d bytes)", len(raw))
+	}
+	if string(raw[:len(diskCacheMagic)]) != diskCacheMagic {
+		return nil, fmt.Errorf("bad magic %q", raw[:len(diskCacheMagic)])
+	}
+	payload := raw[hdr:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], raw[len(diskCacheMagic):hdr]) {
+		return nil, fmt.Errorf("payload hash mismatch")
+	}
+	return payload, nil
+}
+
+// quarantine moves a rejected file under quarantine/ instead of
+// deleting it, so corrupt entries stay inspectable. The destination
+// carries a nanosecond timestamp: repeated corruption must not collide.
+// On failure (including an armed faultpoint) the file stays where it
+// is; it is still never served, because every read re-runs the
+// integrity check.
+func (d *diskCache) quarantine(path string) {
+	qdir := filepath.Join(d.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	var size int64
+	if info, err := os.Stat(path); err == nil {
+		size = info.Size()
+	}
+	if err := faultpoint.Hit(FaultCacheQuarantine); err != nil {
+		return
+	}
+	dst := filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := os.Rename(path, dst); err != nil {
+		return
+	}
+	d.quarantined.Add(1)
+	d.mu.Lock()
+	d.bytes -= size
+	d.mu.Unlock()
+}
+
+// size returns the accounted bytes of the live disk entries.
+func (d *diskCache) size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// evict deletes oldest-modified live entries until the store fits the
+// budget. Valid cached results are expendable (they re-run); quarantine
+// is out of scope and never touched.
+func (d *diskCache) evict() {
+	if d.budget <= 0 {
+		return
+	}
+	d.mu.Lock()
+	over := d.bytes > d.budget
+	d.mu.Unlock()
+	if !over {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	root := filepath.Join(d.dir, diskCacheSubdir)
+	filepath.WalkDir(root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return nil
+		}
+		if info, err := e.Info(); err == nil {
+			entries = append(entries, entry{path, info.Size(), info.ModTime()})
+		}
+		return nil
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range entries {
+		if d.bytes <= d.budget {
+			return
+		}
+		if os.Remove(e.path) == nil {
+			d.bytes -= e.size
+		}
+	}
+}

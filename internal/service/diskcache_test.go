@@ -1,0 +1,298 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+func newTestDiskCache(t *testing.T, dir string, budget int64) (*diskCache, *atomic.Int64) {
+	t.Helper()
+	q := new(atomic.Int64)
+	d, err := newDiskCache(dir, budget, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, q
+}
+
+func testOutcome(verdict string) *Outcome {
+	return &Outcome{Property: PropPlanarity, Verdict: verdict, GraphN: 64, GraphM: 112,
+		Metrics: RunMetrics{Rounds: 100, Messages: 4242, BitBound: 32}}
+}
+
+func mustPut(t *testing.T, d *diskCache, key string, o *Outcome) []byte {
+	t.Helper()
+	blob, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.put(key, blob)
+	if _, err := os.Stat(d.path(key)); err != nil {
+		t.Fatalf("entry did not land: %v", err)
+	}
+	return blob
+}
+
+const testKey = "ab54d882e59cd2f1aa1234567890abcdef1234567890abcdef1234567890abcd"
+
+func TestDiskCacheRoundTripAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := newTestDiskCache(t, dir, 0)
+	want := mustPut(t, d, testKey, testOutcome("accept"))
+
+	// A fresh store over the same directory models a process restart:
+	// the entry must come back byte-identical.
+	d2, q := newTestDiskCache(t, dir, 0)
+	got, size, ok := d2.get(testKey)
+	if !ok {
+		t.Fatal("restart lost the entry")
+	}
+	if size != int64(len(want)) {
+		t.Fatalf("promoted size %d, want %d", size, len(want))
+	}
+	back, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(want) {
+		t.Fatalf("outcome not byte-identical after restart:\n got %s\nwant %s", back, want)
+	}
+	if q.Load() != 0 {
+		t.Fatalf("clean restart quarantined %d entries", q.Load())
+	}
+}
+
+func TestDiskCacheCorruptionQuarantine(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"bit-flip", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-3] ^= 0x40 // flip a payload bit
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncation", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 20); err != nil { // inside the header
+				t.Fatal(err)
+			}
+		}},
+		{"wrong-hash", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(diskCacheMagic)] ^= 0xff // corrupt the stored digest
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"partial-write", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A torn write: the header landed, the payload tail did not.
+			if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-payload-json", func(t *testing.T, path string) {
+			// Integrity-valid bytes that do not decode: a store-level
+			// writer bug must still quarantine, not crash or serve.
+			payload := []byte("not json")
+			sum := sha256.Sum256(payload)
+			raw := append([]byte(diskCacheMagic), sum[:]...)
+			raw = append(raw, payload...)
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, q := newTestDiskCache(t, dir, 0)
+			mustPut(t, d, testKey, testOutcome("accept"))
+			tc.corrupt(t, d.path(testKey))
+
+			if _, _, ok := d.get(testKey); ok {
+				t.Fatal("corrupt entry was served")
+			}
+			if q.Load() != 1 {
+				t.Fatalf("quarantined counter = %d, want 1", q.Load())
+			}
+			if _, err := os.Stat(d.path(testKey)); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt entry still at its path: %v", err)
+			}
+			qents, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil || len(qents) != 1 {
+				t.Fatalf("quarantine dir: %v entries, err %v (corrupt entries are kept, never deleted)", len(qents), err)
+			}
+
+			// The tier recovers: a re-run re-caches and serves again.
+			mustPut(t, d, testKey, testOutcome("accept"))
+			if _, _, ok := d.get(testKey); !ok {
+				t.Fatal("re-cached entry not served after quarantine")
+			}
+		})
+	}
+}
+
+func TestDiskCacheScanQuarantinesPartialTmp(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := newTestDiskCache(t, dir, 0)
+	mustPut(t, d, testKey, testOutcome("accept"))
+	// A crash between WriteFile and Rename leaves a .tmp beside the
+	// entry; the next open must sweep it into quarantine.
+	tmp := d.path(testKey) + ".tmp"
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, q := newTestDiskCache(t, dir, 0)
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stray tmp survived the open scan: %v", err)
+	}
+	if q.Load() != 1 {
+		t.Fatalf("quarantined counter = %d, want 1", q.Load())
+	}
+	if _, _, ok := d2.get(testKey); !ok {
+		t.Fatal("valid entry lost while sweeping the tmp")
+	}
+}
+
+func TestDiskCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits roughly two entries; the oldest must be evicted.
+	o := testOutcome("accept")
+	blob, _ := json.Marshal(o)
+	entry := int64(len(diskCacheMagic) + 32 + len(blob))
+	d, q := newTestDiskCache(t, dir, 2*entry+8)
+	keys := []string{"aa" + testKey[2:], "bb" + testKey[2:], "cc" + testKey[2:]}
+	for _, k := range keys {
+		mustPut(t, d, k, o)
+	}
+	if got := d.size(); got > 2*entry+8 {
+		t.Fatalf("disk tier holds %d bytes, budget %d", got, 2*entry+8)
+	}
+	live := 0
+	for _, k := range keys {
+		if _, _, ok := d.get(k); ok {
+			live++
+		}
+	}
+	if live != 2 {
+		t.Fatalf("%d live entries after eviction, want 2", live)
+	}
+	if q.Load() != 0 {
+		t.Fatal("eviction must delete valid entries, not quarantine them")
+	}
+}
+
+func TestDiskCacheFaultpoints(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	dir := t.TempDir()
+	d, q := newTestDiskCache(t, dir, 0)
+	boom := errors.New("injected disk fault")
+
+	// Write fault: the put is lost (memory tier unaffected in real use).
+	faultpoint.Arm(FaultCacheWrite, 0, func() error { return boom })
+	blob, _ := json.Marshal(testOutcome("accept"))
+	d.put(testKey, blob)
+	faultpoint.Disarm(FaultCacheWrite)
+	if _, err := os.Stat(d.path(testKey)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("write fault did not suppress the entry")
+	}
+
+	// Read fault: a present, valid entry is a miss — degraded, never wrong.
+	mustPut(t, d, testKey, testOutcome("accept"))
+	faultpoint.Arm(FaultCacheRead, 0, func() error { return boom })
+	if _, _, ok := d.get(testKey); ok {
+		t.Fatal("read fault served an entry")
+	}
+	faultpoint.Disarm(FaultCacheRead)
+
+	// Quarantine fault: the corrupt file stays in place but every read
+	// keeps rejecting it — it is never served.
+	raw, _ := os.ReadFile(d.path(testKey))
+	raw[len(raw)-1] ^= 1
+	os.WriteFile(d.path(testKey), raw, 0o644)
+	faultpoint.Arm(FaultCacheQuarantine, 0, func() error { return boom })
+	for i := 0; i < 3; i++ {
+		if _, _, ok := d.get(testKey); ok {
+			t.Fatal("corrupt entry served while quarantine is failing")
+		}
+	}
+	faultpoint.Disarm(FaultCacheQuarantine)
+	if q.Load() != 0 {
+		t.Fatal("failed quarantine still bumped the counter")
+	}
+	// Once the disk heals, the next read finally quarantines it.
+	if _, _, ok := d.get(testKey); ok {
+		t.Fatal("corrupt entry served after quarantine healed")
+	}
+	if q.Load() != 1 {
+		t.Fatalf("quarantined counter = %d, want 1", q.Load())
+	}
+}
+
+// TestManagerRestartServesFromDisk is the restart-keeps-cache
+// acceptance path at the Manager level: a result computed before a
+// restart is served from the disk tier afterwards, byte-identical, with
+// the hit counted.
+func TestManagerRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	cfg := Config{EngineWorkers: 1, CacheDir: dir}
+
+	m1 := New(cfg)
+	first, err := m1.Run(ctx, gridRequest(PropPlanarity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	wantJSON, _ := json.Marshal(first)
+
+	m2 := New(cfg)
+	defer m2.Close()
+	j, err := m2.Submit(ctx, gridRequest(PropPlanarity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.CacheHit {
+		t.Fatal("restarted manager missed a disk-cached result")
+	}
+	second, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(second)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("disk-restored outcome differs:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	mm := m2.Metrics()
+	if mm.DiskHits.Load() != 1 || mm.CacheHits.Load() != 1 || mm.CacheMisses.Load() != 0 {
+		t.Fatalf("disk=%d hits=%d misses=%d, want 1/1/0 (no engine re-run)",
+			mm.DiskHits.Load(), mm.CacheHits.Load(), mm.CacheMisses.Load())
+	}
+	// The promoted entry serves the next request from memory.
+	if _, err := m2.Run(ctx, gridRequest(PropPlanarity)); err != nil {
+		t.Fatal(err)
+	}
+	if mm.DiskHits.Load() != 1 || mm.CacheHits.Load() != 2 {
+		t.Fatalf("promotion did not stick: disk=%d hits=%d", mm.DiskHits.Load(), mm.CacheHits.Load())
+	}
+}

@@ -51,6 +51,9 @@ type wireRequest struct {
 //	                      coalesced submitters canceled
 //	GET    /metrics       Prometheus text exposition
 //	GET    /healthz       liveness
+//	GET    /readyz        readiness: 503 while draining or while the
+//	                      admission byte budget is saturated, so load
+//	                      balancers stop routing before requests fail
 func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
 	if hc.MaxRequestBytes == 0 {
 		hc.MaxRequestBytes = 512 << 20
@@ -84,14 +87,45 @@ func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
 		w.Header().Set("Content-Type", "text/plain")
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		switch {
+		case m.Draining():
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+		case m.Saturated():
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "overloaded\n")
+		default:
+			io.WriteString(w, "ready\n")
+		}
+	})
 	return mux
 }
+
+// retryAfterSeconds is the Retry-After hint on every shed response:
+// shedding means transient pressure (a full queue or byte budget), so
+// clients should back off briefly, not give up.
+const retryAfterSeconds = "1"
 
 // handleTest decodes a test request (JSON or multipart), submits it,
 // and either waits (sync) or returns the queued job (async, 202).
 func handleTest(m *Manager, hc HandlerConfig, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, hc.MaxRequestBytes)
+	// Byte-accounted admission: the declared body length is reserved
+	// against the global budget while the body streams into the graph
+	// readers, so a burst of concurrent uploads sheds instead of
+	// buffering its way to OOM. Chunked bodies (ContentLength < 0)
+	// pass here and are still bounded by MaxRequestBytes.
+	releaseBody, err := m.AdmitBytes(r.ContentLength)
+	if err != nil {
+		shedError(w, err)
+		return
+	}
 	req, async, err := decodeTestRequest(r)
+	releaseBody()
 	if err != nil {
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -106,14 +140,12 @@ func handleTest(m *Manager, hc HandlerConfig, w http.ResponseWriter, r *http.Req
 	}
 	j, err := m.Submit(r.Context(), req)
 	if err != nil {
-		status := http.StatusBadRequest
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, ErrClosed):
-			status = http.StatusServiceUnavailable
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrOverloaded) ||
+			errors.Is(err, ErrTooLarge) || errors.Is(err, ErrClosed) {
+			shedError(w, err)
+			return
 		}
-		httpError(w, status, err)
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	if async {
@@ -190,15 +222,75 @@ func decodeTestRequest(r *http.Request) (*Request, bool, error) {
 	return req, wire.Async, err
 }
 
+// maxMultipartFieldBytes bounds each non-graph multipart field. The
+// fields carry options JSON or scalar values; anything bigger is a
+// malformed request, not a large graph.
+const maxMultipartFieldBytes = 1 << 20
+
 // decodeMultipart parses multipart/form-data: a "request" field with
 // the options JSON (graph omitted) and a "graph" file part, optionally
 // a "format" field (default: autodetect, trying the filename first).
+//
+// The body is consumed as a stream: parts are visited in wire order
+// and the graph part is fed straight into the graphio reader, so a
+// multi-hundred-MB upload is never buffered in memory or on disk (the
+// old ParseMultipartForm path silently spooled everything past 32MB to
+// temp files). The only ordering constraint this imposes is that a
+// "format" field, which changes how the graph bytes are parsed, must
+// precede the "graph" part.
 func decodeMultipart(r *http.Request) (*Request, bool, error) {
-	if err := r.ParseMultipartForm(32 << 20); err != nil {
+	mr, err := r.MultipartReader()
+	if err != nil {
 		return nil, false, fmt.Errorf("bad multipart body: %w", err)
 	}
+	fields := make(map[string]string)
+	var g *graph.Graph
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("bad multipart body: %w", err)
+		}
+		name := part.FormName()
+		if name == "graph" {
+			if g != nil {
+				part.Close()
+				return nil, false, fmt.Errorf("duplicate graph part")
+			}
+			f, err := graphio.ParseFormat(fields["format"])
+			if err != nil {
+				part.Close()
+				return nil, false, err
+			}
+			if f == graphio.Auto {
+				f = graphio.DetectPath(part.FileName())
+			}
+			g, err = graphio.Read(part, f)
+			part.Close()
+			if err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		if name == "format" && g != nil {
+			part.Close()
+			return nil, false, fmt.Errorf("format field must precede the graph part (the graph is decoded as it streams)")
+		}
+		val, err := readFieldValue(part, name)
+		part.Close()
+		if err != nil {
+			return nil, false, err
+		}
+		fields[name] = val
+	}
+	if g == nil {
+		return nil, false, fmt.Errorf("missing graph part")
+	}
+
 	var wire wireRequest
-	if s := r.FormValue("request"); s != "" {
+	if s := fields["request"]; s != "" {
 		dec := json.NewDecoder(strings.NewReader(s))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&wire); err != nil {
@@ -209,41 +301,37 @@ func decodeMultipart(r *http.Request) (*Request, bool, error) {
 		}
 	} else {
 		// Bare-form convenience: property/epsilon/seed as form values.
-		wire.Property = r.FormValue("property")
-		wire.Variant = r.FormValue("variant")
-		if s := r.FormValue("epsilon"); s != "" {
+		wire.Property = fields["property"]
+		wire.Variant = fields["variant"]
+		if s := fields["epsilon"]; s != "" {
 			if _, err := fmt.Sscan(s, &wire.Epsilon); err != nil {
 				return nil, false, fmt.Errorf("bad epsilon %q", s)
 			}
 		}
-		if s := r.FormValue("seed"); s != "" {
+		if s := fields["seed"]; s != "" {
 			if _, err := fmt.Sscan(s, &wire.Seed); err != nil {
 				return nil, false, fmt.Errorf("bad seed %q", s)
 			}
 		}
-		wire.Async = r.FormValue("async") == "1" || r.FormValue("async") == "true"
+		wire.Async = fields["async"] == "1" || fields["async"] == "true"
 	}
-	if s := r.FormValue("timeout"); s != "" {
+	if s := fields["timeout"]; s != "" {
 		wire.Timeout = s
-	}
-	file, hdr, err := r.FormFile("graph")
-	if err != nil {
-		return nil, false, fmt.Errorf("missing graph part: %w", err)
-	}
-	defer file.Close()
-	f, err := graphio.ParseFormat(r.FormValue("format"))
-	if err != nil {
-		return nil, false, err
-	}
-	if f == graphio.Auto && hdr != nil {
-		f = graphio.DetectPath(hdr.Filename)
-	}
-	g, err := graphio.Read(file, f)
-	if err != nil {
-		return nil, false, err
 	}
 	req, err := wireToRequest(wire, g)
 	return req, wire.Async, err
+}
+
+// readFieldValue drains one small (non-graph) multipart field.
+func readFieldValue(part io.Reader, name string) (string, error) {
+	b, err := io.ReadAll(io.LimitReader(part, maxMultipartFieldBytes+1))
+	if err != nil {
+		return "", fmt.Errorf("reading field %q: %w", name, err)
+	}
+	if len(b) > maxMultipartFieldBytes {
+		return "", fmt.Errorf("field %q exceeds %d bytes", name, maxMultipartFieldBytes)
+	}
+	return string(b), nil
 }
 
 func wireToRequest(wire wireRequest, g *graph.Graph) (*Request, error) {
@@ -273,4 +361,17 @@ func writeJSONResponse(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSONResponse(w, status, map[string]string{"error": err.Error()})
+}
+
+// shedError maps admission-control rejections onto the degradation
+// ladder's wire contract: transient pressure (full queue, saturated
+// budget, draining) answers 503 + Retry-After so well-behaved clients
+// back off and retry; a request that can never fit answers 413.
+func shedError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrTooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	httpError(w, http.StatusServiceUnavailable, err)
 }

@@ -398,3 +398,200 @@ func TestHTTPDeleteIdempotent(t *testing.T) {
 		}
 	}
 }
+
+func TestHTTPReadyz(t *testing.T) {
+	srv, m := testServer(t)
+	get := func() (*http.Response, string) {
+		t.Helper()
+		r, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return r, string(out)
+	}
+	if r, out := get(); r.StatusCode != http.StatusOK || out != "ready\n" {
+		t.Fatalf("idle readyz: %d %q", r.StatusCode, out)
+	}
+	m.BeginDrain()
+	r, out := get()
+	if r.StatusCode != http.StatusServiceUnavailable || out != "draining\n" {
+		t.Fatalf("draining readyz: %d %q", r.StatusCode, out)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz carries no Retry-After")
+	}
+}
+
+func TestHTTPReadyzSaturated(t *testing.T) {
+	m := New(Config{EngineWorkers: 1, MemoryBudget: 1 << 10})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	t.Cleanup(srv.Close)
+
+	release, err := m.AdmitBytes(1 << 10) // fill the whole budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable || string(out) != "overloaded\n" {
+		t.Fatalf("saturated readyz: %d %q", r.StatusCode, out)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("saturated readyz carries no Retry-After")
+	}
+	release()
+	if r, _ := http.Get(srv.URL + "/readyz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz still failing after the budget drained: %d", r.StatusCode)
+	}
+}
+
+// TestHTTPMultipartStreamingOrder pins the one ordering rule the
+// streaming decoder imposes: a "format" field after the "graph" part is
+// rejected (the graph was already decoded as it streamed), while the
+// same field before the part selects the parser.
+func TestHTTPMultipartStreamingOrder(t *testing.T) {
+	srv, _ := testServer(t)
+	g := graph.Grid(4, 4)
+	build := func(formatFirst bool) (*bytes.Buffer, string) {
+		var buf bytes.Buffer
+		mw := multipart.NewWriter(&buf)
+		writeFormat := func() {
+			if err := mw.WriteField("format", "edge-list"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if formatFirst {
+			writeFormat()
+		}
+		// No file extension: only the format field can name the parser.
+		fw, err := mw.CreateFormFile("graph", "payload")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graphio.Write(fw, g, graphio.EdgeList); err != nil {
+			t.Fatal(err)
+		}
+		if !formatFirst {
+			writeFormat()
+		}
+		if err := mw.WriteField("property", PropPlanarity); err != nil {
+			t.Fatal(err)
+		}
+		if err := mw.WriteField("epsilon", "0.25"); err != nil {
+			t.Fatal(err)
+		}
+		mw.Close()
+		return &buf, mw.FormDataContentType()
+	}
+
+	body, ct := build(true)
+	resp, err := http.Post(srv.URL+"/v1/test", ct, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("format-first multipart: %d %s", resp.StatusCode, out)
+	}
+
+	body, ct = build(false)
+	resp, err = http.Post(srv.URL+"/v1/test", ct, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format-after-graph multipart: %d (want 400) %s", resp.StatusCode, out)
+	}
+	if !strings.Contains(string(out), "precede") {
+		t.Fatalf("format-after-graph error does not explain the ordering: %s", out)
+	}
+}
+
+// TestHTTPRequestBodyLimit413 drives an oversized upload through the
+// streaming multipart path: MaxBytesReader trips mid-part and the
+// MaxBytesError must survive the graphio readers up to a 413.
+func TestHTTPRequestBodyLimit413(t *testing.T) {
+	m := New(Config{EngineWorkers: 1})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewHandler(m, HandlerConfig{MaxRequestBytes: 4 << 10}))
+	t.Cleanup(srv.Close)
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("format", "edge-list")
+	fw, err := mw.CreateFormFile("graph", "big.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(fw, graph.Grid(40, 40), graphio.EdgeList); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+	if buf.Len() <= 4<<10 {
+		t.Fatalf("test body too small to trip the limit: %d bytes", buf.Len())
+	}
+	resp, err := http.Post(srv.URL+"/v1/test", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized multipart: %d (want 413) %s", resp.StatusCode, out)
+	}
+}
+
+// TestHTTPBudgetShed exercises both admission verdicts on the byte
+// budget: a body that can never fit answers 413, and a budget held by
+// someone else answers 503 + Retry-After.
+func TestHTTPBudgetShed(t *testing.T) {
+	const budget = 32 << 10
+	m := New(Config{EngineWorkers: 1, MemoryBudget: budget})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(NewHandler(m, HandlerConfig{}))
+	t.Cleanup(srv.Close)
+
+	g := graph.Grid(3, 3)
+	body := testRequestBody(g, graphio.EdgeList, encodeGraph(t, g, graphio.EdgeList), nil)
+
+	// Larger than the whole budget: terminal, 413, no Retry-After.
+	huge := testRequestBody(g, graphio.EdgeList,
+		encodeGraph(t, g, graphio.EdgeList)+strings.Repeat("# pad\n", budget/6+1), nil)
+	resp, out := postJSON(t, srv.URL+"/v1/test", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget body: %d (want 413) %s", resp.StatusCode, out)
+	}
+
+	// Budget held elsewhere: transient, 503 + Retry-After.
+	release, err := m.AdmitBytes(budget - 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out = postJSON(t, srv.URL+"/v1/test", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated POST: %d (want 503) %s", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 shed carries no Retry-After")
+	}
+	release()
+	if m.Metrics().ShedRequests.Load() != 2 {
+		t.Fatalf("shed counter = %d, want 2", m.Metrics().ShedRequests.Load())
+	}
+
+	// Pressure gone: the same request is served.
+	resp, out = postJSON(t, srv.URL+"/v1/test", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-pressure POST: %d %s", resp.StatusCode, out)
+	}
+}

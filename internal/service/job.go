@@ -56,6 +56,7 @@ type Job struct {
 	attached     atomic.Int64 // submissions sharing this job (coalescing)
 	httpReleased atomic.Bool  // DELETE /v1/jobs/{id} already released once
 	resume       []byte       // engine checkpoint to continue from (crash recovery)
+	charged      int64        // admission-budget bytes held until the job releases
 
 	// Terminal results; written exactly once before done closes.
 	outcome *Outcome

@@ -27,8 +27,14 @@ type Metrics struct {
 	CheckpointsWritten atomic.Int64 // durable engine snapshots landed on disk
 	CheckpointErrs     atomic.Int64 // checkpoint I/O or snapshot failures (durability lost)
 	RecoveredJobs      atomic.Int64 // jobs re-enqueued by Recover after a restart
+	DiskHits           atomic.Int64 // cache hits served from the disk tier (post-restart or post-eviction)
+	ShedRequests       atomic.Int64 // requests shed by admission control (byte budget or full queue)
+	Quarantined        atomic.Int64 // corrupt disk-cache entries moved to quarantine
 	wallMicros         atomic.Int64 // engine wall time, microseconds
 	cacheEntries       func() int   // live cache size, set by the Manager
+	cacheBytesMem      func() int64 // memory-tier accounted bytes, set by the Manager
+	cacheBytesDisk     func() int64 // disk-tier accounted bytes, set by the Manager
+	inflightBytes      func() int64 // admission budget currently held
 	jobsMu             sync.Mutex
 	jobsByOutcome      map[jobsKey]*atomic.Int64
 }
@@ -40,8 +46,11 @@ type jobsKey struct {
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		jobsByOutcome: make(map[jobsKey]*atomic.Int64),
-		cacheEntries:  func() int { return 0 },
+		jobsByOutcome:  make(map[jobsKey]*atomic.Int64),
+		cacheEntries:   func() int { return 0 },
+		cacheBytesMem:  func() int64 { return 0 },
+		cacheBytesDisk: func() int64 { return 0 },
+		inflightBytes:  func() int64 { return 0 },
 	}
 }
 
@@ -89,11 +98,22 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"planard_checkpoints_written_total", "Durable engine checkpoints landed on disk.", "counter", fmt.Sprint(m.CheckpointsWritten.Load())},
 		{"planard_checkpoint_errors_total", "Checkpoint failures (durability lost, runs unaffected).", "counter", fmt.Sprint(m.CheckpointErrs.Load())},
 		{"planard_recovered_jobs_total", "Jobs re-enqueued from checkpoints after a restart.", "counter", fmt.Sprint(m.RecoveredJobs.Load())},
+		{"planard_cache_disk_hits_total", "Cache hits served from the disk tier.", "counter", fmt.Sprint(m.DiskHits.Load())},
+		{"planard_shed_requests_total", "Requests shed by admission control (byte budget or full queue).", "counter", fmt.Sprint(m.ShedRequests.Load())},
+		{"planard_quarantined_entries_total", "Corrupt disk-cache entries moved to quarantine.", "counter", fmt.Sprint(m.Quarantined.Load())},
+		{"planard_inflight_graph_bytes", "Admission-budget bytes currently held by request bodies and in-flight graphs.", "gauge", fmt.Sprint(m.inflightBytes())},
 	}
 	for _, l := range plain {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", l.name, l.help, l.name, l.typ, l.name, l.value); err != nil {
 			return err
 		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP planard_cache_bytes Accounted bytes of live result-cache entries by tier.\n"+
+			"# TYPE planard_cache_bytes gauge\n"+
+			"planard_cache_bytes{tier=\"mem\"} %d\nplanard_cache_bytes{tier=\"disk\"} %d\n",
+		m.cacheBytesMem(), m.cacheBytesDisk()); err != nil {
+		return err
 	}
 
 	m.jobsMu.Lock()

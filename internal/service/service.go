@@ -28,6 +28,24 @@ type Config struct {
 	// CacheEntries sizes the LRU result cache. 0 means 4096; negative
 	// disables caching.
 	CacheEntries int
+	// CacheBytes bounds the in-memory result-cache tier by accounted
+	// outcome bytes (the entry's canonical JSON size). 0 means 256 MiB;
+	// negative removes the byte bound (CacheEntries still applies).
+	CacheBytes int64
+	// CacheDir enables the disk-backed second cache tier under this
+	// directory: outcomes are written through and survive restarts, so
+	// a restarted instance keeps its hit rate. Entries failing the
+	// integrity check are quarantined, never served. Empty disables.
+	CacheDir string
+	// DiskCacheBytes bounds the disk tier's live entries; oldest are
+	// evicted past it. 0 means 4 GiB; negative removes the bound.
+	DiskCacheBytes int64
+	// MemoryBudget bounds the bytes admitted into the process at once:
+	// streaming request bodies plus the decoded graphs of queued and
+	// running jobs. Overflow is shed with ErrOverloaded (503 on the
+	// wire) instead of growing toward OOM. 0 disables admission
+	// control.
+	MemoryBudget int64
 	// EngineWorkers is the per-job engine worker-pool size
 	// (core.Options.Workers). 0 means GOMAXPROCS: one job then
 	// saturates the host, which suits few large graphs; set 1 and raise
@@ -71,6 +89,16 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 4096
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	} else if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // unbounded by bytes
+	}
+	if c.DiskCacheBytes == 0 {
+		c.DiskCacheBytes = 4 << 30
+	} else if c.DiskCacheBytes < 0 {
+		c.DiskCacheBytes = 0 // unbounded
+	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 16384
 	}
@@ -90,10 +118,13 @@ var (
 // metrics. Create with New, dispose with Close.
 type Manager struct {
 	cfg     Config
-	cache   *resultCache
+	cache   *tieredCache
 	metrics *Metrics
 	store   *ckptStore // nil when CheckpointDir is unset
+	budget  byteBudget
 	seq     atomic.Int64
+
+	draining atomic.Bool
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -111,16 +142,32 @@ func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		cfg:      cfg,
-		cache:    newResultCache(cfg.CacheEntries),
 		metrics:  newMetrics(),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	m.budget.total = cfg.MemoryBudget
+	var disk *diskCache
+	if cfg.CacheDir != "" {
+		// A disk tier that fails to open costs persistence, not
+		// service: the manager degrades to the memory tier alone
+		// (cmd/planard validates the directory up front and fails fast
+		// on real misconfiguration).
+		if d, err := newDiskCache(cfg.CacheDir, cfg.DiskCacheBytes, &m.metrics.Quarantined); err == nil {
+			disk = d
+		}
+	}
+	m.cache = newTieredCache(newResultCache(cfg.CacheEntries, cfg.CacheBytes), disk, &m.metrics.DiskHits)
 	if cfg.CheckpointDir != "" {
 		m.store = newCkptStore(cfg.CheckpointDir)
 	}
-	m.metrics.cacheEntries = m.cache.len
+	m.metrics.cacheEntries = m.cache.Len
+	m.metrics.cacheBytesMem = m.cache.Bytes
+	if disk != nil {
+		m.metrics.cacheBytesDisk = disk.size
+	}
+	m.metrics.inflightBytes = m.budget.used.Load
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -133,6 +180,7 @@ func New(cfg Config) *Manager {
 // touching the engine, or abort at the next round barrier). Blocks
 // until every pool goroutine exits.
 func (m *Manager) Close() {
+	m.draining.Store(true)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -150,8 +198,36 @@ func (m *Manager) Close() {
 // Metrics returns the service counters.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
 
-// CacheLen returns the number of cached outcomes.
-func (m *Manager) CacheLen() int { return m.cache.len() }
+// CacheLen returns the number of outcomes in the memory cache tier.
+func (m *Manager) CacheLen() int { return m.cache.Len() }
+
+// BeginDrain marks the manager as draining: /readyz answers 503 so
+// load balancers stop routing before requests start failing, while
+// in-flight work keeps running. Submission is unaffected (Close, not
+// BeginDrain, stops the pool); call it when graceful shutdown starts.
+func (m *Manager) BeginDrain() { m.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Close) has been called.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// Saturated reports whether the byte budget is currently full: new
+// work would be shed, so readiness probes should fail.
+func (m *Manager) Saturated() bool { return m.budget.saturated() }
+
+// AdmitBytes reserves n bytes of the admission budget for a request
+// body while it streams in; the returned release must be called once
+// decoding is over (the decoded graph is then accounted separately by
+// Submit). A saturated budget sheds with ErrOverloaded; n larger than
+// the whole budget is ErrTooLarge. n <= 0 (unknown length) admits
+// without reserving.
+func (m *Manager) AdmitBytes(n int64) (release func(), err error) {
+	if err := m.budget.tryAcquire(n); err != nil {
+		m.metrics.ShedRequests.Add(1)
+		return nil, err
+	}
+	var once sync.Once
+	return func() { once.Do(func() { m.budget.release(n) }) }, nil
+}
 
 // Submit validates req and returns its job without waiting for it:
 //
@@ -173,7 +249,7 @@ func (m *Manager) Submit(ctx context.Context, req *Request) (*Submission, error)
 	}
 	key := req.CacheKey()
 
-	if out, ok := m.cache.get(key); ok {
+	if out, ok := m.cache.Get(key); ok {
 		m.metrics.CacheHits.Add(1)
 		m.metrics.CountJob(req.Property, "done")
 		j := m.newJob(req, key)
@@ -186,22 +262,39 @@ func (m *Manager) Submit(ctx context.Context, req *Request) (*Submission, error)
 		return &Submission{Job: j}, nil
 	}
 
+	// Fresh work pins its decoded graph while queued and running:
+	// charge it against the admission budget before taking a queue
+	// slot, and shed (503 on the wire) when the budget cannot fit it.
+	// Only the fresh-job path below keeps the charge; a coalesced
+	// submit shares the already-charged job.
+	charge := GraphMemBytes(req.Graph)
+	if err := m.budget.tryAcquire(charge); err != nil {
+		m.metrics.ShedRequests.Add(1)
+		m.metrics.CountJob(req.Property, "shed")
+		return nil, err
+	}
+
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		m.budget.release(charge)
 		return nil, ErrClosed
 	}
 	if j, ok := m.inflight[key]; ok {
 		j.attach()
 		m.mu.Unlock()
+		m.budget.release(charge)
 		m.metrics.Coalesced.Add(1)
 		return &Submission{Job: j}, nil
 	}
 	j := m.newJob(req, key)
+	j.charged = charge
 	select {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
+		m.budget.release(charge)
+		m.metrics.ShedRequests.Add(1)
 		m.metrics.CountJob(req.Property, "rejected")
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
 	}
@@ -365,9 +458,16 @@ func (m *Manager) resubmit(rj recoveredJob) error {
 	}
 	j := m.newJob(rj.req, key)
 	j.resume = rj.resume
+	j.charged = GraphMemBytes(rj.req.Graph)
+	if err := m.budget.tryAcquire(j.charged); err != nil {
+		// Over budget at startup: the job directory stays on disk for
+		// the next restart instead of being dropped.
+		return err
+	}
 	select {
 	case m.queue <- j:
 	default:
+		m.budget.release(j.charged)
 		return fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
 	}
 	m.metrics.JobsInFlight.Add(1)
@@ -393,6 +493,7 @@ func (m *Manager) execute(j *Job) {
 	defer m.metrics.JobsInFlight.Add(-1)
 	defer m.forget(j)
 	defer j.releaseGraph()
+	defer m.budget.release(j.charged)
 
 	if j.canceled() {
 		m.metrics.CountJob(j.Request.Property, "failed")
@@ -449,6 +550,6 @@ func (m *Manager) execute(j *Job) {
 	m.metrics.GraphEdges.Add(int64(out.GraphM))
 	m.metrics.AddWallSeconds(out.WallSeconds)
 	m.metrics.CountJob(j.Request.Property, "done")
-	m.cache.put(j.Key, out)
+	m.cache.Put(j.Key, out)
 	finish(out, nil)
 }

@@ -11,7 +11,10 @@
 #   6. restart with -checkpoint-dir, SIGKILL the daemon mid-run, restart
 #      it on the same directory, and require the interrupted job to
 #      resume from its checkpoint, finish with the same verdict, and
-#      repopulate the result cache.
+#      repopulate the result cache;
+#   7. restart-keeps-cache: start with -cache-dir, POST (cold run),
+#      restart the daemon on the same directory, re-POST, and require a
+#      cache hit served from the disk tier — no engine re-run.
 #
 # No dependencies beyond curl and the go toolchain.
 #
@@ -83,6 +86,14 @@ M="$(curl -sf "http://127.0.0.1:$PORT/metrics")"
 require "$M" '^planard_cache_hits_total 1$'   "/metrics"
 require "$M" '^planard_cache_misses_total 1$' "/metrics"
 require "$M" 'planard_jobs_total{property="planarity",status="done"} 2' "/metrics"
+# Overload-hardening families: present from the first scrape, with sane
+# idle values (nothing shed, nothing quarantined, budget drained, and a
+# live memory-tier entry from the run above).
+require "$M" '^planard_shed_requests_total 0$'       "/metrics (admission)"
+require "$M" '^planard_quarantined_entries_total 0$' "/metrics (disk integrity)"
+require "$M" '^planard_inflight_graph_bytes 0$'      "/metrics (budget drained)"
+require "$M" 'planard_cache_bytes{tier="mem"} [1-9]' "/metrics (mem tier accounted)"
+require "$M" 'planard_cache_bytes{tier="disk"} 0'    "/metrics (disk tier off)"
 
 echo "== graceful shutdown"
 kill -TERM "$SRV_PID"
@@ -165,4 +176,50 @@ for i in $(seq 1 100); do
 done
 SRV_PID=""
 
-echo "smoke_planard: OK (n=$N, accept + cache hit + graceful shutdown + kill-and-resume)"
+echo "== restart-keeps-cache: results survive a restart via the disk tier"
+DCACHE="$WORK/dcache"
+
+start_cached() {
+    "$WORK/bin/planard" -addr "127.0.0.1:$PORT" -cache-dir "$DCACHE" > "$1" 2>&1 &
+    SRV_PID=$!
+    for i in $(seq 1 100); do
+        curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 && break
+        kill -0 "$SRV_PID" 2>/dev/null || { echo "planard died on startup:"; cat "$1"; exit 1; }
+        sleep 0.1
+    done
+    curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null
+    curl -sf "http://127.0.0.1:$PORT/readyz" >/dev/null
+}
+
+start_cached "$WORK/planard4.log"
+R6="$(post)"
+require "$R6" '"state":"done"'     "disk-cache cold POST"
+require "$R6" '"cache_hit":false'  "disk-cache cold POST"
+
+kill -TERM "$SRV_PID"
+for i in $(seq 1 100); do
+    kill -0 "$SRV_PID" 2>/dev/null || break
+    sleep 0.1
+done
+SRV_PID=""
+ls "$DCACHE"/cache/*/* >/dev/null || { echo "FAIL: no disk-cache entry landed" >&2; exit 1; }
+
+start_cached "$WORK/planard5.log"
+R7="$(post)"
+require "$R7" '"state":"done"'     "post-restart cached POST"
+require "$R7" '"verdict":"accept"' "post-restart cached POST"
+require "$R7" '"cache_hit":true'   "post-restart cached POST (served from disk, no re-run)"
+
+M3="$(curl -sf "http://127.0.0.1:$PORT/metrics")"
+require "$M3" '^planard_cache_disk_hits_total 1$' "/metrics (disk tier hit)"
+require "$M3" '^planard_cache_misses_total 0$'    "/metrics (no engine re-run after restart)"
+require "$M3" 'planard_cache_bytes{tier="disk"} [1-9]' "/metrics (disk tier accounted)"
+
+kill -TERM "$SRV_PID"
+for i in $(seq 1 100); do
+    kill -0 "$SRV_PID" 2>/dev/null || break
+    sleep 0.1
+done
+SRV_PID=""
+
+echo "smoke_planard: OK (n=$N, accept + cache hit + graceful shutdown + kill-and-resume + restart-keeps-cache)"
