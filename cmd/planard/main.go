@@ -27,8 +27,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,10 +74,23 @@ func serve(args []string) error {
 		ckptDir     = fs.String("checkpoint-dir", "", "directory for durable job checkpoints; interrupted runs resume on restart (empty: disabled)")
 		ckptEvery   = fs.Int("checkpoint-every", 0, "engine barriers between durable checkpoints (0: 256)")
 		maxTimeout  = fs.Duration("max-timeout", 0, "server-side cap and default for per-request timeouts (0: unbounded)")
+		logFormat   = fs.String("log-format", "text", "log output format: text or json")
+		pprofAddr   = fs.String("pprof-addr", "", "listen address for the net/http/pprof profiling endpoints, kept off the service listener (empty: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("log-format: unknown format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	if *cacheDir != "" {
 		// Fail fast on a misconfigured cache directory; the manager
@@ -104,13 +118,14 @@ func serve(args []string) error {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		MaxTimeout:      *maxTimeout,
+		Logger:          logger,
 	})
 	if *ckptDir != "" {
 		n, err := m.Recover()
 		if err != nil {
-			log.Printf("planard: checkpoint recovery: %v", err)
+			logger.Error(fmt.Sprintf("planard: checkpoint recovery: %v", err))
 		} else if n > 0 {
-			log.Printf("planard: resumed %d interrupted job(s) from %s", n, *ckptDir)
+			logger.Info(fmt.Sprintf("planard: resumed %d interrupted job(s) from %s", n, *ckptDir))
 		}
 	}
 	srv := &http.Server{
@@ -121,9 +136,30 @@ func serve(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener so they can
+		// be bound to loopback (or firewalled) independently of the
+		// service port, and so a profile scrape never competes for the
+		// service mux.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux}
+		go func() {
+			logger.Info(fmt.Sprintf("planard: pprof on %s", *pprofAddr))
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error(fmt.Sprintf("planard: pprof listener: %v", err))
+			}
+		}()
+		defer psrv.Close()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("planard: serving on %s", *addr)
+		logger.Info(fmt.Sprintf("planard: serving on %s", *addr))
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -138,7 +174,7 @@ func serve(args []string) error {
 	// routing, stop accepting, drain in-flight HTTP, then cancel
 	// whatever is still running on the engine.
 	m.BeginDrain()
-	log.Printf("planard: shutting down (drain %s)", *drain)
+	logger.Info(fmt.Sprintf("planard: shutting down (drain %s)", *drain))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
@@ -146,6 +182,6 @@ func serve(args []string) error {
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	log.Printf("planard: bye")
+	logger.Info("planard: bye")
 	return nil
 }

@@ -8,6 +8,8 @@
 //	planartest -family gnp -n 400 -degree 8 -en
 //	planartest -edges graph.txt -eps 0.2             # format autodetected
 //	planartest -edges graph.pgb -format binary       # or forced explicitly
+//	planartest -family randplanar -n 100000 -m 150000 -eps 0.5 \
+//	    -schedule practical -phases -trace run.jsonl # per-phase attribution
 //
 // -edges accepts every internal/graphio format: edge-list, DIMACS,
 // JSON, and the compact binary encoding; -format defaults to "auto"
@@ -26,6 +28,7 @@ import (
 	"repro"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -40,10 +43,13 @@ func main() {
 		seed   = flag.Int64("seed", 1, "base seed")
 		seeds  = flag.Int("seeds", 1, "number of seeds to run")
 		en     = flag.Bool("en", false, "use the Elkin-Neiman baseline partition")
+		sched  = flag.String("schedule", "paper", "Stage I phase schedule: paper|practical (the benchmarks use practical)")
 		random = flag.Bool("randomized", false, "use the randomized Stage I variant (Theorem 4)")
 		strict = flag.Bool("strict-embed", false, "reject as soon as the embedding step sees non-planarity")
 		edges  = flag.String("edges", "", "read graph from file instead of generating (edge-list|dimacs|json|binary)")
 		format = flag.String("format", "auto", "format of -edges: auto|edge-list|dimacs|json|binary")
+		phases = flag.Bool("phases", false, "print the per-phase attribution table after each run")
+		trace  = flag.String("trace", "", "write a JSONL run trace to this file (summarize with scripts/trace_report)")
 	)
 	flag.Parse()
 
@@ -59,11 +65,35 @@ func main() {
 	}
 
 	opts := repro.TesterOptions{Epsilon: *eps, UseEN: *en}
+	switch *sched {
+	case "paper":
+		// the default phase-count rule; leave the zero value
+	case "practical":
+		opts.Partition.Epsilon = *eps
+		opts.Partition.Schedule = partition.PracticalSchedule
+	default:
+		fmt.Fprintf(os.Stderr, "planartest: unknown -schedule %q (want paper or practical)\n", *sched)
+		os.Exit(1)
+	}
 	if *random {
 		opts.Partition.Epsilon = *eps
 		opts.Partition.Variant = partition.Randomized
 	}
 	opts.StageII.StrictEmbedReject = *strict
+	if *phases || *trace != "" {
+		// Tracing rides on the probe: phase events need interned names.
+		opts.Probe = obs.NewProbe()
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "planartest:", err)
+			os.Exit(1)
+		}
+		tracer = obs.NewTracer(f)
+		opts.Trace = tracer
+	}
 
 	rejected := 0
 	for s := 0; s < *seeds; s++ {
@@ -80,6 +110,15 @@ func main() {
 		fmt.Printf("seed %3d: %s  rounds=%-12d msgs=%-10d maxMsgBits=%d/%d modeledRounds=%d\n",
 			s, verdict, res.Metrics.Rounds, res.Metrics.Messages,
 			res.Metrics.MaxMessageBits, res.Metrics.BitBound, res.Metrics.ModeledRounds)
+		if *phases {
+			fmt.Print(res.Phases)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "planartest: trace:", err)
+			os.Exit(1)
+		}
 	}
 	if *seeds > 1 {
 		fmt.Printf("rejected %d/%d runs\n", rejected, *seeds)

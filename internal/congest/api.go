@@ -1,6 +1,10 @@
 package congest
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/obs"
+)
 
 // API is a node's handle to the network under the blocking compatibility
 // model. It is valid only inside the node's Program goroutine and is not
@@ -80,6 +84,10 @@ func (a *API) Verdict() Verdict { return a.s.Verdict() }
 // ChargeModeledRounds adds r to the modeled-rounds counter, accounting for
 // the documented black-box substitutions (DESIGN.md §3).
 func (a *API) ChargeModeledRounds(r int) { a.s.ChargeModeledRounds(r) }
+
+// PhaseEnter announces a phase transition for per-phase attribution
+// (see StepAPI.PhaseEnter). A no-op when the run has no obs.Probe.
+func (a *API) PhaseEnter(id obs.PhaseID) { a.s.PhaseEnter(id) }
 
 // yieldMsg is what a blocking-node goroutine hands back to the engine at
 // every yield point: its scheduling request, or the value it panicked with.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/faultpoint"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // FaultBarrier is the faultpoint hook name the engine hits after every
@@ -82,6 +83,25 @@ type Config struct {
 	// round barriers (see CheckpointConfig). The zero value disables
 	// checkpointing.
 	Checkpoint CheckpointConfig
+	// Probe, when non-nil, enables per-phase attribution: programs
+	// announce phases through StepAPI.PhaseEnter with IDs interned on
+	// this probe, the engine folds announcements at every barrier
+	// (deterministically, in due order), and Result.Phases reports the
+	// accumulated PhaseBreakdown. nil (the default) allocates nothing
+	// and costs one nil check per barrier; all deterministic Result
+	// fields are byte-identical with or without a probe.
+	Probe *obs.Probe
+	// Trace, when non-nil, receives JSONL-able run events (phase
+	// transitions, checkpoints, fast-forward windows, merge decisions,
+	// aborts; see obs.Event). Emitted from the sequential engine loop
+	// only, never from workers. nil disables tracing at the cost of a
+	// nil check; tracing never affects the Result.
+	Trace obs.TraceSink
+	// Progress, when non-nil, is updated at every executed barrier with
+	// the current round, barrier count, and phase; readers snapshot it
+	// concurrently (the planard job API serves it as the live
+	// `progress` object). nil disables the per-barrier store.
+	Progress *obs.Progress
 }
 
 // DefaultBitBound is the default per-message bound: c*ceil(log2 n) bits
@@ -113,6 +133,11 @@ type Metrics struct {
 type Result struct {
 	Verdicts []Verdict
 	Metrics  Metrics
+	// Phases is the per-phase attribution table, non-nil exactly when
+	// the run was configured with Config.Probe. All columns except
+	// WallNs are deterministic, and the Messages/Bits columns sum to
+	// Metrics.Messages/Metrics.TotalBits.
+	Phases obs.PhaseBreakdown
 }
 
 // Accepted reports whether every node accepted.
@@ -269,6 +294,7 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 	}
 
 	eng.alive = n
+	eng.initObs(cfg)
 	due := make([]int32, 0, n)
 	for i := 0; i < n; i++ {
 		due = append(due, int32(i)) // round 0: every node wakes, empty inbox
@@ -283,7 +309,7 @@ func RunStep(cfg Config, progs func(node int) StepProgram) (*Result, error) {
 		eng.m.Messages += eng.chargedMsgs[i]
 		eng.m.TotalBits += eng.chargedBits[i]
 	}
-	return &Result{Verdicts: eng.verdicts, Metrics: eng.m}, eng.runErr
+	return &Result{Verdicts: eng.verdicts, Metrics: eng.m, Phases: eng.finishObs()}, eng.runErr
 }
 
 // engine is the scheduler core. The per-node hot state is laid out as
@@ -372,6 +398,29 @@ type engine struct {
 	// headers so resumed totals stay byte-identical (DESIGN.md §10).
 	chargedMsgs []int64
 	chargedBits []int64
+
+	// Observability (internal/obs). All slabs below are nil unless
+	// Config.Probe is set; the disabled fast path is a nil check per
+	// barrier. pReq is the per-node phase-announcement slab: a node's
+	// Step writes only its own slot (race-free under parallel workers)
+	// and the engine loop folds announcements sequentially, in due
+	// order, at the barrier — so attribution is deterministic for every
+	// Workers value. pWin* accumulate ChargeTraffic calls per node
+	// between barriers for per-phase fast-forward accounting.
+	probe      *obs.Probe
+	trace      obs.TraceSink
+	progress   *obs.Progress
+	pReq       []int32         // per-node announced phase (0: none)
+	pWinMsgs   []int64         // per-node charged msgs since last barrier
+	pWinBits   []int64         // per-node charged bits since last barrier
+	pWinCnt    []int64         // per-node ChargeTraffic calls since last barrier
+	pStats     []obs.PhaseStat // per-phase accumulators, indexed by PhaseID
+	pPhase     int32           // current phase id (0: "run")
+	pLastMsgs  int64           // m.Messages at the last fold
+	pLastBits  int64           // m.TotalBits at the last fold
+	pLastStamp time.Time       // wall stamp of the last fold
+	pSeg       obs.PhaseStat   // trace: accumulator snapshot at segment start
+	runStart   time.Time       // trace: wall zero for run_end
 }
 
 // workChunk is one worker's share of a barrier. In the compute phase it
@@ -475,11 +524,21 @@ func (e *engine) run(due []int32, resumed bool) {
 			// cut the run — all three preserve the invariant that a run
 			// either finished a barrier entirely or not at all.
 			e.barriers++
+			if e.probe != nil {
+				e.foldProbe(due)
+			}
+			if e.progress != nil {
+				e.progress.Set(int64(e.round), e.barriers, obs.PhaseID(e.pPhase))
+			}
 			if e.ckpt.Sink != nil && !e.ckptOff && e.ckpt.EveryBarriers > 0 &&
 				e.barriers%int64(e.ckpt.EveryBarriers) == 0 {
 				data, err := e.encodeSnapshot()
 				if err == nil {
 					err = e.ckpt.Sink(e.round, data)
+					if err == nil && e.trace != nil {
+						e.trace.Emit(obs.Event{Event: "checkpoint", Round: int64(e.round),
+							Barrier: e.barriers, Bytes: int64(len(data))})
+					}
 				}
 				if err != nil {
 					if errors.Is(err, ErrNotSnapshottable) {
@@ -680,7 +739,15 @@ func (e *engine) stepParallel(due []int32) bool {
 			mw = lim
 		}
 		if mw >= 2 {
+			if e.trace != nil {
+				e.trace.Emit(obs.Event{Event: "merge", Round: int64(e.round), Barrier: e.barriers,
+					Merge: "sharded", Shards: int64(mw), Messages: int64(totalMsgs)})
+			}
 			return e.mergeSharded(due, sts, mw)
+		}
+		if e.trace != nil {
+			e.trace.Emit(obs.Event{Event: "merge", Round: int64(e.round), Barrier: e.barriers,
+				Merge: "sequential", Messages: int64(totalMsgs)})
 		}
 	}
 	for k, i := range due {

@@ -1,0 +1,259 @@
+package congest
+
+// Engine-side observability (internal/obs): per-phase attribution,
+// progress publishing, and trace emission. Everything here is gated on
+// Config.Probe / Config.Trace being set — a run without them executes
+// one nil check per barrier and allocates nothing, which is the
+// zero-overhead-when-disabled contract the bench gate pins.
+//
+// Determinism: phase announcements are written by nodes into the pReq
+// slab during Step (each node touches only its own slot, so the compute
+// phase stays race-free under parallel workers) and folded by the
+// engine loop at the barrier, in due (ascending node index) order, with
+// the last announcement winning — the same order the sequential engine
+// would observe. Every accumulated column except WallNs is therefore
+// byte-identical across Workers values, with tracing on or off, and
+// under kill-and-resume (the snapshot carries the folded accumulators).
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// initObs installs the run's probe, trace sink, and progress cell, and
+// allocates the probe slabs. Called once before the scheduler loop by
+// RunStep and ResumeStep.
+func (e *engine) initObs(cfg Config) {
+	e.probe, e.trace, e.progress = cfg.Probe, cfg.Trace, cfg.Progress
+	if e.probe == nil && e.trace == nil {
+		return
+	}
+	now := time.Now()
+	e.runStart = now
+	e.pLastStamp = now
+	if e.probe != nil {
+		e.pReq = make([]int32, e.n)
+		e.pWinMsgs = make([]int64, e.n)
+		e.pWinBits = make([]int64, e.n)
+		e.pWinCnt = make([]int64, e.n)
+		e.pStat(int32(len(e.probe.Names()) - 1)) // size for pre-interned phases
+		e.pLastMsgs, e.pLastBits = e.m.Messages, e.m.TotalBits
+	}
+	if e.trace != nil {
+		e.trace.Emit(obs.Event{Event: "run_start", Round: int64(e.round), Barrier: e.barriers,
+			N: int64(e.n), M: int64(e.g.M()), Seed: e.seed, Workers: int64(e.workers)})
+		if e.probe != nil {
+			e.pSeg = *e.pStat(e.pPhase)
+		}
+	}
+}
+
+// pStat returns the accumulator of phase id, growing the table as
+// needed (ids are interned before the run, so growth normally happens
+// once, in initObs).
+func (e *engine) pStat(id int32) *obs.PhaseStat {
+	for int(id) >= len(e.pStats) {
+		e.pStats = append(e.pStats, obs.PhaseStat{})
+	}
+	return &e.pStats[id]
+}
+
+// foldProbe is the per-barrier attribution step, called by the
+// scheduler loop right after a barrier completes (before any
+// checkpoint, so snapshots capture folded state). It applies phase
+// announcements in due order, then charges the barrier's wakes,
+// routed-traffic deltas, fast-forward windows, and wall time to the
+// resulting current phase.
+func (e *engine) foldProbe(due []int32) {
+	for _, i := range due {
+		if r := e.pReq[i]; r != 0 {
+			e.pReq[i] = 0
+			if r != e.pPhase {
+				e.switchPhase(r)
+			}
+		}
+	}
+	st := e.pStat(e.pPhase)
+	st.Barriers++
+	st.Wakes += int64(len(due))
+	st.Messages += e.m.Messages - e.pLastMsgs
+	st.Bits += e.m.TotalBits - e.pLastBits
+	e.pLastMsgs, e.pLastBits = e.m.Messages, e.m.TotalBits
+	var wMsgs, wBits, wCnt int64
+	for _, i := range due {
+		if c := e.pWinCnt[i]; c != 0 {
+			wCnt += c
+			wMsgs += e.pWinMsgs[i]
+			wBits += e.pWinBits[i]
+			e.pWinCnt[i], e.pWinMsgs[i], e.pWinBits[i] = 0, 0, 0
+		}
+	}
+	if wCnt != 0 {
+		st.Windows += wCnt
+		st.Messages += wMsgs
+		st.Bits += wBits
+		if e.trace != nil {
+			e.trace.Emit(obs.Event{Event: "fast_forward", Round: int64(e.round), Barrier: e.barriers,
+				Phase: e.phaseName(e.pPhase), Windows: wCnt, Messages: wMsgs, Bits: wBits})
+		}
+	}
+	now := time.Now()
+	st.WallNs += now.Sub(e.pLastStamp).Nanoseconds()
+	e.pLastStamp = now
+}
+
+// switchPhase closes the current phase segment (emitting its trace
+// deltas) and makes `to` current. The barrier being folded is charged
+// to the new phase: a phase's announcing wake executes the phase's
+// first op, so its cost belongs to the entered phase.
+func (e *engine) switchPhase(to int32) {
+	if e.trace != nil {
+		e.traceSegment()
+	}
+	e.pPhase = to
+	e.pStat(to)
+	if e.trace != nil {
+		e.trace.Emit(obs.Event{Event: "phase_enter", Phase: e.phaseName(to),
+			Round: int64(e.round), Barrier: e.barriers})
+		e.pSeg = *e.pStat(to)
+	}
+}
+
+// traceSegment emits a phase_exit event carrying the current phase's
+// accumulation since its segment started (a phase re-entered later gets
+// a fresh segment; trace_report sums segments per phase).
+func (e *engine) traceSegment() {
+	cur := *e.pStat(e.pPhase)
+	e.trace.Emit(obs.Event{
+		Event:    "phase_exit",
+		Phase:    e.phaseName(e.pPhase),
+		Round:    int64(e.round),
+		Barrier:  e.barriers,
+		WallNs:   cur.WallNs - e.pSeg.WallNs,
+		Wakes:    cur.Wakes - e.pSeg.Wakes,
+		Barriers: cur.Barriers - e.pSeg.Barriers,
+		Messages: cur.Messages - e.pSeg.Messages,
+		Bits:     cur.Bits - e.pSeg.Bits,
+		Windows:  cur.Windows - e.pSeg.Windows,
+	})
+}
+
+func (e *engine) phaseName(id int32) string {
+	if e.probe == nil {
+		return "run"
+	}
+	return e.probe.Name(obs.PhaseID(id))
+}
+
+// finishObs closes the run's instrumentation after the scheduler loop
+// ended and the final Metrics are summed: it charges the tail wall
+// time, emits the closing trace events (abort on error, then run_end
+// with the final totals), and returns the PhaseBreakdown (nil when no
+// probe was configured).
+func (e *engine) finishObs() obs.PhaseBreakdown {
+	if e.probe == nil && e.trace == nil {
+		return nil
+	}
+	var bd obs.PhaseBreakdown
+	if e.probe != nil {
+		now := time.Now()
+		st := e.pStat(e.pPhase)
+		st.WallNs += now.Sub(e.pLastStamp).Nanoseconds()
+		e.pLastStamp = now
+		names := e.probe.Names()
+		e.pStat(int32(len(names) - 1))
+		bd = make(obs.PhaseBreakdown, len(names))
+		for id, name := range names {
+			bd[id] = e.pStats[id]
+			bd[id].Name = name
+		}
+	}
+	if e.trace != nil {
+		if e.probe != nil {
+			e.traceSegment()
+		}
+		if e.runErr != nil {
+			e.trace.Emit(obs.Event{Event: "abort", Round: int64(e.round),
+				Barrier: e.barriers, Err: e.runErr.Error()})
+		}
+		e.trace.Emit(obs.Event{Event: "run_end", Round: int64(e.round), Barrier: e.barriers,
+			Barriers: e.barriers, Messages: e.m.Messages, Bits: e.m.TotalBits,
+			WallNs: time.Since(e.runStart).Nanoseconds()})
+	}
+	return bd
+}
+
+// encodeObsSection appends the attribution state to a snapshot: the
+// interned phase names (in PhaseID order), the per-phase accumulators,
+// and the current phase. Always writes the presence flag, so the layout
+// is identical with and without a probe. WallNs is carried so a resumed
+// run's breakdown approximates the continuous run's wall column; every
+// other column is exact (and pinned byte-identical by the
+// instrumentation-soundness test).
+func (e *engine) encodeObsSection(enc *SnapEncoder) {
+	if e.probe == nil {
+		enc.Bool(false)
+		return
+	}
+	enc.Bool(true)
+	names := e.probe.Names()
+	e.pStat(int32(len(names) - 1))
+	enc.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		enc.Bytes([]byte(name))
+	}
+	for id := range names {
+		st := e.pStats[id]
+		enc.Varint(st.WallNs)
+		enc.Varint(st.Wakes)
+		enc.Varint(st.Barriers)
+		enc.Varint(st.Messages)
+		enc.Varint(st.Bits)
+		enc.Varint(st.Windows)
+	}
+	enc.Uvarint(uint64(e.pPhase))
+}
+
+// decodeObsSection restores the attribution state written by
+// encodeObsSection. Phase names are re-interned through the resumed
+// run's probe (so IDs stay correct even if the resumed run interned
+// phases in a different order); when the resumed run has no probe the
+// section is decoded and discarded.
+func (e *engine) decodeObsSection(d *SnapDecoder) {
+	if !d.Bool() {
+		return
+	}
+	count := d.Uvarint()
+	if d.Err() != nil || count > uint64(d.Remaining()) {
+		d.Uvarint() // force a sticky error on a hostile count
+		return
+	}
+	names := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		names = append(names, string(d.Bytes()))
+	}
+	stats := make([]obs.PhaseStat, count)
+	for i := range stats {
+		stats[i] = obs.PhaseStat{
+			WallNs:   d.Varint(),
+			Wakes:    d.Varint(),
+			Barriers: d.Varint(),
+			Messages: d.Varint(),
+			Bits:     d.Varint(),
+			Windows:  d.Varint(),
+		}
+	}
+	cur := d.Uvarint()
+	if d.Err() != nil || e.probe == nil {
+		return
+	}
+	for i, name := range names {
+		id := e.probe.Phase(name)
+		*e.pStat(int32(id)) = stats[i]
+	}
+	if cur < count {
+		e.pPhase = int32(e.probe.Phase(names[cur]))
+	}
+	e.pLastMsgs, e.pLastBits = e.m.Messages, e.m.TotalBits
+}

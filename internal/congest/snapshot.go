@@ -32,7 +32,7 @@ import (
 // version 1"); snapshotVersion is bumped on any layout change.
 const (
 	snapshotMagic   = "PCK1"
-	snapshotVersion = 2
+	snapshotVersion = 3
 )
 
 // snapshotFooterLen is the length of the SHA-256 integrity footer.
@@ -600,6 +600,7 @@ func (e *engine) encodeSnapshot() ([]byte, error) {
 		enc.Uvarint(uint64(sp.SnapshotKind()))
 		enc.Bytes(sub.buf)
 	}
+	e.encodeObsSection(enc)
 	if enc.err != nil {
 		return nil, enc.err
 	}
@@ -802,6 +803,8 @@ func ResumeStep(cfg Config, data []byte, restore RestoreFunc) (*Result, error) {
 		}
 		eng.hot[i].prog = prog
 	}
+	eng.initObs(cfg)
+	eng.decodeObsSection(d)
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -844,5 +847,5 @@ func ResumeStep(cfg Config, data []byte, restore RestoreFunc) (*Result, error) {
 		eng.m.Messages += eng.chargedMsgs[i]
 		eng.m.TotalBits += eng.chargedBits[i]
 	}
-	return &Result{Verdicts: eng.verdicts, Metrics: eng.m}, eng.runErr
+	return &Result{Verdicts: eng.verdicts, Metrics: eng.m, Phases: eng.finishObs()}, eng.runErr
 }

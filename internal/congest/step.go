@@ -3,6 +3,8 @@ package congest
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // StepProgram is a node program expressed as an explicit state machine:
@@ -189,6 +191,27 @@ func (a *StepAPI) ChargeModeledRounds(r int) {
 func (a *StepAPI) ChargeTraffic(msgs, bits int64) {
 	a.eng.chargedMsgs[a.node] += msgs
 	a.eng.chargedBits[a.node] += bits
+	if a.eng.pWinCnt != nil {
+		// Per-phase attribution: record the fast-forward window so the
+		// barrier fold can charge it to the current phase (obs.go).
+		a.eng.pWinCnt[a.node]++
+		a.eng.pWinMsgs[a.node] += msgs
+		a.eng.pWinBits[a.node] += bits
+	}
+}
+
+// PhaseEnter announces that this node is entering the named phase (an
+// ID interned on the run's obs.Probe before the run started). The
+// engine folds announcements at the next barrier in due order — the
+// last announcing node in ascending index order decides the current
+// phase — and attributes subsequent cost to it. Safe from parallel
+// workers (each node writes only its own slot) and a no-op when the run
+// has no probe (one nil check). PhaseEnter(0) is a no-op: ID 0 is the
+// implicit root phase "run".
+func (a *StepAPI) PhaseEnter(id obs.PhaseID) {
+	if a.eng.pReq != nil {
+		a.eng.pReq[a.node] = int32(id)
+	}
 }
 
 // clearRound resets the per-round send state after the engine drained the

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/faultpoint"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// normalizePhases strips the one nondeterministic field (WallNs) so
+// breakdowns from different executions can be compared exactly.
+func normalizePhases(pb obs.PhaseBreakdown) obs.PhaseBreakdown {
+	out := make(obs.PhaseBreakdown, len(pb))
+	copy(out, pb)
+	for i := range out {
+		out[i].WallNs = 0
+	}
+	return out
+}
+
+// TestInstrumentationSoundness asserts the zero-interference contract of
+// the obs layer: enabling the probe (and tracing on top of it) changes no
+// deterministic Result field, the per-phase counters are themselves
+// deterministic — identical across worker counts and with tracing on or
+// off — and their Messages/Bits columns sum exactly to the run's Metrics.
+func TestInstrumentationSoundness(t *testing.T) {
+	far, _ := graph.PlanarPlusRandomEdges(90, 70, rand.New(rand.NewSource(4)))
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(10, 10)},
+		{"far-from-planar", far},
+	}
+	for _, fam := range families {
+		base := Options{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Schedule: partition.PracticalSchedule}}
+		plain, err := RunTester(fam.g, base, 1)
+		if err != nil {
+			t.Fatalf("%s: unprobed baseline: %v", fam.name, err)
+		}
+		if plain.Phases != nil {
+			t.Fatalf("%s: unprobed run has a phase breakdown", fam.name)
+		}
+		var ref obs.PhaseBreakdown
+		for _, workers := range []int{1, 2, 4} {
+			for _, traced := range []bool{false, true} {
+				opts := base
+				opts.Workers = workers
+				opts.Probe = obs.NewProbe()
+				var buf bytes.Buffer
+				var tracer *obs.Tracer
+				if traced {
+					tracer = obs.NewTracer(&buf)
+					opts.Trace = tracer
+				}
+				res, err := RunTester(fam.g, opts, 1)
+				if err != nil {
+					t.Fatalf("%s/w%d/traced=%v: %v", fam.name, workers, traced, err)
+				}
+				if tracer != nil {
+					if err := tracer.Close(); err != nil {
+						t.Fatalf("%s/w%d: trace close: %v", fam.name, workers, err)
+					}
+				}
+				if res.Rejected != plain.Rejected || res.RejectedBy != plain.RejectedBy ||
+					!reflect.DeepEqual(res.Metrics, plain.Metrics) {
+					t.Fatalf("%s/w%d/traced=%v: instrumentation changed the result:\nplain:  %+v\nprobed: %+v",
+						fam.name, workers, traced, plain, res)
+				}
+				if res.Phases == nil {
+					t.Fatalf("%s/w%d/traced=%v: probed run has no phase breakdown", fam.name, workers, traced)
+				}
+				got := normalizePhases(res.Phases)
+				if ref == nil {
+					ref = got
+				} else if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("%s/w%d/traced=%v: phase breakdown differs from w1/untraced:\nref: %+v\ngot: %+v",
+						fam.name, workers, traced, ref, got)
+				}
+				total := res.Phases.Total()
+				if total.Messages != res.Metrics.Messages {
+					t.Fatalf("%s/w%d: phase messages sum %d != run messages %d",
+						fam.name, workers, total.Messages, res.Metrics.Messages)
+				}
+				if total.Bits != res.Metrics.TotalBits {
+					t.Fatalf("%s/w%d: phase bits sum %d != run bits %d",
+						fam.name, workers, total.Bits, res.Metrics.TotalBits)
+				}
+				if traced && buf.Len() == 0 {
+					t.Fatalf("%s/w%d: tracing enabled but no events emitted", fam.name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestInstrumentationSurvivesResume kills a probed run at a barrier,
+// resumes it from the last checkpoint with a fresh probe, and asserts the
+// resumed run reports the same result and the same (WallNs-normalized)
+// phase breakdown as an uninterrupted probed run — the obs snapshot
+// section and the state-derived phase announcements must re-anchor
+// attribution exactly.
+func TestInstrumentationSurvivesResume(t *testing.T) {
+	defer faultpoint.Reset()
+	g := graph.Grid(10, 10)
+	base := Options{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Schedule: partition.PracticalSchedule}}
+
+	uopts := base
+	uopts.Probe = obs.NewProbe()
+	barriers := 0
+	uopts.Checkpoint = congest.CheckpointConfig{
+		EveryBarriers: 1,
+		Sink:          func(round int, data []byte) error { barriers++; return nil },
+	}
+	uninterrupted, err := RunTester(g, uopts, 1)
+	if err != nil {
+		t.Fatalf("uninterrupted probed run: %v", err)
+	}
+	want := normalizePhases(uninterrupted.Phases)
+
+	crashRng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		crashAt := 2 + crashRng.Intn(barriers-2)
+		copts := base
+		copts.Probe = obs.NewProbe()
+		var last []byte
+		copts.Checkpoint = congest.CheckpointConfig{
+			EveryBarriers: 1,
+			Sink:          func(round int, data []byte) error { last = data; return nil },
+		}
+		boom := errors.New("injected crash")
+		faultpoint.Arm(congest.FaultBarrier, crashAt, func() error { return boom })
+		_, err := RunTester(g, copts, 1)
+		faultpoint.Disarm(congest.FaultBarrier)
+		if !errors.Is(err, boom) {
+			t.Fatalf("crash at barrier %d: expected injected crash, got %v", crashAt, err)
+		}
+		for _, workers := range []int{1, 4} {
+			ropts := base
+			ropts.Workers = workers
+			ropts.Probe = obs.NewProbe()
+			res, err := ResumeTester(g, ropts, 1, last)
+			if err != nil {
+				t.Fatalf("crash@%d/w%d: resume: %v", crashAt, workers, err)
+			}
+			if res.Rejected != uninterrupted.Rejected ||
+				!reflect.DeepEqual(res.Metrics, uninterrupted.Metrics) {
+				t.Fatalf("crash@%d/w%d: resumed result differs", crashAt, workers)
+			}
+			if got := normalizePhases(res.Phases); !reflect.DeepEqual(want, got) {
+				t.Fatalf("crash@%d/w%d: resumed phase breakdown differs:\nwant: %+v\ngot:  %+v",
+					crashAt, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestProgressCell asserts the engine publishes barrier progress: after
+// a probed run, the cell reports the final round, a positive barrier
+// count, and a phase name interned on the probe.
+func TestProgressCell(t *testing.T) {
+	g := graph.Grid(8, 8)
+	opts := Options{Epsilon: 0.25, Partition: partition.Options{Epsilon: 0.25, Schedule: partition.PracticalSchedule}}
+	opts.Probe = obs.NewProbe()
+	opts.Progress = obs.NewProgress(opts.Probe)
+	res, err := RunTester(g, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opts.Progress.Snapshot()
+	if s.Round <= 0 || s.Barriers <= 0 {
+		t.Fatalf("progress cell never updated: %+v", s)
+	}
+	if s.Round > int64(res.Metrics.Rounds) {
+		t.Fatalf("progress round %d beyond run rounds %d", s.Round, res.Metrics.Rounds)
+	}
+	found := false
+	for _, n := range opts.Probe.Names() {
+		if n == s.Phase {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("progress phase %q not interned on the probe", s.Phase)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -41,7 +42,8 @@ type PartCtxStep struct {
 
 	pc       pcOp
 	inOp     bool
-	restored bool // decoded from a checkpoint; machines need reattaching
+	restored bool        // decoded from a checkpoint; machines need reattaching
+	phase    obs.PhaseID // "stage2/partctx"; zero announces nothing
 	bd       congest.BroadcastDownStep
 	cv       congest.ConvergecastStep
 	reg      congest.Message
@@ -120,6 +122,14 @@ func (c *PartCtxStep) NonTreeAssignedPorts() []int {
 // preprocessing ops (the same linear script as BuildPartContext) and hands
 // over to the done callback once the context is complete.
 func (c *PartCtxStep) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	// The phase announcement condition is derived purely from serialized
+	// state (first op, not yet begun) so that an interrupted-and-resumed
+	// run attributes identically to an uninterrupted one: the entry state
+	// is consumed within the first Step, so a checkpoint can never park in
+	// it and the announcement fires exactly once either way.
+	if c.phase != 0 && c.pc == pcDepthDown && !c.inOp {
+		api.PhaseEnter(c.phase)
+	}
 	if c.restored {
 		c.restored = false
 		c.reattach()

@@ -254,6 +254,7 @@ func resumePartCtx(d *congest.SnapDecoder, opts StageIIOptions) (congest.StepPro
 	c := &PartCtxStep{restored: true}
 	c.part = decOutcome(d)
 	c.done = stageIIHandoff(c.part, o)
+	c.phase = o.partCtxPhase
 	c.pc = pcOp(d.Int())
 	c.inOp = d.Bool()
 	c.bd.DecodeState(d)
@@ -345,13 +346,18 @@ func (s *stage2Node) EncodeState(e *congest.SnapEncoder) {
 	e.Uvarint(uint64(s.verdict))
 }
 
-func resumeStage2(d *congest.SnapDecoder) (congest.StepProgram, error) {
+// resumeStage2 mirrors stage2Node.EncodeState. The caller's opts supply
+// only the obs phase IDs (deliberately not serialized — see StageIIOptions);
+// every algorithmic option is decoded from the snapshot itself.
+func resumeStage2(d *congest.SnapDecoder, opts StageIIOptions) (congest.StepProgram, error) {
 	s := &stage2Node{restored: true}
 	s.part = decOutcome(d)
 	s.opts.Epsilon = math.Float64frombits(d.Uvarint())
 	s.opts.SampleCoeff = math.Float64frombits(d.Uvarint())
 	s.opts.EmbedMode = planar.FallbackMode(d.Int())
 	s.opts.StrictEmbedReject = d.Bool()
+	s.opts.partCtxPhase = opts.partCtxPhase
+	s.opts.opsPhase = opts.opsPhase
 	s.pc = s2op(d.Int())
 	s.inOp = d.Bool()
 	s.bd.DecodeState(d)
@@ -438,7 +444,7 @@ func ResumeTester(g *graph.Graph, opts Options, seed int64, data []byte) (*RunRe
 			case SnapKindPartCtx:
 				return resumePartCtx(d, o.StageII)
 			case SnapKindStageII:
-				return resumeStage2(d)
+				return resumeStage2(d, o.StageII)
 			}
 			return nil, fmt.Errorf("core: unknown program snapshot kind %d", kind)
 		})

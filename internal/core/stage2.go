@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/planar"
 )
@@ -29,6 +30,16 @@ type StageIIOptions struct {
 	// The default (false) matches the paper's model, where the embedding
 	// black box may silently produce orderings on non-planar inputs.
 	StrictEmbedReject bool
+
+	// partCtxPhase and opsPhase are the obs phase IDs ("stage2/partctx",
+	// "stage2/ops") that the step machines announce on entry; zero (no
+	// probe configured) announces nothing. They are interned by
+	// Options.withDefaults before the run starts, travel by value through
+	// the Stage II handoff, and are deliberately not serialized in
+	// checkpoints: ResumeTester re-derives them from the caller's Options,
+	// so a resumed run attributes to the same IDs as the original.
+	partCtxPhase obs.PhaseID
+	opsPhase     obs.PhaseID
 }
 
 func (o StageIIOptions) withDefaults() StageIIOptions {

@@ -42,7 +42,10 @@ const (
 // minor-free testers chain from — which then hands over to the Stage II
 // op script in the same round.
 func NewStageIINode(part *partition.Outcome, opts StageIIOptions) congest.StepProgram {
-	return NewPartCtxStep(part, stageIIHandoff(part, opts.withDefaults()))
+	o := opts.withDefaults()
+	c := NewPartCtxStep(part, stageIIHandoff(part, o))
+	c.phase = o.partCtxPhase
+	return c
 }
 
 // stageIIHandoff is the prelude-done callback that becomes the Stage II
@@ -127,6 +130,11 @@ type stage2Node struct {
 // Step advances the linear Stage II script; completed ops chain into the
 // next one within the same wake (ops complete exactly at their deadline).
 func (s *stage2Node) Step(api *congest.StepAPI, inbox []congest.Inbound) congest.Status {
+	// Announce the op-script phase from the entry state only (first op,
+	// not yet begun) — the same resume-safe pattern as PartCtxStep.Step.
+	if s.opts.opsPhase != 0 && s.pc == o2CountUp && !s.inOp {
+		api.PhaseEnter(s.opts.opsPhase)
+	}
 	if s.restored {
 		s.restored = false
 		s.reattach(api)

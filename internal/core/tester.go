@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -39,6 +40,25 @@ type Options struct {
 	// configured sink receives periodic engine snapshots that
 	// ResumeTester can continue from.
 	Checkpoint congest.CheckpointConfig
+	// Probe, when non-nil, enables per-phase attribution on the step
+	// execution path: Stage I announces one phase per merging phase and
+	// Stage II announces its prelude and op-script phases, so
+	// RunResult.Phases reports where the run spent its wall time, wakes,
+	// barriers, messages, and bits. All deterministic result fields are
+	// byte-identical with and without a probe. Phase names are interned on
+	// the probe before the run starts; reusing one probe across runs
+	// accumulates nothing (stats live in the engine), but is only safe
+	// sequentially.
+	Probe *obs.Probe
+	// Trace, when non-nil, receives structured run events (phase
+	// transitions, checkpoints, fast-forward windows, merge decisions,
+	// abort/end) as they happen. Tracing requires Probe to attribute
+	// phase events; without one, only run-level events are emitted.
+	Trace obs.TraceSink
+	// Progress, when non-nil, is updated at every engine barrier with the
+	// current round, barrier count, and phase; readers may snapshot it
+	// concurrently (planard serves it on GET /v1/jobs/{id}).
+	Progress *obs.Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +70,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StageII.Epsilon == 0 {
 		o.StageII.Epsilon = o.Epsilon / 2 // parts are (eps/2)-far (Claim 3)
+	}
+	if o.Probe != nil {
+		// Intern the Stage II phases here and hand the probe to Stage I,
+		// whose plan compiler interns the per-phase names. Interning is
+		// idempotent, so calling withDefaults more than once (or resuming
+		// a run with a fresh probe) yields the same name set.
+		o.StageII.partCtxPhase = o.Probe.Phase("stage2/partctx")
+		o.StageII.opsPhase = o.Probe.Phase("stage2/ops")
+		o.Partition.Probe = o.Probe
 	}
 	return o
 }
@@ -81,6 +110,9 @@ type RunResult struct {
 	Rejected   bool
 	RejectedBy int // number of rejecting nodes
 	Metrics    congest.Metrics
+	// Phases is the per-phase attribution table; non-nil exactly when the
+	// run was configured with an Options.Probe.
+	Phases obs.PhaseBreakdown
 }
 
 // RunTester executes the full tester on g with the given seed and returns
@@ -140,6 +172,9 @@ func testerConfig(g *graph.Graph, seed int64, opts Options) congest.Config {
 		Cancel:       opts.Cancel,
 		Deadline:     opts.Deadline,
 		Checkpoint:   opts.Checkpoint,
+		Probe:        opts.Probe,
+		Trace:        opts.Trace,
+		Progress:     opts.Progress,
 	}
 }
 
@@ -151,6 +186,7 @@ func newRunResult(res *congest.Result, err error) (*RunResult, error) {
 		Rejected:   res.Rejected(),
 		RejectedBy: res.RejectCount(),
 		Metrics:    res.Metrics,
+		Phases:     res.Phases,
 	}, nil
 }
 

@@ -1,0 +1,66 @@
+package obs
+
+import "sync/atomic"
+
+// DefBuckets is the default latency bucket layout (seconds): micro
+// through minute scale, matching planard's spread from cache hits
+// (microseconds) to large engine runs (minutes).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket, lock-free latency histogram in the
+// Prometheus cumulative-bucket model: Observe is a few atomic adds, and
+// Snapshot renders cumulative counts ending in the implicit +Inf
+// bucket. Bounds are fixed at construction; label handling is the
+// caller's concern (planard keys a map of Histograms by label set).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumNs  atomic.Int64
+	count  atomic.Int64
+}
+
+// NewHistogram returns a Histogram over the given ascending upper
+// bounds (seconds). Nil or empty bounds use DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(seconds float64) {
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(seconds * 1e9))
+	h.count.Add(1)
+}
+
+// Bounds returns the bucket upper bounds (seconds, ascending, +Inf
+// implicit).
+func (h *Histogram) Bounds() []float64 {
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	return b
+}
+
+// Snapshot returns the cumulative bucket counts (one per bound plus the
+// final +Inf bucket), the sum of observed values in seconds, and the
+// observation count.
+func (h *Histogram) Snapshot() (cumulative []int64, sum float64, count int64) {
+	cumulative = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return cumulative, float64(h.sumNs.Load()) / 1e9, h.count.Load()
+}

@@ -1,0 +1,223 @@
+// Package obs is the instrumentation layer shared by the CONGEST engine
+// and the planard service: per-phase run attribution (Probe,
+// PhaseBreakdown), live job progress (Progress), JSONL run traces
+// (Tracer), and fixed-bucket latency histograms (Histogram).
+//
+// The package is a leaf: it imports nothing from the rest of the
+// repository, so every layer — engine, Stage I/II programs, service,
+// CLIs — can depend on it without cycles. Everything here follows the
+// internal/faultpoint discipline: when a probe, trace sink, or progress
+// cell is not installed, the instrumented code path is a nil check and
+// nothing else, so runs with observability disabled are byte- and
+// cost-identical to uninstrumented ones.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// PhaseID names an interned phase. ID 0 is always the implicit root
+// phase "run" (everything not attributed to an announced phase);
+// Probe.Phase returns IDs >= 1. The zero value doubles as "no phase
+// announcement" in the engine's request slab, so a program can never
+// explicitly re-enter "run".
+type PhaseID int32
+
+// Probe interns phase names for one engine run. Programs announce phase
+// transitions with StepAPI.PhaseEnter(id) using IDs interned here before
+// the run starts; the engine attributes per-barrier cost to the current
+// phase and reports the totals as a PhaseBreakdown.
+//
+// A Probe is safe for concurrent interning, but it is meant to be
+// dedicated to a single run: reusing one across runs leaks the earlier
+// run's phase names (with zero stats) into the later breakdowns.
+type Probe struct {
+	mu     sync.Mutex
+	byName map[string]PhaseID
+	names  []string
+}
+
+// NewProbe returns a Probe with the root phase "run" pre-interned as
+// PhaseID 0.
+func NewProbe() *Probe {
+	return &Probe{
+		byName: map[string]PhaseID{"run": 0},
+		names:  []string{"run"},
+	}
+}
+
+// Phase interns name and returns its stable PhaseID (existing ID when
+// the name was interned before). Intern phases before the run starts —
+// interning takes a mutex, so doing it from inside per-node Step code
+// would serialize parallel workers.
+func (p *Probe) Phase(name string) PhaseID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.byName[name]; ok {
+		return id
+	}
+	id := PhaseID(len(p.names))
+	p.byName[name] = id
+	p.names = append(p.names, name)
+	return id
+}
+
+// Name returns the phase name for id ("run" for 0, "?" for an ID this
+// probe never issued).
+func (p *Probe) Name(id PhaseID) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || int(id) >= len(p.names) {
+		return "?"
+	}
+	return p.names[id]
+}
+
+// Names returns a copy of all interned phase names in PhaseID order
+// (index == ID).
+func (p *Probe) Names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.names))
+	copy(out, p.names)
+	return out
+}
+
+// PhaseStat is the accumulated cost of one named phase: wall time spent
+// executing barriers while the phase was current, node wakes, executed
+// barriers, delivered plus charged messages and bits, and the number of
+// fast-forwarded windows (ChargeTraffic calls) folded into the phase.
+//
+// All fields except WallNs are deterministic: byte-identical across
+// worker counts, with tracing on or off, and under kill-and-resume.
+type PhaseStat struct {
+	// Name is the interned phase name ("run" for the root phase).
+	Name string `json:"phase"`
+	// WallNs is wall-clock nanoseconds attributed to the phase. It is
+	// the only nondeterministic field.
+	WallNs int64 `json:"wall_ns"`
+	// Wakes counts node Step invocations (due-list entries) executed
+	// while the phase was current.
+	Wakes int64 `json:"wakes"`
+	// Barriers counts executed round barriers attributed to the phase.
+	Barriers int64 `json:"barriers"`
+	// Messages counts delivered messages plus charged (fast-forwarded)
+	// messages attributed to the phase.
+	Messages int64 `json:"messages"`
+	// Bits counts delivered plus charged message bits attributed to the
+	// phase.
+	Bits int64 `json:"bits"`
+	// Windows counts fast-forward windows (StepAPI.ChargeTraffic calls)
+	// folded into the phase.
+	Windows int64 `json:"windows"`
+}
+
+// add accumulates o into s (Name untouched).
+func (s *PhaseStat) add(o PhaseStat) {
+	s.WallNs += o.WallNs
+	s.Wakes += o.Wakes
+	s.Barriers += o.Barriers
+	s.Messages += o.Messages
+	s.Bits += o.Bits
+	s.Windows += o.Windows
+}
+
+// PhaseBreakdown is the per-phase attribution table of one run, in
+// PhaseID (interning) order. The deterministic columns sum to the run's
+// totals: Messages and Bits across all phases equal Metrics.Messages
+// and Metrics.TotalBits, and Barriers sums to the executed barrier
+// count.
+type PhaseBreakdown []PhaseStat
+
+// Total returns the column sums of the breakdown (Name is "total").
+func (b PhaseBreakdown) Total() PhaseStat {
+	t := PhaseStat{Name: "total"}
+	for _, s := range b {
+		t.add(s)
+	}
+	return t
+}
+
+// String renders the breakdown as an aligned table, one phase per line,
+// with a trailing total row — the format planartest -phases prints.
+func (b PhaseBreakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %12s %6s %12s %10s %12s %14s %8s\n",
+		"phase", "wall", "%", "wakes", "barriers", "messages", "bits", "windows")
+	total := b.Total()
+	row := func(s PhaseStat) {
+		pct := 0.0
+		if total.WallNs > 0 {
+			pct = 100 * float64(s.WallNs) / float64(total.WallNs)
+		}
+		fmt.Fprintf(&sb, "%-16s %11.3fs %5.1f%% %12d %10d %12d %14d %8d\n",
+			s.Name, float64(s.WallNs)/1e9, pct, s.Wakes, s.Barriers, s.Messages, s.Bits, s.Windows)
+	}
+	for _, s := range b {
+		// Interned-but-never-entered phases (a schedule's worst-case tail
+		// that every part exited before) carry no information; skip them.
+		if s == (PhaseStat{Name: s.Name}) {
+			continue
+		}
+		row(s)
+	}
+	row(total)
+	return sb.String()
+}
+
+// Progress is an atomic progress cell for one engine run: the engine
+// stores the current round, executed-barrier count, and current phase
+// at every barrier, and readers (the planard job API) snapshot it
+// without locks at any time. The zero engine overhead rule applies: a
+// run without a Progress cell performs one nil check per barrier.
+type Progress struct {
+	probe    *Probe
+	round    atomic.Int64
+	barriers atomic.Int64
+	phase    atomic.Int32
+}
+
+// NewProgress returns a Progress cell resolving phase names through
+// probe (nil is allowed; every phase then reads "run").
+func NewProgress(probe *Probe) *Progress {
+	return &Progress{probe: probe}
+}
+
+// Set publishes the current round, executed-barrier count, and phase.
+// Called by the engine at every executed barrier.
+func (p *Progress) Set(round, barriers int64, phase PhaseID) {
+	p.round.Store(round)
+	p.barriers.Store(barriers)
+	p.phase.Store(int32(phase))
+}
+
+// Snapshot returns a consistent-enough view of the cell for display:
+// the three fields are loaded independently, so a reader racing the
+// engine may see adjacent barriers' values mixed, which is fine for a
+// progress report.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	s := ProgressSnapshot{
+		Round:    p.round.Load(),
+		Barriers: p.barriers.Load(),
+		Phase:    "run",
+	}
+	if p.probe != nil {
+		s.Phase = p.probe.Name(PhaseID(p.phase.Load()))
+	}
+	return s
+}
+
+// ProgressSnapshot is one observation of a Progress cell.
+type ProgressSnapshot struct {
+	// Phase is the name of the phase current at the last barrier.
+	Phase string `json:"phase"`
+	// Round is the CONGEST round number at the last barrier.
+	Round int64 `json:"round"`
+	// Barriers is the number of round barriers executed so far (the
+	// engine fast-forwards empty rounds, so this is the honest measure
+	// of work done).
+	Barriers int64 `json:"barriers_executed"`
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProbeInterning(t *testing.T) {
+	p := NewProbe()
+	if got := p.Name(0); got != "run" {
+		t.Fatalf("PhaseID 0 = %q, want run", got)
+	}
+	a := p.Phase("stage1/p01")
+	b := p.Phase("stage2/ops")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("interned IDs not distinct and nonzero: %d, %d", a, b)
+	}
+	if again := p.Phase("stage1/p01"); again != a {
+		t.Fatalf("re-interning returned %d, want %d", again, a)
+	}
+	if got := p.Name(a); got != "stage1/p01" {
+		t.Fatalf("Name(%d) = %q", a, got)
+	}
+	if got := p.Name(99); got != "?" {
+		t.Fatalf("unknown ID name = %q, want ?", got)
+	}
+	want := []string{"run", "stage1/p01", "stage2/ops"}
+	names := p.Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestProbeConcurrentInterning(t *testing.T) {
+	p := NewProbe()
+	var wg sync.WaitGroup
+	ids := make([]PhaseID, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = p.Phase("shared")
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if id != ids[0] {
+			t.Fatalf("concurrent interning of one name minted multiple IDs: %v", ids)
+		}
+	}
+}
+
+func TestBreakdownTotalAndString(t *testing.T) {
+	b := PhaseBreakdown{
+		{Name: "run", WallNs: 100, Wakes: 2, Barriers: 1, Messages: 10, Bits: 80, Windows: 0},
+		{Name: "stage1/p01", WallNs: 300, Wakes: 6, Barriers: 3, Messages: 30, Bits: 240, Windows: 1},
+		{Name: "stage1/p02"}, // interned but never entered
+	}
+	total := b.Total()
+	if total.WallNs != 400 || total.Messages != 40 || total.Bits != 320 || total.Barriers != 4 {
+		t.Fatalf("Total() = %+v", total)
+	}
+	s := b.String()
+	if !strings.Contains(s, "stage1/p01") || !strings.Contains(s, "total") {
+		t.Fatalf("String() missing rows:\n%s", s)
+	}
+	if strings.Contains(s, "stage1/p02") {
+		t.Fatalf("String() renders the all-zero phase:\n%s", s)
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProbe()
+	id := p.Phase("stage2/ops")
+	pr := NewProgress(p)
+	if s := pr.Snapshot(); s.Round != 0 || s.Barriers != 0 || s.Phase != "run" {
+		t.Fatalf("zero snapshot = %+v", s)
+	}
+	pr.Set(17, 5, id)
+	s := pr.Snapshot()
+	if s.Round != 17 || s.Barriers != 5 || s.Phase != "stage2/ops" {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// A probe-less cell degrades to the root phase name, not a panic.
+	bare := NewProgress(nil)
+	bare.Set(1, 1, id)
+	if s := bare.Snapshot(); s.Phase != "run" {
+		t.Fatalf("probe-less snapshot phase = %q", s.Phase)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	bounds := h.Bounds()
+	if len(bounds) == 0 || bounds[0] <= 0 {
+		t.Fatalf("bad bounds: %v", bounds)
+	}
+	h.Observe(bounds[0] / 2)              // first bucket
+	h.Observe(bounds[0] * 1.5)            // second (if distinct)
+	h.Observe(bounds[len(bounds)-1] * 10) // +Inf only
+	counts, sum, count := h.Snapshot()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if len(counts) != len(bounds)+1 {
+		t.Fatalf("len(counts) = %d, want %d", len(counts), len(bounds)+1)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("counts not cumulative: %v", counts)
+		}
+	}
+	if counts[0] != 1 {
+		t.Fatalf("first bucket = %d, want 1", counts[0])
+	}
+	if counts[len(counts)-1] != 3 {
+		t.Fatalf("+Inf bucket = %d, want count 3", counts[len(counts)-1])
+	}
+	wantSum := bounds[0]/2 + bounds[0]*1.5 + bounds[len(bounds)-1]*10
+	if diff := sum - wantSum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sum = %v, want ~%v", sum, wantSum)
+	}
+}
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Event{Event: "run_start", N: 100, M: 180, Workers: 2})
+	tr.Emit(Event{Event: "phase_exit", Phase: "stage1/p01", WallNs: 5, Messages: 7})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if first["event"] != "run_start" || first["n"] != float64(100) {
+		t.Fatalf("line 1 = %v", first)
+	}
+	if _, ok := first["at_ns"]; !ok {
+		t.Fatal("tracer did not stamp at_ns")
+	}
+	if _, ok := first["phase"]; ok {
+		t.Fatal("empty fields must be omitted from the JSON")
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestTracerStickyError(t *testing.T) {
+	tr := NewTracer(&errWriter{n: 0})
+	for i := 0; i < 20000; i++ { // enough to overflow the 64KB buffer
+		tr.Emit(Event{Event: "phase_exit", Phase: "stage1/p01"})
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close() = nil after the sink failed")
+	}
+}

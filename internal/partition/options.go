@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/forest"
+	"repro/internal/obs"
 )
 
 // Variant selects the Stage I flavor.
@@ -83,6 +84,13 @@ type Options struct {
 	// Results (TestStageIBatchingEquivalence); the toggle exists for that
 	// test and for profiling the unbatched schedule.
 	NoSuperRoundBatching bool
+	// Probe, when non-nil, enables per-phase attribution: the step
+	// interpreter interns one phase name per merging phase
+	// ("stage1/p01", "stage1/p02", ...) and announces each phase entry
+	// through StepAPI.PhaseEnter, so engine Results carry a per-phase
+	// PhaseBreakdown. nil (the default) announces nothing; all
+	// deterministic Result fields are identical either way.
+	Probe *obs.Probe
 }
 
 func (o Options) withDefaults() Options {

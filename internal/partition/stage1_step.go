@@ -8,6 +8,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/forest"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // This file is the native StepProgram port of Stage I (stage1.go), in both
@@ -141,6 +142,12 @@ type StageIPlan struct {
 	nodeSlab []stageINode
 	nodeNext int
 	n        int
+
+	// phaseIDs are the per-merging-phase obs phase IDs ("stage1/p01",
+	// ...), interned at plan compile time when Options.Probe is set so
+	// no node ever takes the probe's intern mutex mid-run; nil when the
+	// run is unprobed (beginPhase then announces nothing).
+	phaseIDs []obs.PhaseID
 }
 
 // NewStageIPlan compiles the Stage I schedule for an n-node network. Both
@@ -161,6 +168,12 @@ func NewStageIPlan(opts Options, n int) *StageIPlan {
 	pl.lvlAt = make([]int64, pl.phases*treeHeightBound)
 	pl.decAt = make([]int64, pl.phases*treeHeightBound)
 	pl.lvlByVal = make([]int64, pl.phases*(treeHeightBound+1))
+	if opts.Probe != nil {
+		pl.phaseIDs = make([]obs.PhaseID, pl.phases)
+		for p := range pl.phaseIDs {
+			pl.phaseIDs[p] = opts.Probe.Phase(fmt.Sprintf("stage1/p%02d", p+1))
+		}
+	}
 	add := func(kind sOpKind, tag sTag, arg int32) {
 		pl.ops = append(pl.ops, sOp{kind: kind, tag: tag, arg: arg})
 	}
@@ -536,6 +549,9 @@ func (s *stageINode) beginPhase(api *congest.StepAPI) {
 	s.phase++
 	s.phasesRun++
 	s.D = phaseBudget(s.phase)
+	if ids := s.plan.phaseIDs; ids != nil {
+		api.PhaseEnter(ids[s.phase-1])
+	}
 	for p := range s.nbrRoot {
 		s.nbrRoot[p] = -1 // boundary discovery treats silent ports as absent
 		s.cross[p] = false

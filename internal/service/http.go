@@ -59,10 +59,21 @@ func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
 		hc.MaxRequestBytes = 512 << 20
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/test", func(w http.ResponseWriter, r *http.Request) {
+	// Every route is wrapped with the latency recorder under a fixed
+	// route name, so planard_request_seconds{route,status} cardinality is
+	// bounded by this list times the statuses the handlers answer.
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			h(rec, r)
+			m.Metrics().ObserveRequest(route, rec.status, time.Since(start).Seconds())
+		})
+	}
+	handle("POST /v1/test", "test", func(w http.ResponseWriter, r *http.Request) {
 		handleTest(m, hc, w, r)
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}", "job_get", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
@@ -70,7 +81,7 @@ func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
 		}
 		writeJSONResponse(w, http.StatusOK, j.View())
 	})
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/jobs/{id}", "job_delete", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
@@ -79,15 +90,15 @@ func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
 		j.cancelHTTP()
 		writeJSONResponse(w, http.StatusOK, j.View())
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		m.Metrics().WritePrometheus(w)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		io.WriteString(w, "ok\n")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /readyz", "readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		switch {
 		case m.Draining():
@@ -103,6 +114,19 @@ func NewHandler(m *Manager, hc HandlerConfig) http.Handler {
 		}
 	})
 	return mux
+}
+
+// statusRecorder captures the status a handler answered with so the
+// latency recorder can label its observation. Handlers that never call
+// WriteHeader implicitly answer 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
 }
 
 // retryAfterSeconds is the Retry-After hint on every shed response:

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // State is a job's lifecycle position.
@@ -57,6 +59,11 @@ type Job struct {
 	httpReleased atomic.Bool  // DELETE /v1/jobs/{id} already released once
 	resume       []byte       // engine checkpoint to continue from (crash recovery)
 	charged      int64        // admission-budget bytes held until the job releases
+	// progress is the engine's barrier-updated progress cell, installed
+	// by the worker when the run starts (nil before that, and always nil
+	// for cache hits and non-instrumented properties). Stored through an
+	// atomic pointer so View can snapshot it concurrently.
+	progress atomic.Pointer[obs.Progress]
 
 	// Terminal results; written exactly once before done closes.
 	outcome *Outcome
@@ -189,6 +196,9 @@ type View struct {
 	CacheHit bool     `json:"cache_hit"`
 	Error    string   `json:"error,omitempty"`
 	Outcome  *Outcome `json:"outcome,omitempty"`
+	// Progress reports where a still-running engine run currently is
+	// (phase, round, barriers executed); present only while the job runs.
+	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
 }
 
 // View snapshots the job for serialization. Gated on the done channel
@@ -208,6 +218,10 @@ func (j *Job) View() View {
 		}
 		v.Outcome = j.outcome
 	default:
+		if p := j.progress.Load(); p != nil {
+			s := p.Snapshot()
+			v.Progress = &s
+		}
 	}
 	return v
 }

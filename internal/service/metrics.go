@@ -5,8 +5,11 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Metrics is the service's Prometheus-style instrumentation: monotonic
@@ -37,6 +40,28 @@ type Metrics struct {
 	inflightBytes      func() int64 // admission budget currently held
 	jobsMu             sync.Mutex
 	jobsByOutcome      map[jobsKey]*atomic.Int64
+
+	// Latency histograms (fixed obs.DefBuckets bounds). Request
+	// histograms are keyed by (route, status) where both label values
+	// come from small fixed sets (the mux's route names and the handful
+	// of statuses each can answer); run histograms are keyed by the
+	// clamped property. Cardinality is therefore bounded by
+	// construction, like jobsByOutcome.
+	histMu   sync.Mutex
+	reqHist  map[reqKey]*obs.Histogram
+	runHist  map[string]*obs.Histogram
+	phaseTab map[string]*phaseTotals
+}
+
+// phaseTotals accumulates one engine phase's attribution across runs
+// (folded from RunResult.Phases once per finished engine run, under
+// histMu — this is a per-job cost, not a per-round one).
+type phaseTotals struct {
+	wallNs   int64
+	wakes    int64
+	barriers int64
+	messages int64
+	bits     int64
 }
 
 type jobsKey struct {
@@ -44,9 +69,17 @@ type jobsKey struct {
 	status   string
 }
 
+type reqKey struct {
+	route  string
+	status string
+}
+
 func newMetrics() *Metrics {
 	return &Metrics{
 		jobsByOutcome:  make(map[jobsKey]*atomic.Int64),
+		reqHist:        make(map[reqKey]*obs.Histogram),
+		runHist:        make(map[string]*obs.Histogram),
+		phaseTab:       make(map[string]*phaseTotals),
 		cacheEntries:   func() int { return 0 },
 		cacheBytesMem:  func() int64 { return 0 },
 		cacheBytesDisk: func() int64 { return 0 },
@@ -54,9 +87,21 @@ func newMetrics() *Metrics {
 	}
 }
 
+// clampProperty bounds the property label to the known set: an
+// unrecognized value (possible only through future drift between the
+// validator and this list) lands in "other" instead of minting a new
+// time series per hostile string.
+func clampProperty(p string) string {
+	switch p {
+	case PropPlanarity, PropCycleFree, PropBipartiteness, PropOuterplanar, PropSpanner:
+		return p
+	}
+	return "other"
+}
+
 // CountJob bumps the planard_jobs_total{property,status} counter.
 func (m *Metrics) CountJob(property, status string) {
-	k := jobsKey{property, status}
+	k := jobsKey{clampProperty(property), status}
 	m.jobsMu.Lock()
 	c := m.jobsByOutcome[k]
 	if c == nil {
@@ -65,6 +110,57 @@ func (m *Metrics) CountJob(property, status string) {
 	}
 	m.jobsMu.Unlock()
 	c.Add(1)
+}
+
+// ObserveRequest records one HTTP request's latency into
+// planard_request_seconds{route,status}. Routes are the mux's fixed
+// names; status is the numeric HTTP status.
+func (m *Metrics) ObserveRequest(route string, status int, seconds float64) {
+	k := reqKey{route, strconv.Itoa(status)}
+	m.histMu.Lock()
+	h := m.reqHist[k]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.reqHist[k] = h
+	}
+	m.histMu.Unlock()
+	h.Observe(seconds)
+}
+
+// ObserveRun records one finished engine run's wall time into
+// planard_engine_run_seconds{property}.
+func (m *Metrics) ObserveRun(property string, seconds float64) {
+	p := clampProperty(property)
+	m.histMu.Lock()
+	h := m.runHist[p]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		m.runHist[p] = h
+	}
+	m.histMu.Unlock()
+	h.Observe(seconds)
+}
+
+// AddPhases folds one run's per-phase attribution into the service
+// totals (planard_engine_phase_*_total{phase=...}).
+func (m *Metrics) AddPhases(pb obs.PhaseBreakdown) {
+	if len(pb) == 0 {
+		return
+	}
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	for _, st := range pb {
+		t := m.phaseTab[st.Name]
+		if t == nil {
+			t = &phaseTotals{}
+			m.phaseTab[st.Name] = t
+		}
+		t.wallNs += st.WallNs
+		t.wakes += st.Wakes
+		t.barriers += st.Barriers
+		t.messages += st.Messages
+		t.bits += st.Bits
+	}
 }
 
 // AddWallSeconds accumulates engine wall time.
@@ -137,6 +233,121 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		m.jobsMu.Unlock()
 		if _, err := fmt.Fprintf(w, "planard_jobs_total{property=%q,status=%q} %d\n", k.property, k.status, v); err != nil {
 			return err
+		}
+	}
+	if err := m.writeHistograms(w); err != nil {
+		return err
+	}
+	return m.writePhases(w)
+}
+
+// writeHistograms renders the request and run latency histograms:
+// cumulative buckets ending in le="+Inf", then _sum and _count, per the
+// text exposition format.
+func (m *Metrics) writeHistograms(w io.Writer) error {
+	m.histMu.Lock()
+	reqKeys := make([]reqKey, 0, len(m.reqHist))
+	for k := range m.reqHist {
+		reqKeys = append(reqKeys, k)
+	}
+	runKeys := make([]string, 0, len(m.runHist))
+	for k := range m.runHist {
+		runKeys = append(runKeys, k)
+	}
+	m.histMu.Unlock()
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].status < reqKeys[j].status
+	})
+	sort.Strings(runKeys)
+
+	if _, err := fmt.Fprintf(w, "# HELP planard_request_seconds HTTP request latency by route and status.\n# TYPE planard_request_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, k := range reqKeys {
+		m.histMu.Lock()
+		h := m.reqHist[k]
+		m.histMu.Unlock()
+		labels := fmt.Sprintf("route=%q,status=%q", k.route, k.status)
+		if err := writeHistogram(w, "planard_request_seconds", labels, h); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP planard_engine_run_seconds Engine run wall time by property (cache hits excluded).\n# TYPE planard_engine_run_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, k := range runKeys {
+		m.histMu.Lock()
+		h := m.runHist[k]
+		m.histMu.Unlock()
+		if err := writeHistogram(w, "planard_engine_run_seconds", fmt.Sprintf("property=%q", k), h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one labeled histogram series.
+func writeHistogram(w io.Writer, name, labels string, h *obs.Histogram) error {
+	cum, sum, count := h.Snapshot()
+	bounds := h.Bounds()
+	for i, b := range bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, formatBound(b), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum[len(bounds)]); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, sum, name, labels, count)
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest float form: 0.005, 1, 2.5, ...).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// writePhases renders the per-phase engine attribution counters folded
+// from instrumented runs.
+func (m *Metrics) writePhases(w io.Writer) error {
+	m.histMu.Lock()
+	names := make([]string, 0, len(m.phaseTab))
+	for k := range m.phaseTab {
+		names = append(names, k)
+	}
+	m.histMu.Unlock()
+	sort.Strings(names)
+	series := []struct {
+		name, help string
+		value      func(t *phaseTotals) string
+	}{
+		{"planard_engine_phase_seconds_total", "Engine wall time attributed to each phase across instrumented runs.",
+			func(t *phaseTotals) string { return fmt.Sprintf("%g", float64(t.wallNs)/1e9) }},
+		{"planard_engine_phase_wakes_total", "Node wakes attributed to each phase across instrumented runs.",
+			func(t *phaseTotals) string { return fmt.Sprint(t.wakes) }},
+		{"planard_engine_phase_barriers_total", "Round barriers attributed to each phase across instrumented runs.",
+			func(t *phaseTotals) string { return fmt.Sprint(t.barriers) }},
+		{"planard_engine_phase_messages_total", "CONGEST messages attributed to each phase across instrumented runs.",
+			func(t *phaseTotals) string { return fmt.Sprint(t.messages) }},
+		{"planard_engine_phase_bits_total", "Message bits attributed to each phase across instrumented runs.",
+			func(t *phaseTotals) string { return fmt.Sprint(t.bits) }},
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", s.name, s.help, s.name); err != nil {
+			return err
+		}
+		for _, n := range names {
+			m.histMu.Lock()
+			t := m.phaseTab[n]
+			v := s.value(t)
+			m.histMu.Unlock()
+			if _, err := fmt.Fprintf(w, "%s{phase=%q} %s\n", s.name, n, v); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPrometheusExpositionLint runs real work through the manager and the
+// HTTP handler (so counters, jobs-by-outcome, both histograms, and the
+// per-phase series are all populated), then lints the full /metrics
+// exposition: every metric carries HELP and TYPE before its first sample,
+// names are unique and planard_-prefixed, label values are quoted and
+// escaped, and histogram buckets are cumulative and end at le="+Inf" with
+// _count equal to the +Inf bucket.
+func TestPrometheusExpositionLint(t *testing.T) {
+	m := testManager(t, Config{})
+	ctx := context.Background()
+	if _, err := m.Run(ctx, gridRequest(PropPlanarity)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(ctx, gridRequest(PropCycleFree)); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(m, HandlerConfig{})
+	for _, path := range []string{"/healthz", "/v1/jobs/nope", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+
+	var sb strings.Builder
+	if err := m.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, sb.String())
+}
+
+type promMeta struct {
+	help, typ bool
+	sampled   bool
+}
+
+func lintExposition(t *testing.T, text string) {
+	t.Helper()
+	metas := make(map[string]*promMeta)
+	// histogram base -> label-set (minus le) -> ordered (le, count)
+	type bucketSeq struct {
+		les    []string
+		counts []int64
+	}
+	buckets := make(map[string]map[string]*bucketSeq)
+	counts := make(map[string]map[string]int64) // base -> labels -> _count value
+
+	meta := func(name string) *promMeta {
+		p := metas[name]
+		if p == nil {
+			p = &promMeta{}
+			metas[name] = p
+		}
+		return p
+	}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) != 2 || fields[1] == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			p := meta(fields[0])
+			if p.help {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, fields[0])
+			}
+			if p.sampled {
+				t.Fatalf("line %d: HELP for %s after its samples", ln+1, fields[0])
+			}
+			p.help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, fields[1])
+			}
+			p := meta(fields[0])
+			if p.typ {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, fields[0])
+			}
+			p.typ = true
+			continue
+		}
+		name, labels, value := parseSample(t, ln+1, line)
+		if !strings.HasPrefix(name, "planard_") {
+			t.Fatalf("line %d: metric %s lacks the planard_ prefix", ln+1, name)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if p, ok := metas[strings.TrimSuffix(name, suffix)]; ok && p.typ {
+					base = strings.TrimSuffix(name, suffix)
+				}
+				break
+			}
+		}
+		p := metas[base]
+		if p == nil || !p.help || !p.typ {
+			t.Fatalf("line %d: sample of %s (base %s) without preceding HELP+TYPE", ln+1, name, base)
+		}
+		p.sampled = true
+
+		if strings.HasSuffix(name, "_bucket") && base != name {
+			le, rest := "", make([]string, 0, len(labels))
+			for _, kv := range labels {
+				if strings.HasPrefix(kv, "le=") {
+					le = kv[len("le="):]
+				} else {
+					rest = append(rest, kv)
+				}
+			}
+			if le == "" {
+				t.Fatalf("line %d: histogram bucket without le: %q", ln+1, line)
+			}
+			key := strings.Join(rest, ",")
+			if buckets[base] == nil {
+				buckets[base] = make(map[string]*bucketSeq)
+			}
+			seq := buckets[base][key]
+			if seq == nil {
+				seq = &bucketSeq{}
+				buckets[base][key] = seq
+			}
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket value %q: %v", ln+1, value, err)
+			}
+			seq.les = append(seq.les, le)
+			seq.counts = append(seq.counts, n)
+		}
+		if strings.HasSuffix(name, "_count") && base != name {
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: count value %q: %v", ln+1, value, err)
+			}
+			if counts[base] == nil {
+				counts[base] = make(map[string]int64)
+			}
+			counts[base][strings.Join(labels, ",")] = n
+		}
+	}
+	for name, p := range metas {
+		if !p.help || !p.typ {
+			t.Fatalf("metric %s missing HELP or TYPE", name)
+		}
+	}
+
+	if len(buckets) == 0 {
+		t.Fatal("no histogram series in the exposition (expected request and run histograms)")
+	}
+	for base, byLabels := range buckets {
+		for labels, seq := range byLabels {
+			last := seq.les[len(seq.les)-1]
+			if last != `"+Inf"` {
+				t.Fatalf("%s{%s}: bucket sequence does not end at +Inf (got %s)", base, labels, last)
+			}
+			for i := 1; i < len(seq.counts); i++ {
+				if seq.counts[i] < seq.counts[i-1] {
+					t.Fatalf("%s{%s}: buckets not cumulative at le=%s: %v", base, labels, seq.les[i], seq.counts)
+				}
+			}
+			inf := seq.counts[len(seq.counts)-1]
+			if c, ok := counts[base][labels]; !ok {
+				t.Fatalf("%s{%s}: buckets without a _count series", base, labels)
+			} else if c != inf {
+				t.Fatalf("%s{%s}: _count %d != +Inf bucket %d", base, labels, c, inf)
+			}
+		}
+	}
+
+	// The work above must have populated the series this PR adds.
+	for _, want := range []string{
+		"planard_request_seconds", "planard_engine_run_seconds",
+		"planard_engine_phase_seconds_total", "planard_jobs_total",
+	} {
+		if p, ok := metas[want]; !ok || !p.sampled {
+			names := make([]string, 0, len(metas))
+			for n := range metas {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			t.Fatalf("expected samples of %s; have %v", want, names)
+		}
+	}
+}
+
+// parseSample splits one exposition sample into name, label pairs, and
+// value, failing the test on malformed quoting or escaping.
+func parseSample(t *testing.T, ln int, line string) (name string, labels []string, value string) {
+	t.Helper()
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: malformed sample %q", ln, line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set: %q", ln, line)
+		}
+		body, tail := rest[1:end], rest[end+1:]
+		for _, kv := range splitLabels(t, ln, body) {
+			eq := strings.Index(kv, "=")
+			if eq <= 0 {
+				t.Fatalf("line %d: malformed label %q", ln, kv)
+			}
+			val := kv[eq+1:]
+			if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+				t.Fatalf("line %d: unquoted label value in %q", ln, kv)
+			}
+			if _, err := strconv.Unquote(val); err != nil {
+				t.Fatalf("line %d: bad label escaping in %q: %v", ln, kv, err)
+			}
+			labels = append(labels, kv)
+		}
+		rest = tail
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" || strings.Contains(value, " ") {
+		t.Fatalf("line %d: malformed value %q", ln, rest)
+	}
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		t.Fatalf("line %d: non-numeric value %q", ln, value)
+	}
+	return name, labels, value
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(t *testing.T, ln int, body string) []string {
+	t.Helper()
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range body {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\' && inQuote:
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	if inQuote {
+		t.Fatalf("line %d: unterminated quote in labels %q", ln, body)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// TestJobViewProgress asserts the job view carries the progress snapshot
+// exactly while the job runs: absent before the cell is installed,
+// present (with the cell's values) mid-run, absent again once terminal.
+func TestJobViewProgress(t *testing.T) {
+	m := testManager(t, Config{})
+	j := m.newJob(gridRequest(PropPlanarity), strings.Repeat("ab", 16))
+	if v := j.View(); v.Progress != nil {
+		t.Fatal("queued job (no progress cell) reports progress")
+	}
+	progress := obs.NewProgress(obs.NewProbe())
+	j.progress.Store(progress)
+	progress.Set(41, 7, 0)
+	v := j.View()
+	if v.Progress == nil {
+		t.Fatal("running job with a progress cell reports no progress")
+	}
+	if v.Progress.Round != 41 || v.Progress.Barriers != 7 || v.Progress.Phase != "run" {
+		t.Fatalf("unexpected progress snapshot: %+v", v.Progress)
+	}
+	j.finish(&Outcome{Property: PropPlanarity, Verdict: "accept"}, nil)
+	if v := j.View(); v.Progress != nil {
+		t.Fatal("terminal job still reports progress")
+	}
+}
+
+// TestPropertyLabelClamped asserts unknown properties cannot mint
+// unbounded label values.
+func TestPropertyLabelClamped(t *testing.T) {
+	mm := newMetrics()
+	for i := 0; i < 10; i++ {
+		mm.CountJob(fmt.Sprintf("hostile-%d", i), "done")
+	}
+	mm.CountJob(PropPlanarity, "done")
+	var sb strings.Builder
+	if err := mm.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "hostile") {
+		t.Fatal("unclamped property label leaked into the exposition")
+	}
+	if !strings.Contains(sb.String(), `planard_jobs_total{property="other",status="done"} 10`) {
+		t.Fatal("clamped counter missing or wrong")
+	}
+}

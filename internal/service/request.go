@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/planar"
 	"repro/internal/spanner"
@@ -146,6 +147,12 @@ type Outcome struct {
 	// WallSeconds is the engine wall time of the original run (a cache
 	// hit reports the cost of the run it reuses, not of the lookup).
 	WallSeconds float64 `json:"wall_seconds"`
+	// Phases is the per-phase attribution of an instrumented run. Kept
+	// out of the JSON (and therefore out of both cache tiers): its WallNs
+	// is wall-clock and so nondeterministic, while cached outcome bytes
+	// must be a pure function of the cache key. The worker folds it into
+	// the service metrics instead.
+	Phases obs.PhaseBreakdown `json:"-"`
 }
 
 // runEnv is the engine-facing execution environment of one job: the
@@ -158,6 +165,12 @@ type runEnv struct {
 	deadline   time.Time
 	checkpoint congest.CheckpointConfig
 	resume     []byte // engine checkpoint to continue from (planarity only)
+	// probe and progress instrument the run (planarity only): the probe
+	// attributes cost per phase, the progress cell feeds live job views.
+	// Both nil for the other properties — their runs are unobserved, not
+	// broken.
+	probe    *obs.Probe
+	progress *obs.Progress
 }
 
 // run executes the request on the engine. env.cancel aborts the
@@ -184,6 +197,8 @@ func run(req *Request, env runEnv) (*Outcome, error) {
 			Cancel:     env.cancel,
 			Deadline:   env.deadline,
 			Checkpoint: env.checkpoint,
+			Probe:      env.probe,
+			Progress:   env.progress,
 		}
 		var res *core.RunResult
 		var err error
@@ -196,6 +211,7 @@ func run(req *Request, env runEnv) (*Outcome, error) {
 			return nil, err
 		}
 		out.Rejected, out.RejectedBy, out.Metrics = res.Rejected, res.RejectedBy, newRunMetrics(res.Metrics)
+		out.Phases = res.Phases
 	case PropCycleFree, PropBipartiteness:
 		prop := testers.CycleFreeness
 		if req.Property == PropBipartiteness {

@@ -9,12 +9,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/obs"
 )
 
 // Config sizes the Manager.
@@ -67,6 +70,10 @@ type Config struct {
 	// the per-job wall-clock bound. 0 means requests without a timeout
 	// run unbounded.
 	MaxTimeout time.Duration
+	// Logger receives the manager's structured logs (job lifecycle,
+	// recovery, quarantine), each record scoped with the job id and cache
+	// key. nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +129,7 @@ type Manager struct {
 	metrics *Metrics
 	store   *ckptStore // nil when CheckpointDir is unset
 	budget  byteBudget
+	log     *slog.Logger
 	seq     atomic.Int64
 
 	draining atomic.Bool
@@ -140,9 +148,14 @@ type Manager struct {
 // goroutines consuming a QueueDepth-bounded queue.
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+	lg := cfg.Logger
+	if lg == nil {
+		lg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	m := &Manager{
 		cfg:      cfg,
 		metrics:  newMetrics(),
+		log:      lg,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
@@ -436,6 +449,8 @@ func (m *Manager) Recover() (int, error) {
 		if err := m.resubmit(rj); err != nil {
 			// Queue full or closing: the job directory stays on disk
 			// for the next restart instead of being dropped.
+			m.log.Warn("recovered job not re-enqueued; kept on disk",
+				"key", rj.req.CacheKey(), "err", err)
 			continue
 		}
 		n++
@@ -495,8 +510,10 @@ func (m *Manager) execute(j *Job) {
 	defer j.releaseGraph()
 	defer m.budget.release(j.charged)
 
+	lg := m.log.With("job_id", j.ID, "key", j.Key, "property", j.Request.Property)
 	if j.canceled() {
 		m.metrics.CountJob(j.Request.Property, "failed")
+		lg.Info("job canceled before start")
 		j.finish(nil, context.Canceled)
 		return
 	}
@@ -504,6 +521,14 @@ func (m *Manager) execute(j *Job) {
 	m.metrics.CacheMisses.Add(1)
 
 	env := runEnv{workers: m.cfg.EngineWorkers, cancel: j.cancelCh, resume: j.resume}
+	if j.Request.Property == PropPlanarity {
+		// Instrument the run: a fresh probe per job (phase IDs are
+		// per-run) and a progress cell that GET /v1/jobs/{id} snapshots
+		// while the engine is inside the run.
+		env.probe = obs.NewProbe()
+		env.progress = obs.NewProgress(env.probe)
+		j.progress.Store(env.progress)
+	}
 	if t := m.effectiveTimeout(j.Request.Timeout); t > 0 {
 		env.deadline = time.Now().Add(t)
 	}
@@ -512,10 +537,13 @@ func (m *Manager) execute(j *Job) {
 		durable = true
 		if err := m.store.writeSpec(j.Key, j.Request); err != nil {
 			m.metrics.CheckpointErrs.Add(1) // run without durability
+			lg.Warn("job spec write failed; running without durability", "err", err)
 		} else {
 			env.checkpoint = m.checkpointConfig(j.Key)
 		}
 	}
+	lg.Info("job started", "n", j.Request.Graph.N(), "m", j.Request.Graph.M(),
+		"resumed", env.resume != nil, "durable", durable)
 	// Any terminal state — done, failed, canceled, deadline — ends the
 	// job's durability window: a restart must not re-run it. The dir is
 	// removed before finish publishes, so a completed job is never
@@ -534,11 +562,13 @@ func (m *Manager) execute(j *Job) {
 		// re-run the job from round 0 rather than failing it.
 		m.metrics.CheckpointErrs.Add(1)
 		m.store.quarantine(j.Key, ckptFile)
+		lg.Warn("recovered checkpoint failed restore; quarantined, re-running from round 0", "err", err)
 		env.resume = nil
 		out, err = run(j.Request, env)
 	}
 	if err != nil {
 		m.metrics.CountJob(j.Request.Property, "failed")
+		lg.Info("job failed", "err", err)
 		finish(nil, err)
 		return
 	}
@@ -549,7 +579,10 @@ func (m *Manager) execute(j *Job) {
 	m.metrics.GraphNodes.Add(int64(out.GraphN))
 	m.metrics.GraphEdges.Add(int64(out.GraphM))
 	m.metrics.AddWallSeconds(out.WallSeconds)
+	m.metrics.ObserveRun(j.Request.Property, out.WallSeconds)
+	m.metrics.AddPhases(out.Phases)
 	m.metrics.CountJob(j.Request.Property, "done")
 	m.cache.Put(j.Key, out)
+	lg.Info("job done", "verdict", out.Verdict, "rounds", mm.Rounds, "wall_seconds", out.WallSeconds)
 	finish(out, nil)
 }

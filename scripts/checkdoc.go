@@ -5,7 +5,7 @@
 // CI (.github/workflows/ci.yml) for the packages whose godoc the
 // repository commits to keeping complete: internal/congest,
 // internal/graphio, internal/service, internal/faultpoint,
-// internal/partition, and internal/core.
+// internal/partition, internal/core, and internal/obs.
 //
 // Usage: go run scripts/checkdoc.go [package-dir ...]
 //
@@ -32,6 +32,7 @@ func main() {
 		dirs = []string{
 			"internal/congest", "internal/graphio", "internal/service",
 			"internal/faultpoint", "internal/partition", "internal/core",
+			"internal/obs",
 		}
 	}
 	bad := 0

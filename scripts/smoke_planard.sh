@@ -6,12 +6,15 @@
 #   3. POST a 10^4-node random planar graph (multipart, edge-list) and
 #      require an accept verdict with CONGEST metrics;
 #   4. POST the identical graph again and require a cache hit — both in
-#      the response and in the /metrics counters;
+#      the response and in the /metrics counters, which must also expose
+#      the request/run latency histograms and the per-phase engine
+#      attribution series;
 #   5. shut the server down gracefully (SIGTERM) and require a clean exit;
-#   6. restart with -checkpoint-dir, SIGKILL the daemon mid-run, restart
-#      it on the same directory, and require the interrupted job to
-#      resume from its checkpoint, finish with the same verdict, and
-#      repopulate the result cache;
+#   6. restart with -checkpoint-dir, submit an async job and require its
+#      GET view to expose a live progress object, SIGKILL the daemon
+#      mid-run, restart it on the same directory, and require the
+#      interrupted job to resume from its checkpoint, finish with the
+#      same verdict, and repopulate the result cache;
 #   7. restart-keeps-cache: start with -cache-dir, POST (cold run),
 #      restart the daemon on the same directory, re-POST, and require a
 #      cache hit served from the disk tier — no engine re-run.
@@ -94,6 +97,13 @@ require "$M" '^planard_quarantined_entries_total 0$' "/metrics (disk integrity)"
 require "$M" '^planard_inflight_graph_bytes 0$'      "/metrics (budget drained)"
 require "$M" 'planard_cache_bytes{tier="mem"} [1-9]' "/metrics (mem tier accounted)"
 require "$M" 'planard_cache_bytes{tier="disk"} 0'    "/metrics (disk tier off)"
+# Telemetry added with the obs layer: request/run latency histograms and
+# per-phase engine attribution, all populated by the two POSTs above.
+require "$M" 'planard_request_seconds_bucket{route="test",status="200",le="+Inf"}' "/metrics (request histogram)"
+require "$M" 'planard_request_seconds_count{route="test",status="200"} 2'          "/metrics (request histogram count)"
+require "$M" 'planard_engine_run_seconds_bucket{property="planarity",le="+Inf"} 1' "/metrics (run histogram)"
+require "$M" 'planard_engine_phase_seconds_total{phase="stage1/p01"}'              "/metrics (phase attribution)"
+require "$M" 'planard_engine_phase_messages_total{phase="run"}'                    "/metrics (phase traffic)"
 
 echo "== graceful shutdown"
 kill -TERM "$SRV_PID"
@@ -137,6 +147,21 @@ post_big() {
 start_durable "$WORK/planard2.log"
 R3="$(post_big ',"async":true')"
 require "$R3" '"state":' "async POST (durable)"
+JOB_ID="$(printf '%s' "$R3" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB_ID" ] || { echo "FAIL: async POST returned no job_id" >&2; printf '%s\n' "$R3" >&2; exit 1; }
+
+echo "== live progress: GET /v1/jobs/$JOB_ID reports phase/round while running"
+PROGRESS=""
+for i in $(seq 1 600); do
+    PROGRESS="$(curl -sf "http://127.0.0.1:$PORT/v1/jobs/$JOB_ID" | grep -o '"progress":{[^}]*}' || true)"
+    [ -n "$PROGRESS" ] && break
+    sleep 0.05
+done
+[ -n "$PROGRESS" ] || { echo "FAIL: running job never exposed a progress object" >&2; exit 1; }
+printf '%s\n' "$PROGRESS"
+require "$PROGRESS" '"phase":'             "job progress"
+require "$PROGRESS" '"round":'             "job progress"
+require "$PROGRESS" '"barriers_executed":' "job progress"
 
 CKFILE=""
 for i in $(seq 1 600); do
