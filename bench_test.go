@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lowerbound"
+	"repro/internal/oracle"
 	"repro/internal/partition"
 	"repro/internal/planar"
 	"repro/internal/spanner"
@@ -259,6 +260,26 @@ func BenchmarkLargeN(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.RunTester(g, opts, int64(i)); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOracle: the exact sequential fast path (internal/oracle) on
+// the same planar instances as BenchmarkLargeN's accept path. The
+// mode=exact speedup over the CONGEST tester is the ratio of this
+// benchmark to BenchmarkLargeN/planar-n<N> in the same BENCH_*.json;
+// the differential-corpus work requires >= 100x at n=10^5.
+func BenchmarkOracle(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("planar-n%d", n), func(b *testing.B) {
+			g := graph.RandomPlanar(n, 3*n/2, rand.New(rand.NewSource(int64(n))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := oracle.Decide(g)
+				if !res.Planar {
+					b.Fatal("planar input rejected")
 				}
 			}
 		})

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	planartest -family grid -n 256 -eps 0.25
+//	planartest -family planar+noise -n 500 -mode both   # CONGEST vs exact oracle
 //	planartest -family planar+noise -n 100 -extra 60 -eps 0.1 -seeds 5
 //	planartest -family gnp -n 400 -degree 8 -en
 //	planartest -edges graph.txt -eps 0.2             # format autodetected
@@ -17,6 +18,13 @@
 // parser, inputs are validated: duplicate edges, self-loops, and
 // malformed lines (e.g. trailing fields) are rejected rather than
 // silently dropped.
+//
+// -mode selects the decision procedure: "congest" (default) runs the
+// paper's distributed tester, "exact" runs the sequential oracle
+// (internal/oracle: Euler shortcuts + per-biconnected-component
+// left-right planarity), and "both" runs the two back to back and
+// fails if the one-sided contract is broken (oracle-planar input
+// rejected by the CONGEST tester).
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 	"repro/internal/partition"
 )
 
@@ -50,8 +59,15 @@ func main() {
 		format = flag.String("format", "auto", "format of -edges: auto|edge-list|dimacs|json|binary")
 		phases = flag.Bool("phases", false, "print the per-phase attribution table after each run")
 		trace  = flag.String("trace", "", "write a JSONL run trace to this file (summarize with scripts/trace_report)")
+		mode   = flag.String("mode", "congest", "decision procedure: congest|exact|both")
 	)
 	flag.Parse()
+	switch *mode {
+	case "congest", "exact", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "planartest: unknown -mode %q (want congest, exact, or both)\n", *mode)
+		os.Exit(1)
+	}
 
 	g, desc, err := buildGraph(*family, *n, *m, *extra, *degree, *seed, *edges, *format)
 	if err != nil {
@@ -62,6 +78,27 @@ func main() {
 	if d := graph.EulerDistanceLowerBound(g); d > 0 {
 		fmt.Printf("certified distance to planarity: >= %d edges (eps >= %.3f)\n",
 			d, float64(d)/float64(g.M()))
+	}
+
+	exactPlanar := false
+	if *mode == "exact" || *mode == "both" {
+		// No wall time in the output: every planartest invocation must be
+		// byte-identical across runs (the repo's CLI determinism check).
+		res := oracle.Decide(g)
+		verdict := "accept (planar)"
+		if !res.Planar {
+			verdict = "REJECT (non-planar)"
+			if res.EulerRejected {
+				verdict = "REJECT (non-planar, global Euler bound)"
+			}
+		}
+		fmt.Printf("exact:    %s\n", verdict)
+		fmt.Printf("          components=%d bicomps=%d trivial=%d eulerRejects=%d lrRuns=%d\n",
+			res.Components, res.Bicomps, res.TrivialBicomps, res.EulerRejects, res.LRTested)
+		exactPlanar = res.Planar
+		if *mode == "exact" {
+			return
+		}
 	}
 
 	opts := repro.TesterOptions{Epsilon: *eps, UseEN: *en}
@@ -122,6 +159,13 @@ func main() {
 	}
 	if *seeds > 1 {
 		fmt.Printf("rejected %d/%d runs\n", rejected, *seeds)
+	}
+	if *mode == "both" {
+		if exactPlanar && rejected > 0 {
+			fmt.Fprintln(os.Stderr, "planartest: ONE-SIDED ERROR BROKEN: exact oracle says planar, CONGEST tester rejected")
+			os.Exit(1)
+		}
+		fmt.Println("modes agree with the one-sided contract")
 	}
 }
 

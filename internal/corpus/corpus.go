@@ -1,0 +1,171 @@
+// Package corpus is the differential-testing corpus of the repository:
+// a deterministic registry of named graph families with known planarity
+// structure, plus a harness (diff.go) that runs every instance through
+// both the CONGEST tester and the exact sequential oracle
+// (internal/oracle) and emits a confusion matrix. The paper's tester has
+// one-sided error — a planar graph must never be rejected — and the
+// corpus turns that contract into a failing CI gate: any false reject on
+// an oracle-planar instance, or any accepted instance of an ε-far
+// family, fails the run.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Kind classifies what a family promises about its instances.
+type Kind int
+
+// Family kinds. The gate applies different checks per kind: Planar
+// families must never be rejected by either tester; Far families carry a
+// certified Euler distance and must be rejected by both; NonPlanar
+// families are non-planar but too sparse to be ε-far, so only the oracle
+// verdict is gated (the CONGEST tester may legitimately accept them);
+// Mixed families make no family-level promise — each instance is judged
+// against the oracle alone.
+const (
+	KindPlanar Kind = iota
+	KindFar
+	KindNonPlanar
+	KindMixed
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindPlanar:
+		return "planar"
+	case KindFar:
+		return "far"
+	case KindNonPlanar:
+		return "nonplanar"
+	case KindMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Family is one named corpus entry: a deterministic generator from
+// (target size, seed) to a graph. Generators treat n as a target — the
+// actual node count tracks it but may differ (grids round to rectangles,
+// trees to full levels).
+type Family struct {
+	// Name identifies the family in reports and CLI flags.
+	Name string
+	// Kind is the family's planarity promise; see the Kind constants.
+	Kind Kind
+	// Gen builds the instance for a target size and seed. Must be
+	// deterministic in (n, seed).
+	Gen func(n int, seed int64) *graph.Graph
+}
+
+// Families returns the full corpus registry in report order.
+func Families() []Family {
+	return []Family{
+		// Planar by construction: the one-sided gate applies in full.
+		{"path", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.Path(n) }},
+		{"cycle", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.Cycle(max(n, 3)) }},
+		{"star", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.Star(n) }},
+		{"empty", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.NewBuilder(n).Build() }},
+		{"balanced-tree", KindPlanar, func(n int, seed int64) *graph.Graph {
+			// Smallest depth whose full ternary tree reaches n nodes.
+			depth, total := 1, 4
+			for total < n && depth < 10 {
+				depth++
+				total = total*3 + 1
+			}
+			return graph.BalancedTree(3, depth)
+		}},
+		{"ladder", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.Ladder(max(n/2, 1)) }},
+		{"circular-ladder", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.CircularLadder(max(n/2, 3)) }},
+		{"barbell-k4", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.Barbell(4, max(n-8, 0)) }},
+		{"lollipop-k4", KindPlanar, func(n int, seed int64) *graph.Graph { return graph.Lollipop(4, max(n-4, 0)) }},
+		{"grid", KindPlanar, func(n int, seed int64) *graph.Graph {
+			side := 1
+			for (side+1)*(side+1) <= n {
+				side++
+			}
+			return graph.Grid(side, side)
+		}},
+		{"triangulated-grid", KindPlanar, func(n int, seed int64) *graph.Graph {
+			side := 1
+			for (side+1)*(side+1) <= n {
+				side++
+			}
+			return graph.TriangulatedGrid(side, side)
+		}},
+		{"maximal-planar", KindPlanar, func(n int, seed int64) *graph.Graph {
+			return graph.MaximalPlanar(max(n, 3), rand.New(rand.NewSource(seed)))
+		}},
+		{"random-planar", KindPlanar, func(n int, seed int64) *graph.Graph {
+			n = max(n, 4)
+			m := min(2*n, 3*n-6)
+			return graph.RandomPlanar(n, m, rand.New(rand.NewSource(seed)))
+		}},
+		{"outerplanar", KindPlanar, func(n int, seed int64) *graph.Graph {
+			return graph.Outerplanar(max(n, 3), rand.New(rand.NewSource(seed)))
+		}},
+		{"disjoint-union", KindPlanar, func(n int, seed int64) *graph.Graph {
+			rng := rand.New(rand.NewSource(seed))
+			third := max(n/3, 4)
+			side := 2
+			for (side+1)*(side+1) <= third {
+				side++
+			}
+			return graph.DisjointUnion(
+				graph.Grid(side, side),
+				graph.RandomTree(third, rng),
+				graph.Outerplanar(max(third, 3), rng))
+		}},
+		{"shuffled-maxplanar", KindPlanar, func(n int, seed int64) *graph.Graph {
+			rng := rand.New(rand.NewSource(seed))
+			g, _ := graph.Shuffle(graph.MaximalPlanar(max(n, 3), rng), rng)
+			return g
+		}},
+
+		// ε-far by the Euler certificate: both testers must reject.
+		{"complete", KindFar, func(n int, seed int64) *graph.Graph { return graph.Complete(max(n, 8)) }},
+		{"complete-bipartite", KindFar, func(n int, seed int64) *graph.Graph {
+			h := max(n/2, 4)
+			return graph.CompleteBipartite(h, h)
+		}},
+		{"gnp-dense", KindFar, func(n int, seed int64) *graph.Graph {
+			n = max(n, 16)
+			return graph.GNP(n, 12/float64(n), rand.New(rand.NewSource(seed)))
+		}},
+		{"planar-plus-eps", KindFar, func(n int, seed int64) *graph.Graph {
+			n = max(n, 8)
+			extra := (3*n - 6) / 2 // certified eps = extra/m = 1/3
+			g, _ := graph.PlanarPlusRandomEdges(n, extra, rand.New(rand.NewSource(seed)))
+			return g
+		}},
+
+		// Non-planar but sparse (not ε-far): gated on the oracle only.
+		{"k5-subdivision", KindNonPlanar, func(n int, seed int64) *graph.Graph { return graph.K5Subdivision(max(n, 5)) }},
+		{"k33-subdivision", KindNonPlanar, func(n int, seed int64) *graph.Graph { return graph.K33Subdivision(max(n, 6)) }},
+		{"barbell-k5", KindNonPlanar, func(n int, seed int64) *graph.Graph { return graph.Barbell(5, max(n-10, 0)) }},
+		{"lollipop-k5", KindNonPlanar, func(n int, seed int64) *graph.Graph { return graph.Lollipop(5, max(n-5, 0)) }},
+
+		// No family-level promise: each instance judged against the oracle.
+		{"grid-odd-chords", KindMixed, func(n int, seed int64) *graph.Graph {
+			side := 3
+			for (side+1)*(side+1) <= n {
+				side++
+			}
+			return graph.GridWithOddChords(side, side, side/2, rand.New(rand.NewSource(seed)))
+		}},
+	}
+}
+
+// ByName returns the named family.
+func ByName(name string) (Family, bool) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}

@@ -1,0 +1,105 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+func TestRegistryShape(t *testing.T) {
+	fams := Families()
+	if len(fams) < 10 {
+		t.Fatalf("corpus has %d families, want >= 10", len(fams))
+	}
+	seen := map[string]bool{}
+	kinds := map[Kind]int{}
+	for _, f := range fams {
+		if f.Name == "" || f.Gen == nil {
+			t.Fatalf("malformed family %+v", f)
+		}
+		if seen[f.Name] {
+			t.Fatalf("duplicate family name %q", f.Name)
+		}
+		seen[f.Name] = true
+		kinds[f.Kind]++
+	}
+	for _, k := range []Kind{KindPlanar, KindFar, KindNonPlanar} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %s families in the registry", k)
+		}
+	}
+	if _, ok := ByName("grid"); !ok {
+		t.Fatal("ByName(grid) not found")
+	}
+	if _, ok := ByName("no-such-family"); ok {
+		t.Fatal("ByName invented a family")
+	}
+}
+
+// Generators must be deterministic in (n, seed): the corpus is a fixed
+// test vector, not a sampler.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, f := range Families() {
+		a := f.Gen(48, 7)
+		b := f.Gen(48, 7)
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Fatalf("%s: size differs across identical calls", f.Name)
+		}
+		ae, be := a.Edges(), b.Edges()
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Fatalf("%s: edge %d differs across identical calls", f.Name, i)
+			}
+		}
+		// A different seed may change randomized families but must not
+		// panic or change the family's planarity promise.
+		c := f.Gen(48, 8)
+		switch f.Kind {
+		case KindPlanar:
+			if !oracle.IsPlanar(c) {
+				t.Fatalf("%s: planar family generated a non-planar instance", f.Name)
+			}
+		case KindFar, KindNonPlanar:
+			if oracle.IsPlanar(c) {
+				t.Fatalf("%s: non-planar family generated a planar instance", f.Name)
+			}
+		}
+	}
+}
+
+// Every far family must actually carry a nonzero Euler certificate at
+// every corpus size — otherwise the rejection gate is vacuous.
+func TestFarFamiliesAreCertified(t *testing.T) {
+	for _, f := range Families() {
+		if f.Kind != KindFar {
+			continue
+		}
+		for _, n := range []int{32, 72, 128} {
+			g := f.Gen(n, 1)
+			d := graph.EulerDistanceLowerBound(g)
+			if d <= 0 {
+				t.Fatalf("%s n=%d: no Euler certificate (m=%d, n=%d)", f.Name, n, g.M(), g.N())
+			}
+			eps := float64(d) / float64(g.M())
+			if eps < 0.05 {
+				t.Fatalf("%s n=%d: certified eps %.4f too weak for the corpus gate", f.Name, n, eps)
+			}
+		}
+	}
+}
+
+// Instance sizes must track the target: a corpus "size" schedule that
+// silently generated constant-size graphs would gut the coverage claim.
+func TestGeneratorsTrackTargetSize(t *testing.T) {
+	for _, f := range Families() {
+		small := f.Gen(32, 1).N()
+		large := f.Gen(128, 1).N()
+		if large <= small {
+			t.Fatalf("%s: n(128)=%d not larger than n(32)=%d", f.Name, large, small)
+		}
+		if small < 8 || large > 4*128 {
+			t.Fatalf("%s: sizes %d..%d stray too far from targets 32..128", f.Name, small, large)
+		}
+	}
+}

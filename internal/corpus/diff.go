@@ -1,0 +1,274 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+// Config sizes one differential run.
+type Config struct {
+	// Sizes are the target node counts each family is generated at.
+	// Empty means the default schedule {32, 72, 128}.
+	Sizes []int
+	// Seeds are the generator/tester seeds each (family, size) runs
+	// under. Empty means {1, 2, 3}.
+	Seeds []int64
+	// Epsilon is the distance parameter handed to the CONGEST tester.
+	// Far families run at min(Epsilon, certified eps) so the rejection
+	// promise is backed by the instance's Euler certificate. 0 means
+	// 0.25 (the repository's standard experiment parameter).
+	Epsilon float64
+	// Workers is the engine worker-pool size per run; 0 means 1.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{32, 72, 128}
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.25
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Cell is one corpus instance's differential result: the oracle verdict
+// (ground truth), the CONGEST verdict, and the gate decision.
+type Cell struct {
+	// Family, Kind, Size, Seed identify the instance.
+	Family string
+	Kind   Kind
+	Size   int
+	Seed   int64
+	// GraphN and GraphM are the generated instance's actual dimensions.
+	GraphN, GraphM int
+	// OraclePlanar is the exact sequential verdict — the ground truth.
+	OraclePlanar bool
+	// CongestRejected is the distributed tester's verdict at RunEps.
+	CongestRejected bool
+	// RunEps is the epsilon the CONGEST tester ran at.
+	RunEps float64
+	// CertifiedEps is the instance's Euler distance certificate
+	// (distance / m), 0 when vacuous.
+	CertifiedEps float64
+	// Violations lists the gate clauses this cell breaks; empty cells
+	// pass.
+	Violations []string
+}
+
+// Report is the outcome of one differential run: every cell plus the
+// aggregated confusion matrix with the oracle as ground truth (positive
+// = planar): TP planar/accepted, FN planar/REJECTED (the one-sided
+// contract forbids this entirely), FP non-planar/accepted (legitimate
+// for sparse non-planar instances, a gate violation for ε-far ones),
+// TN non-planar/rejected.
+type Report struct {
+	// Config echoes the run's effective configuration.
+	Config Config
+	// Cells holds one entry per (family, size, seed), in registry order.
+	Cells []Cell
+	// TP, FN, FP, TN is the confusion matrix over all cells.
+	TP, FN, FP, TN int
+	// Violations flattens every cell violation for the gate.
+	Violations []string
+}
+
+// Failed reports whether the gate fires: any one-sided-error violation,
+// any ε-far family instance that escaped rejection, or any family whose
+// instance contradicts its planarity promise.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Run generates the corpus and pushes every instance through both the
+// exact oracle and the CONGEST tester. Runs are deterministic in the
+// config: generators and the tester are seeded, and the engine is
+// byte-identical at any worker count.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Config: cfg}
+	for _, fam := range Families() {
+		for _, size := range cfg.Sizes {
+			for _, seed := range cfg.Seeds {
+				cell, err := runCell(fam, size, seed, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("corpus: %s n=%d seed=%d: %w", fam.Name, size, seed, err)
+				}
+				rep.Cells = append(rep.Cells, cell)
+				switch {
+				case cell.OraclePlanar && !cell.CongestRejected:
+					rep.TP++
+				case cell.OraclePlanar && cell.CongestRejected:
+					rep.FN++
+				case !cell.OraclePlanar && !cell.CongestRejected:
+					rep.FP++
+				default:
+					rep.TN++
+				}
+				rep.Violations = append(rep.Violations, cell.Violations...)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func runCell(fam Family, size int, seed int64, cfg Config) (Cell, error) {
+	g := fam.Gen(size, seed)
+	cell := Cell{
+		Family: fam.Name,
+		Kind:   fam.Kind,
+		Size:   size,
+		Seed:   seed,
+		GraphN: g.N(),
+		GraphM: g.M(),
+	}
+	if g.M() > 0 {
+		cell.CertifiedEps = float64(graph.EulerDistanceLowerBound(g)) / float64(g.M())
+	}
+	cell.OraclePlanar = oracle.IsPlanar(g)
+
+	// Far families run at the strongest epsilon their certificate backs
+	// (capped by the configured one): the rejection promise must hold at
+	// the parameters the family is actually far for.
+	cell.RunEps = cfg.Epsilon
+	if fam.Kind == KindFar && cell.CertifiedEps > 0 && cell.CertifiedEps < cell.RunEps {
+		cell.RunEps = cell.CertifiedEps
+	}
+	res, err := core.RunTester(g, core.Options{Epsilon: cell.RunEps, Workers: cfg.Workers}, seed)
+	if err != nil {
+		return cell, err
+	}
+	cell.CongestRejected = res.Rejected
+
+	// Gate clauses.
+	violate := func(format string, args ...any) {
+		cell.Violations = append(cell.Violations,
+			fmt.Sprintf("%s n=%d seed=%d: %s", fam.Name, size, seed, fmt.Sprintf(format, args...)))
+	}
+	if cell.OraclePlanar && cell.CongestRejected {
+		violate("FALSE REJECT: oracle says planar, CONGEST tester rejected (one-sided error broken)")
+	}
+	switch fam.Kind {
+	case KindPlanar:
+		if !cell.OraclePlanar {
+			violate("family promises planar, oracle rejected (generator or oracle bug)")
+		}
+	case KindFar:
+		if cell.OraclePlanar {
+			violate("family promises eps-far, oracle accepted (generator bug)")
+		}
+		if cell.CertifiedEps == 0 {
+			violate("family promises eps-far but carries no Euler certificate")
+		}
+		if !cell.CongestRejected {
+			violate("FAR MISS: certified eps=%.3f instance accepted at eps=%.3f", cell.CertifiedEps, cell.RunEps)
+		}
+	case KindNonPlanar:
+		if cell.OraclePlanar {
+			violate("family promises non-planar, oracle accepted (generator bug)")
+		}
+	}
+	return cell, nil
+}
+
+// WriteText renders the report: the confusion matrix, a per-family
+// summary table, and the violation list. Output is deterministic in the
+// config so the committed docs/diffreport.txt artifact is stable.
+func (r *Report) WriteText(w io.Writer) error {
+	pf := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := pf("differential corpus report\n==========================\n\n"); err != nil {
+		return err
+	}
+	if err := pf("config: sizes=%v seeds=%v eps=%.3f\n", r.Config.Sizes, r.Config.Seeds, r.Config.Epsilon); err != nil {
+		return err
+	}
+	if err := pf("cells: %d (%d families x %d sizes x %d seeds)\n\n",
+		len(r.Cells), len(Families()), len(r.Config.Sizes), len(r.Config.Seeds)); err != nil {
+		return err
+	}
+	if err := pf("confusion matrix (ground truth: exact oracle; positive = planar)\n"); err != nil {
+		return err
+	}
+	if err := pf("                     congest accept   congest reject\n"); err != nil {
+		return err
+	}
+	if err := pf("  oracle planar      TP %-12d  FN %d   <- FN must be 0 (one-sided error)\n", r.TP, r.FN); err != nil {
+		return err
+	}
+	if err := pf("  oracle non-planar  FP %-12d  TN %d   <- far families may not contribute to FP\n\n", r.FP, r.TN); err != nil {
+		return err
+	}
+
+	// Per-family rollup: verdict agreement across sizes and seeds.
+	type agg struct {
+		kind               Kind
+		cells, planar, rej int
+		minN, maxN         int
+		violations         int
+	}
+	byFam := map[string]*agg{}
+	var order []string
+	for _, c := range r.Cells {
+		a := byFam[c.Family]
+		if a == nil {
+			a = &agg{kind: c.Kind, minN: c.GraphN, maxN: c.GraphN}
+			byFam[c.Family] = a
+			order = append(order, c.Family)
+		}
+		a.cells++
+		if c.OraclePlanar {
+			a.planar++
+		}
+		if c.CongestRejected {
+			a.rej++
+		}
+		if c.GraphN < a.minN {
+			a.minN = c.GraphN
+		}
+		if c.GraphN > a.maxN {
+			a.maxN = c.GraphN
+		}
+		a.violations += len(c.Violations)
+	}
+	if err := pf("%-20s %-10s %6s %14s %15s %6s\n", "family", "kind", "cells", "oracle-planar", "congest-reject", "gate"); err != nil {
+		return err
+	}
+	for _, name := range order {
+		a := byFam[name]
+		gate := "ok"
+		if a.violations > 0 {
+			gate = fmt.Sprintf("FAIL:%d", a.violations)
+		}
+		if err := pf("%-20s %-10s %6d %11d/%-3d %12d/%-3d %6s\n",
+			name, a.kind, a.cells, a.planar, a.cells, a.rej, a.cells, gate); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Violations) > 0 {
+		if err := pf("\nVIOLATIONS (%d)\n", len(r.Violations)); err != nil {
+			return err
+		}
+		sorted := append([]string(nil), r.Violations...)
+		sort.Strings(sorted)
+		for _, v := range sorted {
+			if err := pf("  %s\n", v); err != nil {
+				return err
+			}
+		}
+		return pf("\nGATE: FAIL\n")
+	}
+	return pf("\nGATE: PASS (zero false rejects on planar instances; every eps-far instance rejected)\n")
+}

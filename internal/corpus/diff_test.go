@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/planar"
+)
+
+// TestDifferentialCorpusGate is the CI gate: every corpus instance runs
+// through both the CONGEST tester and the exact oracle, and the run
+// fails on any one-sided-error violation or eps-far miss. The short
+// schedule keeps -race runs fast; the full default schedule is what
+// scripts/diffreport commits to docs/diffreport.txt.
+func TestDifferentialCorpusGate(t *testing.T) {
+	cfg := Config{}
+	if testing.Short() {
+		cfg = Config{Sizes: []int{24, 48}, Seeds: []int64{1, 2}}
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+		t.Fatalf("differential gate failed with %d violations", len(rep.Violations))
+	}
+	if rep.FN != 0 {
+		t.Fatalf("confusion matrix reports %d false negatives with no violations recorded", rep.FN)
+	}
+	if rep.TP == 0 || rep.TN == 0 {
+		t.Fatalf("degenerate confusion matrix TP=%d TN=%d: corpus lost a side", rep.TP, rep.TN)
+	}
+	wantCells := len(Families()) * len(rep.Config.Sizes) * len(rep.Config.Seeds)
+	if len(rep.Cells) != wantCells {
+		t.Fatalf("ran %d cells, want %d", len(rep.Cells), wantCells)
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"confusion matrix", "GATE: PASS", "grid", "complete", "k5-subdivision"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The report must render violations when the gate fires.
+func TestReportRendersViolations(t *testing.T) {
+	rep := &Report{Config: Config{}.withDefaults(), FN: 1}
+	rep.Cells = []Cell{{Family: "synthetic", Kind: KindPlanar, Size: 8, Seed: 1,
+		OraclePlanar: true, CongestRejected: true,
+		Violations: []string{"synthetic n=8 seed=1: FALSE REJECT"}}}
+	rep.Violations = rep.Cells[0].Violations
+	if !rep.Failed() {
+		t.Fatal("report with violations did not fail")
+	}
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "GATE: FAIL") || !strings.Contains(sb.String(), "FALSE REJECT") {
+		t.Fatalf("failure report incomplete:\n%s", sb.String())
+	}
+}
+
+// Embedding satellite: on every corpus instance, planar.Embed must
+// succeed exactly when the oracle accepts; accepted embeddings must
+// Validate and satisfy Euler's face count, and EmbedOrFallback must
+// report Planar consistently with the oracle verdict.
+func TestEmbeddingAgreesWithOracle(t *testing.T) {
+	for _, f := range Families() {
+		g := f.Gen(48, 1)
+		planarVerdict := oracle.IsPlanar(g)
+		emb, err := planar.Embed(g)
+		if (err == nil) != planarVerdict {
+			t.Fatalf("%s: Embed err=%v, oracle planar=%v", f.Name, err, planarVerdict)
+		}
+		if planarVerdict {
+			if err := emb.Validate(g); err != nil {
+				t.Fatalf("%s: embedding failed validation: %v", f.Name, err)
+			}
+			// Euler's formula, spelled out: f = 2c - n + m - isolated.
+			_, c := g.Components()
+			isolated := 0
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) == 0 {
+					isolated++
+				}
+			}
+			if got, want := emb.CountFaces(), 2*c-g.N()+g.M()-isolated; got != want {
+				t.Fatalf("%s: %d faces, Euler requires %d", f.Name, got, want)
+			}
+		}
+		res := planar.EmbedOrFallback(g, planar.FallbackArbitrary)
+		if res.Planar != planarVerdict {
+			t.Fatalf("%s: EmbedOrFallback planar=%v, oracle planar=%v", f.Name, res.Planar, planarVerdict)
+		}
+		if res.Embedding == nil {
+			t.Fatalf("%s: EmbedOrFallback returned no embedding", f.Name)
+		}
+	}
+}
+
+// FuzzOracleVsCongest feeds random planar and near-planar graphs through
+// both deciders and checks the one-sided contract: whenever the exact
+// oracle says planar, the CONGEST tester must accept. (Rejection of
+// non-planar inputs is NOT required — the tester only promises to catch
+// eps-far graphs — so that direction is left ungated.)
+func FuzzOracleVsCongest(f *testing.F) {
+	f.Add(uint8(20), uint8(0), int64(1))
+	f.Add(uint8(40), uint8(5), int64(2))
+	f.Add(uint8(64), uint8(40), int64(3))
+	f.Fuzz(func(t *testing.T, size, extra uint8, seed int64) {
+		n := 8 + int(size)%120
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomPlanar(n, min(2*n, 3*n-6), rng)
+		if int(extra) > 0 {
+			g, _ = graph.PlanarPlusRandomEdges(n, int(extra)%(2*n), rng)
+		}
+		planarVerdict := oracle.IsPlanar(g)
+		res, err := core.RunTester(g, core.Options{Epsilon: 0.25}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planarVerdict && res.Rejected {
+			t.Fatalf("one-sided error broken: oracle-planar graph (n=%d m=%d extra=%d seed=%d) rejected",
+				g.N(), g.M(), extra, seed)
+		}
+	})
+}

@@ -307,6 +307,148 @@ func K5Subdivision(n int) *Graph {
 	return b.Build()
 }
 
+// Ladder returns the ladder graph L_k: two paths 0..k-1 and k..2k-1 with
+// rungs i-(k+i). Planar (it is a 2 x k grid) with 3k-2 edges for k >= 1.
+func Ladder(k int) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("gen: ladder needs k>=1, got %d", k))
+	}
+	b := NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		if i+1 < k {
+			b.AddEdge(i, i+1)
+			b.AddEdge(k+i, k+i+1)
+		}
+		b.AddEdge(i, k+i)
+	}
+	return b.Build()
+}
+
+// CircularLadder returns the circular ladder (prism) CL_k: two cycles
+// 0..k-1 and k..2k-1 joined by rungs i-(k+i). Planar and 3-regular for
+// k >= 3.
+func CircularLadder(k int) *Graph {
+	if k < 3 {
+		panic(fmt.Sprintf("gen: circular ladder needs k>=3, got %d", k))
+	}
+	b := NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		b.AddEdge(i, (i+1)%k)
+		b.AddEdge(k+i, k+(i+1)%k)
+		b.AddEdge(i, k+i)
+	}
+	return b.Build()
+}
+
+// Barbell returns the barbell graph: two copies of K_k joined by a path
+// with p interior nodes (p = 0 joins the cliques by a single edge).
+// Planar iff K_k is planar, i.e. iff k <= 4 — the k = 5 barbell is the
+// classic sparse non-planar family from the networkx test suite.
+func Barbell(k, p int) *Graph {
+	if k < 2 {
+		panic(fmt.Sprintf("gen: barbell needs k>=2, got %d", k))
+	}
+	if p < 0 {
+		panic(fmt.Sprintf("gen: barbell needs p>=0, got %d", p))
+	}
+	b := NewBuilder(2*k + p)
+	clique := func(off int) {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.AddEdge(off+i, off+j)
+			}
+		}
+	}
+	clique(0)
+	clique(k + p)
+	// Path from node k-1 (first clique) through the p bridge nodes
+	// k..k+p-1 to node k+p (second clique).
+	prev := k - 1
+	for t := 0; t < p; t++ {
+		b.AddEdge(prev, k+t)
+		prev = k + t
+	}
+	b.AddEdge(prev, k+p)
+	return b.Build()
+}
+
+// Lollipop returns the lollipop graph: K_k with a path of p extra nodes
+// hanging off node k-1. Planar iff k <= 4.
+func Lollipop(k, p int) *Graph {
+	if k < 2 {
+		panic(fmt.Sprintf("gen: lollipop needs k>=2, got %d", k))
+	}
+	if p < 0 {
+		panic(fmt.Sprintf("gen: lollipop needs p>=0, got %d", p))
+	}
+	b := NewBuilder(k + p)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	prev := k - 1
+	for t := 0; t < p; t++ {
+		b.AddEdge(prev, k+t)
+		prev = k + t
+	}
+	return b.Build()
+}
+
+// BalancedTree returns the perfectly balanced rooted tree with the given
+// branching factor and depth (depth 0 is a single node). Trees are planar
+// and acyclic, which makes this the canonical trivially-planar family.
+func BalancedTree(branch, depth int) *Graph {
+	if branch < 1 {
+		panic(fmt.Sprintf("gen: balanced tree needs branch>=1, got %d", branch))
+	}
+	if depth < 0 {
+		panic(fmt.Sprintf("gen: balanced tree needs depth>=0, got %d", depth))
+	}
+	n := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= branch
+		n += level
+	}
+	b := NewBuilder(n)
+	for child := 1; child < n; child++ {
+		b.AddEdge(child, (child-1)/branch)
+	}
+	return b.Build()
+}
+
+// K33Subdivision returns a subdivision of K_{3,3} on n >= 6 nodes: the nine
+// edges of K_{3,3} become internally disjoint paths whose interior nodes
+// split the remaining n-6 nodes as evenly as possible. Non-planar for every
+// n (Kuratowski) with m = n + 3 — even sparser than K5Subdivision.
+func K33Subdivision(n int) *Graph {
+	if n < 6 {
+		panic(fmt.Sprintf("gen: K33 subdivision needs n>=6, got %d", n))
+	}
+	b := NewBuilder(n)
+	next := 6
+	extra := n - 6
+	pairIdx := 0
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			interior := extra / 9
+			if pairIdx < extra%9 {
+				interior++
+			}
+			prev := i
+			for t := 0; t < interior; t++ {
+				b.AddEdge(prev, next)
+				prev = next
+				next++
+			}
+			b.AddEdge(prev, j)
+			pairIdx++
+		}
+	}
+	return b.Build()
+}
+
 // EulerDistanceLowerBound returns a certified lower bound on the number of
 // edges that must be removed from g to make it planar: any planar graph on
 // n >= 3 nodes has at most 3n-6 edges, so at least m-(3n-6) edges must go.

@@ -253,6 +253,52 @@ func TestGeneratorSizes(t *testing.T) {
 	}
 }
 
+func TestCorpusFamilyGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"ladder", Ladder(6), 12, 16},                  // 3k-2
+		{"ladder-k1", Ladder(1), 2, 1},                 // single rung
+		{"circular-ladder", CircularLadder(6), 12, 18}, // 3k
+		{"barbell-4-4", Barbell(4, 4), 12, 17},         // 2*C(4,2)+p+1
+		{"barbell-5-0", Barbell(5, 0), 10, 21},         // two K5s + bridge
+		{"lollipop-4-5", Lollipop(4, 5), 9, 11},        // C(4,2)+p
+		{"lollipop-5-2", Lollipop(5, 2), 7, 12},
+		{"balanced-tree-2-3", BalancedTree(2, 3), 15, 14},
+		{"balanced-tree-3-0", BalancedTree(3, 0), 1, 0},
+		{"k33-subdiv-6", K33Subdivision(6), 6, 9},
+		{"k33-subdiv-20", K33Subdivision(20), 20, 23}, // m = n+3
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n || c.g.M() != c.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d", c.name, c.g.N(), c.g.M(), c.n, c.m)
+		}
+	}
+	// Structural spot checks beyond edge counts.
+	if !CircularLadder(8).IsConnected() {
+		t.Error("circular ladder must be connected")
+	}
+	for _, k := range []int{3, 5, 8} {
+		cl := CircularLadder(k)
+		for v := 0; v < cl.N(); v++ {
+			if cl.Degree(v) != 3 {
+				t.Fatalf("circular ladder CL_%d: degree(%d)=%d, want 3", k, v, cl.Degree(v))
+			}
+		}
+	}
+	if bt := BalancedTree(3, 4); !bt.IsTree() {
+		t.Error("balanced tree must be a tree")
+	}
+	if !Barbell(5, 3).IsConnected() || !Lollipop(5, 7).IsConnected() {
+		t.Error("barbell/lollipop must be connected")
+	}
+	if g := K33Subdivision(33); !g.IsConnected() {
+		t.Error("K33 subdivision must be connected")
+	}
+}
+
 func TestRandomPlanarSizes(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	for _, m := range []int{29, 40, 60, 84} {

@@ -1,0 +1,94 @@
+package oracle
+
+import "repro/internal/graph"
+
+// BiconnectedComponents returns the edge sets of the biconnected
+// components of g (every edge belongs to exactly one component) and the
+// number of connected components. Isolated nodes form connected
+// components without edges and therefore appear in neither list.
+//
+// The decomposition is the classic Hopcroft–Tarjan edge-stack DFS,
+// iterative so that path-like corpus graphs (ladders, lollipops) cannot
+// overflow the goroutine stack at large n.
+func BiconnectedComponents(g *graph.Graph) (bicomps [][]graph.Edge, components int) {
+	n := g.N()
+	num := make([]int32, n) // DFS discovery number, 0 = unvisited
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var (
+		counter   int32
+		edgeStack []graph.Edge
+	)
+	type frame struct {
+		v  int32
+		pi int32 // next port of v to explore
+	}
+	var stack []frame
+
+	for root := 0; root < n; root++ {
+		if num[root] != 0 {
+			continue
+		}
+		components++
+		counter++
+		num[root] = counter
+		low[root] = counter
+		stack = append(stack[:0], frame{v: int32(root)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			nbrs := g.Neighbors(int(v))
+			if int(f.pi) < len(nbrs) {
+				w := nbrs[f.pi]
+				f.pi++
+				switch {
+				case num[w] == 0:
+					// Tree edge: push and descend.
+					edgeStack = append(edgeStack, graph.NormEdge(int(v), int(w)))
+					parent[w] = v
+					counter++
+					num[w] = counter
+					low[w] = counter
+					stack = append(stack, frame{v: w})
+				case w != parent[v] && num[w] < num[v]:
+					// Back edge (seen once, from the deeper endpoint).
+					edgeStack = append(edgeStack, graph.NormEdge(int(v), int(w)))
+					if num[w] < low[v] {
+						low[v] = num[w]
+					}
+				}
+				continue
+			}
+			// v is exhausted: fold its lowpoint into the parent and pop
+			// a component if v's subtree cannot reach above the parent.
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p < 0 {
+				continue
+			}
+			if low[v] < low[p] {
+				low[p] = low[v]
+			}
+			if low[v] >= num[p] {
+				// p is an articulation point (or the root): the edges
+				// pushed since the tree edge p-v form one biconnected
+				// component, with p-v at the bottom.
+				cut := graph.NormEdge(int(p), int(v))
+				var comp []graph.Edge
+				for len(edgeStack) > 0 {
+					e := edgeStack[len(edgeStack)-1]
+					edgeStack = edgeStack[:len(edgeStack)-1]
+					comp = append(comp, e)
+					if e == cut {
+						break
+					}
+				}
+				bicomps = append(bicomps, comp)
+			}
+		}
+	}
+	return bicomps, components
+}

@@ -1,0 +1,51 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+// decodeGraph turns fuzz bytes into a simple graph on n <= max nodes:
+// the first byte picks n, each following byte pair adds one edge (mod n).
+func decodeGraph(data []byte, max int) *graph.Graph {
+	if len(data) == 0 {
+		return graph.NewBuilder(0).Build()
+	}
+	n := int(data[0])%max + 1
+	b := graph.NewBuilder(n)
+	for i := 1; i+1 < len(data); i += 2 {
+		b.AddEdge(int(data[i])%n, int(data[i+1])%n)
+	}
+	return b.Build()
+}
+
+// FuzzOracleVsBruteForce checks the oracle against exhaustive
+// rotation-system search on arbitrary graphs with n <= 9 — every
+// decodable instance is either skipped (search budget exhausted) or an
+// exact ground-truth comparison.
+func FuzzOracleVsBruteForce(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3, 0})                                     // C4
+	f.Add([]byte{5, 0, 1, 0, 2, 0, 3, 0, 4, 1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4}) // K5
+	f.Add([]byte{6, 0, 3, 0, 4, 0, 5, 1, 3, 1, 4, 1, 5, 2, 3, 2, 4, 2, 5})       // K33
+	f.Add([]byte{1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeGraph(data, 9)
+		want, ok := planar.BruteForcePlanar(g, 200_000)
+		if !ok {
+			t.Skip("brute-force budget exhausted")
+		}
+		res := Decide(g)
+		if res.Planar != want {
+			t.Fatalf("oracle=%v brute-force=%v on n=%d m=%d\nedges: %v\nresult: %+v",
+				res.Planar, want, g.N(), g.M(), g.Edges(), res)
+		}
+		// The whole-graph LR test must agree too (decomposition soundness).
+		if lr := planar.IsPlanar(g); lr != want {
+			t.Fatalf("whole-graph LR=%v brute-force=%v on n=%d m=%d\nedges: %v",
+				lr, want, g.N(), g.M(), g.Edges())
+		}
+	})
+}

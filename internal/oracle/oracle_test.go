@@ -1,0 +1,184 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/planar"
+)
+
+func petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)
+		b.AddEdge(5+i, 5+(i+2)%5)
+		b.AddEdge(i, 5+i)
+	}
+	return b.Build()
+}
+
+func TestOraclePlanarFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.NewBuilder(0).Build()},
+		{"single node", graph.NewBuilder(1).Build()},
+		{"two isolated nodes", graph.NewBuilder(2).Build()},
+		{"K4", graph.Complete(4)},
+		{"path", graph.Path(40)},
+		{"cycle", graph.Cycle(40)},
+		{"star", graph.Star(40)},
+		{"ladder", graph.Ladder(20)},
+		{"circular ladder", graph.CircularLadder(20)},
+		{"barbell K4", graph.Barbell(4, 4)},
+		{"lollipop K4", graph.Lollipop(4, 33)},
+		{"balanced tree", graph.BalancedTree(3, 4)},
+		{"grid", graph.Grid(8, 9)},
+		{"triangulated grid", graph.TriangulatedGrid(7, 7)},
+		{"maximal planar", graph.MaximalPlanar(80, rng)},
+		{"outerplanar", graph.Outerplanar(50, rng)},
+		{"random planar", graph.RandomPlanar(60, 120, rng)},
+		{"disconnected planar", graph.DisjointUnion(graph.Cycle(6), graph.Grid(4, 4), graph.Complete(4))},
+		{"K5 minus edge", graph.Complete(5).RemoveEdges([]graph.Edge{graph.NormEdge(0, 1)})},
+	}
+	for _, c := range cases {
+		res := Decide(c.g)
+		if !res.Planar {
+			t.Errorf("%s: oracle rejects a planar graph (%+v)", c.name, res)
+		}
+		if res.EulerRejected || res.EulerRejects > 0 {
+			t.Errorf("%s: spurious Euler rejection (%+v)", c.name, res)
+		}
+	}
+}
+
+func TestOracleNonPlanarFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	noisy, _ := graph.PlanarPlusRandomEdges(100, 60, rng)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K5", graph.Complete(5)},
+		{"K33", graph.CompleteBipartite(3, 3)},
+		{"petersen", petersen()},
+		{"barbell K5", graph.Barbell(5, 2)},
+		{"big barbell", graph.Barbell(20, 4)},
+		{"lollipop K5", graph.Lollipop(5, 3)},
+		{"K5 subdivision", graph.K5Subdivision(40)},
+		{"K33 subdivision", graph.K33Subdivision(40)},
+		{"planar plus noise", noisy},
+		{"planar union K5", graph.DisjointUnion(graph.Grid(5, 5), graph.Complete(5))},
+	}
+	for _, c := range cases {
+		if res := Decide(c.g); res.Planar {
+			t.Errorf("%s: oracle accepts a non-planar graph (%+v)", c.name, res)
+		}
+	}
+}
+
+// The shortcut accounting must reflect how each verdict was reached:
+// dense graphs die at the global Euler count, sparse subdivisions reach
+// the left–right run, and bridge/tree structure is decided trivially.
+func TestOracleShortcutAccounting(t *testing.T) {
+	if res := Decide(graph.Complete(20)); !res.EulerRejected || res.LRTested != 0 {
+		t.Fatalf("K20 should die at the global Euler count: %+v", res)
+	}
+	// A tree decomposes into m bridge blocks, all trivial.
+	tree := graph.BalancedTree(2, 4)
+	res := Decide(tree)
+	if !res.Planar || res.LRTested != 0 || res.TrivialBicomps != tree.M() {
+		t.Fatalf("tree accounting: %+v (m=%d)", res, tree.M())
+	}
+	// A K5 subdivision is one biconnected block that needs the LR run.
+	res = Decide(graph.K5Subdivision(30))
+	if res.Planar || res.LRTested != 1 || res.EulerRejected {
+		t.Fatalf("K5 subdivision accounting: %+v", res)
+	}
+	// Disconnected: components counted, each block tested independently.
+	g := graph.DisjointUnion(graph.Cycle(6), graph.Complete(4), graph.Path(3))
+	res = Decide(g)
+	if !res.Planar || res.Components != 3 {
+		t.Fatalf("disjoint union accounting: %+v", res)
+	}
+	// Barbell of K5s: the first clique block rejects by its local Euler
+	// count (10 edges > 3*5-6 = 9) before any LR run.
+	res = Decide(graph.Barbell(5, 2))
+	if res.Planar || res.EulerRejects != 1 || res.LRTested != 0 {
+		t.Fatalf("K5 barbell accounting: %+v", res)
+	}
+}
+
+func TestBiconnectedComponents(t *testing.T) {
+	// Barbell(4, 2): two K4 blocks plus 3 bridge blocks.
+	g := graph.Barbell(4, 2)
+	bicomps, components := BiconnectedComponents(g)
+	if components != 1 {
+		t.Fatalf("barbell components = %d, want 1", components)
+	}
+	if len(bicomps) != 5 {
+		t.Fatalf("barbell blocks = %d, want 5 (two K4s + three bridges)", len(bicomps))
+	}
+	sizes := map[int]int{}
+	total := 0
+	for _, c := range bicomps {
+		sizes[len(c)]++
+		total += len(c)
+	}
+	if sizes[6] != 2 || sizes[1] != 3 {
+		t.Fatalf("block edge sizes %v, want two of 6 and three of 1", sizes)
+	}
+	if total != g.M() {
+		t.Fatalf("blocks cover %d edges, want all %d", total, g.M())
+	}
+
+	// A cycle is a single block; a tree is all bridges.
+	if bc, _ := BiconnectedComponents(graph.Cycle(12)); len(bc) != 1 || len(bc[0]) != 12 {
+		t.Fatalf("cycle blocks: %d", len(bc))
+	}
+	if bc, k := BiconnectedComponents(graph.Path(8)); len(bc) != 7 || k != 1 {
+		t.Fatalf("path blocks=%d components=%d, want 7, 1", len(bc), k)
+	}
+	// Isolated nodes are components without blocks.
+	if bc, k := BiconnectedComponents(graph.NewBuilder(4).Build()); len(bc) != 0 || k != 4 {
+		t.Fatalf("isolated nodes: blocks=%d components=%d, want 0, 4", len(bc), k)
+	}
+	// Disjoint union: blocks per component, components counted.
+	bc, k := BiconnectedComponents(graph.DisjointUnion(graph.Cycle(5), graph.Path(4), graph.Complete(4)))
+	if k != 3 || len(bc) != 1+3+1 {
+		t.Fatalf("union: blocks=%d components=%d, want 5, 3", len(bc), k)
+	}
+}
+
+// Property: block decomposition agrees with running the plain LR test on
+// the whole graph, across random sparse graphs spanning both verdicts.
+func TestOracleAgainstWholeGraphLR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trials := 300
+	if testing.Short() {
+		trials = 80
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + rng.Intn(40)
+		g := graph.GNP(n, 2.5/float64(n), rng)
+		want := planar.IsPlanar(g)
+		if got := IsPlanar(g); got != want {
+			t.Fatalf("disagreement on n=%d m=%d (trial %d): oracle=%v whole-graph LR=%v\nedges: %v",
+				g.N(), g.M(), trial, got, want, g.Edges())
+		}
+	}
+}
+
+func BenchmarkDecideRandomPlanar10000(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomPlanar(10_000, 20_000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IsPlanar(g) {
+			b.Fatal("must be planar")
+		}
+	}
+}

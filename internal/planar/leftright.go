@@ -25,15 +25,18 @@ func Embed(g *graph.Graph) (*Embedding, error) {
 	return st.embed(), nil
 }
 
-// dedge is a directed edge key.
-type dedge struct{ u, v int32 }
-
-func (e dedge) reversed() dedge { return dedge{e.v, e.u} }
+// Orientation assigns every undirected edge a unique direction, so the
+// per-directed-edge attributes of the algorithm are dense over exactly
+// M arcs and live in flat slabs indexed by arc id. Ids start at 1;
+// id 0 is a reserved sentinel whose attributes (lowpt 0, target 0, no
+// ref, unresolved side) reproduce what a lookup of a zero-valued edge
+// key would have produced, so interval endpoints can be copied
+// field-for-field without special cases.
 
 // interval is a range of back edges on one side of a conflict pair,
-// identified by its extremal edges. The zero interval is empty.
+// identified by its extremal arcs. The zero interval is empty.
 type interval struct {
-	low, high dedge
+	low, high int32
 	lowSet    bool
 	highSet   bool
 }
@@ -55,42 +58,66 @@ type lrState struct {
 	g     *graph.Graph
 	roots []int32
 
-	height     []int
-	parentEdge []dedge
-	hasParent  []bool
+	height     []int32
+	parentArc  []int32 // arc id of the tree arc into v; -1 at roots
+	parentNode []int32 // DFS parent of v; -1 at roots
 
-	// Per directed (oriented) edge attributes.
-	lowpt, lowpt2, nesting map[dedge]int
-	orientedAdj            [][]int32 // outgoing neighbors after orientation
-	orderedAdj             [][]int32 // outgoing neighbors sorted by nesting depth
+	// Arc-indexed attribute slabs (index 0 is the sentinel).
+	arcFrom     []int32
+	arcTo       []int32
+	lowpt       []int32
+	lowpt2      []int32
+	nesting     []int32
+	ref         []int32 // next arc in the reference chain; -1 = none
+	side        []int8  // 0 = unresolved (sign treats it as +1)
+	lowptEdge   []int32
+	stackBottom []int32 // conflict-stack height when the arc was reached
 
-	ref  map[dedge]dedge
-	side map[dedge]int
+	orientedAdj [][]int32 // outgoing neighbors after orientation
+	orientedArc [][]int32 // arc ids aligned with orientedAdj
 
-	s           []*conflictPair
-	stackBottom map[dedge]*conflictPair
-	lowptEdge   map[dedge]dedge
+	s     []conflictPair
+	narcs int32
 }
 
 func newLRState(g *graph.Graph) *lrState {
-	n := g.N()
+	n, m := g.N(), g.M()
 	st := &lrState{
 		g:           g,
-		height:      make([]int, n),
-		parentEdge:  make([]dedge, n),
-		hasParent:   make([]bool, n),
-		lowpt:       make(map[dedge]int, g.M()),
-		lowpt2:      make(map[dedge]int, g.M()),
-		nesting:     make(map[dedge]int, g.M()),
+		height:      make([]int32, n),
+		parentArc:   make([]int32, n),
+		parentNode:  make([]int32, n),
+		arcFrom:     make([]int32, m+1),
+		arcTo:       make([]int32, m+1),
+		lowpt:       make([]int32, m+1),
+		lowpt2:      make([]int32, m+1),
+		nesting:     make([]int32, m+1),
+		ref:         make([]int32, m+1),
+		side:        make([]int8, m+1),
+		lowptEdge:   make([]int32, m+1),
+		stackBottom: make([]int32, m+1),
 		orientedAdj: make([][]int32, n),
-		orderedAdj:  make([][]int32, n),
-		ref:         make(map[dedge]dedge),
-		side:        make(map[dedge]int, g.M()),
-		stackBottom: make(map[dedge]*conflictPair),
-		lowptEdge:   make(map[dedge]dedge),
+		orientedArc: make([][]int32, n),
+		narcs:       1, // 0 is the sentinel
 	}
 	for v := range st.height {
 		st.height[v] = noHeight
+		st.parentArc[v] = -1
+		st.parentNode[v] = -1
+	}
+	for a := range st.ref {
+		st.ref[a] = -1
+	}
+	// Carve per-vertex adjacency capacity out of two shared backings:
+	// a vertex orients at most deg(v) arcs.
+	adjBack := make([]int32, 2*m)
+	arcBack := make([]int32, 2*m)
+	off := 0
+	for v := 0; v < n; v++ {
+		d := len(g.Neighbors(v))
+		st.orientedAdj[v] = adjBack[off : off : off+d]
+		st.orientedArc[v] = arcBack[off : off : off+d]
+		off += d
 	}
 	return st
 }
@@ -111,17 +138,10 @@ func (st *lrState) run() bool {
 	}
 	// Sort adjacency lists by nesting depth (ties by neighbor id for
 	// determinism).
+	ord := arcOrder{nesting: st.nesting}
 	for v := 0; v < st.g.N(); v++ {
-		adj := st.orientedAdj[v]
-		sort.SliceStable(adj, func(i, j int) bool {
-			di := st.nesting[dedge{int32(v), adj[i]}]
-			dj := st.nesting[dedge{int32(v), adj[j]}]
-			if di != dj {
-				return di < dj
-			}
-			return adj[i] < adj[j]
-		})
-		st.orderedAdj[v] = adj
+		ord.ws, ord.arcs = st.orientedAdj[v], st.orientedArc[v]
+		sort.Stable(&ord)
 	}
 	// Phase 2: testing.
 	for _, r := range st.roots {
@@ -132,13 +152,34 @@ func (st *lrState) run() bool {
 	return true
 }
 
+// arcOrder stably sorts a vertex's oriented adjacency list and the
+// aligned arc ids by nesting depth, ties by neighbor id.
+type arcOrder struct {
+	ws, arcs []int32
+	nesting  []int32
+}
+
+func (o *arcOrder) Len() int { return len(o.ws) }
+
+func (o *arcOrder) Less(i, j int) bool {
+	di, dj := o.nesting[o.arcs[i]], o.nesting[o.arcs[j]]
+	if di != dj {
+		return di < dj
+	}
+	return o.ws[i] < o.ws[j]
+}
+
+func (o *arcOrder) Swap(i, j int) {
+	o.ws[i], o.ws[j] = o.ws[j], o.ws[i]
+	o.arcs[i], o.arcs[j] = o.arcs[j], o.arcs[i]
+}
+
 // dfsOrientation orients edges from v, computing lowpt/lowpt2/nesting.
 func (st *lrState) dfsOrientation(root int32) {
 	type frame struct {
 		v   int32
 		idx int
 	}
-	oriented := make(map[dedge]bool)
 	stack := []frame{{root, 0}}
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
@@ -146,74 +187,73 @@ func (st *lrState) dfsOrientation(root int32) {
 		nbrs := st.g.Neighbors(int(v))
 		if f.idx >= len(nbrs) {
 			stack = stack[:len(stack)-1]
-			// Propagate this tree edge's lowpts into its parent edge,
+			// Propagate this tree arc's lowpts into its parent arc,
 			// which was deferred until the subtree finished.
-			if st.hasParent[v] {
-				vw := st.parentEdge[v]
-				st.finishEdge(vw)
+			if a := st.parentArc[v]; a >= 0 {
+				st.finishArc(a)
 			}
 			continue
 		}
 		w := nbrs[f.idx]
 		f.idx++
-		vw := dedge{v, w}
-		if oriented[vw] || oriented[vw.reversed()] {
+		// An edge is oriented by the endpoint that examines it first.
+		// Two "already oriented" cases: the tree arc into v, and edges
+		// claimed by a deeper endpoint (a descendant's scan always
+		// completes before v's resumes, so its edges are oriented).
+		if w == st.parentNode[v] || (st.height[w] != noHeight && st.height[w] > st.height[v]) {
 			continue
 		}
-		oriented[vw] = true
+		a := st.narcs
+		st.narcs++
+		st.arcFrom[a] = v
+		st.arcTo[a] = w
 		st.orientedAdj[v] = append(st.orientedAdj[v], w)
-		st.lowpt[vw] = st.height[v]
-		st.lowpt2[vw] = st.height[v]
-		if st.height[w] == noHeight { // tree edge
-			st.parentEdge[w] = vw
-			st.hasParent[w] = true
+		st.orientedArc[v] = append(st.orientedArc[v], a)
+		st.lowpt[a] = st.height[v]
+		st.lowpt2[a] = st.height[v]
+		if st.height[w] == noHeight { // tree arc
+			st.parentArc[w] = a
+			st.parentNode[w] = v
 			st.height[w] = st.height[v] + 1
 			stack = append(stack, frame{w, 0})
-			// finishEdge(vw) runs when w's frame pops.
-		} else { // back edge
-			st.lowpt[vw] = st.height[w]
-			st.finishEdge(vw)
+			// finishArc(a) runs when w's frame pops.
+		} else { // back arc
+			st.lowpt[a] = st.height[w]
+			st.finishArc(a)
 		}
 	}
 }
 
-// finishEdge computes nesting depth of vw and folds its lowpts into the
-// parent edge of its source.
-func (st *lrState) finishEdge(vw dedge) {
-	v := vw.u
-	st.nesting[vw] = 2 * st.lowpt[vw]
-	if st.lowpt2[vw] < st.height[v] { // chordal: needs the +1 penalty
-		st.nesting[vw]++
+// finishArc computes the nesting depth of arc a and folds its lowpts
+// into the parent arc of its source.
+func (st *lrState) finishArc(a int32) {
+	v := st.arcFrom[a]
+	st.nesting[a] = 2 * st.lowpt[a]
+	if st.lowpt2[a] < st.height[v] { // chordal: needs the +1 penalty
+		st.nesting[a]++
 	}
-	if !st.hasParent[v] {
+	e := st.parentArc[v]
+	if e < 0 {
 		return
 	}
-	e := st.parentEdge[v]
-	if st.lowpt[vw] < st.lowpt[e] {
-		st.lowpt2[e] = min(st.lowpt[e], st.lowpt2[vw])
-		st.lowpt[e] = st.lowpt[vw]
-	} else if st.lowpt[vw] > st.lowpt[e] {
-		st.lowpt2[e] = min(st.lowpt2[e], st.lowpt[vw])
+	if st.lowpt[a] < st.lowpt[e] {
+		st.lowpt2[e] = min(st.lowpt[e], st.lowpt2[a])
+		st.lowpt[e] = st.lowpt[a]
+	} else if st.lowpt[a] > st.lowpt[e] {
+		st.lowpt2[e] = min(st.lowpt2[e], st.lowpt[a])
 	} else {
-		st.lowpt2[e] = min(st.lowpt2[e], st.lowpt2[vw])
+		st.lowpt2[e] = min(st.lowpt2[e], st.lowpt2[a])
 	}
 }
 
-func (st *lrState) top() *conflictPair {
-	if len(st.s) == 0 {
-		return nil
-	}
-	return st.s[len(st.s)-1]
-}
-
-func (st *lrState) pop() *conflictPair {
+func (st *lrState) pop() conflictPair {
 	p := st.s[len(st.s)-1]
 	st.s = st.s[:len(st.s)-1]
 	return p
 }
 
 // lowest returns the lowest lowpoint of a conflict pair.
-func (st *lrState) lowest(p *conflictPair) int {
+func (st *lrState) lowest(p *conflictPair) int32 {
 	if p.l.empty() && p.r.empty() {
 		panic("planar: empty conflict pair on stack")
 	}
@@ -226,8 +266,8 @@ func (st *lrState) lowest(p *conflictPair) int {
 	return min(st.lowpt[p.l.low], st.lowpt[p.r.low])
 }
 
-// conflicting reports whether interval i conflicts with edge b.
-func (st *lrState) conflicting(i interval, b dedge) bool {
+// conflicting reports whether interval i conflicts with arc b.
+func (st *lrState) conflicting(i interval, b int32) bool {
 	return !i.empty() && st.lowpt[i.high] > st.lowpt[b]
 }
 
@@ -241,19 +281,19 @@ func (st *lrState) dfsTesting(root int32) bool {
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		v := f.v
-		adj := st.orderedAdj[v]
+		adj := st.orientedAdj[v]
 		if f.idx < len(adj) {
 			w := adj[f.idx]
+			ei := st.orientedArc[v][f.idx]
 			f.idx++
-			ei := dedge{v, w}
-			st.stackBottom[ei] = st.top()
-			if st.hasParent[w] && st.parentEdge[w] == ei { // tree edge
+			st.stackBottom[ei] = int32(len(st.s))
+			if st.parentArc[w] == ei { // tree arc
 				stack = append(stack, frame{w, 0})
 				continue // the post-processing for ei happens on pop of w
 			}
-			// back edge
+			// back arc
 			st.lowptEdge[ei] = ei
-			st.s = append(st.s, &conflictPair{r: interval{low: ei, high: ei, lowSet: true, highSet: true}})
+			st.s = append(st.s, conflictPair{r: interval{low: ei, high: ei, lowSet: true, highSet: true}})
 			if !st.integrateNewReturnEdges(v, ei) {
 				return false
 			}
@@ -261,9 +301,8 @@ func (st *lrState) dfsTesting(root int32) bool {
 		}
 		// All children processed: run the tail for v, then pop.
 		stack = stack[:len(stack)-1]
-		if st.hasParent[v] {
-			e := st.parentEdge[v]
-			u := e.u
+		if e := st.parentArc[v]; e >= 0 {
+			u := st.arcFrom[e]
 			st.removeBackEdges(e, u)
 			// After returning into u's frame, integrate e's constraints
 			// there (this mirrors the recursive structure: the recursive
@@ -277,29 +316,28 @@ func (st *lrState) dfsTesting(root int32) bool {
 }
 
 // integrateNewReturnEdges performs the "if lowpt[ei] < height[v]" block of
-// dfs_testing for edge ei out of v.
-func (st *lrState) integrateNewReturnEdges(v int32, ei dedge) bool {
+// dfs_testing for arc ei out of v.
+func (st *lrState) integrateNewReturnEdges(v, ei int32) bool {
 	if st.lowpt[ei] >= st.height[v] { // ei has no return edge
 		return true
 	}
-	first := dedge{v, st.orderedAdj[v][0]}
-	if ei == first {
-		if st.hasParent[v] {
-			st.lowptEdge[st.parentEdge[v]] = st.lowptEdge[ei]
+	if ei == st.orientedArc[v][0] {
+		if p := st.parentArc[v]; p >= 0 {
+			st.lowptEdge[p] = st.lowptEdge[ei]
 		}
 		return true
 	}
-	if !st.hasParent[v] {
+	if st.parentArc[v] < 0 {
 		// A root has no parent edge to constrain; nothing to do.
 		return true
 	}
-	return st.addConstraints(ei, st.parentEdge[v])
+	return st.addConstraints(ei, st.parentArc[v])
 }
 
 // addConstraints merges the conflict pairs of ei with those of earlier
 // siblings, failing when a left and a right constraint collide.
-func (st *lrState) addConstraints(ei, e dedge) bool {
-	p := &conflictPair{}
+func (st *lrState) addConstraints(ei, e int32) bool {
+	var p conflictPair
 	// Merge return edges of ei into p.r.
 	for {
 		q := st.pop()
@@ -323,12 +361,12 @@ func (st *lrState) addConstraints(ei, e dedge) bool {
 			// Align.
 			st.ref[q.r.low] = st.lowptEdge[e]
 		}
-		if st.top() == st.stackBottom[ei] {
+		if int32(len(st.s)) == st.stackBottom[ei] {
 			break
 		}
 	}
 	// Merge conflicting return edges of previous siblings into p.l.
-	for st.conflicting(st.top().l, ei) || st.conflicting(st.top().r, ei) {
+	for st.conflicting(st.s[len(st.s)-1].l, ei) || st.conflicting(st.s[len(st.s)-1].r, ei) {
 		q := st.pop()
 		if st.conflicting(q.r, ei) {
 			q.swap()
@@ -341,7 +379,7 @@ func (st *lrState) addConstraints(ei, e dedge) bool {
 			if q.r.highSet {
 				st.ref[p.r.low] = q.r.high
 			} else {
-				delete(st.ref, p.r.low)
+				st.ref[p.r.low] = -1
 			}
 		}
 		if q.r.lowSet {
@@ -364,10 +402,10 @@ func (st *lrState) addConstraints(ei, e dedge) bool {
 }
 
 // removeBackEdges trims back edges ending at the parent u when the DFS
-// returns over tree edge e = (u, v).
-func (st *lrState) removeBackEdges(e dedge, u int32) {
+// returns over tree arc e = (u, v).
+func (st *lrState) removeBackEdges(e, u int32) {
 	// Drop entire conflict pairs.
-	for len(st.s) > 0 && st.lowest(st.top()) == st.height[u] {
+	for len(st.s) > 0 && st.lowest(&st.s[len(st.s)-1]) == st.height[u] {
 		p := st.pop()
 		if p.l.lowSet {
 			st.side[p.l.low] = -1
@@ -377,8 +415,8 @@ func (st *lrState) removeBackEdges(e dedge, u int32) {
 	if len(st.s) > 0 {
 		p := st.pop()
 		// Trim left interval.
-		for p.l.highSet && p.l.high.v == u {
-			if r, ok := st.ref[p.l.high]; ok {
+		for p.l.highSet && st.arcTo[p.l.high] == u {
+			if r := st.ref[p.l.high]; r >= 0 {
 				p.l.high = r
 			} else {
 				p.l.highSet = false
@@ -388,14 +426,14 @@ func (st *lrState) removeBackEdges(e dedge, u int32) {
 			if p.r.lowSet {
 				st.ref[p.l.low] = p.r.low
 			} else {
-				delete(st.ref, p.l.low)
+				st.ref[p.l.low] = -1
 			}
 			st.side[p.l.low] = -1
 			p.l.lowSet = false
 		}
 		// Trim right interval.
-		for p.r.highSet && p.r.high.v == u {
-			if r, ok := st.ref[p.r.high]; ok {
+		for p.r.highSet && st.arcTo[p.r.high] == u {
+			if r := st.ref[p.r.high]; r >= 0 {
 				p.r.high = r
 			} else {
 				p.r.highSet = false
@@ -405,7 +443,7 @@ func (st *lrState) removeBackEdges(e dedge, u int32) {
 			if p.l.lowSet {
 				st.ref[p.r.low] = p.l.low
 			} else {
-				delete(st.ref, p.r.low)
+				st.ref[p.r.low] = -1
 			}
 			st.side[p.r.low] = -1
 			p.r.lowSet = false
@@ -414,10 +452,10 @@ func (st *lrState) removeBackEdges(e dedge, u int32) {
 	}
 	// Choose the reference edge for e among the highest return edges.
 	if st.lowpt[e] < st.height[u] { // e has a return edge
-		t := st.top()
-		var hl, hr dedge
+		var hl, hr int32
 		hlSet, hrSet := false, false
-		if t != nil {
+		if len(st.s) > 0 {
+			t := &st.s[len(st.s)-1]
 			hl, hlSet = t.l.high, t.l.highSet
 			hr, hrSet = t.r.high, t.r.highSet
 		}
@@ -429,17 +467,17 @@ func (st *lrState) removeBackEdges(e dedge, u int32) {
 	}
 }
 
-// sign resolves the side of edge e through its reference chain.
-func (st *lrState) sign(e dedge) int {
+// sign resolves the side of arc e through its reference chain.
+func (st *lrState) sign(e int32) int32 {
 	// Iterative resolution with path collapsing.
-	var chain []dedge
+	var chain []int32
 	cur := e
 	for {
-		if _, ok := st.side[cur]; !ok {
+		if st.side[cur] == 0 {
 			st.side[cur] = 1
 		}
-		r, ok := st.ref[cur]
-		if !ok {
+		r := st.ref[cur]
+		if r < 0 {
 			break
 		}
 		chain = append(chain, cur)
@@ -450,9 +488,9 @@ func (st *lrState) sign(e dedge) int {
 		c := chain[i]
 		st.side[c] *= s
 		s = st.side[c]
-		delete(st.ref, c)
+		st.ref[c] = -1
 	}
-	return s
+	return int32(s)
 }
 
 // embed runs the embedding phase. Must be called only after run() returned
@@ -461,26 +499,19 @@ func (st *lrState) embed() *Embedding {
 	n := st.g.N()
 	// Apply signs to nesting depths and re-sort adjacency lists.
 	for v := 0; v < n; v++ {
-		for _, w := range st.orientedAdj[v] {
-			e := dedge{int32(v), w}
-			st.nesting[e] *= st.sign(e)
+		for _, a := range st.orientedArc[v] {
+			st.nesting[a] *= st.sign(a)
 		}
 	}
+	ord := arcOrder{nesting: st.nesting}
 	for v := 0; v < n; v++ {
-		adj := st.orderedAdj[v]
-		sort.SliceStable(adj, func(i, j int) bool {
-			di := st.nesting[dedge{int32(v), adj[i]}]
-			dj := st.nesting[dedge{int32(v), adj[j]}]
-			if di != dj {
-				return di < dj
-			}
-			return adj[i] < adj[j]
-		})
+		ord.ws, ord.arcs = st.orientedAdj[v], st.orientedArc[v]
+		sort.Stable(&ord)
 	}
 	emb := NewEmbedding(n)
 	for v := 0; v < n; v++ {
 		prev := int32(-1)
-		for _, w := range st.orderedAdj[v] {
+		for _, w := range st.orientedAdj[v] {
 			emb.AddHalfEdgeCW(int32(v), w, prev)
 			prev = w
 		}
@@ -500,20 +531,20 @@ func (st *lrState) embed() *Embedding {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			v := f.v
-			adj := st.orderedAdj[v]
+			adj := st.orientedAdj[v]
 			if f.idx >= len(adj) {
 				stack = stack[:len(stack)-1]
 				continue
 			}
 			w := adj[f.idx]
+			ei := st.orientedArc[v][f.idx]
 			f.idx++
-			ei := dedge{v, w}
-			if st.hasParent[w] && st.parentEdge[w] == ei { // tree edge
+			if st.parentArc[w] == ei { // tree arc
 				emb.AddHalfEdgeFirst(w, v)
 				leftRef[v] = w
 				rightRef[v] = w
 				stack = append(stack, frame{w, 0})
-			} else { // back edge
+			} else { // back arc
 				if st.side[ei] == 1 {
 					emb.AddHalfEdgeCW(w, v, rightRef[w])
 				} else {
@@ -524,11 +555,4 @@ func (st *lrState) embed() *Embedding {
 		}
 	}
 	return emb
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -57,6 +57,75 @@ func TestKnownPlanarFamilies(t *testing.T) {
 	}
 }
 
+// Degenerate inputs the corpus will hit: the empty graph, single nodes,
+// isolated nodes mixed into components, and edgeless graphs. IsPlanar
+// and Embed must handle all of them without special-casing by callers.
+func TestDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"n=0", graph.NewBuilder(0).Build()},
+		{"n=1", graph.NewBuilder(1).Build()},
+		{"n=2 no edges", graph.NewBuilder(2).Build()},
+		{"edgeless n=10", graph.NewBuilder(10).Build()},
+		{"single edge", graph.Path(2)},
+		{"edge plus isolated", graph.DisjointUnion(graph.Path(2), graph.NewBuilder(3).Build())},
+	}
+	for _, c := range cases {
+		if !IsPlanar(c.g) {
+			t.Errorf("%s: IsPlanar = false, want true", c.name)
+			continue
+		}
+		emb, err := Embed(c.g)
+		if err != nil {
+			t.Errorf("%s: Embed failed: %v", c.name, err)
+			continue
+		}
+		if err := emb.Validate(c.g); err != nil {
+			t.Errorf("%s: invalid embedding: %v", c.name, err)
+		}
+	}
+}
+
+// Table mirroring the networkx planarity test-suite family list
+// (SNIPPETS Snippet 1): named generator instances with known verdicts.
+func TestSnippetFamilyTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		planar bool
+	}{
+		{"balanced tree 3,4", graph.BalancedTree(3, 4), true},
+		{"barbell 4,4", graph.Barbell(4, 4), true},
+		{"barbell 5,2", graph.Barbell(5, 2), false},
+		{"barbell 55,11", graph.Barbell(55, 11), false},
+		{"circular ladder 8", graph.CircularLadder(8), true},
+		{"cycle 17", graph.Cycle(17), true},
+		{"empty 10", graph.NewBuilder(10).Build(), true},
+		{"ladder 12", graph.Ladder(12), true},
+		{"lollipop 5,3", graph.Lollipop(5, 3), false},
+		{"lollipop 4,33", graph.Lollipop(4, 33), true},
+		{"null", graph.NewBuilder(0).Build(), true},
+		{"path 30", graph.Path(30), true},
+		{"star 25", graph.Star(25), true},
+		{"trivial", graph.NewBuilder(1).Build(), true},
+		{"K33 subdivision 30", graph.K33Subdivision(30), false},
+	}
+	for _, c := range cases {
+		if got := IsPlanar(c.g); got != c.planar {
+			t.Errorf("%s: IsPlanar = %v, want %v", c.name, got, c.planar)
+		}
+		_, err := Embed(c.g)
+		if c.planar && err != nil {
+			t.Errorf("%s: Embed failed on a planar graph: %v", c.name, err)
+		}
+		if !c.planar && err == nil {
+			t.Errorf("%s: Embed succeeded on a non-planar graph", c.name)
+		}
+	}
+}
+
 func TestKnownNonPlanar(t *testing.T) {
 	cases := []struct {
 		name string

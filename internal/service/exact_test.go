@@ -1,0 +1,249 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func TestExactModeAcceptsAndRejects(t *testing.T) {
+	m := testManager(t, Config{})
+	ctx := context.Background()
+
+	out, err := m.Run(ctx, &Request{Property: PropPlanarity, Mode: ModeExact, Graph: graph.Grid(10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rejected || out.Verdict != "accept" || out.Mode != ModeExact {
+		t.Fatalf("exact grid run: %+v", out)
+	}
+	if out.Oracle == nil || out.Oracle.Bicomps == 0 {
+		t.Fatalf("exact outcome missing oracle stats: %+v", out)
+	}
+	if out.Metrics.Rounds != 0 || out.Metrics.Messages != 0 {
+		t.Fatalf("exact run must not account CONGEST cost: %+v", out.Metrics)
+	}
+
+	out, err = m.Run(ctx, &Request{Property: PropPlanarity, Mode: ModeExact, Graph: graph.K5Subdivision(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Rejected || out.Verdict != "reject" {
+		t.Fatalf("exact mode accepted a K5 subdivision: %+v", out)
+	}
+	if out.Oracle == nil || out.Oracle.LRTested != 1 {
+		t.Fatalf("K5 subdivision should reach the LR run: %+v", out.Oracle)
+	}
+	if got := m.Metrics().ExactRuns.Load(); got != 2 {
+		t.Fatalf("exact runs counter = %d, want 2", got)
+	}
+}
+
+// Exact and CONGEST results for the same graph must live under distinct
+// cache keys: a mode=exact answer must never be served for a congest
+// request (they answer different questions) and vice versa.
+func TestExactModeCachedIndependently(t *testing.T) {
+	m := testManager(t, Config{})
+	ctx := context.Background()
+	g := graph.Grid(8, 8)
+
+	congestReq := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: g}
+	exactReq := &Request{Property: PropPlanarity, Mode: ModeExact, Graph: g}
+	if _, err := m.Run(ctx, congestReq); err != nil {
+		t.Fatal(err)
+	}
+	// Same graph hash, different mode: must miss and run the oracle.
+	j, err := m.Submit(ctx, exactReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.CacheHit {
+		t.Fatal("exact submit hit the congest result for the same graph")
+	}
+	exactOut, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactOut.Mode != ModeExact {
+		t.Fatalf("outcome mode %q, want %q", exactOut.Mode, ModeExact)
+	}
+	// Replaying each mode hits its own entry.
+	j2, err := m.Submit(ctx, &Request{Property: PropPlanarity, Mode: ModeExact, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.CacheHit {
+		t.Fatal("identical exact request must be a cache hit")
+	}
+	if out2, _ := j2.Wait(ctx); out2 != exactOut {
+		t.Fatal("exact replay returned a different outcome object")
+	}
+	j3, err := m.Submit(ctx, &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 1, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j3.CacheHit {
+		t.Fatal("identical congest request must still hit after the exact run")
+	}
+	if out3, _ := j3.Wait(ctx); out3.Mode == ModeExact {
+		t.Fatal("congest replay served the exact outcome")
+	}
+	if h, ms := m.Metrics().CacheHits.Load(), m.Metrics().CacheMisses.Load(); h != 2 || ms != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", h, ms)
+	}
+}
+
+// Exact requests ignore epsilon/seed/variant: Validate normalizes them,
+// so any parameter spelling of the same graph shares one cache entry.
+func TestExactModeNormalizesParameters(t *testing.T) {
+	g := graph.Grid(5, 5)
+	a := &Request{Property: PropPlanarity, Mode: ModeExact, Graph: g}
+	b := &Request{Property: PropPlanarity, Mode: ModeExact, Epsilon: 0.7, Seed: 42, Variant: VariantRandomized, Graph: g}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("exact requests with different irrelevant parameters must share a cache key")
+	}
+	// A congest request with the default-normalized parameters must NOT
+	// collide with the exact entry.
+	c := &Request{Property: PropPlanarity, Epsilon: 0.25, Seed: 0, Graph: g}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CacheKey() == a.CacheKey() {
+		t.Fatal("congest and exact requests must have distinct cache keys")
+	}
+}
+
+func TestExactModeValidation(t *testing.T) {
+	g := graph.Grid(4, 4)
+	// Exact applies to planarity only.
+	bad := &Request{Property: PropBipartiteness, Mode: ModeExact, Epsilon: 0.25, Graph: g}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "applies only") {
+		t.Fatalf("exact bipartiteness validated: %v", err)
+	}
+	if err := (&Request{Mode: "quantum", Epsilon: 0.25, Graph: g}).Validate(); err == nil {
+		t.Fatal("unknown mode validated")
+	}
+	// Exact requests need no epsilon; congest requests still do.
+	if err := (&Request{Property: PropPlanarity, Mode: ModeExact, Graph: g}).Validate(); err != nil {
+		t.Fatalf("exact without epsilon: %v", err)
+	}
+	if err := (&Request{Property: PropPlanarity, Graph: g}).Validate(); err == nil {
+		t.Fatal("congest without epsilon validated")
+	}
+	// Defaulting: empty mode is congest.
+	r := &Request{Property: PropPlanarity, Epsilon: 0.25, Graph: g}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != ModeCongest {
+		t.Fatalf("mode defaulted to %q, want %q", r.Mode, ModeCongest)
+	}
+}
+
+// Exact mode rides the same HTTP surface: a JSON POST with mode=exact
+// answers with the oracle breakdown and caches independently of the
+// congest entry for the same graph bytes.
+func TestHTTPExactMode(t *testing.T) {
+	srv, m := testServer(t)
+	g := graph.Grid(8, 8)
+	data := encodeGraph(t, g, graphio.EdgeList)
+	graphBody := map[string]any{"format": "edge-list", "data": data}
+
+	resp, out := postJSON(t, srv.URL+"/v1/test", map[string]any{
+		"property": PropPlanarity, "mode": ModeExact, "graph": graphBody,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var v View
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" || v.Outcome == nil || v.Outcome.Rejected {
+		t.Fatalf("exact POST: %s", out)
+	}
+	if v.Outcome.Mode != ModeExact || v.Outcome.Oracle == nil {
+		t.Fatalf("exact POST missing mode/oracle fields: %s", out)
+	}
+	if v.CacheHit {
+		t.Fatal("first exact POST must be a miss")
+	}
+	// A congest POST of the same graph misses (distinct key), and an
+	// exact replay hits.
+	resp, out = postJSON(t, srv.URL+"/v1/test", map[string]any{
+		"property": PropPlanarity, "epsilon": 0.25, "seed": 1, "graph": graphBody,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("congest POST status %d: %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheHit {
+		t.Fatal("congest POST must not hit the exact entry")
+	}
+	resp, out = postJSON(t, srv.URL+"/v1/test", map[string]any{
+		"property": PropPlanarity, "mode": ModeExact, "graph": graphBody,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact replay status %d: %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.CacheHit || v.Outcome.Mode != ModeExact {
+		t.Fatalf("exact replay: %s", out)
+	}
+	// Exact mode on a non-planarity property is a 400.
+	resp, out = postJSON(t, srv.URL+"/v1/test", map[string]any{
+		"property": PropBipartiteness, "mode": ModeExact, "epsilon": 0.25, "graph": graphBody,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("exact bipartiteness status %d: %s", resp.StatusCode, out)
+	}
+	if got := m.Metrics().ExactRuns.Load(); got != 1 {
+		t.Fatalf("exact runs counter = %d, want 1", got)
+	}
+}
+
+// Exact mode must agree with the CONGEST tester's one-sided contract on
+// a mixed bag: both accept planar instances; the exact verdict is the
+// ground truth for the non-planar ones.
+func TestExactModeMatchesOracleOnMixedBag(t *testing.T) {
+	m := testManager(t, Config{})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	noisy, _ := graph.PlanarPlusRandomEdges(60, 40, rng)
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		planar bool
+	}{
+		{"maxplanar", graph.MaximalPlanar(200, rng), true},
+		{"ladder", graph.Ladder(64), true},
+		{"barbell K5", graph.Barbell(5, 10), false},
+		{"noisy", noisy, false},
+		{"K33 subdivision", graph.K33Subdivision(77), false},
+	}
+	for _, c := range cases {
+		out, err := m.Run(ctx, &Request{Property: PropPlanarity, Mode: ModeExact, Graph: c.g})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if out.Rejected == c.planar {
+			t.Fatalf("%s: exact verdict %s, want planar=%v", c.name, out.Verdict, c.planar)
+		}
+	}
+}

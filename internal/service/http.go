@@ -30,6 +30,7 @@ type wireRequest struct {
 	Epsilon  float64 `json:"epsilon"`
 	Seed     int64   `json:"seed"`
 	Variant  string  `json:"variant"`
+	Mode     string  `json:"mode"`
 	// Timeout is a Go duration string ("30s", "2m") bounding the run's
 	// wall clock; a timed-out sync request answers 504. The server's
 	// MaxTimeout caps it.
@@ -327,6 +328,7 @@ func decodeMultipart(r *http.Request) (*Request, bool, error) {
 		// Bare-form convenience: property/epsilon/seed as form values.
 		wire.Property = fields["property"]
 		wire.Variant = fields["variant"]
+		wire.Mode = fields["mode"]
 		if s := fields["epsilon"]; s != "" {
 			if _, err := fmt.Sscan(s, &wire.Epsilon); err != nil {
 				return nil, false, fmt.Errorf("bad epsilon %q", s)
@@ -364,6 +366,7 @@ func wireToRequest(wire wireRequest, g *graph.Graph) (*Request, error) {
 		Epsilon:  wire.Epsilon,
 		Seed:     wire.Seed,
 		Variant:  wire.Variant,
+		Mode:     wire.Mode,
 		Graph:    g,
 	}
 	if wire.Timeout != "" {

@@ -26,6 +26,7 @@ type Metrics struct {
 	Messages      atomic.Int64 // CONGEST messages across all finished runs
 	GraphNodes    atomic.Int64 // sum of n over non-cached runs
 	GraphEdges    atomic.Int64 // sum of m over non-cached runs
+	ExactRuns     atomic.Int64 // jobs answered by the sequential oracle (mode=exact)
 
 	CheckpointsWritten atomic.Int64 // durable engine snapshots landed on disk
 	CheckpointErrs     atomic.Int64 // checkpoint I/O or snapshot failures (durability lost)
@@ -191,6 +192,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"planard_graph_nodes_total", "Sum of node counts over engine (non-cached) runs.", "counter", fmt.Sprint(m.GraphNodes.Load())},
 		{"planard_graph_edges_total", "Sum of edge counts over engine (non-cached) runs.", "counter", fmt.Sprint(m.GraphEdges.Load())},
 		{"planard_engine_wall_seconds_total", "Engine wall time across all runs.", "counter", fmt.Sprintf("%g", m.WallSeconds())},
+		{"planard_exact_runs_total", "Jobs answered by the sequential exact oracle (mode=exact).", "counter", fmt.Sprint(m.ExactRuns.Load())},
 		{"planard_checkpoints_written_total", "Durable engine checkpoints landed on disk.", "counter", fmt.Sprint(m.CheckpointsWritten.Load())},
 		{"planard_checkpoint_errors_total", "Checkpoint failures (durability lost, runs unaffected).", "counter", fmt.Sprint(m.CheckpointErrs.Load())},
 		{"planard_recovered_jobs_total", "Jobs re-enqueued from checkpoints after a restart.", "counter", fmt.Sprint(m.RecoveredJobs.Load())},

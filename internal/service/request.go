@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 	"repro/internal/partition"
 	"repro/internal/planar"
 	"repro/internal/spanner"
@@ -39,6 +40,16 @@ const (
 	VariantEN            = "en"
 )
 
+// Execution modes. ModeCongest runs the distributed tester on the
+// engine; ModeExact answers with the sequential oracle
+// (internal/oracle) — exact, deterministic, and orders of magnitude
+// faster, but with no CONGEST cost accounting. Exact mode applies to
+// planarity only.
+const (
+	ModeCongest = "congest"
+	ModeExact   = "exact"
+)
+
 // Request is one unit of work: test a property of a graph (or build its
 // spanner) at a given distance parameter and seed.
 type Request struct {
@@ -52,6 +63,10 @@ type Request struct {
 	// Variant selects Stage I: deterministic (default), randomized
 	// (Theorem 4), or en (the Elkin–Neiman baseline, planarity only).
 	Variant string `json:"variant,omitempty"`
+	// Mode selects the execution path: congest (default, the
+	// distributed tester) or exact (the sequential oracle fast path,
+	// planarity only).
+	Mode string `json:"mode,omitempty"`
 	// Graph is the input graph. Decoded from the wire formats by the
 	// HTTP layer; never nil for a valid request.
 	Graph *graph.Graph `json:"-"`
@@ -66,9 +81,6 @@ func (r *Request) Validate() error {
 	if r.Graph == nil {
 		return fmt.Errorf("service: request has no graph")
 	}
-	if !(r.Epsilon > 0 && r.Epsilon <= 1) { // NaN fails both comparisons
-		return fmt.Errorf("service: epsilon %v outside (0,1]", r.Epsilon)
-	}
 	if r.Timeout < 0 {
 		return fmt.Errorf("service: negative timeout %v", r.Timeout)
 	}
@@ -78,6 +90,27 @@ func (r *Request) Validate() error {
 		r.Property = PropPlanarity
 	default:
 		return fmt.Errorf("service: unknown property %q (want one of %v)", r.Property, Properties())
+	}
+	switch r.Mode {
+	case "":
+		r.Mode = ModeCongest
+	case ModeCongest:
+	case ModeExact:
+		if r.Property != PropPlanarity {
+			return fmt.Errorf("service: mode %q applies only to %q", ModeExact, PropPlanarity)
+		}
+		// The oracle is deterministic and parameter-free: epsilon, seed,
+		// and variant cannot change its answer, so they are normalized
+		// away and identical work shares one cache entry.
+		r.Epsilon = 0
+		r.Seed = 0
+		r.Variant = VariantDeterministic
+		return nil
+	default:
+		return fmt.Errorf("service: unknown mode %q (want %q or %q)", r.Mode, ModeCongest, ModeExact)
+	}
+	if !(r.Epsilon > 0 && r.Epsilon <= 1) { // NaN fails both comparisons
+		return fmt.Errorf("service: epsilon %v outside (0,1]", r.Epsilon)
 	}
 	switch r.Variant {
 	case "":
@@ -106,6 +139,7 @@ func (r *Request) CacheKey() string {
 		Field("epsilon", r.Epsilon).
 		Field("seed", r.Seed).
 		Field("variant", r.Variant).
+		Field("mode", r.Mode).
 		Sum()
 }
 
@@ -140,6 +174,11 @@ type Outcome struct {
 	GraphN     int        `json:"graph_n"`
 	GraphM     int        `json:"graph_m"`
 	Metrics    RunMetrics `json:"metrics"`
+	// Mode records which execution path produced the outcome; empty
+	// means congest (outcomes cached before the field existed).
+	Mode string `json:"mode,omitempty"`
+	// Oracle is the exact-mode decision breakdown; nil for CONGEST runs.
+	Oracle *OracleStats `json:"oracle,omitempty"`
 	// Spanner-only fields: the subgraph size and the part-diameter
 	// stretch certificate (max over parts).
 	SpannerEdges   int `json:"spanner_edges,omitempty"`
@@ -153,6 +192,24 @@ type Outcome struct {
 	// must be a pure function of the cache key. The worker folds it into
 	// the service metrics instead.
 	Phases obs.PhaseBreakdown `json:"-"`
+}
+
+// OracleStats is the JSON view of how the exact oracle reached its
+// verdict: which shortcut decided, and how much work the left–right
+// test actually did.
+type OracleStats struct {
+	// Components and Bicomps count the connected and biconnected
+	// components of the input.
+	Components int `json:"components"`
+	Bicomps    int `json:"bicomps"`
+	// TrivialBicomps counts blocks decided by size alone (< 5 nodes).
+	TrivialBicomps int `json:"trivial_bicomps"`
+	// EulerRejected is set when the whole graph died at the global
+	// m > 3n-6 count; EulerRejects counts blocks rejected locally.
+	EulerRejected bool `json:"euler_rejected,omitempty"`
+	EulerRejects  int  `json:"euler_rejects,omitempty"`
+	// LRTested counts blocks that required a left–right planarity run.
+	LRTested int `json:"lr_tested"`
 }
 
 // runEnv is the engine-facing execution environment of one job: the
@@ -180,8 +237,30 @@ func run(req *Request, env runEnv) (*Outcome, error) {
 	start := time.Now()
 	out := &Outcome{
 		Property: req.Property,
+		Mode:     req.Mode,
 		GraphN:   req.Graph.N(),
 		GraphM:   req.Graph.M(),
+	}
+	if req.Mode == ModeExact {
+		// The exact fast path never touches the engine: the sequential
+		// oracle decides in O(n) with no rounds, messages, or bits to
+		// account. Metrics stay zero by construction.
+		res := oracle.Decide(req.Graph)
+		out.Rejected = !res.Planar
+		out.Oracle = &OracleStats{
+			Components:     res.Components,
+			Bicomps:        res.Bicomps,
+			TrivialBicomps: res.TrivialBicomps,
+			EulerRejected:  res.EulerRejected,
+			EulerRejects:   res.EulerRejects,
+			LRTested:       res.LRTested,
+		}
+		out.Verdict = "accept"
+		if out.Rejected {
+			out.Verdict = "reject"
+		}
+		out.WallSeconds = time.Since(start).Seconds()
+		return out, nil
 	}
 	popts := partition.Options{Epsilon: req.Epsilon}
 	if req.Variant == VariantRandomized {

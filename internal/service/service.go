@@ -409,9 +409,11 @@ func (m *Manager) effectiveTimeout(req time.Duration) time.Duration {
 // durableRequest reports whether a run can be checkpointed: only the
 // step-model planarity tester implements engine snapshots. The EN
 // baseline and the other properties run fine without durability — their
-// jobs simply restart from scratch after a crash is not offered.
+// jobs simply restart from scratch after a crash is not offered. Exact
+// runs finish in milliseconds; checkpointing them would cost more than
+// re-running.
 func durableRequest(req *Request) bool {
-	return req.Property == PropPlanarity && req.Variant != VariantEN
+	return req.Property == PropPlanarity && req.Variant != VariantEN && req.Mode != ModeExact
 }
 
 // checkpointConfig is the engine-side checkpoint plumbing for one
@@ -521,7 +523,7 @@ func (m *Manager) execute(j *Job) {
 	m.metrics.CacheMisses.Add(1)
 
 	env := runEnv{workers: m.cfg.EngineWorkers, cancel: j.cancelCh, resume: j.resume}
-	if j.Request.Property == PropPlanarity {
+	if j.Request.Property == PropPlanarity && j.Request.Mode != ModeExact {
 		// Instrument the run: a fresh probe per job (phase IDs are
 		// per-run) and a progress cell that GET /v1/jobs/{id} snapshots
 		// while the engine is inside the run.
@@ -571,6 +573,9 @@ func (m *Manager) execute(j *Job) {
 		lg.Info("job failed", "err", err)
 		finish(nil, err)
 		return
+	}
+	if out.Mode == ModeExact {
+		m.metrics.ExactRuns.Add(1)
 	}
 	mm := out.Metrics
 	m.metrics.SimulatedRnds.Add(int64(mm.Rounds))

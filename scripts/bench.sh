@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Runs the flagship experiment benchmarks (E1/E11/E12), the engine
+# Runs the flagship experiment benchmarks (E1/E11/E12), the exact-oracle
+# fast path (BenchmarkOracle: the mode=exact speedup baseline), the engine
 # microbenchmarks, the serving-layer benchmarks (BenchmarkService:
 # cache-hit and cache-miss paths), and the large-n family
 # (BenchmarkLargeN), then writes a
@@ -57,7 +58,7 @@ OUT="BENCH_${STAMP}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkE1RoundsVsN|BenchmarkE11Baseline|BenchmarkE12Congestion' \
+go test -run '^$' -bench 'BenchmarkE1RoundsVsN|BenchmarkE11Baseline|BenchmarkE12Congestion|BenchmarkOracle' \
     -benchmem -benchtime "$BENCHTIME" $(profflags E) . | tee -a "$RAW"
 go test -run '^$' -bench 'BenchmarkEngine' \
     -benchmem -benchtime "$BENCHTIME" $(profflags engine) ./internal/congest/ | tee -a "$RAW"

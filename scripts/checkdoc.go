@@ -5,7 +5,8 @@
 // CI (.github/workflows/ci.yml) for the packages whose godoc the
 // repository commits to keeping complete: internal/congest,
 // internal/graphio, internal/service, internal/faultpoint,
-// internal/partition, internal/core, and internal/obs.
+// internal/partition, internal/core, internal/obs, internal/oracle,
+// and internal/corpus.
 //
 // Usage: go run scripts/checkdoc.go [package-dir ...]
 //
@@ -32,7 +33,7 @@ func main() {
 		dirs = []string{
 			"internal/congest", "internal/graphio", "internal/service",
 			"internal/faultpoint", "internal/partition", "internal/core",
-			"internal/obs",
+			"internal/obs", "internal/oracle", "internal/corpus",
 		}
 	}
 	bad := 0

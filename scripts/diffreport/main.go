@@ -1,0 +1,102 @@
+// Command diffreport runs the differential-testing corpus: every named
+// family instance goes through both the CONGEST planarity tester and the
+// exact sequential oracle, and the confusion matrix lands as a text
+// report. The committed docs/diffreport.txt artifact is produced by
+//
+//	go run ./scripts/diffreport -out docs/diffreport.txt
+//
+// and CI runs the same corpus (shorter schedule) as the diff-corpus
+// gate. Exit status 1 when the gate fails: any oracle-planar instance
+// rejected by the CONGEST tester, or any ε-far instance accepted.
+//
+// Usage:
+//
+//	go run ./scripts/diffreport [-sizes 32,72,128] [-seeds 1,2,3] [-eps 0.25] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	var (
+		sizes = flag.String("sizes", "", "comma-separated target node counts (default 32,72,128)")
+		seeds = flag.String("seeds", "", "comma-separated seeds (default 1,2,3)")
+		eps   = flag.Float64("eps", 0, "distance parameter for the CONGEST tester (default 0.25)")
+		out   = flag.String("out", "", "write the report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := corpus.Config{Epsilon: *eps}
+	var err error
+	if cfg.Sizes, err = parseInts(*sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "diffreport: bad -sizes:", err)
+		os.Exit(2)
+	}
+	if cfg.Seeds, err = parseInt64s(*seeds); err != nil {
+		fmt.Fprintln(os.Stderr, "diffreport: bad -seeds:", err)
+		os.Exit(2)
+	}
+
+	rep, err := corpus.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffreport:", err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diffreport:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteText(w); err != nil {
+		fmt.Fprintln(os.Stderr, "diffreport:", err)
+		os.Exit(2)
+	}
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "diffreport: GATE FAILED with %d violations\n", len(rep.Violations))
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

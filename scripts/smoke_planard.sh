@@ -9,13 +9,16 @@
 #      the response and in the /metrics counters, which must also expose
 #      the request/run latency histograms and the per-phase engine
 #      attribution series;
-#   5. shut the server down gracefully (SIGTERM) and require a clean exit;
-#   6. restart with -checkpoint-dir, submit an async job and require its
+#   5. POST the same graph with mode=exact and require an oracle verdict
+#      with its own cache entry (miss, then hit on replay) and the
+#      planard_exact_runs_total counter;
+#   6. shut the server down gracefully (SIGTERM) and require a clean exit;
+#   7. restart with -checkpoint-dir, submit an async job and require its
 #      GET view to expose a live progress object, SIGKILL the daemon
 #      mid-run, restart it on the same directory, and require the
 #      interrupted job to resume from its checkpoint, finish with the
 #      same verdict, and repopulate the result cache;
-#   7. restart-keeps-cache: start with -cache-dir, POST (cold run),
+#   8. restart-keeps-cache: start with -cache-dir, POST (cold run),
 #      restart the daemon on the same directory, re-POST, and require a
 #      cache hit served from the disk tier — no engine re-run.
 #
@@ -104,6 +107,30 @@ require "$M" 'planard_request_seconds_count{route="test",status="200"} 2'       
 require "$M" 'planard_engine_run_seconds_bucket{property="planarity",le="+Inf"} 1' "/metrics (run histogram)"
 require "$M" 'planard_engine_phase_seconds_total{phase="stage1/p01"}'              "/metrics (phase attribution)"
 require "$M" 'planard_engine_phase_messages_total{phase="run"}'                    "/metrics (phase traffic)"
+
+echo "== mode=exact: oracle verdict for the same graph, cached independently"
+post_exact() {
+    curl -sf -X POST "http://127.0.0.1:$PORT/v1/test" \
+        -F 'request={"property":"planarity","mode":"exact"}' \
+        -F "graph=@$WORK/graph.txt"
+}
+# Same graph bytes as the CONGEST runs above, but mode=exact keys its own
+# cache entry: the first POST is a miss that runs the sequential oracle
+# (no CONGEST metrics), the replay is a hit.
+RE1="$(post_exact)"
+require "$RE1" '"state":"done"'     "exact POST"
+require "$RE1" '"verdict":"accept"' "exact POST"
+require "$RE1" '"cache_hit":false'  "exact POST (independent of the congest entry)"
+require "$RE1" '"mode":"exact"'     "exact POST"
+require "$RE1" '"oracle":{'         "exact POST (oracle breakdown)"
+require "$RE1" '"bicomps":'         "exact POST (oracle breakdown)"
+RE2="$(post_exact)"
+require "$RE2" '"cache_hit":true'   "exact replay"
+require "$RE2" '"mode":"exact"'     "exact replay"
+ME="$(curl -sf "http://127.0.0.1:$PORT/metrics")"
+require "$ME" '^planard_exact_runs_total 1$'  "/metrics (exact run counter)"
+require "$ME" '^planard_cache_hits_total 2$'  "/metrics (exact replay hit)"
+require "$ME" '^planard_cache_misses_total 2$' "/metrics (exact entry distinct)"
 
 echo "== graceful shutdown"
 kill -TERM "$SRV_PID"
@@ -247,4 +274,4 @@ for i in $(seq 1 100); do
 done
 SRV_PID=""
 
-echo "smoke_planard: OK (n=$N, accept + cache hit + graceful shutdown + kill-and-resume + restart-keeps-cache)"
+echo "smoke_planard: OK (n=$N, accept + cache hit + exact mode + graceful shutdown + kill-and-resume + restart-keeps-cache)"
